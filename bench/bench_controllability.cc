@@ -1,0 +1,126 @@
+// Experiment E9 (DESIGN.md): cost of the controllability inference itself
+// (Theorem 4.4: QCntl is NP-complete). The conjunction rule explores all
+// evaluation orders through a subset DP, so analysis cost grows with the
+// number of conjuncts; the antichain caps keep it usable. Includes
+// google-benchmark microbenchmarks for the hot entry points.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/controllability.h"
+#include "query/parser.h"
+#include "query/printer.h"
+#include "workload/social_gen.h"
+
+using namespace scalein;
+using bench::Header;
+using bench::MeasureMs;
+
+namespace {
+
+/// Chain query with k atoms r(x0,x1), r(x1,x2), ..., each key-accessible on
+/// its first attribute: forces the DP to reason about long join chains.
+Formula ChainFormula(size_t k, const Schema& s) {
+  std::string text;
+  for (size_t i = 0; i < k; ++i) {
+    if (i > 0) text += " and ";
+    text += "r(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+  }
+  Result<Formula> f = ParseFormula(text, &s);
+  SI_CHECK(f.ok());
+  return *std::move(f);
+}
+
+void AnalysisCostVsConjuncts() {
+  Header("E9: controllability analysis cost vs number of conjuncts",
+         "Theorem 4.4 (QCntl / QCntlmin NP-complete)",
+         "subset-DP work grows exponentially with conjuncts until the "
+         "configured cap kicks in");
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  TablePrinter table({"conjuncts", "minimal sets", "QCntl(K=1)", "truncated",
+                      "ms/analysis"});
+  for (size_t k : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    Formula f = ChainFormula(k, s);
+    Result<ControllabilityAnalysis> first =
+        ControllabilityAnalysis::Analyze(f, s, a);
+    SI_CHECK(first.ok());
+    double ms = MeasureMs([&] {
+      (void)ControllabilityAnalysis::Analyze(f, s, a);
+    });
+    table.AddRow({std::to_string(k),
+                  std::to_string(first->MinimalControlSets().size()),
+                  VerdictName(DecideQCntl(*first, 1)),
+                  first->truncated() ? "yes" : "no", FormatDouble(ms, 3)});
+  }
+  table.Print();
+}
+
+void OptionCapAblation() {
+  Header("E9 ablation: antichain cap trades completeness for speed",
+         "DESIGN.md ablation: antichain representation of option families",
+         "small caps truncate (possibly losing derivations) but analyze "
+         "faster; the default cap does not truncate these sizes");
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("r", {"b"}, 10);  // two access paths multiply the option space
+  Formula f = ChainFormula(8, s);
+  TablePrinter table({"max options/node", "minimal sets", "truncated", "ms"});
+  for (size_t cap : {4u, 16u, 48u, 128u}) {
+    ControlAnalysisOptions options;
+    options.max_options_per_node = cap;
+    Result<ControllabilityAnalysis> r =
+        ControllabilityAnalysis::Analyze(f, s, a, options);
+    SI_CHECK(r.ok());
+    double ms = MeasureMs(
+        [&] { (void)ControllabilityAnalysis::Analyze(f, s, a, options); });
+    table.AddRow({std::to_string(cap),
+                  std::to_string(r->MinimalControlSets().size()),
+                  r->truncated() ? "yes" : "no", FormatDouble(ms, 3)});
+  }
+  table.Print();
+}
+
+// --- google-benchmark microbenchmarks -------------------------------------
+
+void BM_AnalyzeQ1(benchmark::State& state) {
+  Schema s = SocialSchema(false);
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  a.AddKey("person", {"id"});
+  Result<Formula> f = ParseFormula(
+      "exists id. friend(p, id) and person(id, name, \"NYC\")", &s);
+  SI_CHECK(f.ok());
+  for (auto _ : state) {
+    auto r = ControllabilityAnalysis::Analyze(*f, s, a);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AnalyzeQ1);
+
+void BM_AnalyzeChain(benchmark::State& state) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  Formula f = ChainFormula(static_cast<size_t>(state.range(0)), s);
+  for (auto _ : state) {
+    auto r = ControllabilityAnalysis::Analyze(f, s, a);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AnalyzeChain)->Arg(2)->Arg(6)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalysisCostVsConjuncts();
+  OptionCapAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Experiment E4 (DESIGN.md): Example 1.1(a) / Theorem 4.2 — the headline
+// scale-independence figure. Q1(p0) under the access schema touches a
+// bounded number of tuples while |D| grows by orders of magnitude; a
+// scan-based baseline (no access schema) grows linearly with |D|.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "core/bounded_eval.h"
+#include "core/controllability.h"
+#include "query/parser.h"
+#include "query/printer.h"
+#include "workload/social_gen.h"
+
+using namespace scalein;
+using bench::Header;
+using bench::MeasureMs;
+
+namespace {
+
+/// The no-access-schema baseline: one full pass over `friend` collecting p's
+/// friends, then one full pass over `person` filtering NYC — what a system
+/// without indexes must do (O(|D|) per query).
+size_t ScanBaseline(const Database& db, int64_t p, uint64_t* rows_touched) {
+  const Relation& friends = db.relation("friend");
+  const Relation& person = db.relation("person");
+  std::set<Value, std::less<Value>> friend_ids;
+  for (size_t i = 0; i < friends.size(); ++i) {
+    ++*rows_touched;
+    TupleView row = friends.TupleAt(i);
+    if (row[0] == Value::Int(p)) friend_ids.insert(row[1]);
+  }
+  size_t answers = 0;
+  Value nyc = Value::Str(kNyc);
+  for (size_t i = 0; i < person.size(); ++i) {
+    ++*rows_touched;
+    TupleView row = person.TupleAt(i);
+    if (row[2] == nyc && friend_ids.count(row[0])) ++answers;
+  }
+  return answers;
+}
+
+}  // namespace
+
+int main() {
+  Header("E4: Q1(p0) bounded evaluation vs scan baseline",
+         "Example 1.1(a) / Example 4.1 / Theorem 4.2 (M >= 10000 story)",
+         "bounded executor: fetches and latency flat in |D|; scan baseline "
+         "linear in |D| — the gap widens to orders of magnitude");
+
+  TablePrinter table({"persons", "|D|", "bounded fetches", "bound", "bounded ms",
+                      "scan rows", "scan ms", "speedup"});
+  for (uint64_t persons : {3000u, 30000u, 300000u}) {
+    SocialConfig config;
+    config.num_persons = persons;
+    config.max_friends_per_person = 50;
+    config.num_restaurants = 200;
+    config.avg_visits_per_person = 0;  // Q1 does not use visits
+    Schema schema = SocialSchema(false);
+    Database db = GenerateSocial(config);
+    AccessSchema access = SocialAccessSchema(config);
+    SI_CHECK(access.BuildIndexes(&db, schema).ok());
+
+    Result<FoQuery> q1 = ParseFoQuery(
+        "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+        &schema);
+    SI_CHECK(q1.ok());
+    Result<ControllabilityAnalysis> analysis =
+        ControllabilityAnalysis::Analyze(q1->body, schema, access);
+    SI_CHECK(analysis.ok());
+    Variable p = Variable::Named("p");
+    SI_CHECK(analysis->IsControlledBy({p}));
+
+    BoundedEvaluator evaluator(&db);
+    Binding params{{p, Value::Int(42)}};
+    BoundedEvalStats stats;
+    Result<AnswerSet> bounded_answers =
+        evaluator.Evaluate(*q1, *analysis, params, &stats);
+    SI_CHECK(bounded_answers.ok());
+    double bounded_ms = MeasureMs(
+        [&] { (void)evaluator.Evaluate(*q1, *analysis, params, nullptr); });
+
+    uint64_t scan_rows = 0;
+    size_t scan_answers = ScanBaseline(db, 42, &scan_rows);
+    SI_CHECK(scan_answers == bounded_answers->size());
+    double scan_ms = MeasureMs([&] {
+      uint64_t ignored = 0;
+      (void)ScanBaseline(db, 42, &ignored);
+    });
+
+    table.AddRow({FormatCount(persons), FormatCount(db.TotalTuples()),
+                  std::to_string(stats.base_tuples_fetched),
+                  FormatDouble(*analysis->StaticFetchBound({p}), 0),
+                  FormatDouble(bounded_ms, 4), FormatCount(scan_rows),
+                  FormatDouble(scan_ms, 3),
+                  FormatDouble(scan_ms / bounded_ms, 1) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: with the paper's production numbers (5000-friend cap, 1e9 "
+      "users) the same static bound M = 10000 applies; only the scan column "
+      "would keep growing.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef SCALEIN_BENCH_BENCH_UTIL_H_
+#define SCALEIN_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace scalein::bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Repeats `fn` until at least `min_ms` of wall time has elapsed (at least
+/// once); returns the mean per-iteration time in milliseconds.
+template <typename Fn>
+double MeasureMs(Fn&& fn, double min_ms = 20.0) {
+  // Warmup.
+  fn();
+  Timer timer;
+  int iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedMs() < min_ms);
+  return timer.ElapsedMs() / iters;
+}
+
+inline void Header(const char* experiment, const char* paper_artifact,
+                   const char* expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper artifact : %s\n", paper_artifact);
+  std::printf("expected shape : %s\n", expectation);
+  std::printf("================================================================\n");
+}
+
+}  // namespace scalein::bench
+
+#endif  // SCALEIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Experiment E11 (DESIGN.md): cost of deciding VQSI (Theorem 6.1,
+// NP-complete). The rewriting search space grows with the number of views
+// whose bodies map into the query; irrelevant views are cheap to discard.
+
+#include "bench_util.h"
+#include "query/parser.h"
+#include "query/printer.h"
+#include "views/vqsi.h"
+#include "workload/social_gen.h"
+
+using namespace scalein;
+using bench::Header;
+using bench::MeasureMs;
+
+int main() {
+  Header("E11: VQSI decision cost vs number of views",
+         "Theorem 6.1 (VQSI NP-complete for CQ)",
+         "candidates checked grow with relevant views; verdicts match the "
+         "constrained-variable characterization");
+
+  Schema schema = SocialSchema(false);
+  Result<Cq> q2 = ParseCq(
+      "Q2(p, rn) :- friend(p, id), visit(id, rid), "
+      "person(id, pn, \"NYC\"), restr(rid, rn, \"NYC\", \"A\")",
+      &schema);
+  SI_CHECK(q2.ok());
+  Result<Cq> boolean = ParseCq(
+      "B() :- visit(id, rid), person(id, pn, \"NYC\"), "
+      "restr(rid, rn, \"NYC\", \"A\")",
+      &schema);
+  SI_CHECK(boolean.ok());
+
+  TablePrinter table({"views", "query", "M", "verdict", "candidates", "ms"});
+  for (size_t extra : {0u, 2u, 4u, 8u}) {
+    ViewSet views;
+    views.Define("V1(rid, rn, rating) :- restr(rid, rn, \"NYC\", rating)",
+                 schema)
+        .Define("V2(id, rid) :- visit(id, rid), person(id, pn, \"NYC\")",
+                schema);
+    // Extra relevant views: rating-specific restaurant lists.
+    static const char* kRatings[] = {"A", "B", "C"};
+    for (size_t i = 0; i < extra; ++i) {
+      std::string def = "W" + std::to_string(i) + "(rid, rn) :- restr(rid, rn, \"NYC\", \"" +
+                        kRatings[i % 3] + "\")";
+      views.Define(def, schema);
+    }
+
+    for (const Cq* q : {&*q2, &*boolean}) {
+      uint64_t m = q->IsBoolean() ? 1 : 10;
+      VqsiDecision first = DecideVqsiCq(*q, views, schema, m);
+      double ms = MeasureMs([&] { DecideVqsiCq(*q, views, schema, m); }, 10.0);
+      table.AddRow({std::to_string(2 + extra), q->name(), std::to_string(m),
+                    VerdictName(first.verdict),
+                    std::to_string(first.candidates_checked),
+                    FormatDouble(ms, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nQ2 stays 'no' (its distinguished variables remain base-connected: "
+      "Theorem 6.1), while the Boolean variant flips to 'yes' once the views "
+      "cover its whole body.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// A second domain: order analytics. Shows the full adoption path on a
+// schema that is not the paper's social graph — declare constraints you
+// actually have (keys, per-customer order caps, one-shipment-per-order FD),
+// let the advisor propose the missing indexes, then run parameterized
+// analytics with bounded data access.
+//
+// Build & run:  ./build/examples/orders_analytics
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/bounded_eval.h"
+#include "core/controllability.h"
+#include "core/embedded_controllability.h"
+#include "query/parser.h"
+#include "util/rng.h"
+
+using namespace scalein;
+
+namespace {
+
+Database MakeOrders(const Schema& schema, uint64_t customers,
+                    uint64_t max_orders_per_customer) {
+  Database db(schema);
+  Rng rng(2026);
+  static const char* kRegions[] = {"EU", "US", "APAC"};
+  static const char* kStatus[] = {"open", "shipped", "returned"};
+  for (uint64_t c = 0; c < customers; ++c) {
+    db.Insert("customer",
+              Tuple{Value::Int(static_cast<int64_t>(c)),
+                    Value::Str("c" + std::to_string(c)),
+                    Value::Str(kRegions[rng.Uniform(3)])});
+  }
+  int64_t order_id = 0;
+  for (uint64_t c = 0; c < customers; ++c) {
+    uint64_t orders = rng.Uniform(max_orders_per_customer + 1);
+    for (uint64_t o = 0; o < orders; ++o, ++order_id) {
+      db.Insert("orders",
+                Tuple{Value::Int(order_id), Value::Int(static_cast<int64_t>(c)),
+                      Value::Str(kStatus[rng.Uniform(3)])});
+      // One shipment per order: the FD oid → carrier holds by construction.
+      db.Insert("shipment",
+                Tuple{Value::Int(order_id),
+                      Value::Str(rng.Bernoulli(0.5) ? "fastship" : "slowship")});
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  schema.Relation("customer", {"cid", "name", "region"});
+  schema.Relation("orders", {"oid", "cid", "status"});
+  schema.Relation("shipment", {"oid", "carrier"});
+
+  const uint64_t kMaxOrders = 40;
+  Database db = MakeOrders(schema, 20000, kMaxOrders);
+  std::printf("orders database: |D| = %zu tuples\n\n", db.TotalTuples());
+
+  // The constraints we can honestly declare about this data.
+  AccessSchema access;
+  access.AddKey("customer", {"cid"});
+  access.Add("orders", {"cid"}, kMaxOrders);   // per-customer order cap
+  access.AddKey("orders", {"oid"});
+  access.AddFd("shipment", {"oid"}, {"carrier"});  // one shipment per order
+  access.Add("shipment", {"oid"}, 1);
+  SI_CHECK(access.BuildIndexes(&db, schema).ok());
+  Result<ConformanceReport> conf = CheckConformance(db, schema, access);
+  SI_CHECK(conf.ok() && conf->conforms);
+
+  // Analytics query: returned orders of a given customer and who shipped
+  // them. Controlled by {c}: cap × key lookups.
+  Result<FoQuery> q = ParseFoQuery(
+      "Q(c, oid, carrier) := orders(oid, c, \"returned\") and "
+      "shipment(oid, carrier)",
+      &schema);
+  SI_CHECK(q.ok());
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q->body, schema, access);
+  SI_CHECK(analysis.ok());
+  Variable c = Variable::Named("c");
+  std::printf("returned-orders query controlled by {c}: %s (fetch bound %.0f)\n",
+              analysis->IsControlledBy({c}) ? "yes" : "no",
+              *analysis->StaticFetchBound({c}));
+
+  BoundedEvaluator evaluator(&db);
+  BoundedEvalStats stats;
+  Result<AnswerSet> answers =
+      evaluator.Evaluate(*q, *analysis, {{c, Value::Int(7)}}, &stats);
+  SI_CHECK(answers.ok());
+  std::printf("Q(c=7): %zu rows, %llu base tuples fetched\n\n", answers->size(),
+              static_cast<unsigned long long>(stats.base_tuples_fetched));
+
+  // A query our declared schema does NOT cover: orders by region. Ask the
+  // advisor what to build.
+  Result<FoQuery> regional = ParseFoQuery(
+      "R(region, oid) := exists c, n, st. customer(c, n, region) and "
+      "orders(oid, c, st)",
+      &schema);
+  SI_CHECK(regional.ok());
+  Result<ControllabilityAnalysis> before =
+      ControllabilityAnalysis::Analyze(regional->body, schema, access);
+  SI_CHECK(before.ok());
+  Variable region = Variable::Named("region");
+  std::printf("regional query controlled by {region} under declared schema: %s\n",
+              before->IsControlledBy({region}) ? "yes" : "no");
+
+  AdvisorOptions options;
+  options.default_bound = 10000;
+  options.max_statements = 3;
+  Result<AdvisorResult> advice = AdviseAccessSchema(
+      {{*regional, {region}}}, schema, &db, options);
+  SI_CHECK(advice.ok());
+  if (advice->found) {
+    std::printf("advisor proposes:\n%s", advice->design.ToString().c_str());
+    std::printf("(total fetch bound %.0f — the region column is low-"
+                "selectivity, so the honest N is large; scale independence "
+                "holds but with a big constant, which is the advisor telling "
+                "you this query wants a view, not an index)\n",
+                advice->total_fetch_bound);
+  } else {
+    std::printf("advisor: no sufficient design within the configured bounds — "
+                "a materialized view (§6) is the right tool for this query\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Interactive shell over the scalein library: load a catalog, declare access
+// statements, load CSV data, then analyze and run queries with bounded data
+// access. Reads commands from stdin (pipe a script for batch use); the
+// command interpreter itself lives in src/io/shell.h.
+//
+//   ./build/examples/scalein_shell <<'EOF'
+//   schema relation person(id, name, city)
+//   schema relation friend(id1, id2)
+//   access access friend(id1) N=50
+//   access key person(id)
+//   row person 1,"ada","NYC"
+//   row person 2,"bob","NYC"
+//   row friend 1,2
+//   analyze Q(p, name) := exists id. friend(p, id) and person(id, name, "NYC")
+//   eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, "NYC")
+//   qdsi 1 Q(x) :- friend(x, y)
+//   EOF
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "io/shell.h"
+#include "util/strings.h"
+
+int main() {
+  scalein::Shell shell;
+  std::string line;
+  std::printf("scalein shell — 'help' for commands\n");
+  while (std::getline(std::cin, line)) {
+    if (scalein::StripWhitespace(line) == "quit") break;
+    scalein::Result<std::string> out = shell.Execute(line);
+    if (out.ok()) {
+      std::fputs(out->c_str(), stdout);
+    } else {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "core/access_schema.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace scalein {
+
+std::string AccessStatement::ToString() const {
+  std::string out = "(" + relation + ", {" + Join(key_attrs, ", ") + "}";
+  if (value_attrs.has_value()) {
+    out += "[{" + Join(*value_attrs, ", ") + "}]";
+  }
+  out += ", N=" + std::to_string(max_tuples) +
+         ", T=" + StrFormat("%g", retrieval_time) + ")";
+  return out;
+}
+
+AccessSchema& AccessSchema::Add(const std::string& relation,
+                                std::vector<std::string> key_attrs,
+                                uint64_t max_tuples, double retrieval_time) {
+  AccessStatement s;
+  s.relation = relation;
+  s.key_attrs = std::move(key_attrs);
+  s.max_tuples = max_tuples;
+  s.retrieval_time = retrieval_time;
+  statements_.push_back(std::move(s));
+  return *this;
+}
+
+AccessSchema& AccessSchema::AddEmbedded(const std::string& relation,
+                                        std::vector<std::string> key_attrs,
+                                        std::vector<std::string> value_attrs,
+                                        uint64_t max_tuples,
+                                        double retrieval_time) {
+  AccessStatement s;
+  s.relation = relation;
+  s.key_attrs = key_attrs;
+  // Enforce X ⊆ Y by unioning the key into the value set.
+  for (const std::string& k : key_attrs) {
+    if (std::find(value_attrs.begin(), value_attrs.end(), k) ==
+        value_attrs.end()) {
+      value_attrs.push_back(k);
+    }
+  }
+  s.value_attrs = std::move(value_attrs);
+  s.max_tuples = max_tuples;
+  s.retrieval_time = retrieval_time;
+  statements_.push_back(std::move(s));
+  return *this;
+}
+
+AccessSchema& AccessSchema::AddFd(const std::string& relation,
+                                  std::vector<std::string> determinant,
+                                  std::vector<std::string> dependent,
+                                  double retrieval_time) {
+  return AddEmbedded(relation, std::move(determinant), std::move(dependent), 1,
+                     retrieval_time);
+}
+
+AccessSchema& AccessSchema::AddKey(const std::string& relation,
+                                   std::vector<std::string> key_attrs,
+                                   double retrieval_time) {
+  return Add(relation, std::move(key_attrs), 1, retrieval_time);
+}
+
+AccessSchema& AccessSchema::AddFullAccess(const std::string& relation,
+                                          uint64_t max_tuples) {
+  return Add(relation, {}, max_tuples, 1.0);
+}
+
+std::vector<const AccessStatement*> AccessSchema::ForRelation(
+    const std::string& relation) const {
+  std::vector<const AccessStatement*> out;
+  for (const AccessStatement& s : statements_) {
+    if (s.relation == relation) out.push_back(&s);
+  }
+  return out;
+}
+
+Status AccessSchema::Validate(const Schema& schema) const {
+  for (const AccessStatement& s : statements_) {
+    const RelationSchema* rs = schema.FindRelation(s.relation);
+    if (rs == nullptr) {
+      return Status::NotFound("access statement over unknown relation '" +
+                              s.relation + "'");
+    }
+    for (const std::string& a : s.key_attrs) {
+      if (!rs->AttributePosition(a).has_value()) {
+        return Status::NotFound("access statement key attribute '" + a +
+                                "' not in relation '" + s.relation + "'");
+      }
+    }
+    if (s.value_attrs.has_value()) {
+      for (const std::string& a : *s.value_attrs) {
+        if (!rs->AttributePosition(a).has_value()) {
+          return Status::NotFound("access statement value attribute '" + a +
+                                  "' not in relation '" + s.relation + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AccessSchema::BuildIndexes(Database* db, const Schema& schema) const {
+  SI_RETURN_IF_ERROR(Validate(schema));
+  for (const AccessStatement& s : statements_) {
+    const RelationSchema* rs = schema.FindRelation(s.relation);
+    SI_ASSIGN_OR_RETURN(std::vector<size_t> key_positions,
+                        rs->AttributePositions(s.key_attrs));
+    Relation& rel = db->relation(s.relation);
+    if (s.is_plain()) {
+      rel.EnsureIndex(key_positions);
+    } else {
+      SI_ASSIGN_OR_RETURN(std::vector<size_t> value_positions,
+                          rs->AttributePositions(*s.value_attrs));
+      rel.EnsureProjectionIndex(key_positions, value_positions);
+      // The bounded executor also verifies candidate rows via the key index.
+      rel.EnsureIndex(key_positions);
+    }
+  }
+  return Status::OK();
+}
+
+std::string AccessSchema::ToString() const {
+  std::string out;
+  for (const AccessStatement& s : statements_) {
+    out += s.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ConformanceViolation::ToString(const AccessSchema& schema) const {
+  return schema.statements()[statement_index].ToString() + " violated at key " +
+         TupleToString(key) + ": " + std::to_string(observed) + " > " +
+         std::to_string(declared);
+}
+
+Result<ConformanceReport> CheckConformance(const Database& db,
+                                           const Schema& schema,
+                                           const AccessSchema& access,
+                                           size_t max_violations) {
+  SI_RETURN_IF_ERROR(access.Validate(schema));
+  ConformanceReport report;
+  const std::vector<AccessStatement>& statements = access.statements();
+  for (size_t si = 0; si < statements.size(); ++si) {
+    const AccessStatement& s = statements[si];
+    const RelationSchema* rs = schema.FindRelation(s.relation);
+    SI_ASSIGN_OR_RETURN(std::vector<size_t> key_positions,
+                        rs->AttributePositions(s.key_attrs));
+    const Relation& rel = db.relation(s.relation);
+
+    // Count per-key group sizes; for embedded statements count distinct
+    // Y-projections per key.
+    std::optional<std::vector<size_t>> value_positions;
+    if (!s.is_plain()) {
+      SI_ASSIGN_OR_RETURN(std::vector<size_t> vp,
+                          rs->AttributePositions(*s.value_attrs));
+      value_positions = std::move(vp);
+    }
+    std::unordered_map<Tuple, std::unordered_map<Tuple, char, TupleHash, TupleEq>,
+                       TupleHash, TupleEq>
+        embedded_groups;
+    std::unordered_map<Tuple, uint64_t, TupleHash, TupleEq> plain_groups;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      TupleView row = rel.TupleAt(i);
+      Tuple key = ProjectTuple(row, key_positions);
+      if (s.is_plain()) {
+        plain_groups[std::move(key)]++;
+      } else {
+        embedded_groups[std::move(key)].emplace(
+            ProjectTuple(row, *value_positions), 1);
+      }
+    }
+    size_t reported = 0;
+    auto report_violation = [&](const Tuple& key, uint64_t observed) {
+      report.conforms = false;
+      if (reported < max_violations) {
+        report.violations.push_back({si, key, observed, s.max_tuples});
+        ++reported;
+      }
+    };
+    if (s.is_plain()) {
+      for (const auto& [key, count] : plain_groups) {
+        if (count > s.max_tuples) report_violation(key, count);
+      }
+    } else {
+      for (const auto& [key, group] : embedded_groups) {
+        if (group.size() > s.max_tuples) report_violation(key, group.size());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace scalein

@@ -1,0 +1,119 @@
+#ifndef SCALEIN_CORE_ACCESS_SCHEMA_H_
+#define SCALEIN_CORE_ACCESS_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// One access statement of §4.
+///
+/// Plain form (R, X, N, T): given values ā for the attributes X, the set
+/// σ_{X=ā}(R) has at most N tuples and can be retrieved in time T (an index
+/// on X exists).
+///
+/// Embedded form (R, X[Y], N, T) with X ⊆ Y: given ā for X, the *projection*
+/// π_Y(σ_{X=ā}(R)) has at most N tuples and is retrievable in time T. Plain
+/// statements are the special case Y = attr(R). A functional dependency
+/// X → Y with retrieval guarantee T is (R, X[X∪Y], 1, T).
+struct AccessStatement {
+  std::string relation;
+  std::vector<std::string> key_attrs;  ///< X
+  /// Y for embedded statements; nullopt means Y = attr(R) (plain form).
+  std::optional<std::vector<std::string>> value_attrs;
+  uint64_t max_tuples = 0;     ///< N
+  double retrieval_time = 1.0;  ///< T, in abstract time units
+
+  bool is_plain() const { return !value_attrs.has_value(); }
+
+  std::string ToString() const;
+};
+
+/// An access schema A over a relational schema (§4): the set of declared
+/// index-plus-cardinality guarantees that the controllability rules and the
+/// bounded executor consume.
+class AccessSchema {
+ public:
+  AccessSchema() = default;
+
+  /// Adds a plain statement (R, X, N, T).
+  AccessSchema& Add(const std::string& relation,
+                    std::vector<std::string> key_attrs, uint64_t max_tuples,
+                    double retrieval_time = 1.0);
+
+  /// Adds an embedded statement (R, X[Y], N, T). X need not be listed inside
+  /// Y; the union is taken (the paper requires X ⊆ Y).
+  AccessSchema& AddEmbedded(const std::string& relation,
+                            std::vector<std::string> key_attrs,
+                            std::vector<std::string> value_attrs,
+                            uint64_t max_tuples, double retrieval_time = 1.0);
+
+  /// Adds a functional dependency X → Y as (R, X[X∪Y], 1, T).
+  AccessSchema& AddFd(const std::string& relation,
+                      std::vector<std::string> determinant,
+                      std::vector<std::string> dependent,
+                      double retrieval_time = 1.0);
+
+  /// Declares `key_attrs` a key of `relation`: (R, X, 1, T).
+  AccessSchema& AddKey(const std::string& relation,
+                       std::vector<std::string> key_attrs,
+                       double retrieval_time = 1.0);
+
+  /// The A(R) extension of Proposition 5.5: (R, ∅, N, 1) — the whole relation
+  /// is retrievable and holds at most N tuples (used for bounded update
+  /// relations ∆R in incremental maintenance).
+  AccessSchema& AddFullAccess(const std::string& relation, uint64_t max_tuples);
+
+  const std::vector<AccessStatement>& statements() const { return statements_; }
+
+  /// Statements about `relation` (pointers valid until the schema mutates).
+  std::vector<const AccessStatement*> ForRelation(
+      const std::string& relation) const;
+
+  /// Structural validation against `schema`: relations and attributes exist.
+  Status Validate(const Schema& schema) const;
+
+  /// Builds the physical indexes every statement presupposes (hash indexes
+  /// for plain statements, projection indexes for embedded ones).
+  Status BuildIndexes(Database* db, const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AccessStatement> statements_;
+};
+
+/// One conformance violation: a key value whose group exceeds the declared N.
+struct ConformanceViolation {
+  size_t statement_index;
+  Tuple key;
+  uint64_t observed;
+  uint64_t declared;
+
+  std::string ToString(const AccessSchema& schema) const;
+};
+
+/// Result of checking a database against an access schema (§4: "a database D
+/// conforms to the access schema A").
+struct ConformanceReport {
+  bool conforms = true;
+  std::vector<ConformanceViolation> violations;
+};
+
+/// Checks every statement of `access` against `db` (the N bounds; the T
+/// bounds are realized by the hash indexes). At most `max_violations` are
+/// collected per statement.
+Result<ConformanceReport> CheckConformance(const Database& db,
+                                           const Schema& schema,
+                                           const AccessSchema& access,
+                                           size_t max_violations = 5);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_ACCESS_SCHEMA_H_

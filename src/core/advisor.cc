@@ -1,0 +1,171 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace scalein {
+namespace {
+
+void CollectRelations(const Formula& f, std::set<std::string>* out) {
+  switch (f.kind()) {
+    case FormulaKind::kAtom:
+      out->insert(f.relation());
+      return;
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEq:
+      return;
+    case FormulaKind::kNot:
+      CollectRelations(f.child(), out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const Formula& c : f.operands()) CollectRelations(c, out);
+      return;
+    case FormulaKind::kImplies:
+      CollectRelations(f.premise(), out);
+      CollectRelations(f.conclusion(), out);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      CollectRelations(f.body(), out);
+      return;
+  }
+}
+
+struct Candidate {
+  std::string relation;
+  std::vector<std::string> key_attrs;
+  uint64_t bound;
+};
+
+/// All attribute subsets of size 1..max_key of `rs`, with N calibrated
+/// against `sample` when available.
+void EnumerateCandidates(const RelationSchema& rs, const Database* sample,
+                         const AdvisorOptions& options,
+                         std::vector<Candidate>* out) {
+  const std::vector<std::string>& attrs = rs.attributes();
+  const size_t n = attrs.size();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    size_t bits = static_cast<size_t>(__builtin_popcount(mask));
+    if (bits > options.max_key_size) continue;
+    Candidate c;
+    c.relation = rs.name();
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        c.key_attrs.push_back(attrs[i]);
+        positions.push_back(i);
+      }
+    }
+    c.bound = options.default_bound;
+    if (sample != nullptr) {
+      const Relation* rel = sample->FindRelation(rs.name());
+      if (rel != nullptr && rel->size() > 0) {
+        const HashIndex& idx =
+            const_cast<Relation*>(rel)->EnsureIndex(positions);
+        c.bound = std::max<uint64_t>(1, idx.MaxBucketSize());
+        if (c.bound > options.default_bound) continue;  // not selective enough
+      }
+    }
+    out->push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+Result<AdvisorResult> AdviseAccessSchema(
+    const std::vector<WorkloadQuery>& workload, const Schema& schema,
+    const Database* sample, const AdvisorOptions& options) {
+  AdvisorResult result;
+  if (workload.empty()) {
+    result.found = true;
+    return result;
+  }
+
+  // Candidate pool over the relations the workload mentions.
+  std::set<std::string> relations;
+  for (const WorkloadQuery& wq : workload) {
+    CollectRelations(wq.query.body, &relations);
+  }
+  std::vector<Candidate> candidates;
+  for (const std::string& name : relations) {
+    const RelationSchema* rs = schema.FindRelation(name);
+    if (rs == nullptr) {
+      return Status::NotFound("workload uses unknown relation '" + name + "'");
+    }
+    EnumerateCandidates(*rs, sample, options, &candidates);
+  }
+
+  auto evaluate_design = [&](const std::vector<size_t>& picked,
+                             double* total_bound) -> Result<bool> {
+    AccessSchema design;
+    for (size_t i : picked) {
+      design.Add(candidates[i].relation, candidates[i].key_attrs,
+                 candidates[i].bound);
+    }
+    double total = 0;
+    for (const WorkloadQuery& wq : workload) {
+      SI_ASSIGN_OR_RETURN(
+          ControllabilityAnalysis analysis,
+          ControllabilityAnalysis::Analyze(wq.query.body, schema, design));
+      if (!analysis.IsControlledBy(wq.parameters)) return false;
+      SI_ASSIGN_OR_RETURN(double bound,
+                          analysis.StaticFetchBound(wq.parameters));
+      total += bound;
+    }
+    *total_bound = total;
+    return true;
+  };
+
+  const size_t n = candidates.size();
+  for (size_t k = 1; k <= std::min(options.max_statements, n); ++k) {
+    bool found_at_k = false;
+    std::vector<size_t> best_design;
+    double best_bound = 0;
+
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    bool more = n >= k;
+    while (more) {
+      if (++result.combinations_checked > options.max_combinations) {
+        result.truncated = true;
+        more = false;
+        break;
+      }
+      double total_bound = 0;
+      SI_ASSIGN_OR_RETURN(bool works, evaluate_design(idx, &total_bound));
+      if (works && (!found_at_k || total_bound < best_bound)) {
+        found_at_k = true;
+        best_design = idx;
+        best_bound = total_bound;
+      }
+      // Next combination.
+      size_t j = k;
+      bool advanced = false;
+      while (j > 0) {
+        --j;
+        if (idx[j] != j + n - k) {
+          ++idx[j];
+          for (size_t l = j + 1; l < k; ++l) idx[l] = idx[l - 1] + 1;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) more = false;
+    }
+    if (found_at_k) {
+      result.found = true;
+      result.total_fetch_bound = best_bound;
+      for (size_t i : best_design) {
+        result.design.Add(candidates[i].relation, candidates[i].key_attrs,
+                          candidates[i].bound);
+      }
+      return result;
+    }
+    if (result.truncated) break;
+  }
+  return result;
+}
+
+}  // namespace scalein

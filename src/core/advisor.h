@@ -1,0 +1,63 @@
+#ifndef SCALEIN_CORE_ADVISOR_H_
+#define SCALEIN_CORE_ADVISOR_H_
+
+#include <vector>
+
+#include "core/access_schema.h"
+#include "core/controllability.h"
+#include "query/formula.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace scalein {
+
+/// Access-schema design (§7 "we would like to see how to optimally design
+/// access schemas for a given query workload"): given queries with their
+/// parameter sets, propose a small set of access statements that makes every
+/// query controlled — i.e., which indexes to build and which cardinality
+/// constraints to enforce.
+///
+/// Candidate statements are drawn per atom occurrence: one statement per
+/// non-trivial attribute subset of bounded size. N values are calibrated
+/// against a sample database when one is given (the observed max group size),
+/// else a caller-supplied default. The search is iterative-deepening over the
+/// number of statements, using the §4 controllability engine as the oracle,
+/// so a returned design is *provably* sufficient.
+
+struct WorkloadQuery {
+  FoQuery query;
+  VarSet parameters;  ///< the x̄ fixed at execution time
+};
+
+struct AdvisorOptions {
+  /// Max attributes per proposed statement key.
+  size_t max_key_size = 2;
+  /// Max statements in a design.
+  size_t max_statements = 4;
+  /// N for proposed statements when no sample database calibrates them.
+  uint64_t default_bound = 1000;
+  /// Candidate-combination budget.
+  uint64_t max_combinations = 200'000;
+};
+
+struct AdvisorResult {
+  bool found = false;
+  AccessSchema design;
+  /// Sum of static fetch bounds across the workload under `design`.
+  double total_fetch_bound = 0;
+  /// True if the combination budget ran out before exhausting the space.
+  bool truncated = false;
+  uint64_t combinations_checked = 0;
+};
+
+/// Finds a minimum-size statement set (ties broken by total fetch bound)
+/// making every workload query controlled by its parameters. `sample` may be
+/// null; when present it calibrates each candidate's N and prunes candidates
+/// whose observed N exceeds `options.default_bound`.
+Result<AdvisorResult> AdviseAccessSchema(
+    const std::vector<WorkloadQuery>& workload, const Schema& schema,
+    const Database* sample, const AdvisorOptions& options = {});
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_ADVISOR_H_

@@ -1,0 +1,77 @@
+#include "core/approx.h"
+
+#include <algorithm>
+
+#include "eval/cq_evaluator.h"
+
+namespace scalein {
+
+ApproxResult ApproximateCqAnswers(const Cq& q, const Database& d, uint64_t m) {
+  ApproxResult result;
+  CqEvaluator eval(const_cast<Database*>(&d));
+  AnswerSet exact = eval.EvaluateFull(q);
+  result.exact_answers = exact.size();
+
+  // Per-answer minimal supports (as in the exact witness search).
+  struct Pending {
+    const Tuple* answer;
+    std::vector<TupleSet> supports;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(exact.size());
+  for (const Tuple& a : exact) {
+    pending.push_back({&a, AnswerSupports(q, d, a)});
+  }
+
+  // Greedy: repeatedly admit the uncovered answer whose cheapest support
+  // adds the fewest new tuples, while it fits in the remaining budget.
+  std::vector<bool> done(pending.size(), false);
+  for (;;) {
+    size_t best = pending.size();
+    const TupleSet* best_support = nullptr;
+    size_t best_cost = SIZE_MAX;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (done[i]) continue;
+      for (const TupleSet& s : pending[i].supports) {
+        size_t cost = 0;
+        for (const TupleRef& t : s) {
+          if (!result.accessed.count(t)) ++cost;
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+          best_support = &s;
+        }
+      }
+    }
+    if (best == pending.size()) break;  // everything covered
+    if (result.accessed.size() + best_cost > m) break;  // budget exhausted
+    result.accessed.insert(best_support->begin(), best_support->end());
+    // Admit every answer whose support is now fully inside the access set.
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (done[i]) continue;
+      for (const TupleSet& s : pending[i].supports) {
+        if (std::includes(result.accessed.begin(), result.accessed.end(),
+                          s.begin(), s.end())) {
+          done[i] = true;
+          result.answers.insert(*pending[i].answer);
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<RecallPoint> RecallCurve(const Cq& q, const Database& d,
+                                     const std::vector<uint64_t>& budgets) {
+  std::vector<RecallPoint> out;
+  out.reserve(budgets.size());
+  for (uint64_t m : budgets) {
+    ApproxResult r = ApproximateCqAnswers(q, d, m);
+    out.push_back({m, r.accessed.size(), r.Recall()});
+  }
+  return out;
+}
+
+}  // namespace scalein

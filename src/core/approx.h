@@ -1,0 +1,52 @@
+#ifndef SCALEIN_CORE_APPROX_H_
+#define SCALEIN_CORE_APPROX_H_
+
+#include <cstdint>
+
+#include "core/witness.h"
+#include "eval/answer_set.h"
+#include "query/cq.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Approximate scale-independent answering (§7 future work: "when Q is not
+/// scale-independent in D w.r.t. M, what the best performance ratio is if we
+/// approximately compute Q(D) by accessing at most M tuples").
+///
+/// For monotone queries the natural notion is one-sided: evaluate Q over a
+/// best-effort D_Q with |D_Q| ≤ M; by monotonicity the result is a *subset*
+/// of Q(D) (precision 1), and the quality measure is recall = |Q(D_Q)|/|Q(D)|
+/// — the "performance ratio" of the paper's question.
+struct ApproxResult {
+  AnswerSet answers;
+  TupleSet accessed;       ///< the D_Q actually used, |accessed| ≤ M
+  uint64_t exact_answers;  ///< |Q(D)|
+  double Recall() const {
+    return exact_answers == 0
+               ? 1.0
+               : static_cast<double>(answers.size()) /
+                     static_cast<double>(exact_answers);
+  }
+};
+
+/// Greedy budgeted answering: covers answers one support at a time (cheapest
+/// marginal cost first, the set-cover greedy) until the budget M is spent.
+/// An answer is reported only when one of its supports fits completely —
+/// so every reported answer is a genuine answer of Q(D).
+ApproxResult ApproximateCqAnswers(const Cq& q, const Database& d, uint64_t m);
+
+/// A curve point for recall-vs-budget sweeps.
+struct RecallPoint {
+  uint64_t budget;
+  uint64_t accessed;
+  double recall;
+};
+
+/// Sweeps the budget over `budgets` and reports the recall at each point.
+std::vector<RecallPoint> RecallCurve(const Cq& q, const Database& d,
+                                     const std::vector<uint64_t>& budgets);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_APPROX_H_

@@ -1,0 +1,469 @@
+#include "core/bounded_eval.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace scalein {
+namespace {
+
+Value ResolveTerm(const Term& t, const Binding& env) {
+  if (t.is_const()) return t.constant();
+  auto it = env.find(t.var());
+  SI_CHECK_MSG(it != env.end(), "unbound variable in bounded evaluation");
+  return it->second;
+}
+
+/// Evaluates an equality condition under a complete environment.
+bool EvalConditionFormula(const Formula& f, const Binding& env) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kEq:
+      return ResolveTerm(f.eq_lhs(), env) == ResolveTerm(f.eq_rhs(), env);
+    case FormulaKind::kNot:
+      return !EvalConditionFormula(f.child(), env);
+    case FormulaKind::kAnd:
+      for (const Formula& c : f.operands()) {
+        if (!EvalConditionFormula(c, env)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const Formula& c : f.operands()) {
+        if (EvalConditionFormula(c, env)) return true;
+      }
+      return false;
+    case FormulaKind::kImplies:
+      return !EvalConditionFormula(f.premise(), env) ||
+             EvalConditionFormula(f.conclusion(), env);
+    default:
+      SI_CHECK_MSG(false, "non-condition node in condition evaluation");
+      return false;
+  }
+}
+
+using BindingSet = std::set<Binding>;
+
+class PlainExecutor {
+ public:
+  PlainExecutor(Database* db, bool enforce_bounds, uint64_t fetch_budget,
+                BoundedEvalStats* stats)
+      : db_(db), enforce_bounds_(enforce_bounds), fetch_budget_(fetch_budget),
+        stats_(stats) {}
+
+  Status status() const { return status_; }
+
+  /// Returns bindings over free(node) − dom(env).
+  BindingSet Eval(const NodeAnalysis& node, const ControlOption& opt,
+                  const Binding& env) {
+    if (!status_.ok()) return {};
+    if (opt.rule == "condition") {
+      // Variables the condition *determines* (x = c pins, x = y chains back
+      // to a controlled representative) extend the environment first.
+      Binding extension;
+      for (const auto& [v, t] : opt.condition_resolve) {
+        if (env.count(v)) continue;
+        if (t.is_const()) {
+          extension.emplace(v, t.constant());
+        } else {
+          auto rep = env.find(t.var());
+          SI_CHECK_MSG(rep != env.end(),
+                       "condition representative missing from environment");
+          extension.emplace(v, rep->second);
+        }
+      }
+      Binding full = env;
+      for (const auto& [v, val] : extension) full.emplace(v, val);
+      return EvalConditionFormula(node.formula, full)
+                 ? BindingSet{std::move(extension)}
+                 : BindingSet{};
+    }
+    if (opt.rule == "atom") return EvalAtom(node, opt, env);
+    if (opt.rule == "and") return EvalAnd(node, opt, env);
+    if (opt.rule == "or") return EvalOr(node, opt, env);
+    if (opt.rule == "exists") return EvalExists(node, opt, env);
+    if (opt.rule == "forall") return EvalForall(node, opt, env);
+    SI_CHECK_MSG(false, "unknown rule in derivation");
+    return {};
+  }
+
+ private:
+  BindingSet EvalAtom(const NodeAnalysis& node, const ControlOption& opt,
+                      const Binding& env) {
+    const Formula& atom = node.formula;
+    Relation* rel = const_cast<Relation*>(db_->FindRelation(atom.relation()));
+    if (rel == nullptr) return {};
+
+    // Assemble the index key over the statement's X positions.
+    std::vector<std::pair<size_t, Value>> kv;
+    kv.reserve(opt.key_positions.size());
+    for (size_t p : opt.key_positions) {
+      kv.emplace_back(p, ResolveTerm(atom.args()[p], env));
+    }
+    std::sort(kv.begin(), kv.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<size_t> positions;
+    Tuple key;
+    for (auto& [p, v] : kv) {
+      if (!positions.empty() && positions.back() == p) continue;
+      positions.push_back(p);
+      key.push_back(v);
+    }
+
+    BindingSet out;
+    auto consume = [&](TupleView row) {
+      Binding extension;
+      for (size_t p = 0; p < atom.args().size(); ++p) {
+        const Term& t = atom.args()[p];
+        if (t.is_const()) {
+          if (!(t.constant() == row[p])) return;
+          continue;
+        }
+        auto bound = env.find(t.var());
+        if (bound != env.end()) {
+          if (!(bound->second == row[p])) return;
+          continue;
+        }
+        auto ext = extension.find(t.var());
+        if (ext != extension.end()) {
+          if (!(ext->second == row[p])) return;
+          continue;
+        }
+        extension.emplace(t.var(), row[p]);
+      }
+      out.insert(std::move(extension));
+    };
+
+    if (positions.empty()) {
+      // (R, ∅, N, T): the whole relation is the access unit.
+      CountFetch(atom.relation(), rel->size());
+      if (!status_.ok()) return {};
+      if (enforce_bounds_ && rel->size() > opt.access->max_tuples) {
+        status_ = Status::ResourceExhausted(
+            "relation " + atom.relation() + " exceeds declared N of " +
+            opt.access->ToString());
+        return {};
+      }
+      for (size_t i = 0; i < rel->size(); ++i) consume(rel->TupleAt(i));
+      return out;
+    }
+
+    const HashIndex& index = rel->EnsureIndex(positions);
+    const std::vector<uint32_t>* rows = index.Lookup(key);
+    CountFetch(atom.relation(), rows == nullptr ? 0 : rows->size());
+    if (!status_.ok()) return {};
+    if (rows == nullptr) return out;
+    if (enforce_bounds_ && rows->size() > opt.access->max_tuples) {
+      status_ = Status::ResourceExhausted("σ on " + atom.relation() +
+                                          " exceeds declared N of " +
+                                          opt.access->ToString());
+      return {};
+    }
+    for (uint32_t r : *rows) consume(rel->TupleAt(r));
+    return out;
+  }
+
+  BindingSet EvalAnd(const NodeAnalysis& node, const ControlOption& opt,
+                     const Binding& env) {
+    // Positive conjuncts in derivation order.
+    std::vector<Binding> partials = {Binding{}};
+    for (size_t step = 0; step < opt.conjunct_order.size(); ++step) {
+      const NodeAnalysis& child = *node.subs[opt.conjunct_order[step]];
+      const ControlOption& child_opt = *opt.child_options[step];
+      std::vector<Binding> next;
+      for (const Binding& partial : partials) {
+        Binding combined = env;
+        for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
+        for (const Binding& ext : Eval(child, child_opt, combined)) {
+          Binding merged = partial;
+          for (const auto& [v, val] : ext) merged.insert_or_assign(v, val);
+          next.push_back(std::move(merged));
+        }
+        if (!status_.ok()) return {};
+      }
+      partials = std::move(next);
+    }
+    // Safe negations filter the surviving partials.
+    const size_t n_neg = node.subs.size() - node.n_positives;
+    BindingSet out;
+    for (const Binding& partial : partials) {
+      Binding combined = env;
+      for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
+      bool keep = true;
+      for (size_t ni = 0; ni < n_neg; ++ni) {
+        const NodeAnalysis& neg = *node.subs[node.n_positives + ni];
+        const ControlOption& neg_opt =
+            *opt.child_options[opt.conjunct_order.size() + ni];
+        if (!Eval(neg, neg_opt, combined).empty()) {
+          keep = false;
+          break;
+        }
+        if (!status_.ok()) return {};
+      }
+      if (keep) out.insert(partial);
+    }
+    return out;
+  }
+
+  BindingSet EvalOr(const NodeAnalysis& node, const ControlOption& opt,
+                    const Binding& env) {
+    BindingSet out;
+    for (size_t i = 0; i < node.subs.size(); ++i) {
+      BindingSet part = Eval(*node.subs[i], *opt.child_options[i], env);
+      out.insert(part.begin(), part.end());
+      if (!status_.ok()) return {};
+    }
+    return out;
+  }
+
+  BindingSet EvalExists(const NodeAnalysis& node, const ControlOption& opt,
+                        const Binding& env) {
+    BindingSet child = Eval(*node.subs[0], *opt.child_options[0], env);
+    BindingSet out;
+    for (const Binding& b : child) {
+      Binding projected;
+      for (const auto& [v, val] : b) {
+        bool quantified = false;
+        for (const Variable& q : node.formula.quantified()) {
+          if (q == v) {
+            quantified = true;
+            break;
+          }
+        }
+        if (!quantified) projected.emplace(v, val);
+      }
+      out.insert(std::move(projected));
+    }
+    return out;
+  }
+
+  BindingSet EvalForall(const NodeAnalysis& node, const ControlOption& opt,
+                        const Binding& env) {
+    BindingSet premise_results =
+        Eval(*node.subs[0], *opt.child_options[0], env);
+    if (!status_.ok()) return {};
+    for (const Binding& r : premise_results) {
+      Binding extended = env;
+      for (const auto& [v, val] : r) extended.insert_or_assign(v, val);
+      if (Eval(*node.subs[1], *opt.child_options[1], extended).empty()) {
+        return {};
+      }
+      if (!status_.ok()) return {};
+    }
+    return BindingSet{Binding{}};
+  }
+
+  /// Central fetch accounting: records into the caller's stats and enforces
+  /// the optional hard budget.
+  void CountFetch(const std::string& relation, uint64_t tuples) {
+    fetched_ += tuples;
+    if (stats_ != nullptr) stats_->Count(relation, tuples);
+    if (fetch_budget_ != 0 && fetched_ > fetch_budget_ && status_.ok()) {
+      status_ = Status::ResourceExhausted(
+          "fetch budget of " + std::to_string(fetch_budget_) +
+          " base tuples exceeded");
+    }
+  }
+
+  Database* db_;
+  bool enforce_bounds_;
+  uint64_t fetch_budget_;
+  uint64_t fetched_ = 0;
+  BoundedEvalStats* stats_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
+Result<AnswerSet> BoundedEvaluator::Evaluate(
+    const FoQuery& q, const ControllabilityAnalysis& analysis,
+    const Binding& params, BoundedEvalStats* stats) const {
+  SI_CHECK_MSG(analysis.root().formula.Equals(q.body),
+               "analysis does not match the query body");
+  VarSet param_vars;
+  for (const auto& [v, val] : params) {
+    (void)val;
+    param_vars.insert(v);
+  }
+  const ControlOption* opt = analysis.BestOptionFor(param_vars);
+  if (opt == nullptr) {
+    return Status::FailedPrecondition(
+        "query is not controlled by the given parameters " +
+        VarSetToString(param_vars));
+  }
+  PlainExecutor exec(db_, enforce_bounds_, fetch_budget_, stats);
+  BindingSet results = exec.Eval(analysis.root(), *opt, params);
+  SI_RETURN_IF_ERROR(exec.status());
+
+  std::vector<Variable> open;
+  for (const Variable& v : q.head) {
+    if (!params.count(v)) open.push_back(v);
+  }
+  AnswerSet answers;
+  for (const Binding& b : results) {
+    Tuple t;
+    t.reserve(open.size());
+    for (const Variable& v : open) {
+      auto it = b.find(v);
+      SI_CHECK_MSG(it != b.end(), "result missing a head variable");
+      t.push_back(it->second);
+    }
+    answers.insert(std::move(t));
+  }
+  return answers;
+}
+
+Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
+    const EmbeddedCqAnalysis& analysis, const Binding& params,
+    BoundedEvalStats* stats) const {
+  if (!analysis.IsScaleIndependent()) {
+    return Status::FailedPrecondition(
+        "query has no embedded-controllability plan");
+  }
+  for (const Variable& v : analysis.params()) {
+    if (!params.count(v)) {
+      return Status::InvalidArgument("missing value for parameter '" +
+                                     v.name() + "'");
+    }
+  }
+  const Cq& q = analysis.query();
+  const EmbeddedPlan& plan = analysis.plan();
+  uint64_t fetched = 0;
+  auto charge = [&](uint64_t tuples) -> Status {
+    fetched += tuples;
+    if (fetch_budget_ != 0 && fetched > fetch_budget_) {
+      return Status::ResourceExhausted(
+          "fetch budget of " + std::to_string(fetch_budget_) +
+          " data units exceeded");
+    }
+    return Status::OK();
+  };
+
+  using Partial = std::vector<std::optional<Value>>;
+  std::vector<Binding> assignments = {params};
+
+  for (const AtomPlan& ap : plan.atom_plans) {
+    const CqAtom& atom = q.atoms()[ap.atom_index];
+    Relation* rel = const_cast<Relation*>(db_->FindRelation(atom.relation));
+    std::vector<Binding> next_assignments;
+    for (const Binding& assignment : assignments) {
+      if (rel == nullptr) continue;
+      // Seed partial tuple from constants and bound variables.
+      Partial seed(atom.args.size());
+      for (size_t p = 0; p < atom.args.size(); ++p) {
+        const Term& t = atom.args[p];
+        if (t.is_const()) {
+          seed[p] = t.constant();
+        } else {
+          auto it = assignment.find(t.var());
+          if (it != assignment.end()) seed[p] = it->second;
+        }
+      }
+      std::vector<Partial> candidates = {seed};
+      for (const AtomChaseStep& step : ap.steps) {
+        const ProjectionIndex& index = rel->EnsureProjectionIndex(
+            step.key_positions, step.value_positions);
+        // The relation canonicalizes (sorts) positions; recover the layouts.
+        std::vector<size_t> key_layout = index.key_positions();
+        std::vector<size_t> value_layout = index.value_positions();
+        std::vector<Partial> extended;
+        for (const Partial& cand : candidates) {
+          Tuple key;
+          key.reserve(key_layout.size());
+          for (size_t p : key_layout) {
+            SI_CHECK(cand[p].has_value());
+            key.push_back(*cand[p]);
+          }
+          std::vector<Tuple> projections = index.Lookup(key);
+          if (stats != nullptr) stats->Count(atom.relation, projections.size());
+          SI_RETURN_IF_ERROR(charge(projections.size()));
+          if (enforce_bounds_ &&
+              projections.size() > step.statement->max_tuples) {
+            return Status::ResourceExhausted(
+                "embedded access exceeds declared N of " +
+                step.statement->ToString());
+          }
+          for (const Tuple& proj : projections) {
+            Partial ext = cand;
+            bool ok = true;
+            for (size_t i = 0; i < value_layout.size() && ok; ++i) {
+              size_t p = value_layout[i];
+              if (ext[p].has_value()) {
+                ok = *ext[p] == proj[i];
+              } else {
+                ext[p] = proj[i];
+              }
+            }
+            if (ok) extended.push_back(std::move(ext));
+          }
+        }
+        candidates = std::move(extended);
+      }
+      // All positions are now bound; verify if required, then unify.
+      for (const Partial& cand : candidates) {
+        Tuple row;
+        row.reserve(cand.size());
+        for (const auto& v : cand) {
+          SI_CHECK(v.has_value());
+          row.push_back(*v);
+        }
+        if (ap.needs_verification) {
+          const HashIndex& vindex = rel->EnsureIndex(ap.verify_key_positions);
+          Tuple vkey = ProjectTuple(row, vindex.positions());
+          const std::vector<uint32_t>* rows = vindex.Lookup(vkey);
+          if (stats != nullptr) {
+            stats->Count(atom.relation, rows == nullptr ? 0 : rows->size());
+          }
+          SI_RETURN_IF_ERROR(charge(rows == nullptr ? 0 : rows->size()));
+          bool found = false;
+          if (rows != nullptr) {
+            if (enforce_bounds_ &&
+                rows->size() > ap.verify_statement->max_tuples) {
+              return Status::ResourceExhausted(
+                  "verification access exceeds declared N of " +
+                  ap.verify_statement->ToString());
+            }
+            for (uint32_t r : *rows) {
+              if (TupleEquals(rel->TupleAt(r), row)) {
+                found = true;
+                break;
+              }
+            }
+          }
+          if (!found) continue;
+        }
+        // Extend the assignment with the atom's variables.
+        Binding extended = assignment;
+        bool ok = true;
+        for (size_t p = 0; p < atom.args.size() && ok; ++p) {
+          const Term& t = atom.args[p];
+          if (t.is_const()) continue;
+          auto it = extended.find(t.var());
+          if (it != extended.end()) {
+            ok = it->second == row[p];
+          } else {
+            extended.emplace(t.var(), row[p]);
+          }
+        }
+        if (ok) next_assignments.push_back(std::move(extended));
+      }
+    }
+    assignments = std::move(next_assignments);
+  }
+
+  // Project to the open head positions.
+  AnswerSet answers;
+  for (const Binding& assignment : assignments) {
+    Tuple t;
+    for (const Term& h : q.head()) {
+      if (h.is_const()) continue;
+      if (analysis.params().count(h.var())) continue;
+      t.push_back(assignment.at(h.var()));
+    }
+    answers.insert(std::move(t));
+  }
+  return answers;
+}
+
+}  // namespace scalein

@@ -1,0 +1,76 @@
+#ifndef SCALEIN_CORE_BOUNDED_EVAL_H_
+#define SCALEIN_CORE_BOUNDED_EVAL_H_
+
+#include "core/controllability.h"
+#include "core/embedded_controllability.h"
+#include "eval/answer_set.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Data-access accounting for a bounded evaluation: the |D_Q| ≤ M side of
+/// scale independence, measured rather than assumed. `base_tuples_fetched`
+/// counts every tuple (or projection row, for embedded statements) retrieved
+/// from base relations through access-schema indexes; the library's property
+/// tests assert it never exceeds the analysis' static bound on conforming
+/// databases.
+struct BoundedEvalStats {
+  uint64_t base_tuples_fetched = 0;
+  uint64_t index_lookups = 0;
+  /// Fetch counts keyed by relation name (lets §6's view executor separate
+  /// bounded base access from free materialized-view access).
+  std::map<std::string, uint64_t> fetched_by_relation;
+
+  void Count(const std::string& relation, uint64_t tuples) {
+    ++index_lookups;
+    base_tuples_fetched += tuples;
+    fetched_by_relation[relation] += tuples;
+  }
+};
+
+/// The constructive content of Theorem 4.2: executes a controllability
+/// derivation directly, fetching data only through the access paths the
+/// derivation's atom/chase steps name. On a database conforming to the access
+/// schema, answers equal the reference semantics and the fetch count is
+/// bounded by the derivation's static bound — independent of |D|.
+class BoundedEvaluator {
+ public:
+  /// `db` is mutable only because indexes build on demand; content is never
+  /// modified. Call AccessSchema::BuildIndexes first to pay index
+  /// construction outside the measured path.
+  explicit BoundedEvaluator(Database* db) : db_(db) {}
+
+  /// If true, any index lookup returning more rows than the statement's N
+  /// fails with ResourceExhausted (the database does not conform to A).
+  void set_enforce_bounds(bool enforce) { enforce_bounds_ = enforce; }
+
+  /// Hard per-evaluation cap on base tuples fetched — the paper's M as "the
+  /// capacity of our available resources". 0 disables (default). When the
+  /// running fetch count would exceed the budget, evaluation stops with
+  /// ResourceExhausted instead of touching more data.
+  void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
+
+  /// Evaluates Q(ā, ·) via a plain-controllability derivation: `params`
+  /// must cover some derived controlling set. Answers range over the head
+  /// variables not bound by `params`, in head order.
+  Result<AnswerSet> Evaluate(const FoQuery& q,
+                             const ControllabilityAnalysis& analysis,
+                             const Binding& params,
+                             BoundedEvalStats* stats = nullptr) const;
+
+  /// Evaluates an embedded-controllability plan (Proposition 4.5) for a CQ.
+  /// `params` must bind exactly the variables the analysis was built with.
+  /// Answers range over head positions whose term is an unbound variable.
+  Result<AnswerSet> EvaluateEmbedded(const EmbeddedCqAnalysis& analysis,
+                                     const Binding& params,
+                                     BoundedEvalStats* stats = nullptr) const;
+
+ private:
+  Database* db_;
+  bool enforce_bounds_ = false;
+  uint64_t fetch_budget_ = 0;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_BOUNDED_EVAL_H_

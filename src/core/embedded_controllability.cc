@@ -1,0 +1,263 @@
+#include "core/embedded_controllability.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace scalein {
+namespace {
+
+/// Positions of `attrs` within the atom's relation schema.
+Result<std::vector<size_t>> AtomPositions(const RelationSchema& rs,
+                                          const std::vector<std::string>& attrs) {
+  return rs.AttributePositions(attrs);
+}
+
+/// Tries to build a chase for `atom` starting from `seed_bound` positions.
+/// Greedy: repeatedly applies the applicable statement with the smallest N.
+std::optional<AtomPlan> ChaseAtom(const CqAtom& atom, size_t atom_index,
+                                  const RelationSchema& rs,
+                                  const AccessSchema& access,
+                                  const std::set<size_t>& seed_bound) {
+  AtomPlan plan;
+  plan.atom_index = atom_index;
+  std::set<size_t> bound = seed_bound;
+
+  struct Candidate {
+    const AccessStatement* stmt;
+    std::vector<size_t> key_positions;
+    std::vector<size_t> value_positions;
+  };
+  std::vector<Candidate> candidates;
+  const AccessStatement* best_plain = nullptr;
+  std::vector<size_t> best_plain_key;
+  for (const AccessStatement* stmt : access.ForRelation(atom.relation)) {
+    Result<std::vector<size_t>> key = AtomPositions(rs, stmt->key_attrs);
+    if (!key.ok()) continue;
+    std::vector<std::string> value_attrs =
+        stmt->is_plain() ? rs.attributes() : *stmt->value_attrs;
+    Result<std::vector<size_t>> value = AtomPositions(rs, value_attrs);
+    if (!value.ok()) continue;
+    candidates.push_back({stmt, *key, *value});
+    if (stmt->is_plain() &&
+        (best_plain == nullptr || stmt->max_tuples < best_plain->max_tuples)) {
+      best_plain = stmt;
+      best_plain_key = *key;
+    }
+  }
+
+  double fetched = 0;
+  double cands = 1;
+  bool last_step_exposes_all = bound.size() == rs.arity();
+  while (bound.size() < rs.arity()) {
+    const Candidate* pick = nullptr;
+    for (const Candidate& c : candidates) {
+      bool applicable = true;
+      for (size_t p : c.key_positions) {
+        if (!bound.count(p)) {
+          applicable = false;
+          break;
+        }
+      }
+      if (!applicable) continue;
+      bool progress = false;
+      for (size_t p : c.value_positions) {
+        if (!bound.count(p)) {
+          progress = true;
+          break;
+        }
+      }
+      if (!progress) continue;
+      if (pick == nullptr || c.stmt->max_tuples < pick->stmt->max_tuples) {
+        pick = &c;
+      }
+    }
+    if (pick == nullptr) return std::nullopt;  // chase stuck
+    AtomChaseStep step;
+    step.statement = pick->stmt;
+    step.key_positions = pick->key_positions;
+    step.value_positions = pick->value_positions;
+    plan.steps.push_back(step);
+    fetched += cands * static_cast<double>(pick->stmt->max_tuples);
+    cands *= static_cast<double>(pick->stmt->max_tuples);
+    for (size_t p : pick->value_positions) bound.insert(p);
+    // A step whose Y covers every attribute returns genuine rows.
+    last_step_exposes_all = pick->value_positions.size() == rs.arity();
+  }
+
+  // Seeds covering everything (all positions bound before any step) still
+  // need a membership check, as does a multi-projection assembly.
+  plan.needs_verification = !last_step_exposes_all || plan.steps.empty();
+  if (plan.needs_verification) {
+    if (best_plain == nullptr) return std::nullopt;
+    plan.verify_statement = best_plain;
+    plan.verify_key_positions = best_plain_key;
+    fetched += cands * static_cast<double>(best_plain->max_tuples);
+  }
+  plan.fetch_bound = fetched;
+  plan.candidate_bound = cands;
+  return plan;
+}
+
+}  // namespace
+
+Result<std::vector<EmbeddedClosure>> MinimalEmbeddedClosures(
+    const std::string& relation, const Schema& schema,
+    const AccessSchema& access, size_t max_key_size) {
+  SI_RETURN_IF_ERROR(access.Validate(schema));
+  const RelationSchema* rs = schema.FindRelation(relation);
+  if (rs == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  // A pseudo-atom with a distinct variable per position lets ChaseAtom do
+  // the work.
+  CqAtom atom;
+  atom.relation = relation;
+  for (size_t p = 0; p < rs->arity(); ++p) {
+    atom.args.push_back(Term::Var(Variable::Fresh("emb")));
+  }
+
+  std::vector<EmbeddedClosure> out;
+  const size_t n = rs->arity();
+  SI_CHECK_LE(n, 20u);
+  for (size_t size = 0; size <= std::min(max_key_size, n); ++size) {
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (static_cast<size_t>(__builtin_popcount(mask)) != size) continue;
+      std::set<size_t> seed;
+      std::vector<std::string> key_attrs;
+      for (size_t p = 0; p < n; ++p) {
+        if (mask & (1u << p)) {
+          seed.insert(p);
+          key_attrs.push_back(rs->attributes()[p]);
+        }
+      }
+      // Skip supersets of an already-recorded minimal closure.
+      bool dominated = false;
+      for (const EmbeddedClosure& kept : out) {
+        bool subset = true;
+        for (const std::string& a : kept.key_attrs) {
+          if (std::find(key_attrs.begin(), key_attrs.end(), a) ==
+              key_attrs.end()) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::optional<AtomPlan> plan = ChaseAtom(atom, 0, *rs, access, seed);
+      if (!plan.has_value()) continue;
+      EmbeddedClosure closure;
+      closure.key_attrs = std::move(key_attrs);
+      closure.candidate_bound = plan->candidate_bound;
+      closure.needs_verification = plan->needs_verification;
+      out.push_back(std::move(closure));
+    }
+  }
+  return out;
+}
+
+Result<EmbeddedCqAnalysis> EmbeddedCqAnalysis::Analyze(
+    const Cq& q, const Schema& schema, const AccessSchema& access,
+    const VarSet& params) {
+  SI_RETURN_IF_ERROR(access.Validate(schema));
+  for (const CqAtom& atom : q.atoms()) {
+    const RelationSchema* rs = schema.FindRelation(atom.relation);
+    if (rs == nullptr) {
+      return Status::NotFound("atom over unknown relation '" + atom.relation +
+                              "'");
+    }
+    if (rs->arity() != atom.args.size()) {
+      return Status::InvalidArgument("atom arity mismatch for relation '" +
+                                     atom.relation + "'");
+    }
+  }
+
+  EmbeddedCqAnalysis analysis(q, params);
+
+  // Search atom orders (conjunction rule 2): depth-first over the orders in
+  // which each atom's chase is startable, keeping the cheapest full plan.
+  const std::vector<CqAtom>& atoms = q.atoms();
+  std::optional<EmbeddedPlan> best;
+  std::vector<bool> used(atoms.size(), false);
+  EmbeddedPlan current;
+
+  auto seed_positions = [&](const CqAtom& atom, const VarSet& bound_vars) {
+    std::set<size_t> seed;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      if (t.is_const() || (t.is_var() && bound_vars.count(t.var()))) {
+        seed.insert(p);
+      }
+    }
+    return seed;
+  };
+
+  auto dfs = [&](auto&& self, const VarSet& bound_vars, double fetched,
+                 double results) -> void {
+    if (best.has_value() && fetched >= best->fetch_bound) return;
+    if (current.atom_plans.size() == atoms.size()) {
+      EmbeddedPlan done = current;
+      done.fetch_bound = fetched;
+      done.result_bound = results;
+      best = std::move(done);
+      return;
+    }
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      const RelationSchema* rs = schema.FindRelation(atoms[i].relation);
+      std::optional<AtomPlan> atom_plan = ChaseAtom(
+          atoms[i], i, *rs, access, seed_positions(atoms[i], bound_vars));
+      if (!atom_plan.has_value()) continue;
+      used[i] = true;
+      double step_fetch = fetched + results * atom_plan->fetch_bound;
+      double step_results = results * atom_plan->candidate_bound;
+      current.atom_plans.push_back(*atom_plan);
+      VarSet next_bound = bound_vars;
+      VarSet atom_vars = atoms[i].Vars();
+      next_bound.insert(atom_vars.begin(), atom_vars.end());
+      self(self, next_bound, step_fetch, step_results);
+      current.atom_plans.pop_back();
+      used[i] = false;
+    }
+  };
+  dfs(dfs, params, 0, 1);
+
+  analysis.plan_ = std::move(best);
+  return analysis;
+}
+
+const EmbeddedPlan& EmbeddedCqAnalysis::plan() const {
+  SI_CHECK_MSG(plan_.has_value(), "query has no embedded plan");
+  return *plan_;
+}
+
+double EmbeddedCqAnalysis::StaticFetchBound() const {
+  return plan().fetch_bound;
+}
+
+std::string EmbeddedCqAnalysis::Explain() const {
+  if (!plan_.has_value()) {
+    return "not " + VarSetToString(params_) + "[all]-controlled\n";
+  }
+  std::string out = query_.ToString() + "\n  params " +
+                    VarSetToString(params_) +
+                    StrFormat("  fetch<=%.0f result<=%.0f\n", plan_->fetch_bound,
+                              plan_->result_bound);
+  for (const AtomPlan& ap : plan_->atom_plans) {
+    out += "  atom " + query_.atoms()[ap.atom_index].ToString() + "\n";
+    for (const AtomChaseStep& step : ap.steps) {
+      out += "    chase " + step.statement->ToString() + "\n";
+    }
+    if (ap.needs_verification) {
+      out += "    verify via " + ap.verify_statement->ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace scalein

@@ -1,0 +1,104 @@
+#ifndef SCALEIN_CORE_EMBEDDED_CONTROLLABILITY_H_
+#define SCALEIN_CORE_EMBEDDED_CONTROLLABILITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/access_schema.h"
+#include "query/cq.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Embedded controllability (§4, rules 1–4 and Proposition 4.5), implemented
+/// for conjunctive bodies — the class the paper's Example 4.6 lives in.
+///
+/// Per atom, the engine *chases* embedded statements (R, X[Y], N, T): starting
+/// from the argument positions bound by parameters or earlier atoms, a
+/// statement whose X-positions are bound extends the bound set by its
+/// Y-positions while multiplying the candidate count by at most N (rules 1
+/// and 3/4 at the atom level). Atoms compose by the conjunction rule 2.
+/// A chase whose last applied step exposes all attributes yields genuine
+/// rows; otherwise candidates are verified through a plain statement.
+
+/// One chase step inside an atom plan.
+struct AtomChaseStep {
+  const AccessStatement* statement = nullptr;
+  std::vector<size_t> key_positions;    ///< atom arg positions forming X
+  std::vector<size_t> value_positions;  ///< atom arg positions forming Y
+};
+
+/// Bounded enumeration plan for one atom.
+struct AtomPlan {
+  size_t atom_index = 0;
+  std::vector<AtomChaseStep> steps;
+  /// Candidates assembled from several projections must be re-checked against
+  /// the relation through `verify_statement` (a plain access).
+  bool needs_verification = false;
+  const AccessStatement* verify_statement = nullptr;
+  std::vector<size_t> verify_key_positions;
+  /// Per-invocation bounds (with the atom's inputs fixed).
+  double fetch_bound = 0;
+  double candidate_bound = 1;
+};
+
+/// Whole-query plan: atoms in execution order with accumulated bounds.
+struct EmbeddedPlan {
+  std::vector<AtomPlan> atom_plans;
+  double fetch_bound = 0;
+  double result_bound = 1;
+};
+
+/// One ⊆-minimal attribute set X from which the embedded-statement chase
+/// reaches every attribute of a relation — the atom-level content of the §4
+/// embedded rules 1/3/4 (e.g. Example 4.6 derives X = {id, yy} for `visit`).
+struct EmbeddedClosure {
+  std::vector<std::string> key_attrs;  ///< X
+  double candidate_bound = 1;          ///< ≤ candidates enumerated per X value
+  bool needs_verification = false;     ///< candidates re-checked via a plain
+                                       ///< statement
+};
+
+/// All minimal closures of `relation` with |X| ≤ max_key_size.
+Result<std::vector<EmbeddedClosure>> MinimalEmbeddedClosures(
+    const std::string& relation, const Schema& schema,
+    const AccessSchema& access, size_t max_key_size = 3);
+
+/// Result of the analysis: either a plan proving the query x̄[all]-controlled
+/// (hence scale-independent once x̄ is fixed, Proposition 4.5) or nothing.
+class EmbeddedCqAnalysis {
+ public:
+  /// Analyzes `q` with the variables in `params` treated as fixed (the x̄ of
+  /// Q(x̄, ȳ)). Fails only on structural errors; an underivable query yields
+  /// `IsScaleIndependent() == false`.
+  static Result<EmbeddedCqAnalysis> Analyze(const Cq& q, const Schema& schema,
+                                            const AccessSchema& access,
+                                            const VarSet& params);
+
+  bool IsScaleIndependent() const { return plan_.has_value(); }
+
+  /// The execution plan; requires IsScaleIndependent().
+  const EmbeddedPlan& plan() const;
+
+  /// Static bound on data units fetched per evaluation; requires a plan.
+  double StaticFetchBound() const;
+
+  const Cq& query() const { return query_; }
+  const VarSet& params() const { return params_; }
+
+  std::string Explain() const;
+
+ private:
+  EmbeddedCqAnalysis(Cq q, VarSet params)
+      : query_(std::move(q)), params_(std::move(params)) {}
+
+  Cq query_;
+  VarSet params_;
+  std::optional<EmbeddedPlan> plan_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_EMBEDDED_CONTROLLABILITY_H_

@@ -1,0 +1,207 @@
+#include "core/qdsi.h"
+
+#include <algorithm>
+
+#include "eval/cq_evaluator.h"
+#include "eval/fo_evaluator.h"
+
+namespace scalein {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kYes:
+      return "yes";
+    case Verdict::kNo:
+      return "no";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+TupleSet WholeDatabase(const Database& d) {
+  std::vector<TupleRef> all = AllTuples(d);
+  return TupleSet(all.begin(), all.end());
+}
+
+/// Keeps only ⊆-minimal supports in a pooled list.
+std::vector<TupleSet> PruneToMinimal(std::vector<TupleSet> supports) {
+  std::sort(supports.begin(), supports.end(),
+            [](const TupleSet& a, const TupleSet& b) {
+              return a.size() < b.size();
+            });
+  std::vector<TupleSet> minimal;
+  for (TupleSet& s : supports) {
+    bool dominated = false;
+    for (const TupleSet& kept : minimal) {
+      if (std::includes(s.begin(), s.end(), kept.begin(), kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(std::move(s));
+  }
+  return minimal;
+}
+
+QdsiDecision DecideMonotone(const std::vector<Cq>& disjuncts, size_t tableau,
+                            bool is_boolean, const Database& d, uint64_t m,
+                            const QdsiOptions& options) {
+  QdsiDecision decision;
+
+  if (m >= d.TotalTuples()) {
+    decision.verdict = Verdict::kYes;
+    decision.witness = WholeDatabase(d);
+    decision.method = "whole-database";
+    return decision;
+  }
+
+  if (is_boolean && tableau <= m) {
+    // Corollary 3.2: constant-time yes — decided without enumerating the
+    // answer set. The witness is one support of the first satisfying
+    // assignment (early exit) when true, ∅ when false.
+    decision.verdict = Verdict::kYes;
+    decision.method = "boolean-tableau-bound";
+    decision.witness = TupleSet{};
+    for (const Cq& q : disjuncts) {
+      std::optional<TupleSet> support = FirstSupport(q, d);
+      if (support.has_value()) {
+        decision.witness = *std::move(support);
+        break;
+      }
+    }
+    return decision;
+  }
+
+  CqEvaluator eval(const_cast<Database*>(&d));
+  AnswerSet answers;
+  for (const Cq& q : disjuncts) {
+    AnswerSet part = eval.EvaluateFull(q);
+    answers.insert(part.begin(), part.end());
+  }
+
+  if (answers.size() * tableau <= m) {
+    // §3: each answer needs at most ‖Q‖ tuples, so M ≥ |Q(D)|·‖Q‖ suffices.
+    decision.method = "answer-count-bound";
+    decision.verdict = Verdict::kYes;
+    TupleSet witness;
+    for (const Tuple& a : answers) {
+      for (const Cq& q : disjuncts) {
+        std::vector<TupleSet> s = AnswerSupports(q, d, a, 1);
+        if (!s.empty()) {
+          witness.insert(s[0].begin(), s[0].end());
+          break;
+        }
+      }
+    }
+    decision.witness = std::move(witness);
+    return decision;
+  }
+
+  // Exact support-cover search.
+  decision.method = "support-cover";
+  std::vector<std::vector<TupleSet>> per_answer;
+  per_answer.reserve(answers.size());
+  bool truncated = false;
+  for (const Tuple& a : answers) {
+    std::vector<TupleSet> pooled;
+    for (const Cq& q : disjuncts) {
+      std::vector<TupleSet> s =
+          AnswerSupports(q, d, a, options.max_supports_per_answer);
+      if (options.max_supports_per_answer != 0 &&
+          s.size() >= options.max_supports_per_answer) {
+        truncated = true;
+      }
+      pooled.insert(pooled.end(), s.begin(), s.end());
+    }
+    per_answer.push_back(PruneToMinimal(std::move(pooled)));
+  }
+  MinWitnessResult cover = MinimumSupportCover(per_answer, m);
+  decision.work = cover.nodes_explored;
+  if (cover.witness.has_value()) {
+    decision.verdict = Verdict::kYes;
+    decision.witness = std::move(cover.witness);
+  } else if (cover.exact && !truncated) {
+    decision.verdict = Verdict::kNo;
+  } else {
+    decision.verdict = Verdict::kUnknown;
+  }
+  return decision;
+}
+
+}  // namespace
+
+QdsiDecision DecideQdsiCq(const Cq& q, const Database& d, uint64_t m,
+                          const QdsiOptions& options) {
+  return DecideMonotone({q}, q.TableauSize(), q.IsBoolean(), d, m, options);
+}
+
+QdsiDecision DecideQdsiUcq(const Ucq& q, const Database& d, uint64_t m,
+                           const QdsiOptions& options) {
+  return DecideMonotone(q.disjuncts(), q.TableauSize(), q.IsBoolean(), d, m,
+                        options);
+}
+
+QdsiDecision DecideQdsiFo(const FoQuery& q, const Database& d, uint64_t m,
+                          const QdsiOptions& options) {
+  QdsiDecision decision;
+
+  std::vector<TupleRef> all = AllTuples(d);
+  const size_t n = all.size();
+  if (m >= n) {
+    decision.verdict = Verdict::kYes;
+    decision.witness = TupleSet(all.begin(), all.end());
+    decision.method = "whole-database";
+    return decision;
+  }
+
+  decision.method = "subset-search";
+  FoEvaluator full_eval(&d);
+  const bool is_boolean = q.IsBoolean();
+  const bool full_bool = is_boolean && full_eval.EvaluateBoolean(q);
+  const AnswerSet full_answers = is_boolean ? AnswerSet{} : full_eval.Evaluate(q);
+
+  // Enumerate subsets by increasing size (so a found witness is minimum).
+  bool capped = false;
+  for (uint64_t size = 0; size <= m && !capped; ++size) {
+    // Combination enumeration over indices into `all`.
+    std::vector<size_t> idx(size);
+    for (size_t i = 0; i < size; ++i) idx[i] = i;
+    bool more = true;
+    while (more) {
+      if (++decision.work > options.max_subsets) {
+        capped = true;
+        break;
+      }
+      TupleSet subset;
+      for (size_t i : idx) subset.insert(all[i]);
+      Database sub = SubDatabase(d, subset);
+      FoEvaluator sub_eval(&sub);
+      bool match = is_boolean ? sub_eval.EvaluateBoolean(q) == full_bool
+                              : sub_eval.Evaluate(q) == full_answers;
+      if (match) {
+        decision.verdict = Verdict::kYes;
+        decision.witness = std::move(subset);
+        return decision;
+      }
+      // Next combination.
+      if (size == 0) break;
+      size_t k = size;
+      while (k > 0) {
+        --k;
+        if (idx[k] != k + n - size) {
+          ++idx[k];
+          for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+          break;
+        }
+        if (k == 0) more = false;
+      }
+    }
+  }
+  decision.verdict = capped ? Verdict::kUnknown : Verdict::kNo;
+  return decision;
+}
+
+}  // namespace scalein

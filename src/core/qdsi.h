@@ -1,0 +1,57 @@
+#ifndef SCALEIN_CORE_QDSI_H_
+#define SCALEIN_CORE_QDSI_H_
+
+#include <optional>
+#include <string>
+
+#include "core/verdict.h"
+#include "core/witness.h"
+#include "query/cq.h"
+#include "query/formula.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+struct QdsiOptions {
+  /// Cap on satisfying assignments enumerated per answer tuple (CQ path).
+  size_t max_supports_per_answer = 64;
+  /// Cap on candidate subsets examined by the FO subset search.
+  uint64_t max_subsets = 5'000'000;
+};
+
+/// Outcome of a QDSI decision: the verdict, a witness D_Q when the answer is
+/// yes, and work counters for the complexity experiments.
+struct QdsiDecision {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<TupleSet> witness;
+  uint64_t work = 0;        ///< search nodes / subsets examined
+  std::string method;       ///< which decision path fired
+
+  bool yes() const { return verdict == Verdict::kYes; }
+};
+
+/// QDSI(CQ): is Q scale-independent in D w.r.t. M (§3)? Decision order:
+///  1. M ≥ |D|                         -> yes, witness D (any Q).
+///  2. Boolean Q with ‖Q‖ ≤ M          -> yes in O(1) (Corollary 3.2);
+///     witness from any single satisfying assignment.
+///  3. M ≥ |Q(D)|·‖Q‖                  -> yes (per-answer support bound, §3).
+///  4. exact support-cover branch & bound (mirrors the SCP hardness of
+///     Theorem 3.3), yielding yes + minimum witness, or no.
+QdsiDecision DecideQdsiCq(const Cq& q, const Database& d, uint64_t m,
+                          const QdsiOptions& options = {});
+
+/// QDSI(UCQ): same bounds apply with ‖Q‖ = max over disjuncts; an answer may
+/// be covered through any disjunct.
+QdsiDecision DecideQdsiUcq(const Ucq& q, const Database& d, uint64_t m,
+                           const QdsiOptions& options = {});
+
+/// QDSI(FO): exhaustive search over subsets D' ⊆ D with |D'| ≤ M using the
+/// active-domain reference evaluator — the faithful (PSPACE-flavored)
+/// procedure; use only on small instances. When M is a fixed constant the
+/// same loop is polynomial in |D| (Proposition 3.4).
+QdsiDecision DecideQdsiFo(const FoQuery& q, const Database& d, uint64_t m,
+                          const QdsiOptions& options = {});
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_QDSI_H_

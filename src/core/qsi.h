@@ -1,0 +1,66 @@
+#ifndef SCALEIN_CORE_QSI_H_
+#define SCALEIN_CORE_QSI_H_
+
+#include <optional>
+
+#include "core/qdsi.h"
+#include "query/cq.h"
+#include "query/formula.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace scalein {
+
+/// Result of a QSI decision (scale independence over *all* instances, §3).
+struct QsiDecision {
+  Verdict verdict = Verdict::kUnknown;
+  std::string method;
+  /// For `kNo`: a database on which Q is not scale-independent w.r.t. M.
+  std::optional<Database> counterexample;
+};
+
+/// QSI(CQ) — decidable, and almost always negative (§3):
+///  * Boolean or constant-head CQ: yes iff ‖core(Q)‖ ≤ M. (True instances
+///    have witnesses of the core size; the frozen core itself needs exactly
+///    ‖core‖ tuples, so the bound is tight.)
+///  * Data-selecting CQ with ≥1 head variable and ≥1 atom: no — by
+///    monotonicity one can always pump fresh answers; the returned
+///    counterexample packs M+1 variable-disjoint copies of the frozen body.
+///  * Trivial CQ (empty body): yes with M = 0.
+QsiDecision DecideQsiCq(const Cq& q, uint64_t m);
+
+/// QSI(UCQ), Boolean case: sound yes when max_i ‖core(Q_i)‖ ≤ M; sound no
+/// when some frozen core of a disjunct needs more than M tuples as a witness
+/// of the whole UCQ; otherwise unknown. Data-selecting UCQs follow the CQ
+/// monotonicity argument.
+QsiDecision DecideQsiUcq(const Ucq& q, uint64_t m);
+
+struct QsiFoOptions {
+  /// Domain size for the counterexample search.
+  size_t domain_size = 3;
+  /// Max tuples per candidate counterexample database.
+  size_t max_tuples = 4;
+  /// Cap on candidate databases examined.
+  uint64_t max_databases = 100'000;
+  QdsiOptions qdsi;
+};
+
+/// QSI(FO) is undecidable (Proposition 3.5; SQ_FO is not even r.e.), so this
+/// is a *sound, incomplete* checker:
+///  * yes for atom-free queries with M ≥ 0 (truth independent of tuples);
+///  * no when an exhaustive search over small databases (bounded domain and
+///    tuple count) finds a counterexample, which is returned;
+///  * unknown otherwise.
+QsiDecision DecideQsiFo(const FoQuery& q, const Schema& schema, uint64_t m,
+                        const QsiFoOptions& options = {});
+
+/// Size of the minimum witness for Q in D (|D| if only D itself works), via
+/// the exhaustive FO subset search. Drives the Proposition 3.6 experiment:
+/// a Boolean query *fully uses its input* on a database family when this
+/// equals |D| for every member.
+Result<uint64_t> MinWitnessSizeFo(const FoQuery& q, const Database& d,
+                                  const QdsiOptions& options = {});
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_QSI_H_

@@ -1,0 +1,16 @@
+#ifndef SCALEIN_CORE_VERDICT_H_
+#define SCALEIN_CORE_VERDICT_H_
+
+namespace scalein {
+
+/// Three-valued verdict for the library's (worst-case intractable) decision
+/// procedures. `kUnknown` means a configured search budget was exhausted
+/// before the problem was decided; raising the budget (or shrinking the
+/// instance) always resolves it.
+enum class Verdict { kYes, kNo, kUnknown };
+
+const char* VerdictName(Verdict v);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_VERDICT_H_

@@ -1,0 +1,306 @@
+#include "core/witness.h"
+
+#include <algorithm>
+
+#include "eval/cq_evaluator.h"
+#include "eval/fo_evaluator.h"
+
+namespace scalein {
+
+std::vector<TupleRef> AllTuples(const Database& db) {
+  std::vector<TupleRef> out;
+  for (const RelationSchema& rs : db.schema().relations()) {
+    const Relation& rel = db.relation(rs.name());
+    for (const Tuple& t : rel.SortedTuples()) {
+      out.push_back({rs.name(), t});
+    }
+  }
+  return out;
+}
+
+Database SubDatabase(const Database& db, const TupleSet& tuples) {
+  Database sub(db.schema());
+  for (const TupleRef& ref : tuples) {
+    SI_CHECK_MSG(db.relation(ref.relation).Contains(ref.tuple),
+                 "SubDatabase tuple not present in the base database");
+    sub.Insert(ref.relation, ref.tuple);
+  }
+  return sub;
+}
+
+bool IsWitnessFo(const FoQuery& q, const Database& d, const Database& d_sub) {
+  FoEvaluator full(&d);
+  FoEvaluator sub(&d_sub);
+  if (q.IsBoolean()) {
+    return full.EvaluateBoolean(q) == sub.EvaluateBoolean(q);
+  }
+  return full.Evaluate(q) == sub.Evaluate(q);
+}
+
+bool IsWitnessCq(const Cq& q, const Database& d, const Database& d_sub) {
+  CqEvaluator full(const_cast<Database*>(&d));
+  CqEvaluator sub(const_cast<Database*>(&d_sub));
+  return full.EvaluateFull(q) == sub.EvaluateFull(q);
+}
+
+bool IsWitnessUcq(const Ucq& q, const Database& d, const Database& d_sub) {
+  CqEvaluator full(const_cast<Database*>(&d));
+  CqEvaluator sub(const_cast<Database*>(&d_sub));
+  return full.EvaluateFull(q) == sub.EvaluateFull(q);
+}
+
+namespace {
+
+/// Enumerates the satisfying body assignments that produce `answer_full`,
+/// returning the distinct minimal supports. Sets *truncated when the
+/// assignment cap was hit.
+std::vector<TupleSet> SupportsImpl(const Cq& q, const Database& d,
+                                   const Tuple& answer_full,
+                                   size_t max_supports, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  SI_CHECK_EQ(answer_full.size(), q.head().size());
+
+  // Derive a substitution from the head terms to the answer values.
+  std::map<Variable, Term> head_subst;
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    const Term& h = q.head()[i];
+    if (h.is_const()) {
+      if (!(h.constant() == answer_full[i])) return {};
+      continue;
+    }
+    auto it = head_subst.find(h.var());
+    if (it != head_subst.end()) {
+      if (!(it->second.constant() == answer_full[i])) return {};
+    } else {
+      head_subst.emplace(h.var(), Term::Const(answer_full[i]));
+    }
+  }
+  Cq bound = q.Substitute(head_subst);
+
+  // Query whose head lists every remaining body variable: its full answers
+  // are exactly the satisfying assignments.
+  VarSet body_vars = bound.BodyVars();
+  std::vector<Term> assignment_head;
+  std::vector<Variable> var_order;
+  for (const Variable& v : body_vars) {
+    assignment_head.push_back(Term::Var(v));
+    var_order.push_back(v);
+  }
+  Cq assignments_query("assignments", assignment_head, bound.atoms());
+  CqEvaluator eval(const_cast<Database*>(&d));
+  AnswerSet assignments = eval.EvaluateFull(assignments_query);
+
+  std::set<TupleSet> distinct;
+  size_t examined = 0;
+  for (const Tuple& assignment : assignments) {
+    if (max_supports != 0 && examined >= max_supports) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    ++examined;
+    Binding env;
+    for (size_t i = 0; i < var_order.size(); ++i) {
+      env.emplace(var_order[i], assignment[i]);
+    }
+    TupleSet support;
+    for (const CqAtom& atom : bound.atoms()) {
+      Tuple t;
+      t.reserve(atom.args.size());
+      for (const Term& arg : atom.args) {
+        t.push_back(arg.is_const() ? arg.constant() : env.at(arg.var()));
+      }
+      support.insert({atom.relation, std::move(t)});
+    }
+    distinct.insert(std::move(support));
+  }
+
+  // Keep the ⊆-minimal supports only.
+  std::vector<TupleSet> sorted(distinct.begin(), distinct.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TupleSet& a, const TupleSet& b) {
+              return a.size() < b.size();
+            });
+  std::vector<TupleSet> minimal;
+  for (const TupleSet& s : sorted) {
+    bool dominated = false;
+    for (const TupleSet& kept : minimal) {
+      if (std::includes(s.begin(), s.end(), kept.begin(), kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(s);
+  }
+  return minimal;
+}
+
+}  // namespace
+
+std::vector<TupleSet> AnswerSupports(const Cq& q, const Database& d,
+                                     const Tuple& answer_full,
+                                     size_t max_supports) {
+  return SupportsImpl(q, d, answer_full, max_supports, nullptr);
+}
+
+std::optional<TupleSet> FirstSupport(const Cq& q, const Database& d) {
+  VarSet body_vars = q.BodyVars();
+  std::vector<Term> assignment_head;
+  std::vector<Variable> var_order;
+  for (const Variable& v : body_vars) {
+    assignment_head.push_back(Term::Var(v));
+    var_order.push_back(v);
+  }
+  Cq assignments_query("first", assignment_head, q.atoms());
+  CqEvaluator eval(const_cast<Database*>(&d));
+  std::optional<Tuple> assignment = eval.FirstFullAnswer(assignments_query);
+  if (!assignment.has_value()) return std::nullopt;
+  Binding env;
+  for (size_t i = 0; i < var_order.size(); ++i) {
+    env.emplace(var_order[i], (*assignment)[i]);
+  }
+  TupleSet support;
+  for (const CqAtom& atom : q.atoms()) {
+    Tuple t;
+    t.reserve(atom.args.size());
+    for (const Term& arg : atom.args) {
+      t.push_back(arg.is_const() ? arg.constant() : env.at(arg.var()));
+    }
+    support.insert({atom.relation, std::move(t)});
+  }
+  return support;
+}
+
+TupleSet GreedyWitnessCq(const Cq& q, const Database& d) {
+  CqEvaluator eval(const_cast<Database*>(&d));
+  AnswerSet answers = eval.EvaluateFull(q);
+
+  std::vector<std::vector<TupleSet>> supports;
+  supports.reserve(answers.size());
+  for (const Tuple& a : answers) supports.push_back(AnswerSupports(q, d, a));
+
+  TupleSet chosen;
+  std::vector<bool> covered(supports.size(), false);
+  size_t remaining = supports.size();
+  while (remaining > 0) {
+    size_t best_answer = supports.size();
+    const TupleSet* best_support = nullptr;
+    size_t best_cost = SIZE_MAX;
+    for (size_t i = 0; i < supports.size(); ++i) {
+      if (covered[i]) continue;
+      for (const TupleSet& s : supports[i]) {
+        size_t cost = 0;
+        for (const TupleRef& t : s) {
+          if (!chosen.count(t)) ++cost;
+        }
+        if (cost < best_cost ||
+            (cost == best_cost && best_support != nullptr &&
+             s.size() < best_support->size())) {
+          best_cost = cost;
+          best_answer = i;
+          best_support = &s;
+        }
+      }
+    }
+    SI_CHECK(best_support != nullptr);
+    chosen.insert(best_support->begin(), best_support->end());
+    // Mark every answer now fully covered (its support ⊆ chosen).
+    for (size_t i = 0; i < supports.size(); ++i) {
+      if (covered[i]) continue;
+      for (const TupleSet& s : supports[i]) {
+        if (std::includes(chosen.begin(), chosen.end(), s.begin(), s.end())) {
+          covered[i] = true;
+          --remaining;
+          break;
+        }
+      }
+    }
+    (void)best_answer;
+  }
+  return chosen;
+}
+
+MinWitnessResult MinimumSupportCover(
+    const std::vector<std::vector<TupleSet>>& per_answer_supports,
+    uint64_t budget) {
+  constexpr uint64_t kNodeCap = 2'000'000;
+  MinWitnessResult result;
+
+  // Branch on answers with the fewest alternatives first.
+  std::vector<const std::vector<TupleSet>*> supports;
+  supports.reserve(per_answer_supports.size());
+  for (const auto& s : per_answer_supports) {
+    SI_CHECK_MSG(!s.empty(), "answer without support");
+    supports.push_back(&s);
+  }
+  std::sort(supports.begin(), supports.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::optional<TupleSet> best;
+  TupleSet chosen;
+  bool node_capped = false;
+
+  auto recurse = [&](auto&& self, size_t idx) -> void {
+    if (++result.nodes_explored > kNodeCap) {
+      node_capped = true;
+      return;
+    }
+    if (chosen.size() > budget) return;
+    if (best.has_value() && chosen.size() >= best->size()) return;
+    if (idx == supports.size()) {
+      best = chosen;
+      return;
+    }
+    // Try supports adding the fewest new tuples first.
+    std::vector<std::pair<size_t, const TupleSet*>> order;
+    order.reserve(supports[idx]->size());
+    for (const TupleSet& s : *supports[idx]) {
+      size_t cost = 0;
+      for (const TupleRef& t : s) {
+        if (!chosen.count(t)) ++cost;
+      }
+      order.emplace_back(cost, &s);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [cost, s] : order) {
+      (void)cost;
+      std::vector<TupleRef> added;
+      for (const TupleRef& t : *s) {
+        if (chosen.insert(t).second) added.push_back(t);
+      }
+      self(self, idx + 1);
+      for (const TupleRef& t : added) chosen.erase(t);
+      if (node_capped) return;
+    }
+  };
+  recurse(recurse, 0);
+
+  if (node_capped) result.exact = false;
+  if (best.has_value() && best->size() <= budget) {
+    result.witness = std::move(best);
+    // A found witness is a definite "yes" regardless of truncation.
+  }
+  return result;
+}
+
+MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
+                                  uint64_t budget,
+                                  size_t max_supports_per_answer) {
+  CqEvaluator eval(const_cast<Database*>(&d));
+  AnswerSet answers = eval.EvaluateFull(q);
+
+  bool any_truncated = false;
+  std::vector<std::vector<TupleSet>> supports;
+  supports.reserve(answers.size());
+  for (const Tuple& a : answers) {
+    bool truncated = false;
+    supports.push_back(
+        SupportsImpl(q, d, a, max_supports_per_answer, &truncated));
+    any_truncated |= truncated;
+  }
+  MinWitnessResult result = MinimumSupportCover(supports, budget);
+  if (any_truncated) result.exact = result.witness.has_value();
+  return result;
+}
+
+}  // namespace scalein

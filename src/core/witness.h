@@ -1,0 +1,94 @@
+#ifndef SCALEIN_CORE_WITNESS_H_
+#define SCALEIN_CORE_WITNESS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/answer_set.h"
+#include "query/cq.h"
+#include "query/formula.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// A tuple of a specific relation — the unit of the |D_Q| ≤ M accounting.
+struct TupleRef {
+  std::string relation;
+  Tuple tuple;
+
+  bool operator<(const TupleRef& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return TupleLess(tuple, o.tuple);
+  }
+  bool operator==(const TupleRef& o) const {
+    return relation == o.relation && TupleEquals(tuple, o.tuple);
+  }
+  std::string ToString() const { return relation + TupleToString(tuple); }
+};
+
+using TupleSet = std::set<TupleRef>;
+
+/// All tuples of `db`, in deterministic (relation, content) order.
+std::vector<TupleRef> AllTuples(const Database& db);
+
+/// The sub-database D_Q ⊆ D induced by `tuples` (every ref must be in `db`).
+Database SubDatabase(const Database& db, const TupleSet& tuples);
+
+/// The *witness problem* from the proof of Theorem 3.1: does D' ⊆ D satisfy
+/// Q(D') = Q(D)? FO variant uses the active-domain reference evaluator
+/// (PTIME data complexity / PSPACE combined, as the paper shows).
+bool IsWitnessFo(const FoQuery& q, const Database& d, const Database& d_sub);
+
+/// CQ/UCQ variants (Πp2-complete combined complexity per the paper; here
+/// decided by two evaluations + set comparison).
+bool IsWitnessCq(const Cq& q, const Database& d, const Database& d_sub);
+bool IsWitnessUcq(const Ucq& q, const Database& d, const Database& d_sub);
+
+/// All ⊆-minimal supports of one answer tuple of a CQ: the images in D of the
+/// satisfying assignments producing `answer_full` (a full-head tuple from
+/// CqEvaluator::EvaluateFull). Each support has at most ‖Q‖ tuples — the
+/// homomorphism-semantics bound §3 uses for Boolean CQs. At most
+/// `max_supports` assignments are examined (0 = unlimited).
+std::vector<TupleSet> AnswerSupports(const Cq& q, const Database& d,
+                                     const Tuple& answer_full,
+                                     size_t max_supports = 0);
+
+/// Support of the *first* satisfying assignment of `q`'s body (early exit —
+/// no full answer enumeration), or nullopt if the query is false. Backs the
+/// O(1) Boolean fast path of Corollary 3.2.
+std::optional<TupleSet> FirstSupport(const Cq& q, const Database& d);
+
+/// Greedy witness construction for a (data-selecting or Boolean) CQ: covers
+/// every answer with one support, preferring supports that reuse already
+/// chosen tuples (the set-cover greedy heuristic; QDSI's NP-hardness is by
+/// reduction *from* set cover, so a ln-factor approximation is the natural
+/// polynomial-time companion). Returns the chosen tuple set.
+TupleSet GreedyWitnessCq(const Cq& q, const Database& d);
+
+/// Exact minimum-cardinality witness for a CQ via branch-and-bound over
+/// per-answer supports. Returns nullopt if every witness exceeds `budget`
+/// tuples. `max_supports_per_answer` caps the branching factor (making the
+/// result a sound "yes"/possibly-incomplete "no" when hit; `exact` reports
+/// whether the search was exhaustive).
+struct MinWitnessResult {
+  std::optional<TupleSet> witness;
+  bool exact = true;
+  uint64_t nodes_explored = 0;
+};
+MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
+                                  uint64_t budget,
+                                  size_t max_supports_per_answer = 64);
+
+/// The underlying combinatorial search: given, for each answer, its list of
+/// alternative supports, find a minimum-cardinality union choosing one
+/// support per answer, if one of size ≤ `budget` exists. This is the exact
+/// counterpart of the set-cover reduction in the Theorem 3.3 lower bound.
+MinWitnessResult MinimumSupportCover(
+    const std::vector<std::vector<TupleSet>>& per_answer_supports,
+    uint64_t budget);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_WITNESS_H_

@@ -1,0 +1,155 @@
+#include "eval/containment.h"
+
+#include <map>
+
+#include "eval/cq_evaluator.h"
+
+namespace scalein {
+
+Value FreezeVariable(const Variable& v) {
+  // The \x01 prefix keeps frozen constants disjoint from any user-written
+  // string constant.
+  return Value::Str(std::string("\x01frz$") + v.name());
+}
+
+Term UnfreezeValue(const Value& v) {
+  if (v.is_string()) {
+    const std::string& s = v.AsString();
+    constexpr std::string_view kPrefix = "\x01frz$";
+    if (s.size() > kPrefix.size() && std::string_view(s).substr(0, kPrefix.size()) == kPrefix) {
+      return Term::Var(Variable::Named(s.substr(kPrefix.size())));
+    }
+  }
+  return Term::Const(v);
+}
+
+namespace {
+
+Value FrozenConstant(const Variable& v) { return FreezeVariable(v); }
+
+Schema SchemaFromAtoms(const Cq& q) {
+  Schema schema;
+  std::map<std::string, size_t> arities;
+  for (const CqAtom& a : q.atoms()) {
+    auto [it, inserted] = arities.emplace(a.relation, a.args.size());
+    if (!inserted) {
+      SI_CHECK_MSG(it->second == a.args.size(),
+                   "inconsistent arity for relation across CQ atoms");
+    }
+  }
+  for (const auto& [name, arity] : arities) {
+    std::vector<std::string> attrs;
+    attrs.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+    schema.Relation(name, attrs);
+  }
+  return schema;
+}
+
+}  // namespace
+
+FrozenCq FreezeCq(const Cq& q) {
+  FrozenCq out{Database(SchemaFromAtoms(q)), {}};
+  auto freeze_term = [](const Term& t) {
+    return t.is_const() ? t.constant() : FrozenConstant(t.var());
+  };
+  for (const CqAtom& a : q.atoms()) {
+    Tuple t;
+    t.reserve(a.args.size());
+    for (const Term& arg : a.args) t.push_back(freeze_term(arg));
+    out.db.Insert(a.relation, t);
+  }
+  out.frozen_head.reserve(q.head().size());
+  for (const Term& h : q.head()) out.frozen_head.push_back(freeze_term(h));
+  return out;
+}
+
+bool HasHomomorphism(const Cq& from, const Cq& to) {
+  SI_CHECK_EQ(from.head().size(), to.head().size());
+  FrozenCq frozen = FreezeCq(to);
+  CqEvaluator eval(&frozen.db);
+  AnswerSet answers = eval.EvaluateFull(from);
+  return answers.count(frozen.frozen_head) > 0;
+}
+
+bool CqContains(const Cq& outer, const Cq& inner) {
+  return HasHomomorphism(outer, inner);
+}
+
+bool CqEquivalent(const Cq& a, const Cq& b) {
+  return CqContains(a, b) && CqContains(b, a);
+}
+
+bool UcqContains(const Ucq& outer, const Ucq& inner) {
+  for (const Cq& d_in : inner.disjuncts()) {
+    bool covered = false;
+    for (const Cq& d_out : outer.disjuncts()) {
+      if (CqContains(d_out, d_in)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool UcqEquivalent(const Ucq& a, const Ucq& b) {
+  return UcqContains(a, b) && UcqContains(b, a);
+}
+
+Cq MinimizeCq(const Cq& q) {
+  // Core computation: repeatedly apply a head-preserving endomorphism whose
+  // image has fewer (distinct) atoms. Pure atom-dropping is not enough —
+  // e.g. the Boolean 4-cycle collapses onto a 2-cycle only by *folding*
+  // variables, not by removing atoms.
+  Cq current = q;
+  for (;;) {
+    if (current.atoms().empty()) return current;
+    FrozenCq frozen = FreezeCq(current);
+    CqEvaluator eval(&frozen.db);
+
+    // Satisfying assignments of the body over the canonical database, with
+    // head variables fixed to themselves, are exactly the head-preserving
+    // endomorphisms.
+    VarSet body_vars = current.BodyVars();
+    std::vector<Term> assignment_head;
+    std::vector<Variable> order;
+    for (const Variable& v : body_vars) {
+      assignment_head.push_back(Term::Var(v));
+      order.push_back(v);
+    }
+    Cq assignments_query("endo", assignment_head, current.atoms());
+    Binding fix_head;
+    for (const Term& h : current.head()) {
+      if (h.is_var()) fix_head.emplace(h.var(), FreezeVariable(h.var()));
+    }
+    AnswerSet endomorphisms = eval.EvaluateFull(assignments_query, fix_head);
+
+    std::optional<Cq> smaller;
+    size_t best_atoms = current.atoms().size();
+    for (const Tuple& endo : endomorphisms) {
+      std::map<Variable, Term> subst;
+      for (size_t i = 0; i < order.size(); ++i) {
+        subst.emplace(order[i], UnfreezeValue(endo[i]));
+      }
+      Cq image = current.Substitute(subst);
+      // Deduplicate image atoms.
+      std::vector<CqAtom> atoms;
+      std::set<std::string> seen;
+      for (const CqAtom& a : image.atoms()) {
+        if (seen.insert(a.ToString()).second) atoms.push_back(a);
+      }
+      if (atoms.size() < best_atoms) {
+        best_atoms = atoms.size();
+        smaller = Cq(current.name(), image.head(), std::move(atoms));
+      }
+    }
+    if (!smaller.has_value()) return current;
+    current = *std::move(smaller);
+  }
+}
+
+bool IsTrivialCq(const Cq& q) { return q.atoms().empty(); }
+
+}  // namespace scalein

@@ -1,0 +1,64 @@
+#ifndef SCALEIN_EVAL_CONTAINMENT_H_
+#define SCALEIN_EVAL_CONTAINMENT_H_
+
+#include <optional>
+
+#include "query/cq.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Classic CQ containment / homomorphism machinery (Chandra–Merlin), used by
+/// §3 (the ‖Q‖ witness bound rests on the homomorphism semantics of CQ), §6
+/// (rewriting-equivalence checks), and the QSI triviality analysis.
+
+/// The canonical (frozen) database of a CQ: every variable becomes a fresh
+/// constant, every atom a tuple. `frozen_head` is the head under the same
+/// freezing.
+struct FrozenCq {
+  Database db;
+  Tuple frozen_head;
+};
+
+/// Builds the canonical database of `q`. Relation arities are taken from the
+/// atoms; inconsistent arities for the same relation abort.
+FrozenCq FreezeCq(const Cq& q);
+
+/// The frozen constant representing variable `v` in canonical databases.
+Value FreezeVariable(const Variable& v);
+
+/// Inverse of freezing: a frozen constant maps back to its variable, any
+/// other value stays a constant term.
+Term UnfreezeValue(const Value& v);
+
+/// True iff there is a homomorphism from `from` to `to` mapping head to head
+/// — equivalently (Chandra–Merlin), `to` ⊆ `from` as queries. Requires equal
+/// head arity.
+bool HasHomomorphism(const Cq& from, const Cq& to);
+
+/// inner ⊆ outer for all databases.
+bool CqContains(const Cq& outer, const Cq& inner);
+
+/// Query equivalence.
+bool CqEquivalent(const Cq& a, const Cq& b);
+
+/// inner ⊆ outer for UCQs (Sagiv–Yannakakis: each inner disjunct must be
+/// contained in some outer disjunct).
+bool UcqContains(const Ucq& outer, const Ucq& inner);
+
+bool UcqEquivalent(const Ucq& a, const Ucq& b);
+
+/// The core of `q`: repeatedly drops atoms whose removal preserves
+/// equivalence. The result is a minimal equivalent CQ; its tableau size is
+/// the tight ‖Q‖ for witness bounds.
+Cq MinimizeCq(const Cq& q);
+
+/// True iff `q` has an empty body after construction — the only way a CQ
+/// returns the same (constant) answer on all databases (Proposition 3.5
+/// discussion: non-trivial CQs are never scale-independent over all
+/// instances without constraints).
+bool IsTrivialCq(const Cq& q);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_EVAL_CONTAINMENT_H_

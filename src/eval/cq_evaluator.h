@@ -1,0 +1,55 @@
+#ifndef SCALEIN_EVAL_CQ_EVALUATOR_H_
+#define SCALEIN_EVAL_CQ_EVALUATOR_H_
+
+#include <optional>
+
+#include "eval/answer_set.h"
+#include "query/cq.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Backtracking join evaluator for conjunctive queries and UCQs.
+///
+/// Atoms are ordered greedily at run time (most-bound-arguments first) and
+/// candidate tuples are fetched through hash indexes on the bound positions,
+/// so evaluation is output-sensitive in the common case. The database is
+/// taken mutable because indexes are created on demand.
+class CqEvaluator {
+ public:
+  explicit CqEvaluator(Database* db) : db_(db) {}
+
+  /// Answers of `q` with `binding` fixing some variables: tuples over the
+  /// head positions whose term is still an unbound variable, in head order
+  /// (mirrors FoEvaluator::Evaluate for variable-only heads).
+  AnswerSet Evaluate(const Cq& q, const Binding& binding = {}) const;
+
+  /// Tuples over *all* head positions (bound variables and constants
+  /// materialized into the output).
+  AnswerSet EvaluateFull(const Cq& q, const Binding& binding = {}) const;
+
+  /// UCQ answers: union over disjuncts (full-head form).
+  AnswerSet EvaluateFull(const Ucq& q, const Binding& binding = {}) const;
+
+  /// Satisfiability of the body under `binding` (Boolean-query evaluation).
+  bool EvaluateBoolean(const Cq& q, const Binding& binding = {}) const;
+
+  /// First full-head answer found, or nullopt if none — the early-exit
+  /// variant the O(1) fast paths of §3 rely on.
+  std::optional<Tuple> FirstFullAnswer(const Cq& q,
+                                       const Binding& binding = {}) const;
+
+  /// Total number of candidate tuples handed to the backtracking search since
+  /// construction; a coarse work counter for benchmarks.
+  uint64_t tuples_examined() const { return tuples_examined_; }
+
+ private:
+  AnswerSet EvaluateImpl(const Cq& q, bool full_head, bool stop_at_first) const;
+
+  Database* db_;
+  mutable uint64_t tuples_examined_ = 0;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_EVAL_CQ_EVALUATOR_H_

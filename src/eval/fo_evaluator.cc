@@ -1,0 +1,135 @@
+#include "eval/fo_evaluator.h"
+
+#include <optional>
+
+namespace scalein {
+
+FoEvaluator::FoEvaluator(const Database* db) : db_(db) {
+  adom_ = db->ActiveDomain();
+}
+
+namespace {
+
+Value ResolveTerm(const Term& t, const Binding& env) {
+  if (t.is_const()) return t.constant();
+  auto it = env.find(t.var());
+  SI_CHECK_MSG(it != env.end(), "unbound variable in FO evaluation");
+  return it->second;
+}
+
+}  // namespace
+
+bool FoEvaluator::Holds(const Formula& f, const Binding& env) const {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      const Relation* rel = db_->FindRelation(f.relation());
+      if (rel == nullptr) return false;
+      Tuple t;
+      t.reserve(f.args().size());
+      for (const Term& arg : f.args()) t.push_back(ResolveTerm(arg, env));
+      if (t.size() != rel->arity()) return false;
+      return rel->Contains(t);
+    }
+    case FormulaKind::kEq:
+      return ResolveTerm(f.eq_lhs(), env) == ResolveTerm(f.eq_rhs(), env);
+    case FormulaKind::kNot:
+      return !Holds(f.child(), env);
+    case FormulaKind::kAnd:
+      for (const Formula& c : f.operands()) {
+        if (!Holds(c, env)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const Formula& c : f.operands()) {
+        if (Holds(c, env)) return true;
+      }
+      return false;
+    case FormulaKind::kImplies:
+      return !Holds(f.premise(), env) || Holds(f.conclusion(), env);
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      Binding local = env;
+      return HoldsQuantified(f.body(), f.quantified(), 0,
+                             f.kind() == FormulaKind::kExists, &local);
+    }
+  }
+  SI_CHECK(false);
+  return false;
+}
+
+bool FoEvaluator::HoldsQuantified(const Formula& body,
+                                  const std::vector<Variable>& vars,
+                                  size_t next, bool is_exists,
+                                  Binding* env) const {
+  if (next == vars.size()) return Holds(body, *env);
+  // Save any outer binding of the same name so shadowing restores correctly.
+  std::optional<Value> saved;
+  auto prior = env->find(vars[next]);
+  if (prior != env->end()) saved = prior->second;
+  auto restore = [&]() {
+    if (saved.has_value()) {
+      env->insert_or_assign(vars[next], *saved);
+    } else {
+      env->erase(vars[next]);
+    }
+  };
+  for (const Value& v : adom_) {
+    env->insert_or_assign(vars[next], v);
+    bool sub = HoldsQuantified(body, vars, next + 1, is_exists, env);
+    if (is_exists && sub) {
+      restore();
+      return true;
+    }
+    if (!is_exists && !sub) {
+      restore();
+      return false;
+    }
+  }
+  restore();
+  return !is_exists;  // ∀ over an exhausted domain holds; ∃ fails
+}
+
+AnswerSet FoEvaluator::Evaluate(const FoQuery& query,
+                                const Binding& binding) const {
+  SI_CHECK_MSG(query.IsWellFormed(), "FO query head/free-variable mismatch");
+  // Split the head into bound parameters and open answer columns.
+  std::vector<Variable> open;
+  for (const Variable& v : query.head) {
+    if (!binding.count(v)) open.push_back(v);
+  }
+  AnswerSet answers;
+  Binding env = binding;
+  // Enumerate assignments of open head variables over adom (active-domain
+  // answer semantics) and test the body.
+  std::vector<size_t> choice(open.size(), 0);
+  // Recursive enumeration via explicit lambda to keep stack shallow per level.
+  auto enumerate = [&](auto&& self, size_t i) -> void {
+    if (i == open.size()) {
+      if (Holds(query.body, env)) {
+        Tuple t;
+        t.reserve(open.size());
+        for (const Variable& v : open) t.push_back(env.at(v));
+        answers.insert(std::move(t));
+      }
+      return;
+    }
+    for (const Value& v : adom_) {
+      env[open[i]] = v;
+      self(self, i + 1);
+    }
+    env.erase(open[i]);
+  };
+  enumerate(enumerate, 0);
+  return answers;
+}
+
+bool FoEvaluator::EvaluateBoolean(const FoQuery& query) const {
+  SI_CHECK_MSG(query.IsBoolean(), "EvaluateBoolean requires an empty head");
+  return Holds(query.body, {});
+}
+
+}  // namespace scalein

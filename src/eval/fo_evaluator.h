@@ -1,0 +1,46 @@
+#ifndef SCALEIN_EVAL_FO_EVALUATOR_H_
+#define SCALEIN_EVAL_FO_EVALUATOR_H_
+
+#include <map>
+
+#include "eval/answer_set.h"
+#include "query/formula.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Reference evaluator for FO queries under the active-domain semantics of §2:
+/// quantifiers range over adom(D) and the answer to Q(x̄) is
+/// { ā ∈ adom(D)^m | D ⊨ Q(ā) }.
+///
+/// This evaluator is deliberately naive (exponential in quantifier depth ×
+/// |adom|); it is the executable *definition* against which every optimized
+/// engine in the library — the CQ evaluator, the bounded executor of Theorem
+/// 4.2, the incremental maintainer — is property-tested. Use it only on small
+/// databases.
+class FoEvaluator {
+ public:
+  explicit FoEvaluator(const Database* db);
+
+  /// Answers Q(ā, ·): `binding` fixes values for a subset of the head
+  /// variables; the result ranges over the *remaining* head variables, in
+  /// head order (the set Q(ā, D) of §2).
+  AnswerSet Evaluate(const FoQuery& query, const Binding& binding = {}) const;
+
+  /// Truth value of a Boolean query (empty head).
+  bool EvaluateBoolean(const FoQuery& query) const;
+
+  /// D ⊨ f under `env`, which must bind every free variable of `f`.
+  bool Holds(const Formula& f, const Binding& env) const;
+
+ private:
+  bool HoldsQuantified(const Formula& body, const std::vector<Variable>& vars,
+                       size_t next, bool is_exists, Binding* env) const;
+
+  const Database* db_;
+  std::vector<Value> adom_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_EVAL_FO_EVALUATOR_H_

@@ -1,0 +1,35 @@
+#ifndef SCALEIN_EVAL_RA_EVALUATOR_H_
+#define SCALEIN_EVAL_RA_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "query/ra_expr.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+/// Evaluation context for relational algebra: a database plus optional
+/// per-relation content overrides. Overrides let the incremental engine
+/// evaluate change-propagation expressions where a base relation name stands
+/// for ∆R or ∇R (the inserted/deleted tuple sets) rather than R itself.
+struct RaContext {
+  const Database* db = nullptr;
+  std::map<std::string, const Relation*> overrides;
+
+  /// The relation `name` resolves to, honoring overrides; nullptr if unknown.
+  const Relation* Lookup(const std::string& name) const;
+};
+
+/// Materializing evaluator: computes `expr` bottom-up; the result's columns
+/// follow `expr.attributes()` order. Set semantics throughout.
+Relation EvalRa(const RaExpr& expr, const RaContext& ctx);
+Relation EvalRa(const RaExpr& expr, const Database& db);
+
+/// Evaluates a selection condition against a row laid out as `attrs`.
+bool EvalCondition(const SelectionCondition& cond,
+                   const std::vector<std::string>& attrs, TupleView row);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_EVAL_RA_EVALUATOR_H_

@@ -1,0 +1,124 @@
+#include "incremental/delta_qsi.h"
+
+#include <algorithm>
+
+#include "eval/cq_evaluator.h"
+
+namespace scalein {
+namespace {
+
+/// Minimum number of old-database tuples needed to derive all new answers of
+/// one update, or nullopt if some new answer has no support (cannot happen
+/// for valid updates) or the budget is exceeded.
+std::optional<uint64_t> MinOldTuplesForUpdate(const Cq& q, Database* db,
+                                              const AnswerSet& old_answers,
+                                              const TupleSet& delta_tuples,
+                                              uint64_t budget,
+                                              const QdsiOptions& qdsi) {
+  CqEvaluator eval(db);
+  AnswerSet new_answers = eval.EvaluateFull(q);
+
+  std::vector<std::vector<TupleSet>> per_answer;
+  for (const Tuple& a : new_answers) {
+    if (old_answers.count(a)) continue;  // already known; no access needed
+    std::vector<TupleSet> supports =
+        AnswerSupports(q, *db, a, qdsi.max_supports_per_answer);
+    // Tuples of ∆D are free: strip them from each support.
+    std::vector<TupleSet> discounted;
+    discounted.reserve(supports.size());
+    for (const TupleSet& s : supports) {
+      TupleSet old_part;
+      for (const TupleRef& t : s) {
+        if (!delta_tuples.count(t)) old_part.insert(t);
+      }
+      discounted.push_back(std::move(old_part));
+    }
+    // Keep minimal sets only.
+    std::sort(discounted.begin(), discounted.end(),
+              [](const TupleSet& a2, const TupleSet& b) {
+                return a2.size() < b.size();
+              });
+    std::vector<TupleSet> minimal;
+    for (TupleSet& s : discounted) {
+      bool dominated = false;
+      for (const TupleSet& kept : minimal) {
+        if (std::includes(s.begin(), s.end(), kept.begin(), kept.end())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) minimal.push_back(std::move(s));
+    }
+    per_answer.push_back(std::move(minimal));
+  }
+  if (per_answer.empty()) return static_cast<uint64_t>(0);
+  MinWitnessResult cover = MinimumSupportCover(per_answer, budget);
+  if (!cover.witness.has_value()) return std::nullopt;
+  return static_cast<uint64_t>(cover.witness->size());
+}
+
+}  // namespace
+
+DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
+                                            uint64_t m, uint64_t k,
+                                            const DeltaQsiOptions& options) {
+  DeltaQsiDecision decision;
+  Database* db = const_cast<Database*>(&d);
+  CqEvaluator eval(db);
+  AnswerSet old_answers = eval.EvaluateFull(q);
+
+  // Usable universe: candidate insertions not already in D.
+  std::vector<TupleRef> universe;
+  for (const TupleRef& t : options.insertion_universe) {
+    const Relation* rel = d.FindRelation(t.relation);
+    if (rel != nullptr && !rel->Contains(t.tuple)) universe.push_back(t);
+  }
+  const size_t n = universe.size();
+  const size_t max_size = std::min<size_t>(k, n);
+
+  bool capped = false;
+  for (size_t size = 1; size <= max_size && !capped; ++size) {
+    std::vector<size_t> idx(size);
+    for (size_t i = 0; i < size; ++i) idx[i] = i;
+    bool more = true;
+    while (more) {
+      if (++decision.updates_checked > options.max_updates) {
+        capped = true;
+        break;
+      }
+      Update u;
+      TupleSet delta_tuples;
+      for (size_t i : idx) {
+        u.AddInsertion(universe[i].relation, universe[i].tuple);
+        delta_tuples.insert(universe[i]);
+      }
+      ApplyUpdate(db, u);
+      std::optional<uint64_t> cost = MinOldTuplesForUpdate(
+          q, db, old_answers, delta_tuples, m, options.qdsi);
+      RevertUpdate(db, u);
+      if (!cost.has_value()) {
+        decision.verdict = Verdict::kNo;
+        decision.counterexample = std::move(u);
+        return decision;
+      }
+      decision.worst_fetch = std::max(decision.worst_fetch, *cost);
+      // Next combination.
+      size_t j = size;
+      bool advanced = false;
+      while (j > 0) {
+        --j;
+        if (idx[j] != j + n - size) {
+          ++idx[j];
+          for (size_t l = j + 1; l < size; ++l) idx[l] = idx[l - 1] + 1;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) more = false;
+    }
+  }
+  decision.verdict = capped ? Verdict::kUnknown : Verdict::kYes;
+  return decision;
+}
+
+}  // namespace scalein

@@ -1,0 +1,48 @@
+#ifndef SCALEIN_INCREMENTAL_DELTA_QSI_H_
+#define SCALEIN_INCREMENTAL_DELTA_QSI_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/qdsi.h"
+#include "incremental/delta_rules.h"
+#include "query/cq.h"
+#include "relational/database.h"
+
+namespace scalein {
+
+struct DeltaQsiOptions {
+  /// Candidate insertion tuples defining the bounded update space ∆D (the
+  /// checker quantifies over all insertion subsets of size ≤ k). Tuples
+  /// already present in D are skipped.
+  std::vector<TupleRef> insertion_universe;
+  /// Cap on updates examined before answering kUnknown.
+  uint64_t max_updates = 100'000;
+  QdsiOptions qdsi;
+};
+
+struct DeltaQsiDecision {
+  Verdict verdict = Verdict::kUnknown;
+  /// For kNo: an update whose new answers cannot be derived from Q(D), ∆D
+  /// and at most M old tuples.
+  std::optional<Update> counterexample;
+  uint64_t updates_checked = 0;
+  /// Largest minimum number of old tuples needed across all checked updates.
+  uint64_t worst_fetch = 0;
+};
+
+/// ∆QSI(CQ) for insertion-only updates (§5; the case the paper singles out as
+/// admitting CQ maintenance queries computable in PTIME): decides whether for
+/// EVERY insertion set ∆D ⊆ universe with |∆D| ≤ k, the delta
+/// Q(D ⊕ ∆D) − Q(D) is computable by accessing at most M tuples of the
+/// *old* database (tuples of ∆D itself are free — they arrive with the
+/// update). Exhaustive over the bounded update space; per update the minimum
+/// access cost is computed by the support-cover search with ∆-tuples
+/// discounted.
+DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
+                                            uint64_t m, uint64_t k,
+                                            const DeltaQsiOptions& options);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_INCREMENTAL_DELTA_QSI_H_

@@ -1,0 +1,408 @@
+#include "incremental/delta_rules.h"
+
+#include <algorithm>
+
+#include "eval/ra_evaluator.h"
+#include "util/strings.h"
+
+namespace scalein {
+
+size_t Update::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [rel, rows] : insertions) total += rows.size();
+  for (const auto& [rel, rows] : deletions) total += rows.size();
+  return total;
+}
+
+Status Update::Validate(const Database& d) const {
+  for (const auto& [rel, rows] : deletions) {
+    const Relation* r = d.FindRelation(rel);
+    if (r == nullptr) return Status::NotFound("update on unknown relation " + rel);
+    for (const Tuple& t : rows) {
+      if (!r->Contains(t)) {
+        return Status::InvalidArgument("∇D tuple not present in D: " + rel +
+                                       TupleToString(t));
+      }
+    }
+  }
+  for (const auto& [rel, rows] : insertions) {
+    const Relation* r = d.FindRelation(rel);
+    if (r == nullptr) return Status::NotFound("update on unknown relation " + rel);
+    for (const Tuple& t : rows) {
+      if (r->Contains(t)) {
+        return Status::InvalidArgument("∆D tuple already present in D: " + rel +
+                                       TupleToString(t));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Update::ToString() const {
+  std::string out;
+  for (const auto& [rel, rows] : insertions) {
+    for (const Tuple& t : rows) out += "+" + rel + TupleToString(t) + " ";
+  }
+  for (const auto& [rel, rows] : deletions) {
+    for (const Tuple& t : rows) out += "-" + rel + TupleToString(t) + " ";
+  }
+  return out;
+}
+
+void ApplyUpdate(Database* d, const Update& u) {
+  for (const auto& [rel, rows] : u.deletions) {
+    for (const Tuple& t : rows) d->Remove(rel, t);
+  }
+  for (const auto& [rel, rows] : u.insertions) {
+    for (const Tuple& t : rows) d->Insert(rel, t);
+  }
+}
+
+void RevertUpdate(Database* d, const Update& u) {
+  for (const auto& [rel, rows] : u.insertions) {
+    for (const Tuple& t : rows) d->Remove(rel, t);
+  }
+  for (const auto& [rel, rows] : u.deletions) {
+    for (const Tuple& t : rows) d->Insert(rel, t);
+  }
+}
+
+Relation ApplyDelta(const Relation& old_result, const DeltaResult& delta) {
+  Relation out = old_result.Clone();
+  for (size_t i = 0; i < delta.removed.size(); ++i) {
+    out.Remove(delta.removed.TupleAt(i));
+  }
+  for (size_t i = 0; i < delta.inserted.size(); ++i) {
+    out.Insert(delta.inserted.TupleAt(i));
+  }
+  return out;
+}
+
+namespace {
+
+size_t PositionOf(const std::vector<std::string>& attrs,
+                  const std::string& name) {
+  auto it = std::find(attrs.begin(), attrs.end(), name);
+  SI_CHECK(it != attrs.end());
+  return static_cast<size_t>(it - attrs.begin());
+}
+
+std::vector<size_t> PositionsOf(const std::vector<std::string>& attrs,
+                                const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(PositionOf(attrs, n));
+  return out;
+}
+
+/// Lazily materializes subexpression values on the old and new databases;
+/// the change-propagation rules only probe these for membership of candidate
+/// tuples, mirroring the structure of the GLT maintenance expressions.
+class DeltaEngine {
+ public:
+  DeltaEngine(const Database* d_old, const Database* d_new)
+      : d_old_(d_old), d_new_(d_new) {}
+
+  const Relation& Old(const RaExpr& e) { return Cache(&old_cache_, e, *d_old_); }
+  const Relation& New(const RaExpr& e) { return Cache(&new_cache_, e, *d_new_); }
+
+  DeltaResult Delta(const RaExpr& e, const Update& u) {
+    switch (e.kind()) {
+      case RaExpr::Kind::kRelation: {
+        DeltaResult out{Relation(e.attributes().size()),
+                        Relation(e.attributes().size())};
+        auto del = u.deletions.find(e.relation_name());
+        if (del != u.deletions.end()) {
+          for (const Tuple& t : del->second) out.removed.Insert(t);
+        }
+        auto ins = u.insertions.find(e.relation_name());
+        if (ins != u.insertions.end()) {
+          for (const Tuple& t : ins->second) out.inserted.Insert(t);
+        }
+        return out;
+      }
+      case RaExpr::Kind::kSelect: {
+        // (σθ E)∇ = σθ(E∇); (σθ E)∆ = σθ(E∆).
+        DeltaResult child = Delta(e.input(), u);
+        const std::vector<std::string>& attrs = e.input().attributes();
+        DeltaResult out{Relation(attrs.size()), Relation(attrs.size())};
+        for (size_t i = 0; i < child.removed.size(); ++i) {
+          TupleView row = child.removed.TupleAt(i);
+          if (EvalCondition(e.condition(), attrs, row)) out.removed.Insert(row);
+        }
+        for (size_t i = 0; i < child.inserted.size(); ++i) {
+          TupleView row = child.inserted.TupleAt(i);
+          if (EvalCondition(e.condition(), attrs, row)) out.inserted.Insert(row);
+        }
+        return out;
+      }
+      case RaExpr::Kind::kRename: {
+        return Delta(e.input(), u);  // data unchanged
+      }
+      case RaExpr::Kind::kProject: {
+        // (πY E)∇ = πY(E∇) − πY(E_new);  (πY E)∆ = πY(E∆) − πY(E_old).
+        DeltaResult child = Delta(e.input(), u);
+        std::vector<size_t> positions =
+            PositionsOf(e.input().attributes(), e.projection());
+        DeltaResult out{Relation(positions.size()), Relation(positions.size())};
+        if (child.removed.size() > 0) {
+          Relation& child_new = MutableNew(e.input());
+          const HashIndex& idx = child_new.EnsureIndex(positions);
+          for (size_t i = 0; i < child.removed.size(); ++i) {
+            Tuple proj = ProjectTuple(child.removed.TupleAt(i), positions);
+            // Canonical index order may differ from projection order.
+            Tuple key = ProjectTuple(child.removed.TupleAt(i), idx.positions());
+            if (idx.Lookup(key) == nullptr) out.removed.Insert(proj);
+          }
+        }
+        if (child.inserted.size() > 0) {
+          Relation& child_old = MutableOld(e.input());
+          const HashIndex& idx = child_old.EnsureIndex(positions);
+          for (size_t i = 0; i < child.inserted.size(); ++i) {
+            Tuple proj = ProjectTuple(child.inserted.TupleAt(i), positions);
+            Tuple key = ProjectTuple(child.inserted.TupleAt(i), idx.positions());
+            if (idx.Lookup(key) == nullptr) out.inserted.Insert(proj);
+          }
+        }
+        return out;
+      }
+      case RaExpr::Kind::kUnion: {
+        DeltaResult d1 = Delta(e.left(), u);
+        DeltaResult d2 = Delta(e.right(), u);
+        std::vector<size_t> align =
+            PositionsOf(e.right().attributes(), e.left().attributes());
+        DeltaResult out{Relation(e.attributes().size()),
+                        Relation(e.attributes().size())};
+        auto each = [&](const Relation& rel, bool aligned, auto&& fn) {
+          for (size_t i = 0; i < rel.size(); ++i) {
+            Tuple t = aligned ? ToTuple(rel.TupleAt(i))
+                              : ProjectTuple(rel.TupleAt(i), align);
+            fn(t);
+          }
+        };
+        // Removed: left or right removal that is in neither new side.
+        auto try_remove = [&](const Tuple& t) {
+          if (!InNew(e.left(), t, {}) && !InNewAligned(e.right(), t, align)) {
+            out.removed.Insert(t);
+          }
+        };
+        each(d1.removed, true, try_remove);
+        each(d2.removed, false, try_remove);
+        auto try_insert = [&](const Tuple& t) {
+          if (!InOld(e.left(), t, {}) && !InOldAligned(e.right(), t, align)) {
+            out.inserted.Insert(t);
+          }
+        };
+        each(d1.inserted, true, try_insert);
+        each(d2.inserted, false, try_insert);
+        return out;
+      }
+      case RaExpr::Kind::kDiff: {
+        // (E1 − E2)∇ candidates: E1∇ ∪ E2∆; (E1 − E2)∆: E1∆ ∪ E2∇.
+        DeltaResult d1 = Delta(e.left(), u);
+        DeltaResult d2 = Delta(e.right(), u);
+        std::vector<size_t> align =
+            PositionsOf(e.right().attributes(), e.left().attributes());
+        DeltaResult out{Relation(e.attributes().size()),
+                        Relation(e.attributes().size())};
+        auto in_old_diff = [&](const Tuple& t) {
+          return InOld(e.left(), t, {}) && !InOldAligned(e.right(), t, align);
+        };
+        auto in_new_diff = [&](const Tuple& t) {
+          return InNew(e.left(), t, {}) && !InNewAligned(e.right(), t, align);
+        };
+        auto consider_removed = [&](const Tuple& t) {
+          if (in_old_diff(t) && !in_new_diff(t)) out.removed.Insert(t);
+        };
+        auto consider_inserted = [&](const Tuple& t) {
+          if (!in_old_diff(t) && in_new_diff(t)) out.inserted.Insert(t);
+        };
+        for (size_t i = 0; i < d1.removed.size(); ++i) {
+          consider_removed(ToTuple(d1.removed.TupleAt(i)));
+        }
+        for (size_t i = 0; i < d2.inserted.size(); ++i) {
+          consider_removed(ProjectTuple(d2.inserted.TupleAt(i), align));
+        }
+        for (size_t i = 0; i < d1.inserted.size(); ++i) {
+          consider_inserted(ToTuple(d1.inserted.TupleAt(i)));
+        }
+        for (size_t i = 0; i < d2.removed.size(); ++i) {
+          consider_inserted(ProjectTuple(d2.removed.TupleAt(i), align));
+        }
+        return out;
+      }
+      case RaExpr::Kind::kJoin: {
+        return JoinDelta(e, u);
+      }
+    }
+    SI_CHECK(false);
+    return DeltaResult{Relation(0), Relation(0)};
+  }
+
+ private:
+  const Relation& Cache(std::map<const void*, Relation>* cache, const RaExpr& e,
+                        const Database& db) {
+    auto it = cache->find(e.Key());
+    if (it != cache->end()) return it->second;
+    auto [pos, inserted] = cache->emplace(e.Key(), EvalRa(e, db));
+    (void)inserted;
+    return pos->second;
+  }
+  Relation& MutableOld(const RaExpr& e) {
+    Old(e);
+    return old_cache_.at(e.Key());
+  }
+  Relation& MutableNew(const RaExpr& e) {
+    New(e);
+    return new_cache_.at(e.Key());
+  }
+
+  bool InOld(const RaExpr& e, const Tuple& t, const std::vector<size_t>&) {
+    return Old(e).Contains(t);
+  }
+  bool InNew(const RaExpr& e, const Tuple& t, const std::vector<size_t>&) {
+    return New(e).Contains(t);
+  }
+  /// Membership of a left-aligned tuple in the right child (whose column
+  /// order differs): `align[i]` is the right-side position of left column i.
+  bool InOldAligned(const RaExpr& e, const Tuple& t,
+                    const std::vector<size_t>& align) {
+    return Old(e).Contains(Unalign(t, align));
+  }
+  bool InNewAligned(const RaExpr& e, const Tuple& t,
+                    const std::vector<size_t>& align) {
+    return New(e).Contains(Unalign(t, align));
+  }
+  static Tuple Unalign(const Tuple& t, const std::vector<size_t>& align) {
+    Tuple out(t.size(), Value());
+    // align maps right-position -> left index order: align was computed as
+    // PositionsOf(right_attrs, left_attrs): align[left_i] = right position of
+    // left attr i. So right tuple r satisfies r[align[i]] = t[i].
+    for (size_t i = 0; i < t.size(); ++i) out[align[i]] = t[i];
+    return out;
+  }
+
+  DeltaResult JoinDelta(const RaExpr& e, const Update& u) {
+    DeltaResult d1 = Delta(e.left(), u);
+    DeltaResult d2 = Delta(e.right(), u);
+    const std::vector<std::string>& lattrs = e.left().attributes();
+    const std::vector<std::string>& rattrs = e.right().attributes();
+    AttrSet lset(lattrs.begin(), lattrs.end());
+    std::vector<size_t> r_shared;
+    std::vector<size_t> l_shared;
+    std::vector<size_t> r_extra;
+    for (size_t rp = 0; rp < rattrs.size(); ++rp) {
+      if (lset.count(rattrs[rp])) {
+        r_shared.push_back(rp);
+        l_shared.push_back(PositionOf(lattrs, rattrs[rp]));
+      } else {
+        r_extra.push_back(rp);
+      }
+    }
+    DeltaResult out{Relation(e.attributes().size()),
+                    Relation(e.attributes().size())};
+
+    // Combined-row membership in a join factorizes through its projections.
+    auto in_join = [&](const Relation& left, const Relation& right,
+                       TupleView combined) {
+      Tuple lrow(combined.begin(), combined.begin() + lattrs.size());
+      Tuple rrow(rattrs.size(), Value());
+      for (size_t i = 0; i < r_shared.size(); ++i) {
+        rrow[r_shared[i]] = combined[l_shared[i]];
+      }
+      for (size_t i = 0; i < r_extra.size(); ++i) {
+        rrow[r_extra[i]] = combined[lattrs.size() + i];
+      }
+      return left.Contains(lrow) && right.Contains(rrow);
+    };
+
+    // Generates combined rows joining `delta_side` rows with `other` rows.
+    auto emit_left_join = [&](const Relation& left_rows, Relation& other,
+                              auto&& sink) {
+      if (left_rows.size() == 0) return;
+      const HashIndex& idx = other.EnsureIndex(r_shared);
+      for (size_t i = 0; i < left_rows.size(); ++i) {
+        TupleView lrow = left_rows.TupleAt(i);
+        Tuple key;
+        key.reserve(idx.positions().size());
+        for (size_t rp : idx.positions()) {
+          // idx.positions() are canonical-sorted right shared positions.
+          size_t si =
+              static_cast<size_t>(std::find(r_shared.begin(), r_shared.end(),
+                                            rp) -
+                                  r_shared.begin());
+          key.push_back(lrow[l_shared[si]]);
+        }
+        const std::vector<uint32_t>* rows = idx.Lookup(key);
+        if (rows == nullptr) continue;
+        for (uint32_t r : *rows) {
+          TupleView rrow = other.TupleAt(r);
+          Tuple combined(lrow.begin(), lrow.end());
+          for (size_t rp : r_extra) combined.push_back(rrow[rp]);
+          sink(combined);
+        }
+      }
+    };
+    auto emit_right_join = [&](Relation& left_all, const Relation& right_rows,
+                               auto&& sink) {
+      if (right_rows.size() == 0) return;
+      const HashIndex& idx = left_all.EnsureIndex(l_shared);
+      for (size_t i = 0; i < right_rows.size(); ++i) {
+        TupleView rrow = right_rows.TupleAt(i);
+        Tuple key;
+        key.reserve(idx.positions().size());
+        for (size_t lp : idx.positions()) {
+          size_t si = static_cast<size_t>(
+              std::find(l_shared.begin(), l_shared.end(), lp) -
+              l_shared.begin());
+          key.push_back(rrow[r_shared[si]]);
+        }
+        const std::vector<uint32_t>* rows = idx.Lookup(key);
+        if (rows == nullptr) continue;
+        for (uint32_t r : *rows) {
+          TupleView lrow = left_all.TupleAt(r);
+          Tuple combined(lrow.begin(), lrow.end());
+          for (size_t rp : r_extra) combined.push_back(rrow[rp]);
+          sink(combined);
+        }
+      }
+    };
+
+    // Removed: (E1∇ ⋈ E2_old) ∪ (E1_old ⋈ E2∇), filtered out of the new join.
+    auto removed_sink = [&](const Tuple& combined) {
+      if (!in_join(New(e.left()), New(e.right()), combined)) {
+        out.removed.Insert(combined);
+      }
+    };
+    emit_left_join(d1.removed, MutableOld(e.right()), removed_sink);
+    emit_right_join(MutableOld(e.left()), d2.removed, removed_sink);
+
+    // Inserted: (E1∆ ⋈ E2_new) ∪ (E1_new ⋈ E2∆), filtered out of the old join.
+    auto inserted_sink = [&](const Tuple& combined) {
+      if (!in_join(Old(e.left()), Old(e.right()), combined)) {
+        out.inserted.Insert(combined);
+      }
+    };
+    emit_left_join(d1.inserted, MutableNew(e.right()), inserted_sink);
+    emit_right_join(MutableNew(e.left()), d2.inserted, inserted_sink);
+    return out;
+  }
+
+  const Database* d_old_;
+  const Database* d_new_;
+  std::map<const void*, Relation> old_cache_;
+  std::map<const void*, Relation> new_cache_;
+};
+
+}  // namespace
+
+Result<DeltaResult> ComputeDelta(const RaExpr& expr, const Database& d,
+                                 const Update& u) {
+  SI_RETURN_IF_ERROR(u.Validate(d));
+  Database d_new = d.Clone();
+  ApplyUpdate(&d_new, u);
+  DeltaEngine engine(&d, &d_new);
+  return engine.Delta(expr, u);
+}
+
+}  // namespace scalein

@@ -1,0 +1,67 @@
+#ifndef SCALEIN_INCREMENTAL_DELTA_RULES_H_
+#define SCALEIN_INCREMENTAL_DELTA_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/ra_expr.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// An update ∆D = (∆D, ∇D) (§5): per-relation insertion and deletion sets.
+/// Validity requires ∇D ⊆ D and ∆D ∩ D = ∅ (hence ∆D ∩ ∇D = ∅).
+struct Update {
+  std::map<std::string, std::vector<Tuple>> insertions;  ///< ∆D
+  std::map<std::string, std::vector<Tuple>> deletions;   ///< ∇D
+
+  /// |∆D|: total tuples inserted plus deleted.
+  size_t TotalTuples() const;
+
+  bool empty() const { return TotalTuples() == 0; }
+
+  Status Validate(const Database& d) const;
+
+  void AddInsertion(const std::string& relation, Tuple t) {
+    insertions[relation].push_back(std::move(t));
+  }
+  void AddDeletion(const std::string& relation, Tuple t) {
+    deletions[relation].push_back(std::move(t));
+  }
+
+  std::string ToString() const;
+};
+
+/// D ⊕ ∆D: applies deletions then insertions, relation-wise.
+void ApplyUpdate(Database* d, const Update& u);
+
+/// Undoes a previously applied update (valid only immediately after
+/// ApplyUpdate on the same database).
+void RevertUpdate(Database* d, const Update& u);
+
+/// The deltas of an RA expression under an update:
+///   E∇ = E(D) − E(D ⊕ ∆D)   (removed: E∇ ⊆ E(D))
+///   E∆ = E(D ⊕ ∆D) − E(D)   (inserted: E∆ ∩ E(D) = ∅)
+struct DeltaResult {
+  Relation removed;
+  Relation inserted;
+};
+
+/// Computes E∇ / E∆ compositionally via the Griffin–Libkin–Trickey
+/// change-propagation rules ([14] in the paper) — the maintenance queries
+/// §5 assumes. `d` must be the *pre-update* database. The implementation
+/// materializes subexpressions as needed; the minimality guarantees
+/// (E∇ ⊆ E, E∆ ∩ E = ∅) are exact, and property tests check the result
+/// against the semantic definition above.
+Result<DeltaResult> ComputeDelta(const RaExpr& expr, const Database& d,
+                                 const Update& u);
+
+/// Maintains a materialized result: given E(D) and the deltas, produces
+/// E(D ⊕ ∆D) = (E(D) − E∇) ∪ E∆.
+Relation ApplyDelta(const Relation& old_result, const DeltaResult& delta);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_INCREMENTAL_DELTA_RULES_H_

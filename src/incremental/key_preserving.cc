@@ -1,0 +1,48 @@
+#include "incremental/key_preserving.h"
+
+namespace scalein {
+
+Result<bool> IsKeyPreserving(const Cq& q, const Schema& schema,
+                             const AccessSchema& access) {
+  SI_RETURN_IF_ERROR(access.Validate(schema));
+  VarSet head_vars = q.HeadVars();
+
+  for (const CqAtom& atom : q.atoms()) {
+    const RelationSchema* rs = schema.FindRelation(atom.relation);
+    if (rs == nullptr) {
+      return Status::NotFound("unknown relation '" + atom.relation + "'");
+    }
+    if (rs->arity() != atom.args.size()) {
+      return Status::InvalidArgument("arity mismatch on '" + atom.relation +
+                                     "'");
+    }
+    // Some declared key of this relation must land entirely on head
+    // variables or constants in this occurrence.
+    bool covered = false;
+    for (const AccessStatement* stmt : access.ForRelation(atom.relation)) {
+      if (!stmt->is_plain() || stmt->max_tuples != 1) continue;  // not a key
+      bool all_in_head = true;
+      for (const std::string& attr : stmt->key_attrs) {
+        std::optional<size_t> pos = rs->AttributePosition(attr);
+        if (!pos.has_value()) {
+          all_in_head = false;
+          break;
+        }
+        const Term& t = atom.args[*pos];
+        if (t.is_const()) continue;  // fixed value: trivially preserved
+        if (!head_vars.count(t.var())) {
+          all_in_head = false;
+          break;
+        }
+      }
+      if (all_in_head && !stmt->key_attrs.empty()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace scalein

@@ -1,0 +1,23 @@
+#ifndef SCALEIN_INCREMENTAL_KEY_PRESERVING_H_
+#define SCALEIN_INCREMENTAL_KEY_PRESERVING_H_
+
+#include "core/access_schema.h"
+#include "query/cq.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Key-preserving CQs (§5, following [8]): the projection (head) attributes
+/// include a key of *every* occurrence of every base relation in the query.
+/// The paper notes that key-preserving queries admit CQ maintenance queries
+/// under arbitrary updates (Theorem 5.2's assumption).
+///
+/// Keys are taken from the access schema: every plain statement with N = 1
+/// declares its X a key of its relation.
+Result<bool> IsKeyPreserving(const Cq& q, const Schema& schema,
+                             const AccessSchema& access);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_INCREMENTAL_KEY_PRESERVING_H_

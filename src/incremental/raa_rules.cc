@@ -1,0 +1,361 @@
+#include "incremental/raa_rules.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace scalein {
+namespace {
+
+constexpr size_t kMaxFamily = 32;
+
+/// Antichain insert: keeps only ⊆-minimal sets.
+void AddMinimal(std::vector<AttrSet>* family, AttrSet s) {
+  for (const AttrSet& kept : *family) {
+    if (AttrSubset(kept, s)) return;
+  }
+  std::erase_if(*family, [&s](const AttrSet& kept) { return AttrSubset(s, kept); });
+  if (family->size() < kMaxFamily) family->push_back(std::move(s));
+}
+
+bool ControlledBy(const std::vector<AttrSet>& family, const AttrSet& fixed) {
+  for (const AttrSet& s : family) {
+    if (AttrSubset(s, fixed)) return true;
+  }
+  return false;
+}
+
+/// "(E, attr(E)) ∈ RA_A": via the closure rule this holds iff anything is
+/// derivable at all.
+bool Fully(const std::vector<AttrSet>& family) { return !family.empty(); }
+
+AttrSet MapAttrs(const AttrSet& s, const std::map<std::string, std::string>& m) {
+  AttrSet out;
+  for (const std::string& a : s) {
+    auto it = m.find(a);
+    out.insert(it == m.end() ? a : it->second);
+  }
+  return out;
+}
+
+class RaaEngine {
+ public:
+  RaaEngine(const Schema& schema, const AccessSchema& access)
+      : schema_(schema), access_(access) {}
+
+  Result<RaaSets> Analyze(const RaExpr& e) {
+    auto memo = memo_.find(e.Key());
+    if (memo != memo_.end()) return memo->second;
+    SI_ASSIGN_OR_RETURN(RaaSets sets, Compute(e));
+    memo_.emplace(e.Key(), sets);
+    return sets;
+  }
+
+ private:
+  Result<RaaSets> Compute(const RaExpr& e) {
+    RaaSets out;
+    switch (e.kind()) {
+      case RaExpr::Kind::kRelation: {
+        const RelationSchema* rs = schema_.FindRelation(e.relation_name());
+        if (rs == nullptr) {
+          return Status::NotFound("RA leaf over unknown relation '" +
+                                  e.relation_name() + "'");
+        }
+        if (rs->arity() != e.attributes().size()) {
+          return Status::InvalidArgument("RA leaf arity mismatch for '" +
+                                         e.relation_name() + "'");
+        }
+        for (const AccessStatement* stmt :
+             access_.ForRelation(e.relation_name())) {
+          if (!stmt->is_plain()) continue;
+          // Map schema attribute names to the leaf's (possibly renamed)
+          // output attribute at the same position.
+          AttrSet key;
+          bool ok = true;
+          for (const std::string& a : stmt->key_attrs) {
+            std::optional<size_t> pos = rs->AttributePosition(a);
+            if (!pos.has_value()) {
+              ok = false;
+              break;
+            }
+            key.insert(e.attributes()[*pos]);
+          }
+          if (ok) AddMinimal(&out.plain, std::move(key));
+        }
+        // Decrement/increment rules: (R∇, ∅) and (R∆, ∅).
+        AddMinimal(&out.decrement, {});
+        AddMinimal(&out.increment, {});
+        return out;
+      }
+      case RaExpr::Kind::kSelect: {
+        SI_ASSIGN_OR_RETURN(RaaSets child, Analyze(e.input()));
+        AttrSet const_bound =
+            e.condition().ConstantBoundAttrs(e.input().attributes());
+        for (const AttrSet& x : child.plain) {
+          AddMinimal(&out.plain, AttrMinus(x, const_bound));
+        }
+        for (const AttrSet& x : child.decrement) {
+          AddMinimal(&out.decrement, x);
+        }
+        for (const AttrSet& x : child.increment) {
+          AddMinimal(&out.increment, x);
+        }
+        return out;
+      }
+      case RaExpr::Kind::kProject: {
+        SI_ASSIGN_OR_RETURN(RaaSets child, Analyze(e.input()));
+        AttrSet y(e.projection().begin(), e.projection().end());
+        for (const AttrSet& x : child.plain) {
+          if (AttrSubset(x, y)) AddMinimal(&out.plain, x);
+        }
+        // (πY E)∇ needs (E∇, X), (E, X), (E∆, X) with X ⊆ Y.
+        for (const AttrSet& x1 : child.decrement) {
+          for (const AttrSet& x2 : child.plain) {
+            for (const AttrSet& x3 : child.increment) {
+              AttrSet x = AttrUnion(AttrUnion(x1, x2), x3);
+              if (AttrSubset(x, y)) AddMinimal(&out.decrement, std::move(x));
+            }
+          }
+        }
+        // (πY E)∆ needs (E∆, X) and (E, X) with X ⊆ Y.
+        for (const AttrSet& x1 : child.increment) {
+          for (const AttrSet& x2 : child.plain) {
+            AttrSet x = AttrUnion(x1, x2);
+            if (AttrSubset(x, y)) AddMinimal(&out.increment, std::move(x));
+          }
+        }
+        return out;
+      }
+      case RaExpr::Kind::kRename: {
+        SI_ASSIGN_OR_RETURN(RaaSets child, Analyze(e.input()));
+        for (const AttrSet& x : child.plain) {
+          AddMinimal(&out.plain, MapAttrs(x, e.renaming()));
+        }
+        for (const AttrSet& x : child.decrement) {
+          AddMinimal(&out.decrement, MapAttrs(x, e.renaming()));
+        }
+        for (const AttrSet& x : child.increment) {
+          AddMinimal(&out.increment, MapAttrs(x, e.renaming()));
+        }
+        return out;
+      }
+      case RaExpr::Kind::kUnion: {
+        SI_ASSIGN_OR_RETURN(RaaSets c1, Analyze(e.left()));
+        SI_ASSIGN_OR_RETURN(RaaSets c2, Analyze(e.right()));
+        for (const AttrSet& x1 : c1.plain) {
+          for (const AttrSet& x2 : c2.plain) {
+            AddMinimal(&out.plain, AttrUnion(x1, x2));
+          }
+        }
+        // (E1 ∪ E2)∇: both sides fully controlled, incl. their ∆ parts.
+        if (Fully(c1.plain) && Fully(c2.plain) && Fully(c1.increment) &&
+            Fully(c2.increment)) {
+          for (const AttrSet& x1 : c1.decrement) {
+            for (const AttrSet& x2 : c2.decrement) {
+              AddMinimal(&out.decrement, AttrUnion(x1, x2));
+            }
+          }
+        }
+        // (E1 ∪ E2)∆.
+        if (Fully(c1.plain) && Fully(c2.plain)) {
+          for (const AttrSet& x1 : c1.increment) {
+            for (const AttrSet& x2 : c2.increment) {
+              AddMinimal(&out.increment, AttrUnion(x1, x2));
+            }
+          }
+        }
+        return out;
+      }
+      case RaExpr::Kind::kDiff: {
+        SI_ASSIGN_OR_RETURN(RaaSets c1, Analyze(e.left()));
+        SI_ASSIGN_OR_RETURN(RaaSets c2, Analyze(e.right()));
+        if (Fully(c2.plain)) {
+          for (const AttrSet& x1 : c1.plain) AddMinimal(&out.plain, x1);
+        }
+        // (E1 − E2)∇ = (E1∇ − E2) ∪ (E2∆ ∩ E1): needs X ∈ dec(E1),
+        // Z ∈ inc(E2), both sides fully controlled.
+        if (Fully(c1.plain) && Fully(c2.plain)) {
+          for (const AttrSet& x : c1.decrement) {
+            for (const AttrSet& z : c2.increment) {
+              AddMinimal(&out.decrement, AttrUnion(x, z));
+            }
+          }
+          // (E1 − E2)∆ = (E1∆ − E2new) ∪ (E2∇ ∩ E1new).
+          for (const AttrSet& x : c1.increment) {
+            for (const AttrSet& z : c2.decrement) {
+              AddMinimal(&out.increment, AttrUnion(x, z));
+            }
+          }
+        }
+        return out;
+      }
+      case RaExpr::Kind::kJoin: {
+        SI_ASSIGN_OR_RETURN(RaaSets c1, Analyze(e.left()));
+        SI_ASSIGN_OR_RETURN(RaaSets c2, Analyze(e.right()));
+        AttrSet a1 = e.left().AttributeSet();
+        AttrSet a2 = e.right().AttributeSet();
+        for (const AttrSet& x1 : c1.plain) {
+          for (const AttrSet& x2 : c2.plain) {
+            AddMinimal(&out.plain, AttrUnion(x1, AttrMinus(x2, a1)));
+            AddMinimal(&out.plain, AttrUnion(x2, AttrMinus(x1, a2)));
+          }
+        }
+        // (E1 ⋈ E2)∇: Xi ∈ dec(Ei), (Ei, Yi) ∈ RA_A:
+        //   X1 ∪ X2 ∪ (Y1 − attr(E2)) ∪ (Y2 − attr(E1)).
+        for (const AttrSet& x1 : c1.decrement) {
+          for (const AttrSet& x2 : c2.decrement) {
+            for (const AttrSet& y1 : c1.plain) {
+              for (const AttrSet& y2 : c2.plain) {
+                AttrSet x = AttrUnion(AttrUnion(x1, x2),
+                                      AttrUnion(AttrMinus(y1, a2),
+                                                AttrMinus(y2, a1)));
+                AddMinimal(&out.decrement, std::move(x));
+              }
+            }
+          }
+        }
+        // (E1 ⋈ E2)∆: Xi ∈ inc(Ei), (Ei∇, attr(Ei)), (Ei, Yi).
+        if (Fully(c1.decrement) && Fully(c2.decrement)) {
+          for (const AttrSet& x1 : c1.increment) {
+            for (const AttrSet& x2 : c2.increment) {
+              for (const AttrSet& y1 : c1.plain) {
+                for (const AttrSet& y2 : c2.plain) {
+                  AttrSet x = AttrUnion(AttrUnion(x1, x2),
+                                        AttrUnion(AttrMinus(y1, a2),
+                                                  AttrMinus(y2, a1)));
+                  AddMinimal(&out.increment, std::move(x));
+                }
+              }
+            }
+          }
+        }
+        return out;
+      }
+    }
+    SI_CHECK(false);
+    return out;
+  }
+
+  const Schema& schema_;
+  const AccessSchema& access_;
+  std::map<const void*, RaaSets> memo_;
+};
+
+std::string FamilyToString(const std::vector<AttrSet>& family) {
+  std::vector<std::string> parts;
+  parts.reserve(family.size());
+  for (const AttrSet& s : family) parts.push_back(AttrSetToString(s));
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace
+
+bool RaaSets::PlainControlledBy(const AttrSet& fixed) const {
+  return ControlledBy(plain, fixed);
+}
+bool RaaSets::DecrementControlledBy(const AttrSet& fixed) const {
+  return ControlledBy(decrement, fixed);
+}
+bool RaaSets::IncrementControlledBy(const AttrSet& fixed) const {
+  return ControlledBy(increment, fixed);
+}
+
+Result<RaaAnalysis> RaaAnalysis::Analyze(const RaExpr& expr,
+                                         const Schema& schema,
+                                         const AccessSchema& access) {
+  SI_RETURN_IF_ERROR(access.Validate(schema));
+  RaaEngine engine(schema, access);
+  SI_ASSIGN_OR_RETURN(RaaSets sets, engine.Analyze(expr));
+  RaaAnalysis out;
+  out.root_ = std::make_unique<RaaSets>(std::move(sets));
+  return out;
+}
+
+std::string RaaAnalysis::ToString() const {
+  return "plain=" + FamilyToString(root_->plain) +
+         " decrement=" + FamilyToString(root_->decrement) +
+         " increment=" + FamilyToString(root_->increment);
+}
+
+Result<FoQuery> RaToFoQuery(const RaExpr& expr, const Schema& schema) {
+  // Recursive translation; projected-away columns get fresh variables so no
+  // quantifier ever shadows an outer variable.
+  auto term_for = [](const std::string& attr) {
+    return Term::Var(Variable::Named(attr));
+  };
+  auto translate = [&](auto&& self, const RaExpr& e) -> Result<Formula> {
+    switch (e.kind()) {
+      case RaExpr::Kind::kRelation: {
+        const RelationSchema* rs = schema.FindRelation(e.relation_name());
+        if (rs == nullptr) {
+          return Status::NotFound("unknown relation '" + e.relation_name() +
+                                  "'");
+        }
+        std::vector<Term> args;
+        for (const std::string& a : e.attributes()) args.push_back(term_for(a));
+        return Formula::Atom(e.relation_name(), std::move(args));
+      }
+      case RaExpr::Kind::kSelect: {
+        SI_ASSIGN_OR_RETURN(Formula body, self(self, e.input()));
+        std::vector<Formula> conjuncts = {body};
+        for (const SelectionAtom& c : e.condition().conjuncts) {
+          Term lhs = term_for(c.lhs);
+          Term rhs = c.rhs_kind == SelectionAtom::Rhs::kAttribute
+                         ? term_for(c.rhs_attr)
+                         : Term::Const(c.rhs_const);
+          Formula eq = Formula::Eq(lhs, rhs);
+          conjuncts.push_back(c.negated ? Formula::Not(eq) : eq);
+        }
+        return Formula::And(std::move(conjuncts));
+      }
+      case RaExpr::Kind::kProject: {
+        SI_ASSIGN_OR_RETURN(Formula body, self(self, e.input()));
+        AttrSet keep(e.projection().begin(), e.projection().end());
+        std::map<Variable, Term> rename;
+        std::vector<Variable> quantified;
+        for (const std::string& a : e.input().attributes()) {
+          if (keep.count(a)) continue;
+          Variable fresh = Variable::Fresh(a);
+          rename.emplace(Variable::Named(a), Term::Var(fresh));
+          quantified.push_back(fresh);
+        }
+        return Formula::Exists(std::move(quantified), body.Substitute(rename));
+      }
+      case RaExpr::Kind::kRename: {
+        SI_ASSIGN_OR_RETURN(Formula body, self(self, e.input()));
+        std::map<Variable, Term> subst;
+        for (const auto& [from, to] : e.renaming()) {
+          subst.emplace(Variable::Named(from), term_for(to));
+        }
+        return body.Substitute(subst);
+      }
+      case RaExpr::Kind::kUnion: {
+        SI_ASSIGN_OR_RETURN(Formula lhs, self(self, e.left()));
+        SI_ASSIGN_OR_RETURN(Formula rhs, self(self, e.right()));
+        return Formula::Or(std::move(lhs), std::move(rhs));
+      }
+      case RaExpr::Kind::kDiff: {
+        SI_ASSIGN_OR_RETURN(Formula lhs, self(self, e.left()));
+        SI_ASSIGN_OR_RETURN(Formula rhs, self(self, e.right()));
+        return Formula::And(std::move(lhs), Formula::Not(std::move(rhs)));
+      }
+      case RaExpr::Kind::kJoin: {
+        SI_ASSIGN_OR_RETURN(Formula lhs, self(self, e.left()));
+        SI_ASSIGN_OR_RETURN(Formula rhs, self(self, e.right()));
+        return Formula::And(std::move(lhs), std::move(rhs));
+      }
+    }
+    return Status::Internal("unreachable RA kind");
+  };
+  SI_ASSIGN_OR_RETURN(Formula body, translate(translate, expr));
+  FoQuery q;
+  q.name = "ra";
+  for (const std::string& a : expr.attributes()) {
+    q.head.push_back(Variable::Named(a));
+  }
+  q.body = std::move(body);
+  return q;
+}
+
+}  // namespace scalein

@@ -1,0 +1,68 @@
+#ifndef SCALEIN_INCREMENTAL_RAA_RULES_H_
+#define SCALEIN_INCREMENTAL_RAA_RULES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/access_schema.h"
+#include "query/formula.h"
+#include "query/ra_expr.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// The controlling-attribute families of one RA expression node: X-sets with
+/// (E, X), (E∇, X), (E∆, X) ∈ RA_A (§5). Stored as ⊆-minimal antichains;
+/// the closure rule (X ⊆ Y ⊆ attr(E) ⇒ (E, Y) ∈ RA_A) is implicit.
+struct RaaSets {
+  std::vector<AttrSet> plain;      ///< (E, X)
+  std::vector<AttrSet> decrement;  ///< (E∇, X)
+  std::vector<AttrSet> increment;  ///< (E∆, X)
+
+  bool PlainControlledBy(const AttrSet& fixed) const;
+  bool DecrementControlledBy(const AttrSet& fixed) const;
+  bool IncrementControlledBy(const AttrSet& fixed) const;
+};
+
+/// Derivation engine for the §5 rule system RA_A over relational algebra:
+/// the relational-algebra rules, the decrement rules for E∇, and the
+/// increment rules for E∆.
+class RaaAnalysis {
+ public:
+  static Result<RaaAnalysis> Analyze(const RaExpr& expr, const Schema& schema,
+                                     const AccessSchema& access);
+
+  const RaaSets& root() const { return *root_; }
+
+  /// Theorem 5.4(1): (E, X) ∈ RA_A for some X ⊆ `fixed` means σ_{fixed=ā}(E)
+  /// is scale-independent under A.
+  bool IsScaleIndependent(const AttrSet& fixed) const {
+    return root_->PlainControlledBy(fixed);
+  }
+
+  /// Theorem 5.4(2): both (E∆, X) and (E∇, X) derivable with X ⊆ `fixed`
+  /// means σ_{fixed=ā}(E) is *incrementally* scale-independent under A.
+  bool IsIncrementallyScaleIndependent(const AttrSet& fixed) const {
+    return root_->DecrementControlledBy(fixed) &&
+           root_->IncrementControlledBy(fixed);
+  }
+
+  std::string ToString() const;
+
+ private:
+  RaaAnalysis() = default;
+  std::unique_ptr<RaaSets> root_;
+};
+
+/// Translates an RA expression to an equivalent FO query whose head variables
+/// are named after the output attributes. Used to cross-validate the RAA
+/// rules against the §4 controllability engine (a derived (E, X) should make
+/// the translated query X-controlled) and to execute σ_{X=ā}(E) through the
+/// bounded evaluator.
+Result<FoQuery> RaToFoQuery(const RaExpr& expr, const Schema& schema);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_INCREMENTAL_RAA_RULES_H_

@@ -1,0 +1,74 @@
+#include "incremental/ucq_maintainer.h"
+
+namespace scalein {
+
+Result<UcqMaintainer> UcqMaintainer::Create(const Ucq& q, const Schema& schema,
+                                            const AccessSchema& access,
+                                            const VarSet& params) {
+  UcqMaintainer m(q, params);
+  for (const Cq& disjunct : q.disjuncts()) {
+    SI_ASSIGN_OR_RETURN(
+        IncrementalMaintainer sub,
+        IncrementalMaintainer::Create(disjunct, schema, access, params));
+    m.maintainers_.push_back(std::move(sub));
+  }
+  m.disjunct_answers_.resize(m.maintainers_.size());
+  return m;
+}
+
+bool UcqMaintainer::SupportsInsertions(const std::string& relation) const {
+  for (const IncrementalMaintainer& m : maintainers_) {
+    if (!m.SupportsInsertions(relation)) return false;
+  }
+  return true;
+}
+
+bool UcqMaintainer::SupportsDeletions() const {
+  for (const IncrementalMaintainer& m : maintainers_) {
+    if (!m.SupportsDeletions()) return false;
+  }
+  return true;
+}
+
+Result<AnswerSet> UcqMaintainer::Initialize(Database* db,
+                                            const Binding& params) {
+  for (size_t i = 0; i < maintainers_.size(); ++i) {
+    SI_ASSIGN_OR_RETURN(disjunct_answers_[i],
+                        maintainers_[i].InitialAnswers(db, params));
+  }
+  initialized_ = true;
+  return CurrentAnswers();
+}
+
+Result<AnswerSet> UcqMaintainer::Maintain(Database* db, const Update& u,
+                                          const Binding& params,
+                                          BoundedEvalStats* stats) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize must run before Maintain");
+  }
+  SI_RETURN_IF_ERROR(u.Validate(*db));
+  // Phase 1 for every disjunct before the update lands.
+  std::vector<AnswerSet> candidates(maintainers_.size());
+  for (size_t i = 0; i < maintainers_.size(); ++i) {
+    SI_RETURN_IF_ERROR(maintainers_[i].CollectDeletionCandidates(
+        db, u, params, &candidates[i], stats));
+  }
+  ApplyUpdate(db, u);
+  for (size_t i = 0; i < maintainers_.size(); ++i) {
+    SI_RETURN_IF_ERROR(maintainers_[i].IntegrateInsertions(
+        db, u, params, &disjunct_answers_[i], stats));
+    SI_RETURN_IF_ERROR(maintainers_[i].RecheckCandidates(
+        db, candidates[i], params, &disjunct_answers_[i], stats));
+  }
+  return CurrentAnswers();
+}
+
+AnswerSet UcqMaintainer::CurrentAnswers() const {
+  AnswerSet out;
+  for (const AnswerSet& part : disjunct_answers_) {
+    out.insert(part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace scalein

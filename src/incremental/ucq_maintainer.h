@@ -1,0 +1,58 @@
+#ifndef SCALEIN_INCREMENTAL_UCQ_MAINTAINER_H_
+#define SCALEIN_INCREMENTAL_UCQ_MAINTAINER_H_
+
+#include <vector>
+
+#include "incremental/maintainer.h"
+#include "query/cq.h"
+
+namespace scalein {
+
+/// Bounded incremental maintenance for UCQs (the paper's complexity results
+/// for CQ carry to UCQ, §2 Remark): one per-disjunct maintainer plus
+/// per-disjunct materialized answer sets, whose union is the query answer.
+/// Set-union semantics makes deletions subtle — an answer leaves the union
+/// only when every disjunct drops it — which is why the disjunct-level sets
+/// are kept materialized.
+class UcqMaintainer {
+ public:
+  static Result<UcqMaintainer> Create(const Ucq& q, const Schema& schema,
+                                      const AccessSchema& access,
+                                      const VarSet& params);
+
+  /// True if insertions into `relation` are boundedly maintainable for every
+  /// disjunct mentioning it.
+  bool SupportsInsertions(const std::string& relation) const;
+
+  /// True if every disjunct supports deletions.
+  bool SupportsDeletions() const;
+
+  /// Full evaluation of every disjunct; returns the union. Must be called
+  /// before the first Maintain.
+  Result<AnswerSet> Initialize(Database* db, const Binding& params);
+
+  /// Applies `u` to `*db`, maintains the per-disjunct sets, and returns the
+  /// fresh union.
+  Result<AnswerSet> Maintain(Database* db, const Update& u,
+                             const Binding& params,
+                             BoundedEvalStats* stats = nullptr);
+
+  /// The current union (valid after Initialize).
+  AnswerSet CurrentAnswers() const;
+
+  const Ucq& query() const { return query_; }
+
+ private:
+  UcqMaintainer(Ucq q, VarSet params)
+      : query_(std::move(q)), params_(std::move(params)) {}
+
+  Ucq query_;
+  VarSet params_;
+  std::vector<IncrementalMaintainer> maintainers_;
+  std::vector<AnswerSet> disjunct_answers_;
+  bool initialized_ = false;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_INCREMENTAL_UCQ_MAINTAINER_H_

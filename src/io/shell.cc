@@ -1,0 +1,202 @@
+#include "io/shell.h"
+
+#include "core/bounded_eval.h"
+#include "core/controllability.h"
+#include "core/qdsi.h"
+#include "io/catalog.h"
+#include "query/parser.h"
+#include "util/strings.h"
+
+namespace scalein {
+namespace {
+
+/// Parses "x=1,y=\"NYC\"" into a Binding.
+Result<Binding> ParseShellBinding(std::string_view text) {
+  Binding out;
+  if (StripWhitespace(text).empty()) return out;
+  for (const std::string& piece : Split(text, ',')) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected var=value in '" + piece + "'");
+    }
+    std::string var(StripWhitespace(std::string_view(piece).substr(0, eq)));
+    Value value = ParseCsvValue(std::string_view(piece).substr(eq + 1));
+    out.emplace(Variable::Named(var), value);
+  }
+  return out;
+}
+
+}  // namespace
+
+Database* Shell::EnsureDb() {
+  if (db_ == nullptr) db_ = std::make_unique<Database>(schema_);
+  return db_.get();
+}
+
+std::string Shell::HelpText() {
+  return
+      "commands:\n"
+      "  schema relation R(a, b, ...)\n"
+      "  access access R(x) N=100 | access key R(a) | access fd R: a -> b\n"
+      "  row <relation> v1,v2,...\n"
+      "  load <relation> <csv-path>\n"
+      "  show | conformance\n"
+      "  analyze Q(x, ...) := <FO formula>\n"
+      "  eval var=value,... Q(x, ...) := <FO formula>\n"
+      "  qdsi <M> Q(x) :- <CQ body>\n"
+      "  quit\n";
+}
+
+Result<std::string> Shell::Execute(std::string_view line) {
+  line = StripWhitespace(line);
+  if (line.empty() || line[0] == '#') return std::string();
+  size_t space = line.find(' ');
+  std::string command(line.substr(0, space));
+  std::string_view rest =
+      space == std::string_view::npos ? "" : StripWhitespace(line.substr(space));
+
+  if (command == "help") return HelpText();
+
+  if (command == "schema") {
+    if (db_ != nullptr) {
+      return Status::FailedPrecondition("schema is frozen once data is loaded");
+    }
+    SI_ASSIGN_OR_RETURN(Schema parsed, ParseSchemaText(rest));
+    for (const RelationSchema& r : parsed.relations()) {
+      SI_RETURN_IF_ERROR(schema_.AddRelation(r));
+    }
+    return std::string("ok\n");
+  }
+
+  if (command == "access") {
+    SI_ASSIGN_OR_RETURN(AccessSchema parsed,
+                        ParseAccessSchemaText(rest, schema_));
+    for (const AccessStatement& s : parsed.statements()) {
+      if (s.is_plain()) {
+        access_.Add(s.relation, s.key_attrs, s.max_tuples, s.retrieval_time);
+      } else {
+        access_.AddEmbedded(s.relation, s.key_attrs, *s.value_attrs,
+                            s.max_tuples, s.retrieval_time);
+      }
+    }
+    return std::string("ok\n");
+  }
+
+  if (command == "row") {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("usage: row <relation> v1,v2,...");
+    }
+    std::string relation(rest.substr(0, sp));
+    SI_RETURN_IF_ERROR(
+        LoadRelationCsv(EnsureDb(), relation, rest.substr(sp + 1)));
+    return std::string("ok\n");
+  }
+
+  if (command == "load") {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("usage: load <relation> <csv-path>");
+    }
+    std::string relation(rest.substr(0, sp));
+    SI_ASSIGN_OR_RETURN(std::string csv,
+                        ReadFileToString(std::string(rest.substr(sp + 1))));
+    SI_RETURN_IF_ERROR(LoadRelationCsv(EnsureDb(), relation, csv));
+    return std::string("ok\n");
+  }
+
+  if (command == "show") {
+    std::string out = schema_.ToString() + access_.ToString();
+    if (db_ != nullptr) {
+      out += StrFormat("|D| = %zu tuples\n", db_->TotalTuples());
+    }
+    return out;
+  }
+
+  if (command == "conformance") {
+    if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+    SI_ASSIGN_OR_RETURN(ConformanceReport report,
+                        CheckConformance(*db_, schema_, access_));
+    std::string out =
+        std::string("conforms: ") + (report.conforms ? "yes" : "no") + "\n";
+    for (const ConformanceViolation& v : report.violations) {
+      out += "  " + v.ToString(access_) + "\n";
+    }
+    return out;
+  }
+
+  if (command == "analyze") {
+    SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest, &schema_));
+    SI_ASSIGN_OR_RETURN(
+        ControllabilityAnalysis analysis,
+        ControllabilityAnalysis::Analyze(q.body, schema_, access_));
+    std::vector<VarSet> minimal = analysis.MinimalControlSets();
+    if (minimal.empty()) {
+      return std::string("not controlled under the current access schema\n");
+    }
+    std::string out;
+    for (const VarSet& m : minimal) {
+      Result<double> bound = analysis.StaticFetchBound(m);
+      out += StrFormat("controlled by %s  (fetch bound %.0f)\n",
+                       VarSetToString(m).c_str(), bound.ok() ? *bound : -1.0);
+    }
+    out += analysis.Explain(minimal[0]);
+    return out;
+  }
+
+  if (command == "eval") {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("usage: eval var=value,... <query>");
+    }
+    SI_ASSIGN_OR_RETURN(Binding params, ParseShellBinding(rest.substr(0, sp)));
+    SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest.substr(sp + 1), &schema_));
+    if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+    SI_ASSIGN_OR_RETURN(
+        ControllabilityAnalysis analysis,
+        ControllabilityAnalysis::Analyze(q.body, schema_, access_));
+    SI_RETURN_IF_ERROR(access_.BuildIndexes(db_.get(), schema_));
+    BoundedEvaluator evaluator(db_.get());
+    BoundedEvalStats stats;
+    SI_ASSIGN_OR_RETURN(AnswerSet answers,
+                        evaluator.Evaluate(q, analysis, params, &stats));
+    return AnswerSetToString(answers, 50) +
+           StrFormat("\n(%zu answers, %llu base tuples fetched)\n",
+                     answers.size(),
+                     static_cast<unsigned long long>(
+                         stats.base_tuples_fetched));
+  }
+
+  if (command == "qdsi") {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("usage: qdsi <M> <cq-rule>");
+    }
+    uint64_t m = 0;
+    const std::string m_text(rest.substr(0, sp));
+    for (char c : m_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("M must be a number, got '" + m_text +
+                                       "'");
+      }
+      m = m * 10 + static_cast<uint64_t>(c - '0');
+    }
+    SI_ASSIGN_OR_RETURN(Cq q, ParseCq(rest.substr(sp + 1), &schema_));
+    if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+    QdsiDecision d = DecideQdsiCq(q, *db_, m);
+    std::string out =
+        StrFormat("QDSI(M=%llu): %s via %s",
+                  static_cast<unsigned long long>(m), VerdictName(d.verdict),
+                  d.method.c_str());
+    if (d.witness.has_value()) {
+      out += StrFormat(" (witness %zu tuples)", d.witness->size());
+    }
+    out += "\n";
+    return out;
+  }
+
+  return Status::InvalidArgument("unknown command '" + command +
+                                 "' (try 'help')");
+}
+
+}  // namespace scalein

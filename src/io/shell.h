@@ -1,0 +1,53 @@
+#ifndef SCALEIN_IO_SHELL_H_
+#define SCALEIN_IO_SHELL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/access_schema.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Command interpreter behind examples/scalein_shell.cpp: builds up a schema,
+/// an access schema, and a database, then answers analysis/evaluation/QDSI
+/// commands. Output is returned as text so the interpreter is testable; the
+/// example binary pipes stdin lines in and prints what comes back.
+///
+/// Commands (one per line; see `HelpText()`):
+///   schema relation R(a, b, ...)
+///   access access R(x) N=100 | access key R(a) | access fd R: a -> b
+///   row <relation> v1,v2,...
+///   load <relation> <csv-file>
+///   show | conformance
+///   analyze Q(x, ...) := <FO formula>
+///   eval var=value,... Q(x, ...) := <FO formula>
+///   qdsi <M> Q(x) :- <CQ body>
+class Shell {
+ public:
+  Shell() = default;
+
+  /// Executes one command line; returns the text to display. Errors are
+  /// reported in the Status (nothing is printed on error paths).
+  Result<std::string> Execute(std::string_view line);
+
+  static std::string HelpText();
+
+  const Schema& schema() const { return schema_; }
+  const AccessSchema& access() const { return access_; }
+  const Database* db() const { return db_.get(); }
+
+ private:
+  Database* EnsureDb();
+
+  Schema schema_;
+  AccessSchema access_;
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_IO_SHELL_H_

@@ -1,0 +1,152 @@
+#include "query/cq.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace scalein {
+
+VarSet CqAtom::Vars() const {
+  VarSet out;
+  for (const Term& t : args) {
+    if (t.is_var()) out.insert(t.var());
+  }
+  return out;
+}
+
+std::string CqAtom::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Cq::Cq(std::string name, std::vector<Term> head, std::vector<CqAtom> atoms)
+    : name_(std::move(name)), head_(std::move(head)), atoms_(std::move(atoms)) {
+  SI_CHECK_MSG(IsSafe(), "unsafe CQ: head variable missing from body");
+}
+
+VarSet Cq::HeadVars() const {
+  VarSet out;
+  for (const Term& t : head_) {
+    if (t.is_var()) out.insert(t.var());
+  }
+  return out;
+}
+
+VarSet Cq::BodyVars() const {
+  VarSet out;
+  for (const CqAtom& a : atoms_) {
+    VarSet av = a.Vars();
+    out.insert(av.begin(), av.end());
+  }
+  return out;
+}
+
+VarSet Cq::ExistentialVars() const { return VarMinus(BodyVars(), HeadVars()); }
+
+bool Cq::IsSafe() const { return VarSubset(HeadVars(), BodyVars()); }
+
+Formula Cq::ToFormula() const {
+  if (atoms_.empty()) return Formula::True();
+  std::vector<Formula> conjuncts;
+  conjuncts.reserve(atoms_.size());
+  for (const CqAtom& a : atoms_) {
+    conjuncts.push_back(Formula::Atom(a.relation, a.args));
+  }
+  Formula body = Formula::And(std::move(conjuncts));
+  VarSet existential = ExistentialVars();
+  return Formula::Exists(
+      std::vector<Variable>(existential.begin(), existential.end()),
+      std::move(body));
+}
+
+FoQuery Cq::ToFoQuery() const {
+  FoQuery q;
+  q.name = name_;
+  VarSet seen;
+  for (const Term& t : head_) {
+    SI_CHECK_MSG(t.is_var(), "ToFoQuery requires an all-variable head");
+    SI_CHECK_MSG(!seen.count(t.var()), "ToFoQuery requires distinct head vars");
+    seen.insert(t.var());
+    q.head.push_back(t.var());
+  }
+  q.body = ToFormula();
+  return q;
+}
+
+Cq Cq::Substitute(const std::map<Variable, Term>& subst) const {
+  auto sub_term = [&subst](const Term& t) {
+    if (t.is_var()) {
+      auto it = subst.find(t.var());
+      if (it != subst.end()) return it->second;
+    }
+    return t;
+  };
+  std::vector<Term> head;
+  head.reserve(head_.size());
+  for (const Term& t : head_) head.push_back(sub_term(t));
+  std::vector<CqAtom> atoms;
+  atoms.reserve(atoms_.size());
+  for (const CqAtom& a : atoms_) {
+    CqAtom na;
+    na.relation = a.relation;
+    na.args.reserve(a.args.size());
+    for (const Term& t : a.args) na.args.push_back(sub_term(t));
+    atoms.push_back(std::move(na));
+  }
+  return Cq(name_, std::move(head), std::move(atoms));
+}
+
+Cq Cq::FreshenVariables() const {
+  std::map<Variable, Term> renaming;
+  for (const Variable& v : BodyVars()) {
+    renaming.emplace(v, Term::Var(Variable::Fresh(v.name())));
+  }
+  return Substitute(renaming);
+}
+
+std::string Cq::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_[i].ToString();
+  }
+  out += ") :- ";
+  if (atoms_.empty()) {
+    out += "true";
+    return out;
+  }
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+Ucq::Ucq(std::string name, std::vector<Cq> disjuncts)
+    : name_(std::move(name)), disjuncts_(std::move(disjuncts)) {
+  SI_CHECK_MSG(!disjuncts_.empty(), "UCQ needs at least one disjunct");
+  for (const Cq& d : disjuncts_) {
+    SI_CHECK_MSG(d.head().size() == disjuncts_[0].head().size(),
+                 "UCQ disjuncts must share head arity");
+  }
+}
+
+size_t Ucq::TableauSize() const {
+  size_t best = 0;
+  for (const Cq& d : disjuncts_) best = std::max(best, d.TableauSize());
+  return best;
+}
+
+std::string Ucq::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts_.size());
+  for (const Cq& d : disjuncts_) parts.push_back(d.ToString());
+  return Join(parts, "\n");
+}
+
+}  // namespace scalein

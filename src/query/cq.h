@@ -1,0 +1,106 @@
+#ifndef SCALEIN_QUERY_CQ_H_
+#define SCALEIN_QUERY_CQ_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/formula.h"
+#include "query/term.h"
+
+namespace scalein {
+
+/// One relation atom R(t1, ..., tk) in a conjunctive-query body. Arguments
+/// may be variables or constants (x = c equalities are normalized into
+/// constants at construction / parse time).
+struct CqAtom {
+  std::string relation;
+  std::vector<Term> args;
+
+  VarSet Vars() const;
+  std::string ToString() const;
+  bool operator==(const CqAtom& o) const {
+    return relation == o.relation && args == o.args;
+  }
+};
+
+/// A conjunctive query in tableau form (§2):
+///   Q(t̄) :- R1(t̄1), ..., Rn(t̄n)
+/// Head terms may repeat and may be constants (after normalization). A CQ
+/// with an empty head is Boolean.
+class Cq {
+ public:
+  /// The trivial Boolean query "q() :- true".
+  Cq() : name_("q") {}
+
+  Cq(std::string name, std::vector<Term> head, std::vector<CqAtom> atoms);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Term>& head() const { return head_; }
+  const std::vector<CqAtom>& atoms() const { return atoms_; }
+
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// Variables appearing in the head.
+  VarSet HeadVars() const;
+  /// All variables of the body.
+  VarSet BodyVars() const;
+  /// Body variables not in the head (existentially quantified).
+  VarSet ExistentialVars() const;
+
+  /// ‖Q‖, the size of the tableau of Q (§3): the number of atoms. This is the
+  /// bound on witness size for Boolean CQs and the per-answer-tuple support
+  /// bound for data-selecting CQs.
+  size_t TableauSize() const { return atoms_.size(); }
+
+  /// Every head variable must occur in the body (safety). Aborted on
+  /// construction otherwise, so public Cqs are always safe.
+  bool IsSafe() const;
+
+  /// The FO formula ∃ (body − head vars) . (∧ atoms); True for empty body.
+  Formula ToFormula() const;
+
+  /// Wraps into an FoQuery. Requires an all-variable, duplicate-free head
+  /// (general heads are evaluated through CqEvaluator instead).
+  FoQuery ToFoQuery() const;
+
+  /// Applies a substitution to head and body (used to fix parameters, e.g.,
+  /// p := p0 in the Facebook queries).
+  Cq Substitute(const std::map<Variable, Term>& subst) const;
+
+  /// Renames every variable fresh (for combining with other queries without
+  /// collision); head order preserved.
+  Cq FreshenVariables() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Term> head_;
+  std::vector<CqAtom> atoms_;
+};
+
+/// Union of conjunctive queries Q1 ∪ ... ∪ Qk (§2). All disjuncts must have
+/// the same head arity.
+class Ucq {
+ public:
+  Ucq(std::string name, std::vector<Cq> disjuncts);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Cq>& disjuncts() const { return disjuncts_; }
+  size_t HeadArity() const { return disjuncts_[0].head().size(); }
+  bool IsBoolean() const { return HeadArity() == 0; }
+
+  /// ‖Q‖ = max over disjuncts (§3).
+  size_t TableauSize() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Cq> disjuncts_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_CQ_H_

@@ -1,0 +1,71 @@
+#include "query/cq_to_ra.h"
+
+#include <map>
+#include <optional>
+
+namespace scalein {
+
+Result<RaExpr> CqToRa(const Cq& q, const Schema& schema) {
+  if (q.atoms().empty()) {
+    return Status::Unimplemented(
+        "trivial CQ (empty body) has no relational-algebra form");
+  }
+  // Head: distinct variables only.
+  VarSet seen_head;
+  std::vector<std::string> head_attrs;
+  for (const Term& h : q.head()) {
+    if (!h.is_var() || !seen_head.insert(h.var()).second) {
+      return Status::InvalidArgument(
+          "CqToRa requires a distinct-variable head");
+    }
+    head_attrs.push_back(h.var().name());
+  }
+
+  std::optional<RaExpr> joined;
+  for (const CqAtom& atom : q.atoms()) {
+    const RelationSchema* rs = schema.FindRelation(atom.relation);
+    if (rs == nullptr) {
+      return Status::NotFound("unknown relation '" + atom.relation + "'");
+    }
+    if (rs->arity() != atom.args.size()) {
+      return Status::InvalidArgument("arity mismatch on '" + atom.relation +
+                                     "'");
+    }
+    // Column plan: first occurrence of a variable keeps (renamed to) the
+    // variable's name; constants and repeated variables get fresh columns
+    // constrained by selections and projected away.
+    std::map<std::string, std::string> renaming;
+    SelectionCondition condition;
+    std::vector<std::string> keep;
+    VarSet bound_here;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const std::string& attr = rs->attributes()[p];
+      const Term& t = atom.args[p];
+      if (t.is_var() && bound_here.insert(t.var()).second) {
+        if (attr != t.var().name()) renaming.emplace(attr, t.var().name());
+        keep.push_back(t.var().name());
+        continue;
+      }
+      std::string fresh = Variable::Fresh("c").name();
+      renaming.emplace(attr, fresh);
+      if (t.is_const()) {
+        condition.conjuncts.push_back(
+            SelectionAtom::AttrEqConst(fresh, t.constant()));
+      } else {
+        condition.conjuncts.push_back(
+            SelectionAtom::AttrEqAttr(fresh, t.var().name()));
+      }
+    }
+    RaExpr expr = RaExpr::Relation(atom.relation, rs->attributes());
+    if (!renaming.empty()) expr = RaExpr::Rename(std::move(expr), renaming);
+    if (!condition.conjuncts.empty()) {
+      expr = RaExpr::Select(std::move(expr), std::move(condition));
+    }
+    expr = RaExpr::Project(std::move(expr), keep);
+    joined = joined.has_value() ? RaExpr::Join(*std::move(joined), std::move(expr))
+                                : std::move(expr);
+  }
+  return RaExpr::Project(*std::move(joined), head_attrs);
+}
+
+}  // namespace scalein

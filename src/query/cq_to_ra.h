@@ -1,0 +1,27 @@
+#ifndef SCALEIN_QUERY_CQ_TO_RA_H_
+#define SCALEIN_QUERY_CQ_TO_RA_H_
+
+#include "query/cq.h"
+#include "query/ra_expr.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Translates a CQ into an equivalent relational-algebra expression (the
+/// SPJ fragment): each atom becomes a renamed base relation (columns named
+/// after the atom's variables, selections for constants and repeated
+/// variables), atoms combine by natural join, and the head is a final
+/// projection.
+///
+/// Requirements: the head must be distinct variables (the view-definition
+/// shape). The output expression's attributes are the head variable names in
+/// head order — column-compatible with `CqEvaluator::EvaluateFull` answers,
+/// which makes the translation the bridge between §6 view definitions and
+/// §5 change propagation (`ComputeDelta` maintains view extents without
+/// recomputation).
+Result<RaExpr> CqToRa(const Cq& q, const Schema& schema);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_CQ_TO_RA_H_

@@ -1,0 +1,219 @@
+#include "query/fo_to_ra.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace scalein {
+namespace {
+
+/// Translation state: the schema plus a cached adom expression.
+class Translator {
+ public:
+  explicit Translator(const Schema& schema) : schema_(schema) {}
+
+  Result<RaExpr> Translate(const Formula& f) {
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+        return TrueExpr();
+      case FormulaKind::kFalse: {
+        // FALSE over no columns: the adom-true minus itself.
+        SI_ASSIGN_OR_RETURN(RaExpr t, TrueExpr());
+        return RaExpr::Diff(t, t);
+      }
+      case FormulaKind::kAtom:
+        return TranslateAtom(f);
+      case FormulaKind::kEq:
+        return TranslateEq(f);
+      case FormulaKind::kNot: {
+        SI_ASSIGN_OR_RETURN(RaExpr inner, Translate(f.child()));
+        SI_ASSIGN_OR_RETURN(RaExpr universe,
+                            AdomProduct(f.child().FreeVariables()));
+        return RaExpr::Diff(std::move(universe), std::move(inner));
+      }
+      case FormulaKind::kAnd: {
+        std::optional<RaExpr> joined;
+        for (const Formula& c : f.operands()) {
+          SI_ASSIGN_OR_RETURN(RaExpr e, Translate(c));
+          joined = joined.has_value()
+                       ? RaExpr::Join(*std::move(joined), std::move(e))
+                       : std::move(e);
+        }
+        return *std::move(joined);
+      }
+      case FormulaKind::kOr: {
+        const VarSet& all = f.FreeVariables();
+        std::optional<RaExpr> unioned;
+        for (const Formula& c : f.operands()) {
+          SI_ASSIGN_OR_RETURN(RaExpr e, PadTo(c, all));
+          unioned = unioned.has_value()
+                        ? RaExpr::Union(*std::move(unioned), std::move(e))
+                        : std::move(e);
+        }
+        return *std::move(unioned);
+      }
+      case FormulaKind::kImplies:
+        // p → c ≡ ¬p ∨ c.
+        return Translate(Formula::Or(Formula::Not(f.premise()), f.conclusion()));
+      case FormulaKind::kExists: {
+        SI_ASSIGN_OR_RETURN(RaExpr body, Translate(f.body()));
+        const VarSet& body_free = f.body().FreeVariables();
+        VarSet quantified(f.quantified().begin(), f.quantified().end());
+        std::vector<std::string> keep;
+        for (const Variable& v : VarMinus(body_free, quantified)) {
+          keep.push_back(v.name());
+        }
+        return RaExpr::Project(std::move(body), keep);
+      }
+      case FormulaKind::kForall: {
+        // ∀z̄ f ≡ ¬∃z̄ ¬f.
+        std::vector<Variable> vars = f.quantified();
+        return Translate(
+            Formula::Not(Formula::Exists(vars, Formula::Not(f.body()))));
+      }
+    }
+    return Status::Internal("unreachable formula kind");
+  }
+
+  /// Product of adom columns for every variable in `vars`; for ∅ the 0-ary
+  /// TRUE expression.
+  Result<RaExpr> AdomProduct(const VarSet& vars) {
+    if (vars.empty()) return TrueExpr();
+    std::optional<RaExpr> product;
+    for (const Variable& v : vars) {
+      SI_ASSIGN_OR_RETURN(RaExpr column, AdomExpr(schema_, v.name()));
+      product = product.has_value()
+                    ? RaExpr::Join(*std::move(product), std::move(column))
+                    : std::move(column);
+    }
+    return *std::move(product);
+  }
+
+ private:
+  /// Translates `f` and pads it with adom columns up to `target`.
+  Result<RaExpr> PadTo(const Formula& f, const VarSet& target) {
+    SI_ASSIGN_OR_RETURN(RaExpr e, Translate(f));
+    VarSet missing = VarMinus(target, f.FreeVariables());
+    if (missing.empty()) return e;
+    SI_ASSIGN_OR_RETURN(RaExpr pad, AdomProduct(missing));
+    return RaExpr::Join(std::move(e), std::move(pad));
+  }
+
+  /// π_∅(adom): one empty tuple iff the database is nonempty.
+  Result<RaExpr> TrueExpr() {
+    SI_ASSIGN_OR_RETURN(RaExpr adom, AdomExpr(schema_, "$true"));
+    return RaExpr::Project(std::move(adom), {});
+  }
+
+  Result<RaExpr> TranslateAtom(const Formula& f) {
+    const RelationSchema* rs = schema_.FindRelation(f.relation());
+    if (rs == nullptr) {
+      return Status::NotFound("unknown relation '" + f.relation() + "'");
+    }
+    if (rs->arity() != f.args().size()) {
+      return Status::InvalidArgument("arity mismatch on '" + f.relation() +
+                                     "'");
+    }
+    // Identical to the CQ atom plan: first variable occurrences keep the
+    // variable's name, constants/repeats become constrained fresh columns.
+    std::map<std::string, std::string> renaming;
+    SelectionCondition condition;
+    std::vector<std::string> keep;
+    VarSet bound_here;
+    for (size_t p = 0; p < f.args().size(); ++p) {
+      const std::string& attr = rs->attributes()[p];
+      const Term& t = f.args()[p];
+      if (t.is_var() && bound_here.insert(t.var()).second) {
+        if (attr != t.var().name()) renaming.emplace(attr, t.var().name());
+        keep.push_back(t.var().name());
+        continue;
+      }
+      std::string fresh = Variable::Fresh("f2r").name();
+      renaming.emplace(attr, fresh);
+      if (t.is_const()) {
+        condition.conjuncts.push_back(
+            SelectionAtom::AttrEqConst(fresh, t.constant()));
+      } else {
+        condition.conjuncts.push_back(
+            SelectionAtom::AttrEqAttr(fresh, t.var().name()));
+      }
+    }
+    RaExpr expr = RaExpr::Relation(f.relation(), rs->attributes());
+    if (!renaming.empty()) expr = RaExpr::Rename(std::move(expr), renaming);
+    if (!condition.conjuncts.empty()) {
+      expr = RaExpr::Select(std::move(expr), std::move(condition));
+    }
+    return RaExpr::Project(std::move(expr), keep);
+  }
+
+  Result<RaExpr> TranslateEq(const Formula& f) {
+    const Term& l = f.eq_lhs();
+    const Term& r = f.eq_rhs();
+    if (l.is_var() && r.is_var()) {
+      if (l.var() == r.var()) {
+        // x = x: every adom value.
+        return AdomExpr(schema_, l.var().name());
+      }
+      SI_ASSIGN_OR_RETURN(RaExpr lhs, AdomExpr(schema_, l.var().name()));
+      SI_ASSIGN_OR_RETURN(RaExpr rhs, AdomExpr(schema_, r.var().name()));
+      SelectionCondition cond;
+      cond.conjuncts.push_back(
+          SelectionAtom::AttrEqAttr(l.var().name(), r.var().name()));
+      return RaExpr::Select(RaExpr::Join(std::move(lhs), std::move(rhs)),
+                            std::move(cond));
+    }
+    if (l.is_var() || r.is_var()) {
+      const Term& var_term = l.is_var() ? l : r;
+      const Term& const_term = l.is_var() ? r : l;
+      SI_ASSIGN_OR_RETURN(RaExpr column,
+                          AdomExpr(schema_, var_term.var().name()));
+      SelectionCondition cond;
+      cond.conjuncts.push_back(SelectionAtom::AttrEqConst(
+          var_term.var().name(), const_term.constant()));
+      return RaExpr::Select(std::move(column), std::move(cond));
+    }
+    // Constant = constant: TRUE or FALSE (0-ary).
+    if (l.constant() == r.constant()) return TrueExpr();
+    SI_ASSIGN_OR_RETURN(RaExpr t, TrueExpr());
+    return RaExpr::Diff(t, t);
+  }
+
+  const Schema& schema_;
+};
+
+}  // namespace
+
+Result<RaExpr> AdomExpr(const Schema& schema, const std::string& attr) {
+  std::optional<RaExpr> adom;
+  for (const RelationSchema& rs : schema.relations()) {
+    for (const std::string& column : rs.attributes()) {
+      RaExpr projected =
+          RaExpr::Project(RaExpr::Relation(rs.name(), rs.attributes()),
+                          {column});
+      RaExpr renamed = column == attr
+                           ? std::move(projected)
+                           : RaExpr::Rename(std::move(projected),
+                                            {{column, attr}});
+      adom = adom.has_value()
+                 ? RaExpr::Union(*std::move(adom), std::move(renamed))
+                 : std::move(renamed);
+    }
+  }
+  if (!adom.has_value()) {
+    return Status::InvalidArgument("empty schema has no active domain");
+  }
+  return *std::move(adom);
+}
+
+Result<RaExpr> FoToRa(const FoQuery& q, const Schema& schema) {
+  if (!q.IsWellFormed()) {
+    return Status::InvalidArgument("FO query head/free-variable mismatch");
+  }
+  Translator translator(schema);
+  SI_ASSIGN_OR_RETURN(RaExpr body, translator.Translate(q.body));
+  std::vector<std::string> head;
+  head.reserve(q.head.size());
+  for (const Variable& v : q.head) head.push_back(v.name());
+  return RaExpr::Project(std::move(body), head);
+}
+
+}  // namespace scalein

@@ -1,0 +1,37 @@
+#ifndef SCALEIN_QUERY_FO_TO_RA_H_
+#define SCALEIN_QUERY_FO_TO_RA_H_
+
+#include "query/formula.h"
+#include "query/ra_expr.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Translates an FO query into an equivalent relational-algebra expression
+/// under the active-domain semantics — §2's "FO queries (equivalently, the
+/// full relational algebra)" made constructive, and the bridge §5 uses when
+/// it derives maintenance queries for FO through [14]'s change propagation.
+///
+/// Each subformula becomes an expression whose columns are its free
+/// variables; negation complements against the active-domain product, ∨ pads
+/// disjuncts to a common column set, ∀ desugars to ¬∃¬. The active domain
+/// itself is assembled as the union of every column of every relation,
+/// renamed to one shared column.
+///
+/// Caveats (standard for the construction):
+///  * answers match `FoEvaluator` on every database; the only divergence is
+///    closed formulas over the EMPTY database, where the algebraic encoding
+///    of "true" (π_∅ of adom) is empty — callers comparing semantics should
+///    skip |adom| = 0;
+///  * intermediate adom-products can be large; this is a semantic bridge and
+///    a testing oracle, not an execution plan.
+Result<RaExpr> FoToRa(const FoQuery& q, const Schema& schema);
+
+/// The active-domain expression over `schema`: one unary relation named
+/// `attr` holding every value of every column of every relation.
+Result<RaExpr> AdomExpr(const Schema& schema, const std::string& attr);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_FO_TO_RA_H_

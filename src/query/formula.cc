@@ -1,0 +1,390 @@
+#include "query/formula.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace scalein {
+
+struct Formula::Node {
+  FormulaKind kind;
+  std::string relation;           // kAtom
+  std::vector<Term> terms;        // kAtom args; kEq stores [lhs, rhs]
+  std::vector<Formula> children;  // kNot [f]; kAnd/kOr; kImplies [p, c];
+                                  // kExists/kForall [body]
+  std::vector<Variable> vars;     // kExists, kForall
+  mutable std::optional<VarSet> free_cache;
+};
+
+Formula Formula::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kTrue;
+  return Formula(std::move(node));
+}
+
+Formula Formula::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kFalse;
+  return Formula(std::move(node));
+}
+
+Formula Formula::Atom(std::string relation, std::vector<Term> args) {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kAtom;
+  node->relation = std::move(relation);
+  node->terms = std::move(args);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Eq(Term lhs, Term rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kEq;
+  node->terms = {lhs, rhs};
+  return Formula(std::move(node));
+}
+
+Formula Formula::Not(Formula f) {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kNot;
+  node->children = {std::move(f)};
+  return Formula(std::move(node));
+}
+
+Formula Formula::And(std::vector<Formula> operands) {
+  SI_CHECK(!operands.empty());
+  if (operands.size() == 1) return operands[0];
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kAnd;
+  node->children = std::move(operands);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Or(std::vector<Formula> operands) {
+  SI_CHECK(!operands.empty());
+  if (operands.size() == 1) return operands[0];
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kOr;
+  node->children = std::move(operands);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Implies(Formula premise, Formula conclusion) {
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kImplies;
+  node->children = {std::move(premise), std::move(conclusion)};
+  return Formula(std::move(node));
+}
+
+Formula Formula::Exists(std::vector<Variable> vars, Formula body) {
+  if (vars.empty()) return body;
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kExists;
+  node->vars = std::move(vars);
+  node->children = {std::move(body)};
+  return Formula(std::move(node));
+}
+
+Formula Formula::Forall(std::vector<Variable> vars, Formula body) {
+  if (vars.empty()) return body;
+  auto node = std::make_shared<Node>();
+  node->kind = FormulaKind::kForall;
+  node->vars = std::move(vars);
+  node->children = {std::move(body)};
+  return Formula(std::move(node));
+}
+
+FormulaKind Formula::kind() const { return node_->kind; }
+
+const std::string& Formula::relation() const {
+  SI_CHECK(node_->kind == FormulaKind::kAtom);
+  return node_->relation;
+}
+
+const std::vector<Term>& Formula::args() const {
+  SI_CHECK(node_->kind == FormulaKind::kAtom);
+  return node_->terms;
+}
+
+const Term& Formula::eq_lhs() const {
+  SI_CHECK(node_->kind == FormulaKind::kEq);
+  return node_->terms[0];
+}
+
+const Term& Formula::eq_rhs() const {
+  SI_CHECK(node_->kind == FormulaKind::kEq);
+  return node_->terms[1];
+}
+
+const Formula& Formula::child() const {
+  SI_CHECK(node_->kind == FormulaKind::kNot);
+  return node_->children[0];
+}
+
+const std::vector<Formula>& Formula::operands() const {
+  SI_CHECK(node_->kind == FormulaKind::kAnd || node_->kind == FormulaKind::kOr);
+  return node_->children;
+}
+
+const Formula& Formula::premise() const {
+  SI_CHECK(node_->kind == FormulaKind::kImplies);
+  return node_->children[0];
+}
+
+const Formula& Formula::conclusion() const {
+  SI_CHECK(node_->kind == FormulaKind::kImplies);
+  return node_->children[1];
+}
+
+const std::vector<Variable>& Formula::quantified() const {
+  SI_CHECK(node_->kind == FormulaKind::kExists ||
+           node_->kind == FormulaKind::kForall);
+  return node_->vars;
+}
+
+const Formula& Formula::body() const {
+  SI_CHECK(node_->kind == FormulaKind::kExists ||
+           node_->kind == FormulaKind::kForall);
+  return node_->children[0];
+}
+
+const VarSet& Formula::FreeVariables() const {
+  if (node_->free_cache.has_value()) return *node_->free_cache;
+  VarSet free;
+  switch (node_->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      break;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+      for (const Term& t : node_->terms) {
+        if (t.is_var()) free.insert(t.var());
+      }
+      break;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      for (const Formula& c : node_->children) {
+        const VarSet& cf = c.FreeVariables();
+        free.insert(cf.begin(), cf.end());
+      }
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      free = node_->children[0].FreeVariables();
+      for (const Variable& v : node_->vars) free.erase(v);
+      break;
+    }
+  }
+  node_->free_cache = std::move(free);
+  return *node_->free_cache;
+}
+
+size_t Formula::Size() const {
+  size_t n = 1;
+  for (const Formula& c : node_->children) n += c.Size();
+  return n;
+}
+
+bool Formula::Equals(const Formula& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->kind != other.node_->kind) return false;
+  if (node_->relation != other.node_->relation) return false;
+  if (node_->terms != other.node_->terms) return false;
+  if (node_->vars.size() != other.node_->vars.size()) return false;
+  for (size_t i = 0; i < node_->vars.size(); ++i) {
+    if (node_->vars[i] != other.node_->vars[i]) return false;
+  }
+  if (node_->children.size() != other.node_->children.size()) return false;
+  for (size_t i = 0; i < node_->children.size(); ++i) {
+    if (!node_->children[i].Equals(other.node_->children[i])) return false;
+  }
+  return true;
+}
+
+bool Formula::IsEqualityCondition() const {
+  switch (node_->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEq:
+      return true;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      for (const Formula& c : node_->children) {
+        if (!c.IsEqualityCondition()) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+Formula Formula::Substitute(const std::map<Variable, Term>& subst) const {
+  if (subst.empty()) return *this;
+  auto sub_term = [&subst](const Term& t) {
+    if (t.is_var()) {
+      auto it = subst.find(t.var());
+      if (it != subst.end()) return it->second;
+    }
+    return t;
+  };
+  switch (node_->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return *this;
+    case FormulaKind::kAtom: {
+      std::vector<Term> args;
+      args.reserve(node_->terms.size());
+      for (const Term& t : node_->terms) args.push_back(sub_term(t));
+      return Atom(node_->relation, std::move(args));
+    }
+    case FormulaKind::kEq:
+      return Eq(sub_term(node_->terms[0]), sub_term(node_->terms[1]));
+    case FormulaKind::kNot:
+      return Not(node_->children[0].Substitute(subst));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> kids;
+      kids.reserve(node_->children.size());
+      for (const Formula& c : node_->children) kids.push_back(c.Substitute(subst));
+      return node_->kind == FormulaKind::kAnd ? And(std::move(kids))
+                                              : Or(std::move(kids));
+    }
+    case FormulaKind::kImplies:
+      return Implies(node_->children[0].Substitute(subst),
+                     node_->children[1].Substitute(subst));
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // Drop mappings for shadowed variables; rename bound variables that
+      // would capture a substituted term's variable.
+      std::map<Variable, Term> inner = subst;
+      for (const Variable& v : node_->vars) inner.erase(v);
+      VarSet incoming;  // variables introduced by substitution images
+      for (const auto& [from, to] : inner) {
+        (void)from;
+        if (to.is_var()) incoming.insert(to.var());
+      }
+      std::vector<Variable> new_vars = node_->vars;
+      for (Variable& v : new_vars) {
+        if (incoming.count(v)) {
+          Variable fresh = Variable::Fresh(v.name());
+          inner.insert_or_assign(v, Term::Var(fresh));
+          v = fresh;
+        }
+      }
+      Formula new_body = node_->children[0].Substitute(inner);
+      return node_->kind == FormulaKind::kExists
+                 ? Exists(std::move(new_vars), std::move(new_body))
+                 : Forall(std::move(new_vars), std::move(new_body));
+    }
+  }
+  SI_CHECK(false);
+  return *this;
+}
+
+namespace {
+
+int Precedence(FormulaKind k) {
+  switch (k) {
+    case FormulaKind::kImplies:
+      return 1;
+    case FormulaKind::kOr:
+      return 2;
+    case FormulaKind::kAnd:
+      return 3;
+    default:
+      return 4;  // atoms, negation, quantifiers print self-delimited
+  }
+}
+
+void Render(const Formula& f, int parent_prec, std::string* out) {
+  int prec = Precedence(f.kind());
+  bool parens = prec < parent_prec;
+  if (parens) out->push_back('(');
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      *out += "true";
+      break;
+    case FormulaKind::kFalse:
+      *out += "false";
+      break;
+    case FormulaKind::kAtom: {
+      *out += f.relation();
+      out->push_back('(');
+      const std::vector<Term>& args = f.args();
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += args[i].ToString();
+      }
+      out->push_back(')');
+      break;
+    }
+    case FormulaKind::kEq:
+      *out += f.eq_lhs().ToString();
+      *out += " = ";
+      *out += f.eq_rhs().ToString();
+      break;
+    case FormulaKind::kNot:
+      *out += "not ";
+      Render(f.child(), 4, out);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* op = f.kind() == FormulaKind::kAnd ? " and " : " or ";
+      const std::vector<Formula>& kids = f.operands();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (i > 0) *out += op;
+        Render(kids[i], prec + 1, out);
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      Render(f.premise(), prec + 1, out);
+      *out += " implies ";
+      Render(f.conclusion(), prec, out);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      *out += f.kind() == FormulaKind::kExists ? "exists " : "forall ";
+      const std::vector<Variable>& vars = f.quantified();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += vars[i].name();
+      }
+      *out += ". ";
+      Render(f.body(), 1, out);
+      break;
+    }
+  }
+  if (parens) out->push_back(')');
+}
+
+}  // namespace
+
+std::string Formula::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+bool FoQuery::IsWellFormed() const {
+  VarSet declared(head.begin(), head.end());
+  if (declared.size() != head.size()) return false;  // no repeated head vars
+  const VarSet& free = body.FreeVariables();
+  return declared == free;
+}
+
+std::string FoQuery::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].name();
+  }
+  out += ") := ";
+  out += body.ToString();
+  return out;
+}
+
+}  // namespace scalein

@@ -1,0 +1,111 @@
+#ifndef SCALEIN_QUERY_FORMULA_H_
+#define SCALEIN_QUERY_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/term.h"
+
+namespace scalein {
+
+/// Node kinds of the FO query language of §2 (equivalently, full relational
+/// algebra). `kImplies` is kept as an explicit connective (rather than
+/// desugaring to ¬∨) so the universal-quantification controllability rule
+/// ∀ȳ(Q → Q') of §4 can be recognized syntactically.
+enum class FormulaKind : uint8_t {
+  kTrue,
+  kFalse,
+  kAtom,     ///< R(t1, ..., tk)
+  kEq,       ///< t1 = t2
+  kNot,      ///< ¬ f
+  kAnd,      ///< f1 ∧ ... ∧ fn (n >= 1)
+  kOr,       ///< f1 ∨ ... ∨ fn (n >= 1)
+  kImplies,  ///< f1 → f2
+  kExists,   ///< ∃ v1...vk . f
+  kForall,   ///< ∀ v1...vk . f
+};
+
+/// Immutable first-order formula with shared subterms. Copying a Formula is
+/// O(1) (shared_ptr bump); all construction goes through the static factories.
+class Formula {
+ public:
+  static Formula True();
+  static Formula False();
+  static Formula Atom(std::string relation, std::vector<Term> args);
+  static Formula Eq(Term lhs, Term rhs);
+  static Formula Not(Formula f);
+  static Formula And(std::vector<Formula> operands);
+  static Formula And(Formula a, Formula b) { return And(std::vector{a, b}); }
+  static Formula Or(std::vector<Formula> operands);
+  static Formula Or(Formula a, Formula b) { return Or(std::vector{a, b}); }
+  static Formula Implies(Formula premise, Formula conclusion);
+  static Formula Exists(std::vector<Variable> vars, Formula body);
+  static Formula Forall(std::vector<Variable> vars, Formula body);
+
+  FormulaKind kind() const;
+
+  // Accessors; each aborts unless the node has the right kind.
+  const std::string& relation() const;            // kAtom
+  const std::vector<Term>& args() const;          // kAtom
+  const Term& eq_lhs() const;                     // kEq
+  const Term& eq_rhs() const;                     // kEq
+  const Formula& child() const;                   // kNot
+  const std::vector<Formula>& operands() const;   // kAnd, kOr
+  const Formula& premise() const;                 // kImplies
+  const Formula& conclusion() const;              // kImplies
+  const std::vector<Variable>& quantified() const;  // kExists, kForall
+  const Formula& body() const;                    // kExists, kForall
+
+  /// Free variables (memoized per node).
+  const VarSet& FreeVariables() const;
+
+  /// Node count, a simple size measure for the complexity experiments.
+  size_t Size() const;
+
+  /// Structural equality (same tree up to node identity).
+  bool Equals(const Formula& other) const;
+
+  /// Text rendering using the parser's concrete syntax.
+  std::string ToString() const;
+
+  /// Capture-avoiding substitution of terms for free variables. Bound
+  /// variables that would capture a substituted variable are renamed fresh.
+  Formula Substitute(const std::map<Variable, Term>& subst) const;
+
+  /// True for formulas built only from equality atoms, ∧, ∨, ¬, kTrue/kFalse
+  /// — the "conditions" of the §4 controllability rules.
+  bool IsEqualityCondition() const;
+
+  bool SamePointer(const Formula& other) const { return node_ == other.node_; }
+
+ private:
+  struct Node;
+  explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// A named FO query Q(x̄): a formula plus the declared order of its free
+/// variables (the answer-column order). A Boolean query has an empty head.
+struct FoQuery {
+  std::string name;
+  std::vector<Variable> head;
+  Formula body = Formula::True();
+
+  /// Head as a set.
+  VarSet HeadSet() const { return VarSet(head.begin(), head.end()); }
+
+  bool IsBoolean() const { return head.empty(); }
+
+  /// Verifies head == free(body) as sets; the invariant all engines assume.
+  bool IsWellFormed() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_FORMULA_H_

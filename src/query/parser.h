@@ -1,0 +1,48 @@
+#ifndef SCALEIN_QUERY_PARSER_H_
+#define SCALEIN_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/cq.h"
+#include "query/formula.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Parsers for the concrete query syntax used in tests, examples, and
+/// benchmarks. All parsers optionally validate relation names and arities
+/// against `schema` (pass nullptr to skip).
+///
+/// Conjunctive queries (rule syntax; equalities are normalized away):
+///
+///   Q1(p, name) :- friend(p, id), person(id, name, "NYC")
+///   Q(x) :- R(x, y), y = 3
+///
+/// First-order queries (head must list exactly the free variables):
+///
+///   Q(p, name) := exists id. friend(p, id) and person(id, name, "NYC")
+///   B() := forall x. R(x) implies exists y. S(x, y)
+///
+/// Terms: identifiers are variables; integers (`42`) and double-quoted
+/// strings (`"NYC"`) are constants. Connective precedence:
+/// not > and > or > implies; quantifier bodies extend right after the dot.
+
+/// Parses a single CQ rule.
+Result<Cq> ParseCq(std::string_view text, const Schema* schema = nullptr);
+
+/// Parses a UCQ: one CQ rule per non-empty line; all heads must share the
+/// same name and arity.
+Result<Ucq> ParseUcq(std::string_view text, const Schema* schema = nullptr);
+
+/// Parses a named FO query `Name(x, ...) := formula`.
+Result<FoQuery> ParseFoQuery(std::string_view text,
+                             const Schema* schema = nullptr);
+
+/// Parses a bare formula (no head). Useful for subformula tests.
+Result<Formula> ParseFormula(std::string_view text,
+                             const Schema* schema = nullptr);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_PARSER_H_

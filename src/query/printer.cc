@@ -1,0 +1,69 @@
+#include "query/printer.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace scalein {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SI_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += row[c];
+      }
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string FormatDouble(double v, int digits) {
+  return StrFormat("%.*f", digits, v);
+}
+
+std::string FormatCount(uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace scalein

@@ -1,0 +1,38 @@
+#ifndef SCALEIN_QUERY_PRINTER_H_
+#define SCALEIN_QUERY_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace scalein {
+
+/// Fixed-width ASCII table writer used by the benchmark harness to print
+/// paper-style result tables ("who wins, by what factor, where the crossover
+/// falls"). Columns are right-aligned except the first.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a separator under the header.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals ("12.34").
+std::string FormatDouble(double v, int digits = 2);
+
+/// Human-readable count with thousands separators ("12,345,678").
+std::string FormatCount(uint64_t v);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_PRINTER_H_

@@ -1,0 +1,314 @@
+#include "query/ra_expr.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace scalein {
+
+std::string AttrSetToString(const AttrSet& attrs) {
+  std::vector<std::string> v(attrs.begin(), attrs.end());
+  return "{" + Join(v, ", ") + "}";
+}
+
+AttrSet AttrUnion(const AttrSet& a, const AttrSet& b) {
+  AttrSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+AttrSet AttrMinus(const AttrSet& a, const AttrSet& b) {
+  AttrSet out;
+  for (const std::string& s : a) {
+    if (!b.count(s)) out.insert(s);
+  }
+  return out;
+}
+
+AttrSet AttrIntersect(const AttrSet& a, const AttrSet& b) {
+  AttrSet out;
+  for (const std::string& s : a) {
+    if (b.count(s)) out.insert(s);
+  }
+  return out;
+}
+
+bool AttrSubset(const AttrSet& a, const AttrSet& b) {
+  for (const std::string& s : a) {
+    if (!b.count(s)) return false;
+  }
+  return true;
+}
+
+std::string SelectionAtom::ToString() const {
+  std::string out = lhs;
+  out += negated ? " != " : " = ";
+  out += rhs_kind == Rhs::kAttribute ? rhs_attr : rhs_const.ToString();
+  return out;
+}
+
+AttrSet SelectionCondition::ConstantBoundAttrs(
+    const std::vector<std::string>& attrs) const {
+  // Union-find over attributes; positive attr=attr conjuncts merge classes,
+  // positive attr=const conjuncts pin a class to a constant.
+  std::map<std::string, std::string> parent;
+  for (const std::string& a : attrs) parent[a] = a;
+  auto find = [&parent](const std::string& a) {
+    std::string cur = a;
+    while (parent[cur] != cur) cur = parent[cur];
+    return cur;
+  };
+  std::map<std::string, Value> pinned;
+  for (const SelectionAtom& c : conjuncts) {
+    if (c.negated) continue;
+    if (!parent.count(c.lhs)) continue;
+    if (c.rhs_kind == SelectionAtom::Rhs::kAttribute) {
+      if (!parent.count(c.rhs_attr)) continue;
+      std::string ra = find(c.lhs);
+      std::string rb = find(c.rhs_attr);
+      if (ra != rb) {
+        auto it = pinned.find(rb);
+        if (it != pinned.end() && !pinned.count(ra)) {
+          pinned.emplace(ra, it->second);
+        }
+        pinned.erase(rb);
+        parent[rb] = ra;
+      }
+    } else {
+      pinned.emplace(find(c.lhs), c.rhs_const);
+    }
+  }
+  AttrSet out;
+  for (const std::string& a : attrs) {
+    if (pinned.count(find(a))) out.insert(a);
+  }
+  return out;
+}
+
+AttrSet SelectionCondition::MentionedAttrs() const {
+  AttrSet out;
+  for (const SelectionAtom& c : conjuncts) {
+    out.insert(c.lhs);
+    if (c.rhs_kind == SelectionAtom::Rhs::kAttribute) out.insert(c.rhs_attr);
+  }
+  return out;
+}
+
+std::string SelectionCondition::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(conjuncts.size());
+  for (const SelectionAtom& c : conjuncts) parts.push_back(c.ToString());
+  return Join(parts, " and ");
+}
+
+struct RaExpr::Node {
+  Kind kind;
+  std::vector<std::string> attrs;  // ordered output attributes
+  std::string relation;            // kRelation
+  SelectionCondition condition;    // kSelect
+  std::vector<std::string> projection_attrs;       // kProject
+  std::map<std::string, std::string> renaming;     // kRename
+  std::vector<RaExpr> children;    // unary: [input]; binary: [left, right]
+};
+
+RaExpr RaExpr::Relation(std::string name, std::vector<std::string> attrs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kRelation;
+  node->relation = std::move(name);
+  node->attrs = std::move(attrs);
+  AttrSet dedup(node->attrs.begin(), node->attrs.end());
+  SI_CHECK_MSG(dedup.size() == node->attrs.size(),
+               "duplicate attribute names in RA relation");
+  return RaExpr(std::move(node));
+}
+
+RaExpr RaExpr::Select(RaExpr input, SelectionCondition condition) {
+  AttrSet in_attrs = input.AttributeSet();
+  for (const std::string& a : condition.MentionedAttrs()) {
+    SI_CHECK_MSG(in_attrs.count(a) > 0, "selection mentions unknown attribute");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSelect;
+  node->attrs = input.attributes();
+  node->condition = std::move(condition);
+  node->children = {std::move(input)};
+  return RaExpr(std::move(node));
+}
+
+RaExpr RaExpr::Project(RaExpr input, std::vector<std::string> attrs) {
+  AttrSet in_attrs = input.AttributeSet();
+  AttrSet dedup(attrs.begin(), attrs.end());
+  SI_CHECK_MSG(dedup.size() == attrs.size(), "duplicate projection attributes");
+  for (const std::string& a : attrs) {
+    SI_CHECK_MSG(in_attrs.count(a) > 0, "projection of unknown attribute");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProject;
+  node->attrs = attrs;
+  node->projection_attrs = std::move(attrs);
+  node->children = {std::move(input)};
+  return RaExpr(std::move(node));
+}
+
+RaExpr RaExpr::Rename(RaExpr input, std::map<std::string, std::string> mapping) {
+  AttrSet in_attrs = input.AttributeSet();
+  for (const auto& [from, to] : mapping) {
+    (void)to;
+    SI_CHECK_MSG(in_attrs.count(from) > 0, "rename of unknown attribute");
+  }
+  std::vector<std::string> out_attrs;
+  out_attrs.reserve(input.attributes().size());
+  for (const std::string& a : input.attributes()) {
+    auto it = mapping.find(a);
+    out_attrs.push_back(it == mapping.end() ? a : it->second);
+  }
+  AttrSet dedup(out_attrs.begin(), out_attrs.end());
+  SI_CHECK_MSG(dedup.size() == out_attrs.size(),
+               "rename produces duplicate attribute names");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kRename;
+  node->attrs = std::move(out_attrs);
+  node->renaming = std::move(mapping);
+  node->children = {std::move(input)};
+  return RaExpr(std::move(node));
+}
+
+namespace {
+
+void CheckSameAttrSet(const RaExpr& a, const RaExpr& b, const char* op) {
+  SI_CHECK_MSG(a.AttributeSet() == b.AttributeSet(), op);
+}
+
+}  // namespace
+
+RaExpr RaExpr::Union(RaExpr a, RaExpr b) {
+  CheckSameAttrSet(a, b, "union requires equal attribute sets");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kUnion;
+  node->attrs = a.attributes();
+  node->children = {std::move(a), std::move(b)};
+  return RaExpr(std::move(node));
+}
+
+RaExpr RaExpr::Diff(RaExpr a, RaExpr b) {
+  CheckSameAttrSet(a, b, "difference requires equal attribute sets");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kDiff;
+  node->attrs = a.attributes();
+  node->children = {std::move(a), std::move(b)};
+  return RaExpr(std::move(node));
+}
+
+RaExpr RaExpr::Join(RaExpr a, RaExpr b) {
+  std::vector<std::string> attrs = a.attributes();
+  AttrSet a_set = a.AttributeSet();
+  for (const std::string& battr : b.attributes()) {
+    if (!a_set.count(battr)) attrs.push_back(battr);
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kJoin;
+  node->attrs = std::move(attrs);
+  node->children = {std::move(a), std::move(b)};
+  return RaExpr(std::move(node));
+}
+
+RaExpr::Kind RaExpr::kind() const { return node_->kind; }
+
+const std::vector<std::string>& RaExpr::attributes() const {
+  return node_->attrs;
+}
+
+AttrSet RaExpr::AttributeSet() const {
+  return AttrSet(node_->attrs.begin(), node_->attrs.end());
+}
+
+const std::string& RaExpr::relation_name() const {
+  SI_CHECK(node_->kind == Kind::kRelation);
+  return node_->relation;
+}
+
+const RaExpr& RaExpr::input() const {
+  SI_CHECK(node_->kind == Kind::kSelect || node_->kind == Kind::kProject ||
+           node_->kind == Kind::kRename);
+  return node_->children[0];
+}
+
+const SelectionCondition& RaExpr::condition() const {
+  SI_CHECK(node_->kind == Kind::kSelect);
+  return node_->condition;
+}
+
+const std::vector<std::string>& RaExpr::projection() const {
+  SI_CHECK(node_->kind == Kind::kProject);
+  return node_->projection_attrs;
+}
+
+const std::map<std::string, std::string>& RaExpr::renaming() const {
+  SI_CHECK(node_->kind == Kind::kRename);
+  return node_->renaming;
+}
+
+const RaExpr& RaExpr::left() const {
+  SI_CHECK(node_->kind == Kind::kUnion || node_->kind == Kind::kDiff ||
+           node_->kind == Kind::kJoin);
+  return node_->children[0];
+}
+
+const RaExpr& RaExpr::right() const {
+  SI_CHECK(node_->kind == Kind::kUnion || node_->kind == Kind::kDiff ||
+           node_->kind == Kind::kJoin);
+  return node_->children[1];
+}
+
+std::set<std::string> RaExpr::BaseRelations() const {
+  std::set<std::string> out;
+  if (node_->kind == Kind::kRelation) {
+    out.insert(node_->relation);
+    return out;
+  }
+  for (const RaExpr& c : node_->children) {
+    std::set<std::string> sub = c.BaseRelations();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+size_t RaExpr::Size() const {
+  size_t n = 1;
+  for (const RaExpr& c : node_->children) n += c.Size();
+  return n;
+}
+
+std::string RaExpr::ToString() const {
+  switch (node_->kind) {
+    case Kind::kRelation:
+      return node_->relation;
+    case Kind::kSelect:
+      return "select[" + node_->condition.ToString() + "](" +
+             node_->children[0].ToString() + ")";
+    case Kind::kProject:
+      return "project[" + scalein::Join(node_->projection_attrs, ", ") + "](" +
+             node_->children[0].ToString() + ")";
+    case Kind::kRename: {
+      std::vector<std::string> parts;
+      for (const auto& [from, to] : node_->renaming) {
+        parts.push_back(from + "->" + to);
+      }
+      return "rename[" + scalein::Join(parts, ", ") + "](" +
+             node_->children[0].ToString() + ")";
+    }
+    case Kind::kUnion:
+      return "(" + node_->children[0].ToString() + " union " +
+             node_->children[1].ToString() + ")";
+    case Kind::kDiff:
+      return "(" + node_->children[0].ToString() + " minus " +
+             node_->children[1].ToString() + ")";
+    case Kind::kJoin:
+      return "(" + node_->children[0].ToString() + " join " +
+             node_->children[1].ToString() + ")";
+  }
+  SI_CHECK(false);
+  return "";
+}
+
+}  // namespace scalein

@@ -1,0 +1,145 @@
+#ifndef SCALEIN_QUERY_RA_EXPR_H_
+#define SCALEIN_QUERY_RA_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/check.h"
+
+namespace scalein {
+
+/// Set of attribute names; the "X" of the §5 RAA rules.
+using AttrSet = std::set<std::string>;
+
+std::string AttrSetToString(const AttrSet& attrs);
+AttrSet AttrUnion(const AttrSet& a, const AttrSet& b);
+AttrSet AttrMinus(const AttrSet& a, const AttrSet& b);
+AttrSet AttrIntersect(const AttrSet& a, const AttrSet& b);
+bool AttrSubset(const AttrSet& a, const AttrSet& b);
+
+/// One conjunct of a selection condition θ: `lhs op rhs` with op ∈ {=, ≠} and
+/// rhs either another attribute or a constant. The paper assumes selection
+/// conditions are conjunctions of equalities and inequalities (§5).
+struct SelectionAtom {
+  enum class Rhs { kAttribute, kConstant };
+
+  std::string lhs;
+  Rhs rhs_kind = Rhs::kConstant;
+  std::string rhs_attr;
+  Value rhs_const;
+  bool negated = false;  ///< true for ≠
+
+  static SelectionAtom AttrEqConst(std::string attr, Value c) {
+    SelectionAtom a;
+    a.lhs = std::move(attr);
+    a.rhs_kind = Rhs::kConstant;
+    a.rhs_const = c;
+    return a;
+  }
+  static SelectionAtom AttrEqAttr(std::string l, std::string r) {
+    SelectionAtom a;
+    a.lhs = std::move(l);
+    a.rhs_kind = Rhs::kAttribute;
+    a.rhs_attr = std::move(r);
+    return a;
+  }
+  static SelectionAtom AttrNeqConst(std::string attr, Value c) {
+    SelectionAtom a = AttrEqConst(std::move(attr), c);
+    a.negated = true;
+    return a;
+  }
+  static SelectionAtom AttrNeqAttr(std::string l, std::string r) {
+    SelectionAtom a = AttrEqAttr(std::move(l), std::move(r));
+    a.negated = true;
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+/// Conjunction of SelectionAtoms.
+struct SelectionCondition {
+  std::vector<SelectionAtom> conjuncts;
+
+  /// Attributes A for which θ implies A = a for some constant a — the X' of
+  /// the σ rule in §5. Computes the closure over attr=attr chains.
+  AttrSet ConstantBoundAttrs(const std::vector<std::string>& attrs) const;
+
+  /// All attributes mentioned.
+  AttrSet MentionedAttrs() const;
+
+  std::string ToString() const;
+};
+
+/// Named-attribute relational algebra expression (§5): base relations,
+/// selection, projection, rename, union, difference, and natural join.
+/// Immutable with shared subtrees; copying is O(1).
+class RaExpr {
+ public:
+  enum class Kind : uint8_t {
+    kRelation,
+    kSelect,
+    kProject,
+    kRename,
+    kUnion,
+    kDiff,
+    kJoin,
+  };
+
+  /// Base relation `name` with output attributes `attrs` (normally the
+  /// relation schema's attribute list; rename before self-joins).
+  static RaExpr Relation(std::string name, std::vector<std::string> attrs);
+
+  static RaExpr Select(RaExpr input, SelectionCondition condition);
+  /// Projection onto `attrs` (each must be an input attribute); set semantics.
+  static RaExpr Project(RaExpr input, std::vector<std::string> attrs);
+  /// Renames attributes per `mapping` (old -> new); unmentioned attrs keep
+  /// their names.
+  static RaExpr Rename(RaExpr input, std::map<std::string, std::string> mapping);
+  /// Union; requires equal attribute *sets* (paper: attr(E1) = attr(E2)).
+  static RaExpr Union(RaExpr a, RaExpr b);
+  /// Difference; same requirement as Union.
+  static RaExpr Diff(RaExpr a, RaExpr b);
+  /// Natural join on shared attribute names; output order is a's attributes
+  /// followed by b's non-shared attributes.
+  static RaExpr Join(RaExpr a, RaExpr b);
+
+  Kind kind() const;
+
+  /// Ordered output attributes; attr(E) of the paper as an ordered list.
+  const std::vector<std::string>& attributes() const;
+  /// attr(E) as a set.
+  AttrSet AttributeSet() const;
+
+  const std::string& relation_name() const;                // kRelation
+  const RaExpr& input() const;                             // kSelect/kProject/kRename
+  const SelectionCondition& condition() const;             // kSelect
+  const std::vector<std::string>& projection() const;      // kProject
+  const std::map<std::string, std::string>& renaming() const;  // kRename
+  const RaExpr& left() const;                              // kUnion/kDiff/kJoin
+  const RaExpr& right() const;                             // kUnion/kDiff/kJoin
+
+  /// Names of all base relations mentioned.
+  std::set<std::string> BaseRelations() const;
+
+  size_t Size() const;  ///< node count
+
+  std::string ToString() const;
+
+  bool SamePointer(const RaExpr& o) const { return node_ == o.node_; }
+  /// Pointer-identity key for memo tables.
+  const void* Key() const { return node_.get(); }
+
+ private:
+  struct Node;
+  explicit RaExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_RA_EXPR_H_

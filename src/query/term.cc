@@ -1,0 +1,98 @@
+#include "query/term.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace scalein {
+namespace {
+
+class VariableInterner {
+ public:
+  static VariableInterner& Global() {
+    static VariableInterner& pool = *new VariableInterner();
+    return pool;
+  }
+
+  uint32_t Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  bool Known(const std::string& name) const { return ids_.count(name) > 0; }
+
+  const std::string& Lookup(uint32_t id) const {
+    SI_CHECK_LT(id, names_.size());
+    return names_[id];
+  }
+
+  uint32_t NextFreshCounter() { return fresh_counter_++; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  uint32_t fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Variable Variable::Named(std::string_view name) {
+  return Variable(VariableInterner::Global().Intern(name));
+}
+
+Variable Variable::Fresh(std::string_view hint) {
+  VariableInterner& pool = VariableInterner::Global();
+  for (;;) {
+    std::string candidate = std::string(hint) + "$" +
+                            std::to_string(pool.NextFreshCounter());
+    if (!pool.Known(candidate)) return Named(candidate);
+  }
+}
+
+const std::string& Variable::name() const {
+  return VariableInterner::Global().Lookup(id_);
+}
+
+std::string VarSetToString(const VarSet& vars) {
+  std::vector<std::string> names;
+  names.reserve(vars.size());
+  for (const Variable& v : vars) names.push_back(v.name());
+  std::sort(names.begin(), names.end());
+  return "{" + Join(names, ", ") + "}";
+}
+
+VarSet VarUnion(const VarSet& a, const VarSet& b) {
+  VarSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+VarSet VarMinus(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  for (const Variable& v : a) {
+    if (!b.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+VarSet VarIntersect(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  for (const Variable& v : a) {
+    if (b.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+bool VarSubset(const VarSet& a, const VarSet& b) {
+  for (const Variable& v : a) {
+    if (!b.count(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace scalein

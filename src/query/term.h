@@ -1,0 +1,99 @@
+#ifndef SCALEIN_QUERY_TERM_H_
+#define SCALEIN_QUERY_TERM_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace scalein {
+
+/// A query variable. Variables are interned process-wide by name, so the same
+/// name always denotes the same variable across queries, views, and rewritten
+/// formulas — which makes combining formulas from different sources (e.g.,
+/// view unfolding in §6) trivial and safe.
+class Variable {
+ public:
+  /// The variable with the given name (interned).
+  static Variable Named(std::string_view name);
+
+  /// A globally fresh variable whose name starts with `hint` (used by
+  /// rewriting and delta-query construction to avoid capture).
+  static Variable Fresh(std::string_view hint = "v");
+
+  const std::string& name() const;
+  uint32_t id() const { return id_; }
+
+  bool operator==(const Variable& o) const { return id_ == o.id_; }
+  bool operator!=(const Variable& o) const { return id_ != o.id_; }
+  /// Orders by intern id: deterministic for a fixed construction order.
+  bool operator<(const Variable& o) const { return id_ < o.id_; }
+
+ private:
+  explicit Variable(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Ordered set of variables; the representation of the controlling tuples x̄
+/// of §4 (the paper treats them as sets, cf. its Remark on set-theoretic
+/// tuple operations).
+using VarSet = std::set<Variable>;
+
+/// Renders "{x, y}" with names sorted for stable output.
+std::string VarSetToString(const VarSet& vars);
+
+/// Set helpers mirroring the paper's x̄ ∪ ȳ and x̄ − ȳ.
+VarSet VarUnion(const VarSet& a, const VarSet& b);
+VarSet VarMinus(const VarSet& a, const VarSet& b);
+VarSet VarIntersect(const VarSet& a, const VarSet& b);
+bool VarSubset(const VarSet& a, const VarSet& b);
+
+/// A term is a variable or a constant (§2: relation atoms R(x̄) may mention
+/// constants after normalizing x = c equalities).
+class Term {
+ public:
+  static Term Var(Variable v) { return Term(v, true); }
+  static Term Const(Value v) { return Term(v); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  Variable var() const {
+    SI_CHECK(is_var_);
+    return var_;
+  }
+  const Value& constant() const {
+    SI_CHECK(!is_var_);
+    return value_;
+  }
+
+  bool operator==(const Term& o) const {
+    if (is_var_ != o.is_var_) return false;
+    return is_var_ ? var_ == o.var_ : value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  bool operator<(const Term& o) const {
+    if (is_var_ != o.is_var_) return is_var_ < o.is_var_;
+    return is_var_ ? var_ < o.var_ : value_ < o.value_;
+  }
+
+  std::string ToString() const {
+    return is_var_ ? var_.name() : value_.ToString();
+  }
+
+ private:
+  Term(Variable v, bool) : var_(v), is_var_(true) {}
+  explicit Term(Value v) : var_(Variable::Named("_unused")), value_(v),
+                           is_var_(false) {}
+
+  Variable var_;
+  Value value_;
+  bool is_var_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_QUERY_TERM_H_

@@ -1,0 +1,84 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+namespace scalein {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  for (const RelationSchema& r : schema_.relations()) {
+    relations_.emplace(r.name(), Relation(r.arity()));
+  }
+}
+
+Relation& Database::relation(const std::string& name) {
+  auto it = relations_.find(name);
+  SI_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  SI_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+const Relation* Database::FindRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> values;
+  for (const auto& [name, rel] : relations_) rel.CollectActiveDomain(&values);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+Database Database::Clone() const {
+  Database copy(schema_);
+  for (const auto& [name, rel] : relations_) {
+    copy.relations_.at(name) = rel.Clone();
+  }
+  return copy;
+}
+
+bool Database::Equals(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [name, rel] : relations_) {
+    const Relation* o = other.FindRelation(name);
+    if (o == nullptr || !rel.SetEquals(*o)) return false;
+  }
+  return true;
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  for (const auto& [name, rel] : relations_) {
+    const Relation* o = other.FindRelation(name);
+    if (o == nullptr) {
+      if (!rel.empty()) return false;
+      continue;
+    }
+    if (!rel.IsSubsetOf(*o)) return false;
+  }
+  return true;
+}
+
+std::string Database::ToString(size_t max_rows_per_relation) const {
+  std::string out;
+  for (const RelationSchema& rs : schema_.relations()) {
+    out += rs.name();
+    out += " = ";
+    out += relation(rs.name()).ToString(max_rows_per_relation);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace scalein

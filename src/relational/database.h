@@ -1,0 +1,68 @@
+#ifndef SCALEIN_RELATIONAL_DATABASE_H_
+#define SCALEIN_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace scalein {
+
+/// A database instance D of a relational schema R (§2): one Relation per
+/// declared relation name. |D| is the total number of tuples across
+/// relations, the size measure used throughout the paper.
+class Database {
+ public:
+  /// Creates an empty instance of `schema`.
+  explicit Database(Schema schema);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Mutable access to relation `name`; aborts if unknown (programmer error).
+  Relation& relation(const std::string& name);
+  const Relation& relation(const std::string& name) const;
+
+  /// Relation pointer or nullptr.
+  const Relation* FindRelation(const std::string& name) const;
+
+  /// Inserts a tuple into `rel`; returns true if newly inserted.
+  bool Insert(const std::string& rel, TupleView t) {
+    return relation(rel).Insert(t);
+  }
+  /// Removes a tuple from `rel`; returns true if it was present.
+  bool Remove(const std::string& rel, TupleView t) {
+    return relation(rel).Remove(t);
+  }
+
+  /// |D|: total tuples over all relations.
+  size_t TotalTuples() const;
+
+  /// adom(D): distinct values occurring anywhere in D, sorted.
+  std::vector<Value> ActiveDomain() const;
+
+  /// Deep copy (indexes rebuild on demand in the copy).
+  Database Clone() const;
+
+  /// Set equality of every relation.
+  bool Equals(const Database& other) const;
+
+  /// True iff every relation of *this is a subset of `other`'s.
+  bool IsSubsetOf(const Database& other) const;
+
+  std::string ToString(size_t max_rows_per_relation = 20) const;
+
+ private:
+  Schema schema_;
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_RELATIONAL_DATABASE_H_

@@ -1,0 +1,163 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace scalein {
+
+std::vector<size_t> Relation::Canonical(const std::vector<size_t>& positions) {
+  std::vector<size_t> c = positions;
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+const HashIndex& Relation::FullIndex() const {
+  std::vector<size_t> all(arity_);
+  for (size_t i = 0; i < arity_; ++i) all[i] = i;
+  auto it = indexes_.find(all);
+  if (it != indexes_.end()) return *it->second;
+  auto idx = std::make_unique<HashIndex>(all);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    idx->AddRow(TupleAt(i), static_cast<uint32_t>(i));
+  }
+  const HashIndex& ref = *idx;
+  indexes_.emplace(std::move(all), std::move(idx));
+  return ref;
+}
+
+bool Relation::Insert(TupleView t) {
+  SI_CHECK_EQ(t.size(), arity_);
+  if (Contains(t)) return false;
+  data_.insert(data_.end(), t.begin(), t.end());
+  uint32_t id = static_cast<uint32_t>(num_rows_);
+  ++num_rows_;
+  TupleView row = TupleAt(id);
+  for (auto& [positions, idx] : indexes_) idx->AddRow(row, id);
+  for (auto& [key, pidx] : projection_indexes_) pidx->AddRow(row);
+  return true;
+}
+
+bool Relation::Remove(TupleView t) {
+  SI_CHECK_EQ(t.size(), arity_);
+  const HashIndex& full = FullIndex();
+  const std::vector<uint32_t>* rows = full.Lookup(ToTuple(t));
+  if (rows == nullptr) return false;
+  SI_CHECK_EQ(rows->size(), 1u);  // set semantics
+  uint32_t victim = (*rows)[0];
+  uint32_t last = static_cast<uint32_t>(num_rows_ - 1);
+
+  Tuple victim_content = ToTuple(TupleAt(victim));
+  for (auto& [positions, idx] : indexes_) idx->RemoveRow(victim_content, victim);
+  for (auto& [key, pidx] : projection_indexes_) pidx->RemoveRow(victim_content);
+
+  if (victim != last) {
+    Tuple moved_content = ToTuple(TupleAt(last));
+    for (auto& [positions, idx] : indexes_) {
+      idx->MoveRow(moved_content, last, victim);
+    }
+    std::copy(moved_content.begin(), moved_content.end(),
+              data_.begin() + victim * arity_);
+  }
+  data_.resize(data_.size() - arity_);
+  --num_rows_;
+  return true;
+}
+
+bool Relation::Contains(TupleView t) const {
+  SI_CHECK_EQ(t.size(), arity_);
+  return FullIndex().Lookup(ToTuple(t)) != nullptr;
+}
+
+const HashIndex& Relation::EnsureIndex(const std::vector<size_t>& positions) {
+  std::vector<size_t> c = Canonical(positions);
+  for (size_t p : c) SI_CHECK_LT(p, arity_);
+  auto it = indexes_.find(c);
+  if (it != indexes_.end()) return *it->second;
+  auto idx = std::make_unique<HashIndex>(c);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    idx->AddRow(TupleAt(i), static_cast<uint32_t>(i));
+  }
+  const HashIndex& ref = *idx;
+  indexes_.emplace(std::move(c), std::move(idx));
+  return ref;
+}
+
+const HashIndex* Relation::FindIndex(
+    const std::vector<size_t>& positions) const {
+  auto it = indexes_.find(Canonical(positions));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+const ProjectionIndex& Relation::EnsureProjectionIndex(
+    const std::vector<size_t>& key_positions,
+    const std::vector<size_t>& value_positions) {
+  std::vector<size_t> ck = Canonical(key_positions);
+  std::vector<size_t> cv = Canonical(value_positions);
+  for (size_t p : ck) SI_CHECK_LT(p, arity_);
+  for (size_t p : cv) SI_CHECK_LT(p, arity_);
+  auto key = std::make_pair(ck, cv);
+  auto it = projection_indexes_.find(key);
+  if (it != projection_indexes_.end()) return *it->second;
+  auto idx = std::make_unique<ProjectionIndex>(ck, cv);
+  for (size_t i = 0; i < num_rows_; ++i) idx->AddRow(TupleAt(i));
+  const ProjectionIndex& ref = *idx;
+  projection_indexes_.emplace(std::move(key), std::move(idx));
+  return ref;
+}
+
+const ProjectionIndex* Relation::FindProjectionIndex(
+    const std::vector<size_t>& key_positions,
+    const std::vector<size_t>& value_positions) const {
+  auto it = projection_indexes_.find(
+      std::make_pair(Canonical(key_positions), Canonical(value_positions)));
+  return it == projection_indexes_.end() ? nullptr : it->second.get();
+}
+
+Relation Relation::Clone() const {
+  Relation copy(arity_);
+  copy.data_ = data_;
+  copy.num_rows_ = num_rows_;
+  return copy;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) out.push_back(ToTuple(TupleAt(i)));
+  std::sort(out.begin(), out.end(),
+            [](const Tuple& a, const Tuple& b) { return TupleLess(a, b); });
+  return out;
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (arity_ != other.arity_ || num_rows_ != other.num_rows_) return false;
+  return IsSubsetOf(other);
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (!other.Contains(TupleAt(i))) return false;
+  }
+  return true;
+}
+
+void Relation::CollectActiveDomain(std::vector<Value>* out) const {
+  out->insert(out->end(), data_.begin(), data_.end());
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = "{";
+  size_t shown = std::min(num_rows_, max_rows);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out += ", ";
+    out += TupleToString(TupleAt(i));
+  }
+  if (shown < num_rows_) {
+    out += ", ... (" + std::to_string(num_rows_ - shown) + " more)";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace scalein

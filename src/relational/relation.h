@@ -1,0 +1,104 @@
+#ifndef SCALEIN_RELATIONAL_RELATION_H_
+#define SCALEIN_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/index.h"
+#include "relational/tuple.h"
+
+namespace scalein {
+
+/// A finite relation instance: a *set* of tuples of fixed arity (§2).
+///
+/// Storage is flat row-major; set semantics are enforced by a full-tuple hash
+/// index that is created on first use and maintained incrementally thereafter.
+/// Secondary indexes over arbitrary attribute-position subsets (`EnsureIndex`)
+/// and projection indexes for embedded access statements
+/// (`EnsureProjectionIndex`) are likewise maintained across inserts/removes,
+/// so applying a small update to a large indexed relation costs O(|update|),
+/// which the incremental-scale-independence benchmarks rely on.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  // Movable, not copyable (indexes can be large); use Clone() to copy.
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Row `i` as a non-owning view; invalidated by any mutation.
+  TupleView TupleAt(size_t i) const {
+    SI_CHECK_LT(i, num_rows_);
+    return TupleView(data_.data() + i * arity_, arity_);
+  }
+
+  /// Inserts `t` if not already present; returns true if inserted.
+  bool Insert(TupleView t);
+
+  /// Removes `t` if present (swap-remove); returns true if removed.
+  bool Remove(TupleView t);
+
+  /// Set membership.
+  bool Contains(TupleView t) const;
+
+  /// Ensures a hash index on `positions` exists and returns it. Positions are
+  /// canonicalized (sorted + deduplicated) so logically equal indexes are
+  /// shared.
+  const HashIndex& EnsureIndex(const std::vector<size_t>& positions);
+
+  /// The index on `positions` if it exists, else nullptr.
+  const HashIndex* FindIndex(const std::vector<size_t>& positions) const;
+
+  /// Ensures a projection index keyed on `key_positions` returning distinct
+  /// projections onto `value_positions`.
+  const ProjectionIndex& EnsureProjectionIndex(
+      const std::vector<size_t>& key_positions,
+      const std::vector<size_t>& value_positions);
+
+  const ProjectionIndex* FindProjectionIndex(
+      const std::vector<size_t>& key_positions,
+      const std::vector<size_t>& value_positions) const;
+
+  /// Deep copy of content (indexes are NOT copied; they rebuild on demand).
+  Relation Clone() const;
+
+  /// All tuples, materialized and sorted — canonical form for comparisons.
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Set equality with `other`.
+  bool SetEquals(const Relation& other) const;
+
+  /// True if every tuple of *this is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+
+  /// Appends every distinct value in this relation to `out`.
+  void CollectActiveDomain(std::vector<Value>* out) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  const HashIndex& FullIndex() const;
+  static std::vector<size_t> Canonical(const std::vector<size_t>& positions);
+
+  size_t arity_;
+  size_t num_rows_ = 0;
+  std::vector<Value> data_;
+  // Keyed by canonicalized positions. unique_ptr for pointer stability.
+  mutable std::map<std::vector<size_t>, std::unique_ptr<HashIndex>> indexes_;
+  mutable std::map<std::pair<std::vector<size_t>, std::vector<size_t>>,
+                   std::unique_ptr<ProjectionIndex>>
+      projection_indexes_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_RELATIONAL_RELATION_H_

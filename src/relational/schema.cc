@@ -1,0 +1,86 @@
+#include "relational/schema.h"
+
+#include "util/strings.h"
+
+namespace scalein {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    auto [it, inserted] = positions_.emplace(attributes_[i], i);
+    (void)it;
+    SI_CHECK_MSG(inserted, "duplicate attribute name in relation schema");
+  }
+}
+
+std::optional<size_t> RelationSchema::AttributePosition(
+    const std::string& attribute) const {
+  auto it = positions_.find(attribute);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::vector<size_t>> RelationSchema::AttributePositions(
+    const std::vector<std::string>& attrs) const {
+  std::vector<size_t> out;
+  out.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    std::optional<size_t> p = AttributePosition(a);
+    if (!p.has_value()) {
+      return Status::NotFound("attribute '" + a + "' not in relation '" +
+                              name_ + "'");
+    }
+    out.push_back(*p);
+  }
+  return out;
+}
+
+std::string RelationSchema::ToString() const {
+  return name_ + "(" + Join(attributes_, ", ") + ")";
+}
+
+Status Schema::AddRelation(RelationSchema relation) {
+  auto [it, inserted] = by_name_.emplace(relation.name(), relations_.size());
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already declared");
+  }
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+Schema& Schema::Relation(const std::string& name,
+                         const std::vector<std::string>& attrs) {
+  Status s = AddRelation(RelationSchema(name, attrs));
+  SI_CHECK_MSG(s.ok(), s.message().c_str());
+  return *this;
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+Result<RelationSchema> Schema::GetRelation(const std::string& name) const {
+  const RelationSchema* r = FindRelation(name);
+  if (r == nullptr) return Status::NotFound("relation '" + name + "' unknown");
+  return *r;
+}
+
+const RelationSchema* Schema::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &relations_[it->second];
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const RelationSchema& r : relations_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace scalein

@@ -1,0 +1,75 @@
+#ifndef SCALEIN_RELATIONAL_SCHEMA_H_
+#define SCALEIN_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scalein {
+
+/// Schema of one relation: a name plus an ordered list of attribute names
+/// (e.g., person(id, name, city)). Attribute names are unique within a
+/// relation.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<std::string> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Position of `attribute`, or nullopt if absent.
+  std::optional<size_t> AttributePosition(const std::string& attribute) const;
+
+  /// Positions of each of `attrs`; error if any is unknown.
+  Result<std::vector<size_t>> AttributePositions(
+      const std::vector<std::string>& attrs) const;
+
+  /// "name(a1, a2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, size_t> positions_;
+};
+
+/// A relational schema R = (R1, ..., Rn) (§2): the catalog of relation
+/// schemas a database instantiates.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a relation; error if the name is already taken.
+  Status AddRelation(RelationSchema relation);
+
+  /// Convenience: AddRelation(RelationSchema(name, attrs)) that aborts on
+  /// duplicates; for inline schema literals in tests and examples.
+  Schema& Relation(const std::string& name,
+                   const std::vector<std::string>& attrs);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Schema of `name`; error if absent.
+  Result<RelationSchema> GetRelation(const std::string& name) const;
+
+  /// Pointer into the catalog, or nullptr if absent. Stable across
+  /// AddRelation calls is NOT guaranteed; do not retain.
+  const RelationSchema* FindRelation(const std::string& name) const;
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "relational/tuple.h"
+
+namespace scalein {
+
+uint64_t HashTuple(TupleView t) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const Value& v : t) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool TupleEquals(TupleView a, TupleView b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+bool TupleLess(TupleView a, TupleView b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::string TupleToString(TupleView t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Tuple ToTuple(TupleView t) { return Tuple(t.begin(), t.end()); }
+
+Tuple ProjectTuple(TupleView t, const std::vector<size_t>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (size_t p : positions) {
+    SI_CHECK_LT(p, t.size());
+    out.push_back(t[p]);
+  }
+  return out;
+}
+
+}  // namespace scalein

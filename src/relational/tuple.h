@@ -1,0 +1,47 @@
+#ifndef SCALEIN_RELATIONAL_TUPLE_H_
+#define SCALEIN_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace scalein {
+
+/// A tuple is an ordered sequence of values. Relations store tuples in flat
+/// row-major storage; `TupleView` is a non-owning window into such storage.
+using Tuple = std::vector<Value>;
+using TupleView = std::span<const Value>;
+
+/// Hash of a tuple's contents (order-sensitive).
+uint64_t HashTuple(TupleView t);
+
+/// Content equality between any two tuple representations.
+bool TupleEquals(TupleView a, TupleView b);
+
+/// Lexicographic comparison (shorter tuples first on ties).
+bool TupleLess(TupleView a, TupleView b);
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(TupleView t);
+
+/// Materializes a view into an owning tuple.
+Tuple ToTuple(TupleView t);
+
+/// Projects `t` onto `positions` (each must be < t.size()).
+Tuple ProjectTuple(TupleView t, const std::vector<size_t>& positions);
+
+struct TupleHash {
+  uint64_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return TupleEquals(a, b);
+  }
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_RELATIONAL_TUPLE_H_

@@ -1,0 +1,40 @@
+#ifndef SCALEIN_UTIL_CHECK_H_
+#define SCALEIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Abort-on-failure assertion macros for programmer errors.
+///
+/// `SI_CHECK` is always on (including release builds): the library follows the
+/// Google style of treating contract violations as fatal rather than throwing
+/// exceptions. Recoverable conditions (bad user input, solver limits) are
+/// reported through `scalein::Status` instead.
+
+#define SI_CHECK(cond)                                                          \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "SI_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                      \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#define SI_CHECK_MSG(cond, msg)                                                  \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "SI_CHECK failed at %s:%d: %s (%s)\n", __FILE__,      \
+                   __LINE__, #cond, msg);                                        \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#define SI_CHECK_EQ(a, b) SI_CHECK((a) == (b))
+#define SI_CHECK_NE(a, b) SI_CHECK((a) != (b))
+#define SI_CHECK_LT(a, b) SI_CHECK((a) < (b))
+#define SI_CHECK_LE(a, b) SI_CHECK((a) <= (b))
+#define SI_CHECK_GT(a, b) SI_CHECK((a) > (b))
+#define SI_CHECK_GE(a, b) SI_CHECK((a) >= (b))
+
+#endif  // SCALEIN_UTIL_CHECK_H_

@@ -1,0 +1,27 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace scalein {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  SI_CHECK_GT(n, 0u);
+  if (s <= 0.0 || n == 1) return Uniform(n);
+  // Inverse-CDF sampling of the continuous power law p(x) ∝ x^{-s} truncated
+  // to [1, n+1], then floored — a standard Zipf approximation that is exact
+  // enough for workload skew and O(1) per draw for every s > 0.
+  double u = NextDouble();
+  double x;
+  if (std::abs(s - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+  } else {
+    double top = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+    x = std::pow(u * (top - 1.0) + 1.0, 1.0 / (1.0 - s));
+  }
+  uint64_t rank = static_cast<uint64_t>(x);
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return rank - 1;
+}
+
+}  // namespace scalein

@@ -1,0 +1,79 @@
+#ifndef SCALEIN_UTIL_RNG_H_
+#define SCALEIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace scalein {
+
+/// Deterministic 64-bit random number generator (splitmix64 + xoshiro256**).
+///
+/// All workload generators and randomized tests take an explicit seed so runs
+/// are reproducible; we avoid std::mt19937 to guarantee identical streams
+/// across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, per Vigna's recommendation for xoshiro.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    SI_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SI_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses inverse-CDF over precomputable weights only for small n; for large n
+  /// uses the rejection method of Devroye. Suitable for workload skew.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_UTIL_RNG_H_

@@ -1,0 +1,152 @@
+#ifndef SCALEIN_UTIL_STATUS_H_
+#define SCALEIN_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace scalein {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-library convention (cf. Arrow): a small closed set of codes plus a
+/// free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed malformed input (parse errors, bad schema)
+  kNotFound,          ///< named relation/attribute/view does not exist
+  kAlreadyExists,     ///< duplicate registration
+  kFailedPrecondition,///< operation needs state that is absent (e.g., missing index)
+  kResourceExhausted, ///< solver/search exceeded its configured budget
+  kUnimplemented,     ///< feature intentionally out of scope for the input class
+  kInternal,          ///< invariant violation that was recoverable enough to report
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid-argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a value payload.
+///
+/// The library does not use exceptions; fallible public entry points return
+/// `Status` or `Result<T>`. `Status` is cheap to copy in the OK case (empty
+/// message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, the library's replacement for exceptions.
+///
+/// Usage:
+/// ```
+/// Result<Formula> parsed = ParseFormula(text);
+/// if (!parsed.ok()) return parsed.status();
+/// const Formula& f = *parsed;
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: the common success path.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status; aborts if the status is OK (a Result must
+  /// hold either a value or an error, never "OK with no value").
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SI_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Dereference requires `ok()`; aborts otherwise.
+  const T& operator*() const& {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& operator*() & {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& operator*() && {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return &*value_;
+  }
+  T* operator->() {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return &*value_;
+  }
+
+  /// Moves the value out; requires `ok()`.
+  T ValueOrDie() && {
+    SI_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK `Status` from the current function.
+#define SI_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::scalein::Status _si_st = (expr);        \
+    if (!_si_st.ok()) return _si_st;          \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression, propagating the error or binding the
+/// value: `SI_ASSIGN_OR_RETURN(auto q, ParseCq(text));`
+#define SI_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  SI_ASSIGN_OR_RETURN_IMPL_(SI_CONCAT_(_si_res_, __LINE__), lhs, rexpr)
+#define SI_ASSIGN_OR_RETURN_IMPL_(res, lhs, rexpr) \
+  auto res = (rexpr);                              \
+  if (!res.ok()) return res.status();              \
+  lhs = std::move(*res)
+#define SI_CONCAT_(a, b) SI_CONCAT_IMPL_(a, b)
+#define SI_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace scalein
+
+#endif  // SCALEIN_UTIL_STATUS_H_

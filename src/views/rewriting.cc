@@ -1,0 +1,156 @@
+#include "views/rewriting.h"
+
+#include <algorithm>
+
+#include "eval/containment.h"
+#include "eval/cq_evaluator.h"
+
+namespace scalein {
+
+Result<Cq> ExpandRewriting(const Cq& rewriting, const ViewSet& views) {
+  std::vector<CqAtom> expanded;
+  for (const CqAtom& atom : rewriting.atoms()) {
+    const ViewDef* view = views.Find(atom.relation);
+    if (view == nullptr) {
+      expanded.push_back(atom);
+      continue;
+    }
+    if (view->Arity() != atom.args.size()) {
+      return Status::InvalidArgument("view atom arity mismatch on '" +
+                                     atom.relation + "'");
+    }
+    // Freshly rename the definition, then substitute head := atom args.
+    Cq fresh = view->definition.FreshenVariables();
+    std::map<Variable, Term> unify;
+    for (size_t i = 0; i < fresh.head().size(); ++i) {
+      SI_CHECK(fresh.head()[i].is_var());
+      unify.emplace(fresh.head()[i].var(), atom.args[i]);
+    }
+    Cq unfolded = fresh.Substitute(unify);
+    for (const CqAtom& a : unfolded.atoms()) expanded.push_back(a);
+  }
+  return Cq(rewriting.name() + "_exp", rewriting.head(), std::move(expanded));
+}
+
+size_t BaseAtomCount(const Cq& rewriting, const ViewSet& views) {
+  size_t count = 0;
+  for (const CqAtom& atom : rewriting.atoms()) {
+    if (!views.IsView(atom.relation)) ++count;
+  }
+  return count;
+}
+
+RewritingSearchResult FindRewritings(const Cq& q, const ViewSet& views,
+                                     const Schema& base_schema,
+                                     const RewritingSearchOptions& options) {
+  (void)base_schema;
+  RewritingSearchResult result;
+
+  // --- Candidate atom pool -------------------------------------------------
+  // View atoms: every homomorphism of a view body into q's canonical database
+  // yields a usable view atom over q's own terms.
+  std::vector<CqAtom> pool;
+  std::vector<bool> pool_is_view;
+  FrozenCq frozen = FreezeCq(q);
+  CqEvaluator frozen_eval(&frozen.db);
+  for (const ViewDef& view : views.views()) {
+    // Skip views whose body uses relations absent from q (no hom possible,
+    // and the frozen database lacks the relation).
+    bool applicable = true;
+    for (const CqAtom& a : view.definition.atoms()) {
+      if (frozen.db.FindRelation(a.relation) == nullptr) {
+        applicable = false;
+        break;
+      }
+    }
+    if (!applicable) continue;
+    AnswerSet head_images = frozen_eval.EvaluateFull(view.definition);
+    for (const Tuple& image : head_images) {
+      CqAtom atom;
+      atom.relation = view.name;
+      atom.args.reserve(image.size());
+      for (const Value& v : image) atom.args.push_back(UnfreezeValue(v));
+      pool.push_back(std::move(atom));
+      pool_is_view.push_back(true);
+    }
+  }
+  // Base atoms: q's own atoms.
+  for (const CqAtom& a : q.atoms()) {
+    pool.push_back(a);
+    pool_is_view.push_back(false);
+  }
+
+  const size_t n = pool.size();
+  const size_t max_total =
+      std::min<size_t>(n, options.max_view_atoms +
+                              std::min<size_t>(options.max_base_atoms,
+                                               q.atoms().size()));
+
+  // --- Subset enumeration, smallest first ---------------------------------
+  std::set<std::string> seen;  // dedup identical rewritings by rendering
+  for (size_t size = 1; size <= max_total && !result.truncated; ++size) {
+    std::vector<size_t> idx(size);
+    for (size_t i = 0; i < size; ++i) idx[i] = i;
+    bool more = n >= size;
+    while (more) {
+      if (++result.candidates_checked > options.max_candidates) {
+        result.truncated = true;
+        break;
+      }
+      size_t view_atoms = 0;
+      size_t base_atoms = 0;
+      for (size_t i : idx) {
+        if (pool_is_view[i]) {
+          ++view_atoms;
+        } else {
+          ++base_atoms;
+        }
+      }
+      if (view_atoms <= options.max_view_atoms &&
+          base_atoms <= options.max_base_atoms) {
+        std::vector<CqAtom> atoms;
+        atoms.reserve(size);
+        VarSet body_vars;
+        for (size_t i : idx) {
+          atoms.push_back(pool[i]);
+          VarSet av = pool[i].Vars();
+          body_vars.insert(av.begin(), av.end());
+        }
+        // Safety: head variables must occur in the candidate body.
+        bool safe = true;
+        for (const Term& h : q.head()) {
+          if (h.is_var() && !body_vars.count(h.var())) {
+            safe = false;
+            break;
+          }
+        }
+        if (safe) {
+          Cq candidate(q.name() + "_rw", q.head(), std::move(atoms));
+          Result<Cq> expansion = ExpandRewriting(candidate, views);
+          if (expansion.ok() && CqEquivalent(*expansion, q)) {
+            std::string key = candidate.ToString();
+            if (seen.insert(key).second) {
+              result.rewritings.push_back(std::move(candidate));
+            }
+          }
+        }
+      }
+      // Next combination.
+      size_t k = size;
+      bool advanced = false;
+      while (k > 0) {
+        --k;
+        if (idx[k] != k + n - size) {
+          ++idx[k];
+          for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) more = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace scalein

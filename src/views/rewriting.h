@@ -1,0 +1,53 @@
+#ifndef SCALEIN_VIEWS_REWRITING_H_
+#define SCALEIN_VIEWS_REWRITING_H_
+
+#include <vector>
+
+#include "query/cq.h"
+#include "views/view_def.h"
+
+namespace scalein {
+
+/// Rewriting machinery for §6: candidate generation and expansion testing.
+/// A rewriting Q'(x̄) = ∃w̄ (Q'_b ∧ Q'_v) is represented as a CQ over the
+/// extended schema; atoms over view names form the view part Q'_v, the rest
+/// the base part Q'_b.
+
+/// Unfolds every view atom by its (freshly renamed) definition, unifying the
+/// definition head with the atom arguments: the expansion Q'_e of §6.
+Result<Cq> ExpandRewriting(const Cq& rewriting, const ViewSet& views);
+
+/// ‖Q'_b‖: number of base (non-view) atoms.
+size_t BaseAtomCount(const Cq& rewriting, const ViewSet& views);
+
+struct RewritingSearchOptions {
+  size_t max_view_atoms = 3;
+  /// Default: as many base atoms as the query has.
+  size_t max_base_atoms = SIZE_MAX;
+  /// Cap on candidate combinations tested.
+  uint64_t max_candidates = 50'000;
+};
+
+struct RewritingSearchResult {
+  /// Equivalent rewritings found, smallest atom-count first.
+  std::vector<Cq> rewritings;
+  /// True when the candidate cap was hit (the list may be incomplete).
+  bool truncated = false;
+  uint64_t candidates_checked = 0;
+};
+
+/// Searches for rewritings of `q` using `views` that are *equivalent* to `q`
+/// (expansion equivalence, checked by CQ containment both ways).
+///
+/// Candidate view atoms come from the homomorphisms of each view's body into
+/// q's canonical database — the classic bucket/MiniCon-style candidate space
+/// restricted to rewritings over q's own variables. Rewritings requiring
+/// genuinely fresh variables in view atoms are outside this space; for the
+/// polynomially-bounded rewritings of §6's examples the space is sufficient.
+RewritingSearchResult FindRewritings(const Cq& q, const ViewSet& views,
+                                     const Schema& base_schema,
+                                     const RewritingSearchOptions& options = {});
+
+}  // namespace scalein
+
+#endif  // SCALEIN_VIEWS_REWRITING_H_

@@ -1,0 +1,92 @@
+#include "views/view_def.h"
+
+#include "eval/cq_evaluator.h"
+#include "query/parser.h"
+
+namespace scalein {
+
+Status ViewSet::Add(ViewDef view, const Schema& base_schema) {
+  if (base_schema.HasRelation(view.name)) {
+    return Status::AlreadyExists("view '" + view.name +
+                                 "' clashes with a base relation");
+  }
+  if (Find(view.name) != nullptr) {
+    return Status::AlreadyExists("view '" + view.name + "' already defined");
+  }
+  VarSet seen;
+  for (const Term& t : view.definition.head()) {
+    if (!t.is_var() || seen.count(t.var())) {
+      return Status::InvalidArgument(
+          "view '" + view.name + "' must have a distinct-variable head");
+    }
+    seen.insert(t.var());
+  }
+  for (const CqAtom& a : view.definition.atoms()) {
+    const RelationSchema* rs = base_schema.FindRelation(a.relation);
+    if (rs == nullptr) {
+      return Status::NotFound("view '" + view.name +
+                              "' uses unknown relation '" + a.relation + "'");
+    }
+    if (rs->arity() != a.args.size()) {
+      return Status::InvalidArgument("view '" + view.name +
+                                     "' atom arity mismatch on '" + a.relation +
+                                     "'");
+    }
+  }
+  views_.push_back(std::move(view));
+  return Status::OK();
+}
+
+ViewSet& ViewSet::Define(const std::string& rule, const Schema& base_schema) {
+  Result<Cq> cq = ParseCq(rule, &base_schema);
+  SI_CHECK_MSG(cq.ok(), cq.status().message().c_str());
+  ViewDef def;
+  def.name = cq->name();
+  def.definition = *std::move(cq);
+  Status s = Add(std::move(def), base_schema);
+  SI_CHECK_MSG(s.ok(), s.message().c_str());
+  return *this;
+}
+
+const ViewDef* ViewSet::Find(const std::string& name) const {
+  for (const ViewDef& v : views_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+Schema ExtendedSchema(const Schema& base, const ViewSet& views) {
+  Schema out = base;
+  for (const ViewDef& v : views.views()) {
+    std::vector<std::string> attrs;
+    attrs.reserve(v.Arity());
+    for (const Term& t : v.definition.head()) attrs.push_back(t.var().name());
+    out.Relation(v.name, attrs);
+  }
+  return out;
+}
+
+Result<Database> MaterializeViews(const Database& d, const ViewSet& views) {
+  Database out(ExtendedSchema(d.schema(), views));
+  // Copy base content.
+  for (const RelationSchema& rs : d.schema().relations()) {
+    const Relation& src = d.relation(rs.name());
+    Relation& dst = out.relation(rs.name());
+    for (size_t i = 0; i < src.size(); ++i) dst.Insert(src.TupleAt(i));
+  }
+  SI_RETURN_IF_ERROR(RefreshViews(&out, views));
+  return out;
+}
+
+Status RefreshViews(Database* extended, const ViewSet& views) {
+  CqEvaluator eval(extended);
+  for (const ViewDef& v : views.views()) {
+    AnswerSet extent = eval.EvaluateFull(v.definition);
+    Relation fresh(v.Arity());
+    for (const Tuple& t : extent) fresh.Insert(t);
+    extended->relation(v.name) = std::move(fresh);
+  }
+  return Status::OK();
+}
+
+}  // namespace scalein

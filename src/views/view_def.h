@@ -1,0 +1,59 @@
+#ifndef SCALEIN_VIEWS_VIEW_DEF_H_
+#define SCALEIN_VIEWS_VIEW_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// A named CQ view V(x̄) :- body (§6). The head must list distinct variables
+/// (standard for views); the head variable names double as the materialized
+/// relation's attribute names.
+struct ViewDef {
+  std::string name;
+  Cq definition;
+
+  size_t Arity() const { return definition.head().size(); }
+};
+
+/// A set V of views over a base schema.
+class ViewSet {
+ public:
+  ViewSet() = default;
+
+  /// Registers a view; the definition's head must be distinct variables and
+  /// its name must clash with neither base relations nor other views.
+  Status Add(ViewDef view, const Schema& base_schema);
+
+  /// Convenience: parses `rule` as a CQ (e.g. "V1(rid, rn) :- restr(...)")
+  /// and registers it; aborts on error (for inline literals in tests).
+  ViewSet& Define(const std::string& rule, const Schema& base_schema);
+
+  const std::vector<ViewDef>& views() const { return views_; }
+  const ViewDef* Find(const std::string& name) const;
+  bool IsView(const std::string& name) const { return Find(name) != nullptr; }
+
+ private:
+  std::vector<ViewDef> views_;
+};
+
+/// The base schema extended with one relation per view (attribute names =
+/// head variable names).
+Schema ExtendedSchema(const Schema& base, const ViewSet& views);
+
+/// Materializes V(D): a database over ExtendedSchema holding D's relations
+/// plus the computed view extents. The base content is copied.
+Result<Database> MaterializeViews(const Database& d, const ViewSet& views);
+
+/// Recomputes only the view extents inside an extended database whose base
+/// relations were updated in place.
+Status RefreshViews(Database* extended, const ViewSet& views);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_VIEWS_VIEW_DEF_H_

@@ -1,0 +1,154 @@
+#include "views/view_exec.h"
+
+#include <algorithm>
+
+#include "incremental/delta_rules.h"
+#include "incremental/maintainer.h"
+
+namespace scalein {
+
+Result<ViewExecutor> ViewExecutor::Create(const Database& base_db,
+                                          const Schema& base_schema,
+                                          const ViewSet& views,
+                                          const AccessSchema& base_access) {
+  SI_RETURN_IF_ERROR(base_access.Validate(base_schema));
+  ViewExecutor exec;
+  exec.views_ = views;
+  exec.extended_schema_ = ExtendedSchema(base_schema, views);
+  SI_ASSIGN_OR_RETURN(Database extended, MaterializeViews(base_db, views));
+  exec.extended_db_ = std::make_unique<Database>(std::move(extended));
+
+  for (const RelationSchema& rs : base_schema.relations()) {
+    exec.is_view_[rs.name()] = false;
+  }
+  exec.combined_access_ = base_access;
+  for (const ViewDef& v : views.views()) {
+    exec.is_view_[v.name] = true;
+    Relation& extent = exec.extended_db_->relation(v.name);
+    const RelationSchema* rs = exec.extended_schema_.FindRelation(v.name);
+    // Full-scan access: the whole (small, cached) extent.
+    exec.combined_access_.AddFullAccess(v.name,
+                                        std::max<uint64_t>(1, extent.size()));
+    // One single-attribute statement per view column with the empirical N.
+    for (size_t p = 0; p < rs->arity(); ++p) {
+      const HashIndex& idx = extent.EnsureIndex({p});
+      exec.combined_access_.Add(v.name, {rs->attributes()[p]},
+                                std::max<uint64_t>(1, idx.MaxBucketSize()));
+    }
+  }
+  SI_RETURN_IF_ERROR(exec.combined_access_.Validate(exec.extended_schema_));
+  SI_RETURN_IF_ERROR(exec.combined_access_.BuildIndexes(
+      exec.extended_db_.get(), exec.extended_schema_));
+
+  // Bounded view-maintenance plans (§5 machinery with no parameters) plus
+  // materialized extents mirrored as answer sets for delta application.
+  for (const ViewDef& v : views.views()) {
+    Result<IncrementalMaintainer> m = IncrementalMaintainer::Create(
+        v.definition, base_schema, base_access, /*params=*/{});
+    exec.maintainers_.push_back(
+        m.ok() ? std::make_shared<IncrementalMaintainer>(*std::move(m))
+               : nullptr);
+    AnswerSet extent;
+    const Relation& rel = exec.extended_db_->relation(v.name);
+    for (const Tuple& t : rel.SortedTuples()) extent.insert(t);
+    exec.extents_.push_back(std::move(extent));
+  }
+  return exec;
+}
+
+Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
+                                         const Binding& params,
+                                         ViewExecStats* stats) {
+  FoQuery query = rewriting.ToFoQuery();
+  SI_ASSIGN_OR_RETURN(ControllabilityAnalysis analysis,
+                      ControllabilityAnalysis::Analyze(
+                          query.body, extended_schema_, combined_access_));
+  BoundedEvaluator evaluator(extended_db_.get());
+  BoundedEvalStats raw;
+  SI_ASSIGN_OR_RETURN(AnswerSet answers,
+                      evaluator.Evaluate(query, analysis, params, &raw));
+  if (stats != nullptr) {
+    stats->raw = raw;
+    for (const auto& [relation, fetched] : raw.fetched_by_relation) {
+      auto it = is_view_.find(relation);
+      if (it != is_view_.end() && it->second) {
+        stats->view_tuples_fetched += fetched;
+      } else {
+        stats->base_tuples_fetched += fetched;
+      }
+    }
+  }
+  return answers;
+}
+
+Status ViewExecutor::FullRefresh() {
+  SI_RETURN_IF_ERROR(RefreshViews(extended_db_.get(), views_));
+  for (size_t i = 0; i < views_.views().size(); ++i) {
+    AnswerSet extent;
+    const Relation& rel = extended_db_->relation(views_.views()[i].name);
+    for (const Tuple& t : rel.SortedTuples()) extent.insert(t);
+    extents_[i] = std::move(extent);
+  }
+  return Status::OK();
+}
+
+Status ViewExecutor::ApplyBaseUpdate(const Update& update,
+                                     BoundedEvalStats* maintenance_stats,
+                                     bool* used_incremental) {
+  SI_RETURN_IF_ERROR(update.Validate(*extended_db_));
+  // Decide whether every view affected by the update has a bounded
+  // maintenance path.
+  bool incremental = true;
+  bool has_deletions = false;
+  for (const auto& [rel, rows] : update.deletions) {
+    if (!rows.empty()) has_deletions = true;
+  }
+  for (size_t i = 0; i < views_.views().size() && incremental; ++i) {
+    if (maintainers_[i] == nullptr) {
+      incremental = false;
+      break;
+    }
+    for (const auto& [rel, rows] : update.insertions) {
+      if (!rows.empty() && !maintainers_[i]->SupportsInsertions(rel)) {
+        incremental = false;
+      }
+    }
+    if (has_deletions && !maintainers_[i]->SupportsDeletions()) {
+      incremental = false;
+    }
+  }
+  if (used_incremental != nullptr) *used_incremental = incremental;
+
+  if (!incremental) {
+    ApplyUpdate(extended_db_.get(), update);
+    return FullRefresh();
+  }
+
+  // Phase 1 on the pre-update state, then apply, then integrate + re-check,
+  // mirroring the per-view extents into the materialized relations.
+  const size_t n = views_.views().size();
+  std::vector<AnswerSet> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    SI_RETURN_IF_ERROR(maintainers_[i]->CollectDeletionCandidates(
+        extended_db_.get(), update, {}, &candidates[i], maintenance_stats));
+  }
+  ApplyUpdate(extended_db_.get(), update);
+  for (size_t i = 0; i < n; ++i) {
+    Relation& rel = extended_db_->relation(views_.views()[i].name);
+    AnswerSet added;
+    SI_RETURN_IF_ERROR(maintainers_[i]->IntegrateInsertions(
+        extended_db_.get(), update, {}, &added, maintenance_stats));
+    for (const Tuple& t : added) {
+      if (extents_[i].insert(t).second) rel.Insert(t);
+    }
+    SI_RETURN_IF_ERROR(maintainers_[i]->RecheckCandidates(
+        extended_db_.get(), candidates[i], {}, &extents_[i],
+        maintenance_stats));
+    for (const Tuple& t : candidates[i]) {
+      if (!extents_[i].count(t)) rel.Remove(t);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scalein

@@ -1,0 +1,109 @@
+#include "views/vqsi.h"
+
+#include <algorithm>
+
+#include "core/controllability.h"
+
+namespace scalein {
+
+VarSet UnconstrainedDistinguishedVars(const Cq& rewriting,
+                                      const ViewSet& views) {
+  const std::vector<CqAtom>& atoms = rewriting.atoms();
+  const size_t n = atoms.size();
+
+  // BFS from base atoms over shared-variable edges, traversing view atoms:
+  // an atom is "base-connected" if it is a base atom or shares a variable
+  // with a base-connected atom along a chain of view atoms.
+  std::vector<bool> connected(n, false);
+  std::vector<bool> frontier(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (!views.IsView(atoms[i].relation)) {
+      connected[i] = true;
+      frontier[i] = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (connected[i]) continue;
+      if (!views.IsView(atoms[i].relation)) continue;
+      VarSet vars_i = atoms[i].Vars();
+      for (size_t j = 0; j < n && !connected[i]; ++j) {
+        if (!connected[j]) continue;
+        if (!VarIntersect(vars_i, atoms[j].Vars()).empty()) {
+          connected[i] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  VarSet reachable;
+  for (size_t i = 0; i < n; ++i) {
+    if (connected[i]) {
+      VarSet vars = atoms[i].Vars();
+      reachable.insert(vars.begin(), vars.end());
+    }
+  }
+
+  VarSet out;
+  for (const Term& h : rewriting.head()) {
+    if (h.is_var() && reachable.count(h.var())) out.insert(h.var());
+  }
+  return out;
+}
+
+VqsiDecision DecideVqsiCq(const Cq& q, const ViewSet& views,
+                          const Schema& base_schema, uint64_t m,
+                          const VqsiOptions& options) {
+  VqsiDecision decision;
+  RewritingSearchResult search =
+      FindRewritings(q, views, base_schema, options.search);
+  decision.candidates_checked = search.candidates_checked;
+  for (const Cq& rw : search.rewritings) {
+    if (BaseAtomCount(rw, views) > m) continue;
+    if (!q.IsBoolean() && !UnconstrainedDistinguishedVars(rw, views).empty()) {
+      continue;
+    }
+    decision.verdict = Verdict::kYes;
+    decision.rewriting = rw;
+    return decision;
+  }
+  decision.verdict = search.truncated ? Verdict::kUnknown : Verdict::kNo;
+  return decision;
+}
+
+Result<ViewScaleIndependenceResult> CheckViewScaleIndependence(
+    const Cq& q, const ViewSet& views, const Schema& base_schema,
+    const AccessSchema& access, const VarSet& params,
+    const VqsiOptions& options) {
+  SI_RETURN_IF_ERROR(access.Validate(base_schema));
+  ViewScaleIndependenceResult out;
+  RewritingSearchResult search =
+      FindRewritings(q, views, base_schema, options.search);
+  out.search_truncated = search.truncated;
+  for (const Cq& rw : search.rewritings) {
+    // Base part Q'_b as a quantifier-free conjunction (all variables free).
+    std::vector<Formula> base_conjuncts;
+    for (const CqAtom& atom : rw.atoms()) {
+      if (!views.IsView(atom.relation)) {
+        base_conjuncts.push_back(Formula::Atom(atom.relation, atom.args));
+      }
+    }
+    Formula base_part = base_conjuncts.empty()
+                            ? Formula::True()
+                            : Formula::And(std::move(base_conjuncts));
+    SI_ASSIGN_OR_RETURN(
+        ControllabilityAnalysis analysis,
+        ControllabilityAnalysis::Analyze(base_part, base_schema, access));
+    if (analysis.IsControlledBy(params)) {
+      out.holds = true;
+      out.rewriting = rw;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace scalein

@@ -1,0 +1,56 @@
+#ifndef SCALEIN_VIEWS_VQSI_H_
+#define SCALEIN_VIEWS_VQSI_H_
+
+#include <optional>
+
+#include "core/access_schema.h"
+#include "core/verdict.h"
+#include "views/rewriting.h"
+
+namespace scalein {
+
+/// Head variables of `rewriting` that are *unconstrained* in the sense of
+/// Theorem 6.1's characterization: not a constant and connected to a base
+/// atom through a chain of view atoms sharing variables (a direct occurrence
+/// in a base atom is the chain of length one).
+VarSet UnconstrainedDistinguishedVars(const Cq& rewriting, const ViewSet& views);
+
+struct VqsiOptions {
+  RewritingSearchOptions search;
+};
+
+struct VqsiDecision {
+  Verdict verdict = Verdict::kUnknown;
+  /// For kYes: a rewriting witnessing scale independence using the views.
+  std::optional<Cq> rewriting;
+  uint64_t candidates_checked = 0;
+};
+
+/// VQSI(CQ), NP-complete (Theorem 6.1): is Q scale-independent w.r.t. M
+/// using V for *all* databases? Decided through the paper's characterization:
+/// a rewriting Q' must exist whose distinguished variables are all
+/// constrained and whose base part has at most M atoms (for Boolean Q the
+/// base-size condition alone suffices). The rewriting search is capped;
+/// hitting the cap downgrades a "no" to kUnknown.
+VqsiDecision DecideVqsiCq(const Cq& q, const ViewSet& views,
+                          const Schema& base_schema, uint64_t m,
+                          const VqsiOptions& options = {});
+
+struct ViewScaleIndependenceResult {
+  bool holds = false;
+  std::optional<Cq> rewriting;
+  bool search_truncated = false;
+};
+
+/// Corollary 6.2(2): Q is x̄-scale-independent under A using V if some
+/// rewriting Q' has an x̄-controlled base part under A and x̄ covers the
+/// unconstrained distinguished variables of Q'. (The returned rewriting is
+/// executable through ViewExecutor with bounded base access.)
+Result<ViewScaleIndependenceResult> CheckViewScaleIndependence(
+    const Cq& q, const ViewSet& views, const Schema& base_schema,
+    const AccessSchema& access, const VarSet& params,
+    const VqsiOptions& options = {});
+
+}  // namespace scalein
+
+#endif  // SCALEIN_VIEWS_VQSI_H_

@@ -1,0 +1,209 @@
+#include "workload/formula_gen.h"
+
+#include <algorithm>
+
+namespace scalein {
+namespace {
+
+Variable PoolVariable(uint64_t i) {
+  return Variable::Named("x" + std::to_string(i));
+}
+
+Term RandomTerm(const FormulaGenConfig& config, Rng* rng) {
+  if (rng->Bernoulli(config.constant_probability)) {
+    return Term::Const(
+        Value::Int(1 + static_cast<int64_t>(rng->Uniform(config.domain_size))));
+  }
+  return Term::Var(PoolVariable(rng->Uniform(config.num_variables)));
+}
+
+CqAtom RandomAtom(const Schema& schema, const FormulaGenConfig& config,
+                  Rng* rng) {
+  const RelationSchema& rs =
+      schema.relations()[rng->Uniform(schema.relations().size())];
+  CqAtom atom;
+  atom.relation = rs.name();
+  atom.args.reserve(rs.arity());
+  for (size_t i = 0; i < rs.arity(); ++i) {
+    atom.args.push_back(RandomTerm(config, rng));
+  }
+  return atom;
+}
+
+Formula RandomFormulaImpl(const Schema& schema, const FormulaGenConfig& config,
+                          size_t budget, Rng* rng) {
+  if (budget <= 1) {
+    if (rng->Bernoulli(0.8)) {
+      CqAtom atom = RandomAtom(schema, config, rng);
+      return Formula::Atom(atom.relation, atom.args);
+    }
+    return Formula::Eq(RandomTerm(config, rng), RandomTerm(config, rng));
+  }
+  switch (rng->Uniform(6)) {
+    case 0: {
+      size_t left = 1 + rng->Uniform(budget - 1);
+      return Formula::And(RandomFormulaImpl(schema, config, left, rng),
+                          RandomFormulaImpl(schema, config, budget - left, rng));
+    }
+    case 1: {
+      size_t left = 1 + rng->Uniform(budget - 1);
+      return Formula::Or(RandomFormulaImpl(schema, config, left, rng),
+                         RandomFormulaImpl(schema, config, budget - left, rng));
+    }
+    case 2:
+      return Formula::Not(RandomFormulaImpl(schema, config, budget - 1, rng));
+    case 3: {
+      Variable v = PoolVariable(rng->Uniform(config.num_variables));
+      return Formula::Exists({v},
+                             RandomFormulaImpl(schema, config, budget - 1, rng));
+    }
+    case 4: {
+      Variable v = PoolVariable(rng->Uniform(config.num_variables));
+      size_t left = 1 + rng->Uniform(budget - 1);
+      return Formula::Forall(
+          {v},
+          Formula::Implies(
+              RandomFormulaImpl(schema, config, left, rng),
+              RandomFormulaImpl(schema, config, budget - left, rng)));
+    }
+    default: {
+      size_t left = 1 + rng->Uniform(budget - 1);
+      return Formula::Implies(
+          RandomFormulaImpl(schema, config, left, rng),
+          RandomFormulaImpl(schema, config, budget - left, rng));
+    }
+  }
+}
+
+}  // namespace
+
+Schema RandomSchema(const FormulaGenConfig& config, Rng* rng) {
+  Schema schema;
+  for (uint64_t r = 0; r < config.num_relations; ++r) {
+    size_t arity = 1 + rng->Uniform(std::max<uint64_t>(1, config.max_arity));
+    std::vector<std::string> attrs;
+    attrs.reserve(arity);
+    for (size_t a = 0; a < arity; ++a) attrs.push_back("a" + std::to_string(a));
+    schema.Relation("r" + std::to_string(r), attrs);
+  }
+  return schema;
+}
+
+Cq RandomCq(const Schema& schema, const FormulaGenConfig& config,
+            size_t num_atoms, Rng* rng) {
+  std::vector<CqAtom> atoms;
+  atoms.reserve(std::max<size_t>(1, num_atoms));
+  for (size_t i = 0; i < std::max<size_t>(1, num_atoms); ++i) {
+    atoms.push_back(RandomAtom(schema, config, rng));
+  }
+  VarSet body_vars;
+  for (const CqAtom& a : atoms) {
+    VarSet av = a.Vars();
+    body_vars.insert(av.begin(), av.end());
+  }
+  std::vector<Term> head;
+  for (const Variable& v : body_vars) {
+    if (rng->Bernoulli(0.5)) head.push_back(Term::Var(v));
+  }
+  return Cq("q", std::move(head), std::move(atoms));
+}
+
+FoQuery RandomFoQuery(const Schema& schema, const FormulaGenConfig& config,
+                      size_t size, Rng* rng) {
+  Formula body = RandomFormulaImpl(schema, config, std::max<size_t>(1, size),
+                                   rng);
+  FoQuery q;
+  q.name = "q";
+  const VarSet& free = body.FreeVariables();
+  q.head.assign(free.begin(), free.end());
+  q.body = std::move(body);
+  return q;
+}
+
+RaExpr RandomRaExpr(const Schema& schema, const FormulaGenConfig& config,
+                    size_t size, Rng* rng) {
+  if (size <= 1) {
+    const RelationSchema& rs =
+        schema.relations()[rng->Uniform(schema.relations().size())];
+    return RaExpr::Relation(rs.name(), rs.attributes());
+  }
+  switch (rng->Uniform(6)) {
+    case 0: {  // selection
+      RaExpr input = RandomRaExpr(schema, config, size - 1, rng);
+      const std::vector<std::string>& attrs = input.attributes();
+      SelectionCondition cond;
+      SelectionAtom atom;
+      const std::string& lhs = attrs[rng->Uniform(attrs.size())];
+      if (rng->Bernoulli(0.5) && attrs.size() > 1) {
+        const std::string& rhs = attrs[rng->Uniform(attrs.size())];
+        atom = rng->Bernoulli(0.25) ? SelectionAtom::AttrNeqAttr(lhs, rhs)
+                                    : SelectionAtom::AttrEqAttr(lhs, rhs);
+      } else {
+        Value c = Value::Int(
+            1 + static_cast<int64_t>(rng->Uniform(config.domain_size)));
+        atom = rng->Bernoulli(0.25) ? SelectionAtom::AttrNeqConst(lhs, c)
+                                    : SelectionAtom::AttrEqConst(lhs, c);
+      }
+      cond.conjuncts.push_back(std::move(atom));
+      return RaExpr::Select(std::move(input), std::move(cond));
+    }
+    case 1: {  // projection onto a random nonempty subset
+      RaExpr input = RandomRaExpr(schema, config, size - 1, rng);
+      const std::vector<std::string>& attrs = input.attributes();
+      std::vector<std::string> keep;
+      for (const std::string& a : attrs) {
+        if (rng->Bernoulli(0.6)) keep.push_back(a);
+      }
+      if (keep.empty()) keep.push_back(attrs[rng->Uniform(attrs.size())]);
+      return RaExpr::Project(std::move(input), std::move(keep));
+    }
+    case 2: {  // rename one attribute to a fresh name
+      RaExpr input = RandomRaExpr(schema, config, size - 1, rng);
+      const std::vector<std::string>& attrs = input.attributes();
+      const std::string& from = attrs[rng->Uniform(attrs.size())];
+      std::string to = Variable::Fresh("col").name();
+      return RaExpr::Rename(std::move(input),
+                            {{from, std::move(to)}});
+    }
+    case 3:    // union with a selection of itself (attr sets match)
+    case 4: {  // difference, same trick
+      RaExpr left = RandomRaExpr(schema, config, size - 1, rng);
+      const std::vector<std::string>& attrs = left.attributes();
+      SelectionCondition cond;
+      cond.conjuncts.push_back(SelectionAtom::AttrEqConst(
+          attrs[rng->Uniform(attrs.size())],
+          Value::Int(1 + static_cast<int64_t>(rng->Uniform(config.domain_size)))));
+      RaExpr right = RaExpr::Select(left, std::move(cond));
+      return rng->Bernoulli(0.5) ? RaExpr::Union(std::move(left), std::move(right))
+                                 : RaExpr::Diff(std::move(left), std::move(right));
+    }
+    default: {  // join
+      size_t left_size = 1 + rng->Uniform(size - 1);
+      RaExpr left = RandomRaExpr(schema, config, left_size, rng);
+      RaExpr right = RandomRaExpr(schema, config, size - left_size, rng);
+      // A join is only well-formed when non-shared attribute names stay
+      // unique; our leaves reuse schema attribute names, so name clashes are
+      // impossible (shared names join naturally). Renamed columns are fresh.
+      return RaExpr::Join(std::move(left), std::move(right));
+    }
+  }
+}
+
+Database RandomDatabase(const Schema& schema, const FormulaGenConfig& config,
+                        size_t num_tuples, Rng* rng) {
+  Database db(schema);
+  for (size_t i = 0; i < num_tuples; ++i) {
+    const RelationSchema& rs =
+        schema.relations()[rng->Uniform(schema.relations().size())];
+    Tuple t;
+    t.reserve(rs.arity());
+    for (size_t a = 0; a < rs.arity(); ++a) {
+      t.push_back(Value::Int(
+          1 + static_cast<int64_t>(rng->Uniform(config.domain_size))));
+    }
+    db.Insert(rs.name(), t);
+  }
+  return db;
+}
+
+}  // namespace scalein

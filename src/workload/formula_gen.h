@@ -1,0 +1,55 @@
+#ifndef SCALEIN_WORKLOAD_FORMULA_GEN_H_
+#define SCALEIN_WORKLOAD_FORMULA_GEN_H_
+
+#include <cstdint>
+
+#include "query/cq.h"
+#include "query/formula.h"
+#include "query/ra_expr.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "util/rng.h"
+
+namespace scalein {
+
+/// Random query / database generators for property tests and the complexity
+/// benchmarks. All generators are deterministic in the supplied Rng.
+struct FormulaGenConfig {
+  uint64_t num_relations = 3;
+  uint64_t max_arity = 3;
+  uint64_t num_variables = 4;
+  /// Probability that an atom argument is a constant.
+  double constant_probability = 0.15;
+  /// Constants / database values are drawn from [1, domain_size].
+  uint64_t domain_size = 4;
+};
+
+/// Schema with relations r0, r1, ... of random arities in [1, max_arity].
+Schema RandomSchema(const FormulaGenConfig& config, Rng* rng);
+
+/// Random CQ over `schema` with `num_atoms` atoms and a random head.
+/// Guaranteed safe; head variables are distinct.
+Cq RandomCq(const Schema& schema, const FormulaGenConfig& config,
+            size_t num_atoms, Rng* rng);
+
+/// Random FO *sentence-or-query* over `schema` with roughly `size` connective
+/// nodes. Quantifiers, conjunction, disjunction, and negation are mixed; the
+/// result's free variables become the head.
+FoQuery RandomFoQuery(const Schema& schema, const FormulaGenConfig& config,
+                      size_t size, Rng* rng);
+
+/// Random database over `schema`: `num_tuples` tuples with values drawn
+/// uniformly from [1, domain_size].
+Database RandomDatabase(const Schema& schema, const FormulaGenConfig& config,
+                        size_t num_tuples, Rng* rng);
+
+/// Random well-formed relational algebra expression over `schema` with about
+/// `size` operator nodes. Selections reference live attributes, projections
+/// keep a nonempty subset, and ∪/− pair an expression with a selection of
+/// itself so attribute sets always match.
+RaExpr RandomRaExpr(const Schema& schema, const FormulaGenConfig& config,
+                    size_t size, Rng* rng);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_WORKLOAD_FORMULA_GEN_H_

@@ -1,0 +1,43 @@
+#include "workload/setcover_gen.h"
+
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace scalein {
+
+SetCoverInstance GenerateSetCover(const SetCoverConfig& config) {
+  Schema schema;
+  schema.Relation("setrep", {"s"});
+  schema.Relation("covers", {"s", "x"});
+
+  Database db(schema);
+  Rng rng(config.seed);
+
+  for (uint64_t s = 0; s < config.num_sets; ++s) {
+    db.Insert("setrep", Tuple{Value::Int(static_cast<int64_t>(s))});
+  }
+  // Plant a cover: elements are split round-robin over the first
+  // `planted_cover_size` sets.
+  uint64_t cover = std::max<uint64_t>(1, config.planted_cover_size);
+  for (uint64_t x = 0; x < config.num_elements; ++x) {
+    uint64_t s = x % cover;
+    db.Insert("covers", Tuple{Value::Int(static_cast<int64_t>(s)),
+                              Value::Int(static_cast<int64_t>(x))});
+  }
+  // Noise memberships (avoiding accidental smaller covers is not required:
+  // the planted size is an upper bound on the optimum).
+  for (uint64_t i = 0; i < config.noise_memberships; ++i) {
+    uint64_t s = rng.Uniform(std::max<uint64_t>(1, config.num_sets));
+    uint64_t x = rng.Uniform(std::max<uint64_t>(1, config.num_elements));
+    db.Insert("covers", Tuple{Value::Int(static_cast<int64_t>(s)),
+                              Value::Int(static_cast<int64_t>(x))});
+  }
+
+  Result<Cq> q = ParseCq("Q(x) :- setrep(s), covers(s, x)", &schema);
+  SI_CHECK(q.ok());
+  SetCoverInstance out{std::move(schema), std::move(db), *std::move(q),
+                       config.planted_cover_size};
+  return out;
+}
+
+}  // namespace scalein

@@ -1,0 +1,47 @@
+#ifndef SCALEIN_WORKLOAD_SETCOVER_GEN_H_
+#define SCALEIN_WORKLOAD_SETCOVER_GEN_H_
+
+#include <cstdint>
+
+#include "query/cq.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace scalein {
+
+/// Planted set-cover instances in the shape of the Theorem 3.3 lower bound:
+/// the NP-hardness of QDSI's data complexity comes from set cover, and the
+/// instance below makes the correspondence literal. Over
+///   setrep(s), covers(s, x)
+/// and the query
+///   Q(x) :- setrep(s), covers(s, x)
+/// each answer x needs one support {setrep(s), covers(s,x)}; the covers-tuple
+/// is private to (s, x) but setrep(s) is shared, so the minimum witness is
+/// |elements| + (minimum number of sets covering all elements). A cover of
+/// size `planted_cover_size` is planted; noise memberships are added on top.
+struct SetCoverConfig {
+  uint64_t num_elements = 30;
+  uint64_t num_sets = 10;
+  uint64_t planted_cover_size = 3;
+  /// Extra random (set, element) memberships beyond the planted cover.
+  uint64_t noise_memberships = 40;
+  uint64_t seed = 7;
+};
+
+struct SetCoverInstance {
+  Schema schema;
+  Database db;
+  Cq query;
+  uint64_t planted_cover_size = 0;
+
+  /// The witness-size value a minimum cover of the planted size implies.
+  uint64_t PlantedWitnessSize(uint64_t num_elements) const {
+    return num_elements + planted_cover_size;
+  }
+};
+
+SetCoverInstance GenerateSetCover(const SetCoverConfig& config);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_WORKLOAD_SETCOVER_GEN_H_

@@ -1,0 +1,115 @@
+#include "workload/social_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace scalein {
+
+Schema SocialSchema(bool dated_visits) {
+  Schema schema;
+  schema.Relation("person", {"id", "name", "city"});
+  schema.Relation("friend", {"id1", "id2"});
+  schema.Relation("restr", {"rid", "name", "city", "rating"});
+  if (dated_visits) {
+    schema.Relation("visit", {"id", "rid", "yy", "mm", "dd"});
+  } else {
+    schema.Relation("visit", {"id", "rid"});
+  }
+  return schema;
+}
+
+AccessSchema SocialAccessSchema(const SocialConfig& config) {
+  AccessSchema access;
+  access.Add("friend", {"id1"}, config.max_friends_per_person);
+  access.AddKey("person", {"id"});
+  access.AddKey("restr", {"rid"});
+  access.Add("restr", {"city"}, std::max<uint64_t>(1, config.num_restaurants));
+  if (config.dated_visits) {
+    // A year has at most 366 days (Example 4.6).
+    access.AddEmbedded("visit", {"yy"}, {"yy", "mm", "dd"}, 366);
+    // Each person dines out at most once per day (the effective FD).
+    access.AddFd("visit", {"id", "yy", "mm", "dd"}, {"rid"});
+  }
+  return access;
+}
+
+Database GenerateSocial(const SocialConfig& config) {
+  Database db(SocialSchema(config.dated_visits));
+  Rng rng(config.seed);
+
+  auto city_name = [&](uint64_t c) {
+    return c == 0 ? std::string(kNyc) : "city" + std::to_string(c);
+  };
+
+  // Persons: id is a key by construction.
+  for (uint64_t i = 0; i < config.num_persons; ++i) {
+    uint64_t city = rng.Uniform(std::max<uint64_t>(1, config.num_cities));
+    db.Insert("person",
+              Tuple{Value::Int(static_cast<int64_t>(i)),
+                    Value::Str("p" + std::to_string(i)),
+                    Value::Str(city_name(city))});
+  }
+
+  // Restaurants: rid key; rating A/B/C.
+  static const char* kRatings[] = {"A", "B", "C"};
+  for (uint64_t r = 0; r < config.num_restaurants; ++r) {
+    uint64_t city = rng.Uniform(std::max<uint64_t>(1, config.num_cities));
+    db.Insert("restr",
+              Tuple{Value::Int(static_cast<int64_t>(r)),
+                    Value::Str("r" + std::to_string(r)),
+                    Value::Str(city_name(city)),
+                    Value::Str(kRatings[rng.Uniform(3)])});
+  }
+
+  // Friendships: at most max_friends_per_person out-edges per person.
+  for (uint64_t i = 0; i < config.num_persons; ++i) {
+    uint64_t cap = std::max<uint64_t>(1, config.max_friends_per_person);
+    uint64_t degree = 1 + rng.Uniform(cap);
+    std::set<uint64_t> picked;
+    for (uint64_t f = 0; f < degree && picked.size() < config.num_persons - 1;
+         ++f) {
+      uint64_t other = rng.Uniform(config.num_persons);
+      if (other == i || !picked.insert(other).second) continue;
+      db.Insert("friend", Tuple{Value::Int(static_cast<int64_t>(i)),
+                                Value::Int(static_cast<int64_t>(other))});
+    }
+  }
+
+  // Visits. For dated visits, distinct (yy, mm, dd) per person keeps the
+  // one-visit-per-day FD intact.
+  for (uint64_t i = 0; i < config.num_persons; ++i) {
+    uint64_t visits =
+        config.avg_visits_per_person == 0
+            ? 0
+            : rng.Uniform(2 * config.avg_visits_per_person + 1);
+    std::set<Tuple> dates;
+    for (uint64_t v = 0; v < visits; ++v) {
+      uint64_t rid =
+          config.num_restaurants == 0
+              ? 0
+              : rng.Zipf(config.num_restaurants, config.restaurant_skew);
+      if (!config.dated_visits) {
+        db.Insert("visit", Tuple{Value::Int(static_cast<int64_t>(i)),
+                                 Value::Int(static_cast<int64_t>(rid))});
+        continue;
+      }
+      uint64_t yy = config.first_year +
+                    rng.Uniform(std::max<uint64_t>(1, config.num_years));
+      uint64_t mm = 1 + rng.Uniform(12);
+      uint64_t dd = 1 + rng.Uniform(28);
+      Tuple date{Value::Int(static_cast<int64_t>(yy)),
+                 Value::Int(static_cast<int64_t>(mm)),
+                 Value::Int(static_cast<int64_t>(dd))};
+      if (!dates.insert(date).second) continue;  // keep the FD
+      db.Insert("visit", Tuple{Value::Int(static_cast<int64_t>(i)),
+                               Value::Int(static_cast<int64_t>(rid)), date[0],
+                               date[1], date[2]});
+    }
+  }
+  return db;
+}
+
+}  // namespace scalein

@@ -1,0 +1,55 @@
+#ifndef SCALEIN_WORKLOAD_SOCIAL_GEN_H_
+#define SCALEIN_WORKLOAD_SOCIAL_GEN_H_
+
+#include <cstdint>
+
+#include "core/access_schema.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace scalein {
+
+/// Synthetic stand-in for the paper's Facebook Graph Search workload
+/// (Example 1.1). The generator reproduces the *structural constraints* the
+/// paper's arguments rest on — the per-user friend cap, `id` as a key of
+/// `person`, `rid` as a key of `restr`, and (for dated visits) the
+/// one-visit-per-day FD — so generated databases provably conform to
+/// `SocialAccessSchema`. Everything else (names, popularity skew) is
+/// incidental color.
+struct SocialConfig {
+  uint64_t num_persons = 1000;
+  /// The Facebook-style cap: at most this many friend(id1, ·) tuples per id1.
+  uint64_t max_friends_per_person = 50;
+  uint64_t num_restaurants = 200;
+  /// Average visit tuples per person.
+  uint64_t avg_visits_per_person = 5;
+  uint64_t num_cities = 10;
+  /// Extend visit with (yy, mm, dd) and enforce the Example 4.6 FD
+  /// id, yy, mm, dd → rid.
+  bool dated_visits = false;
+  uint64_t first_year = 2011;
+  uint64_t num_years = 3;
+  /// Zipf exponent for restaurant popularity (0 = uniform).
+  double restaurant_skew = 0.8;
+  uint64_t seed = 42;
+};
+
+/// person(id, name, city); friend(id1, id2); restr(rid, name, city, rating);
+/// visit(id, rid) or visit(id, rid, yy, mm, dd).
+Schema SocialSchema(bool dated_visits);
+
+/// The declared access schema of Example 1.1 / 4.6:
+///   (friend, {id1}, F, 1), (person, {id}, 1, 1), (restr, {rid}, 1, 1),
+///   (restr, {city}, num_restaurants, 1), and for dated visits the embedded
+///   (visit, yy[yy, mm, dd], 366, 1) plus the FD id,yy,mm,dd → rid.
+AccessSchema SocialAccessSchema(const SocialConfig& config);
+
+/// Generates a database conforming to SocialAccessSchema(config).
+Database GenerateSocial(const SocialConfig& config);
+
+/// Name of the city every example query filters on.
+inline const char* kNyc = "NYC";
+
+}  // namespace scalein
+
+#endif  // SCALEIN_WORKLOAD_SOCIAL_GEN_H_

@@ -1,0 +1,82 @@
+#include "workload/update_gen.h"
+
+#include <algorithm>
+
+namespace scalein {
+
+Update RandomUpdate(const Database& db, size_t num_insertions,
+                    size_t num_deletions, uint64_t domain_size, Rng* rng) {
+  Update u;
+  const std::vector<RelationSchema>& relations = db.schema().relations();
+  SI_CHECK(!relations.empty());
+
+  std::set<std::pair<std::string, Tuple>> chosen_insert;
+  size_t attempts = 0;
+  while (chosen_insert.size() < num_insertions && attempts < 64 * (num_insertions + 1)) {
+    ++attempts;
+    const RelationSchema& rs = relations[rng->Uniform(relations.size())];
+    Tuple t;
+    t.reserve(rs.arity());
+    for (size_t a = 0; a < rs.arity(); ++a) {
+      t.push_back(
+          Value::Int(1 + static_cast<int64_t>(rng->Uniform(domain_size))));
+    }
+    if (db.relation(rs.name()).Contains(t)) continue;
+    if (chosen_insert.emplace(rs.name(), t).second) {
+      u.AddInsertion(rs.name(), std::move(t));
+    }
+  }
+
+  std::set<std::pair<std::string, Tuple>> chosen_delete;
+  attempts = 0;
+  while (chosen_delete.size() < num_deletions && attempts < 64 * (num_deletions + 1)) {
+    ++attempts;
+    const RelationSchema& rs = relations[rng->Uniform(relations.size())];
+    const Relation& rel = db.relation(rs.name());
+    if (rel.empty()) continue;
+    Tuple t = ToTuple(rel.TupleAt(rng->Uniform(rel.size())));
+    if (chosen_delete.emplace(rs.name(), t).second) {
+      u.AddDeletion(rs.name(), std::move(t));
+    }
+  }
+  return u;
+}
+
+Update VisitInsertions(const Database& social_db, const SocialConfig& config,
+                       size_t count, Rng* rng) {
+  Update u;
+  const Relation& visit = social_db.relation("visit");
+  const bool dated = visit.arity() == 5;
+  std::set<Tuple> chosen;
+  std::set<Tuple> batch_dates;  // (id, yy, mm, dd) already used in this batch
+  size_t attempts = 0;
+  while (chosen.size() < count && attempts < 64 * (count + 1)) {
+    ++attempts;
+    int64_t id = static_cast<int64_t>(rng->Uniform(config.num_persons));
+    int64_t rid = static_cast<int64_t>(
+        rng->Uniform(std::max<uint64_t>(1, config.num_restaurants)));
+    Tuple t;
+    if (dated) {
+      int64_t yy = static_cast<int64_t>(
+          config.first_year + rng->Uniform(std::max<uint64_t>(1, config.num_years)));
+      int64_t mm = 1 + static_cast<int64_t>(rng->Uniform(12));
+      int64_t dd = 1 + static_cast<int64_t>(rng->Uniform(28));
+      // Keep the one-visit-per-day FD: skip dates this person already has.
+      const HashIndex& by_person_date =
+          const_cast<Relation&>(visit).EnsureIndex({0, 2, 3, 4});
+      Tuple fd_key{Value::Int(id), Value::Int(yy), Value::Int(mm),
+                   Value::Int(dd)};
+      if (by_person_date.Lookup(fd_key) != nullptr) continue;
+      if (!batch_dates.insert(fd_key).second) continue;
+      t = Tuple{Value::Int(id), Value::Int(rid), Value::Int(yy), Value::Int(mm),
+                Value::Int(dd)};
+    } else {
+      t = Tuple{Value::Int(id), Value::Int(rid)};
+    }
+    if (visit.Contains(t)) continue;
+    if (chosen.insert(t).second) u.AddInsertion("visit", std::move(t));
+  }
+  return u;
+}
+
+}  // namespace scalein

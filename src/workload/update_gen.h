@@ -1,0 +1,24 @@
+#ifndef SCALEIN_WORKLOAD_UPDATE_GEN_H_
+#define SCALEIN_WORKLOAD_UPDATE_GEN_H_
+
+#include "incremental/delta_rules.h"
+#include "util/rng.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+
+/// Random valid update against `db`: `num_insertions` fresh tuples with
+/// values in [1, domain_size] plus `num_deletions` existing tuples, spread
+/// over the schema's relations. Always satisfies Update::Validate.
+Update RandomUpdate(const Database& db, size_t num_insertions,
+                    size_t num_deletions, uint64_t domain_size, Rng* rng);
+
+/// The Example 1.1(b) update stream: a batch of fresh visit insertions for
+/// random persons/restaurants of a social database (undated or dated layout
+/// is detected from the schema).
+Update VisitInsertions(const Database& social_db, const SocialConfig& config,
+                       size_t count, Rng* rng);
+
+}  // namespace scalein
+
+#endif  // SCALEIN_WORKLOAD_UPDATE_GEN_H_

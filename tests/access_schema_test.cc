@@ -1,0 +1,149 @@
+#include "core/access_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  return s;
+}
+
+TEST(AccessSchemaTest, BuildersAndToString) {
+  AccessSchema access;
+  access.Add("e", {"a"}, 5)
+      .AddKey("e", {"a", "b"})
+      .AddEmbedded("e", {"a"}, {"b"}, 3)
+      .AddFd("e", {"a"}, {"b"})
+      .AddFullAccess("e", 100);
+  ASSERT_EQ(access.statements().size(), 5u);
+  EXPECT_TRUE(access.statements()[0].is_plain());
+  EXPECT_EQ(access.statements()[1].max_tuples, 1u);
+  // Embedded statements union the key into the value set (X ⊆ Y).
+  EXPECT_FALSE(access.statements()[2].is_plain());
+  EXPECT_EQ(access.statements()[2].value_attrs->size(), 2u);
+  EXPECT_EQ(access.statements()[3].max_tuples, 1u);  // FD is N = 1
+  EXPECT_TRUE(access.statements()[4].key_attrs.empty());
+  EXPECT_EQ(access.ForRelation("e").size(), 5u);
+  EXPECT_TRUE(access.ForRelation("ghost").empty());
+}
+
+TEST(AccessSchemaTest, ValidateCatchesUnknownNames) {
+  Schema s = GraphSchema();
+  AccessSchema ok;
+  ok.Add("e", {"a"}, 5);
+  EXPECT_TRUE(ok.Validate(s).ok());
+
+  AccessSchema bad_rel;
+  bad_rel.Add("ghost", {"a"}, 5);
+  EXPECT_EQ(bad_rel.Validate(s).code(), StatusCode::kNotFound);
+
+  AccessSchema bad_attr;
+  bad_attr.Add("e", {"zz"}, 5);
+  EXPECT_EQ(bad_attr.Validate(s).code(), StatusCode::kNotFound);
+
+  AccessSchema bad_embedded;
+  bad_embedded.AddEmbedded("e", {"a"}, {"zz"}, 5);
+  EXPECT_EQ(bad_embedded.Validate(s).code(), StatusCode::kNotFound);
+}
+
+TEST(AccessSchemaTest, ConformanceDetectsPlainViolations) {
+  Schema s = GraphSchema();
+  Database db(s);
+  for (int64_t i = 0; i < 4; ++i) {
+    db.Insert("e", Tuple{Value::Int(1), Value::Int(i)});
+  }
+  db.Insert("e", Tuple{Value::Int(2), Value::Int(0)});
+
+  AccessSchema tight;
+  tight.Add("e", {"a"}, 3);
+  Result<ConformanceReport> report = CheckConformance(db, s, tight);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->conforms);
+  ASSERT_EQ(report->violations.size(), 1u);
+  EXPECT_EQ(report->violations[0].observed, 4u);
+  EXPECT_EQ(report->violations[0].key, Tuple{Value::Int(1)});
+
+  AccessSchema loose;
+  loose.Add("e", {"a"}, 4);
+  Result<ConformanceReport> ok = CheckConformance(db, s, loose);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->conforms);
+}
+
+TEST(AccessSchemaTest, ConformanceCountsDistinctProjections) {
+  Schema s;
+  s.Relation("visit", {"id", "rid", "yy"});
+  Database db(s);
+  // Two tuples sharing (yy, rid) projection: distinct count is 1.
+  db.Insert("visit", Tuple{Value::Int(1), Value::Int(7), Value::Int(2013)});
+  db.Insert("visit", Tuple{Value::Int(2), Value::Int(7), Value::Int(2013)});
+  db.Insert("visit", Tuple{Value::Int(3), Value::Int(8), Value::Int(2013)});
+
+  AccessSchema embedded;
+  embedded.AddEmbedded("visit", {"yy"}, {"rid"}, 2);
+  Result<ConformanceReport> ok = CheckConformance(db, s, embedded);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->conforms);  // 2 distinct rids for 2013
+
+  AccessSchema plain;
+  plain.Add("visit", {"yy"}, 2);
+  Result<ConformanceReport> bad = CheckConformance(db, s, plain);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->conforms);  // 3 tuples for 2013
+}
+
+TEST(AccessSchemaTest, FdConformance) {
+  Schema s;
+  s.Relation("visit", {"id", "rid", "dd"});
+  Database db(s);
+  db.Insert("visit", Tuple{Value::Int(1), Value::Int(7), Value::Int(3)});
+  db.Insert("visit", Tuple{Value::Int(1), Value::Int(7), Value::Int(4)});
+  AccessSchema access;
+  access.AddFd("visit", {"id", "dd"}, {"rid"});
+  Result<ConformanceReport> ok = CheckConformance(db, s, access);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->conforms);
+  // Violate the FD: same (id, dd), two rids.
+  db.Insert("visit", Tuple{Value::Int(1), Value::Int(9), Value::Int(3)});
+  Result<ConformanceReport> bad = CheckConformance(db, s, access);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->conforms);
+}
+
+TEST(AccessSchemaTest, BuildIndexesCreatesDeclaredIndexes) {
+  Schema s = GraphSchema();
+  Database db(s);
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  AccessSchema access;
+  access.Add("e", {"a"}, 5).AddEmbedded("e", {"b"}, {"a"}, 5);
+  ASSERT_TRUE(access.BuildIndexes(&db, s).ok());
+  EXPECT_NE(db.relation("e").FindIndex({0}), nullptr);
+  EXPECT_NE(db.relation("e").FindProjectionIndex({1}, {0, 1}), nullptr);
+}
+
+TEST(AccessSchemaTest, SocialWorkloadConforms) {
+  SocialConfig config;
+  config.num_persons = 200;
+  config.max_friends_per_person = 8;
+  config.num_restaurants = 30;
+  config.dated_visits = true;
+  Database db = GenerateSocial(config);
+  Schema schema = SocialSchema(true);
+  AccessSchema access = SocialAccessSchema(config);
+  Result<ConformanceReport> report = CheckConformance(db, schema, access);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->conforms);
+  if (!report->conforms) {
+    for (const auto& v : report->violations) {
+      ADD_FAILURE() << v.ToString(access);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,287 @@
+#include "core/bounded_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/fo_evaluator.h"
+#include "query/parser.h"
+#include "util/rng.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+FoQuery FQ(const char* text, const Schema& s) {
+  Result<FoQuery> q = ParseFoQuery(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+ControllabilityAnalysis Analyze(const FoQuery& q, const Schema& s,
+                                const AccessSchema& a) {
+  Result<ControllabilityAnalysis> r =
+      ControllabilityAnalysis::Analyze(q.body, s, a);
+  SI_CHECK_MSG(r.ok(), r.status().message().c_str());
+  return *std::move(r);
+}
+
+struct Social {
+  SocialConfig config;
+  Schema schema = SocialSchema(false);
+  Database db{Schema{}};
+  AccessSchema access;
+
+  explicit Social(uint64_t persons) {
+    config.num_persons = persons;
+    config.max_friends_per_person = 10;
+    config.num_restaurants = 40;
+    config.seed = 99;
+    db = GenerateSocial(config);
+    access = SocialAccessSchema(config);
+    SI_CHECK(access.BuildIndexes(&db, schema).ok());
+  }
+};
+
+TEST(BoundedEvalTest, Q1MatchesReferenceEvaluator) {
+  Social social(60);
+  FoQuery q1 = FQ(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      social.schema);
+  ControllabilityAnalysis analysis = Analyze(q1, social.schema, social.access);
+  BoundedEvaluator bounded(&social.db);
+  FoEvaluator reference(&social.db);
+  for (int64_t p = 0; p < 10; ++p) {
+    Binding params{{V("p"), Value::Int(p)}};
+    BoundedEvalStats stats;
+    Result<AnswerSet> fast = bounded.Evaluate(q1, analysis, params, &stats);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    AnswerSet slow = reference.Evaluate(q1, params);
+    EXPECT_EQ(*fast, slow) << "p = " << p;
+    // Fetches stay within the static bound.
+    Result<double> bound = analysis.StaticFetchBound({V("p")});
+    ASSERT_TRUE(bound.ok());
+    EXPECT_LE(static_cast<double>(stats.base_tuples_fetched), *bound);
+  }
+}
+
+TEST(BoundedEvalTest, FetchCountIndependentOfDatabaseSize) {
+  // The headline property: fetches for Q1(p0) do not grow with |D|.
+  uint64_t small_fetch = 0;
+  uint64_t large_fetch = 0;
+  for (uint64_t persons : {200u, 2000u}) {
+    Social social(persons);
+    FoQuery q1 = FQ(
+        "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+        social.schema);
+    ControllabilityAnalysis analysis =
+        Analyze(q1, social.schema, social.access);
+    BoundedEvaluator bounded(&social.db);
+    BoundedEvalStats stats;
+    Result<AnswerSet> r = bounded.Evaluate(
+        q1, analysis, {{V("p"), Value::Int(5)}}, &stats);
+    ASSERT_TRUE(r.ok());
+    (persons == 200u ? small_fetch : large_fetch) = stats.base_tuples_fetched;
+  }
+  // Both runs touch at most 2 * cap tuples; sizes differ 10x.
+  EXPECT_LE(large_fetch, 2 * 10u);
+  EXPECT_LE(small_fetch, 2 * 10u);
+}
+
+TEST(BoundedEvalTest, UncontrolledParametersRejected) {
+  Social social(30);
+  FoQuery q1 = FQ(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      social.schema);
+  ControllabilityAnalysis analysis = Analyze(q1, social.schema, social.access);
+  BoundedEvaluator bounded(&social.db);
+  Result<AnswerSet> r =
+      bounded.Evaluate(q1, analysis, {{V("name"), Value::Str("p3")}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BoundedEvalTest, EnforceBoundsDetectsNonConformingData) {
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  Database db(s);
+  for (int64_t i = 0; i < 5; ++i) {
+    db.Insert("e", Tuple{Value::Int(1), Value::Int(i)});
+  }
+  AccessSchema access;
+  access.Add("e", {"a"}, 2);  // declared N = 2, actual 5
+  FoQuery q = FQ("Q(x, y) := e(x, y)", s);
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q.body, s, access);
+  ASSERT_TRUE(analysis.ok());
+  BoundedEvaluator bounded(&db);
+  bounded.set_enforce_bounds(true);
+  Result<AnswerSet> r =
+      bounded.Evaluate(q, *analysis, {{V("x"), Value::Int(1)}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+
+  bounded.set_enforce_bounds(false);
+  Result<AnswerSet> lenient =
+      bounded.Evaluate(q, *analysis, {{V("x"), Value::Int(1)}});
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->size(), 5u);
+}
+
+TEST(BoundedEvalTest, FetchBudgetEnforced) {
+  Social social(50);
+  FoQuery q1 = FQ(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      social.schema);
+  ControllabilityAnalysis analysis = Analyze(q1, social.schema, social.access);
+  BoundedEvaluator bounded(&social.db);
+  Binding params{{V("p"), Value::Int(5)}};
+
+  // Unlimited run to learn the actual fetch count.
+  BoundedEvalStats stats;
+  Result<AnswerSet> full = bounded.Evaluate(q1, analysis, params, &stats);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(stats.base_tuples_fetched, 1u);
+
+  // A generous budget succeeds; a budget one below the need fails.
+  bounded.set_fetch_budget(stats.base_tuples_fetched);
+  EXPECT_TRUE(bounded.Evaluate(q1, analysis, params).ok());
+  bounded.set_fetch_budget(stats.base_tuples_fetched - 1);
+  Result<AnswerSet> capped = bounded.Evaluate(q1, analysis, params);
+  EXPECT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  bounded.set_fetch_budget(0);  // disable
+  EXPECT_TRUE(bounded.Evaluate(q1, analysis, params).ok());
+}
+
+TEST(BoundedEvalTest, SafeNegationExecution) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("blocked", {"a", "b"});
+  Database db(s);
+  db.Insert("r", Tuple{Value::Int(1), Value::Int(10)});
+  db.Insert("r", Tuple{Value::Int(1), Value::Int(11)});
+  db.Insert("blocked", Tuple{Value::Int(1), Value::Int(10)});
+  AccessSchema access;
+  access.Add("r", {"a"}, 5);
+  access.Add("blocked", {"a", "b"}, 1);
+  ASSERT_TRUE(access.BuildIndexes(&db, s).ok());
+  FoQuery q = FQ("Q(x, y) := r(x, y) and not blocked(x, y)", s);
+  ControllabilityAnalysis analysis = Analyze(q, s, access);
+  BoundedEvaluator bounded(&db);
+  Result<AnswerSet> r = bounded.Evaluate(q, analysis, {{V("x"), Value::Int(1)}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(*r->begin(), Tuple{Value::Int(11)});
+}
+
+TEST(BoundedEvalTest, UniversalRuleExecution) {
+  Schema s;
+  s.Relation("R", {"A", "B"});
+  s.Relation("S", {"A", "B", "C"});
+  s.Relation("T", {"A", "B", "C"});
+  Database db(s);
+  // R(1, 10): all S(1, 10, ·) ⊆ T — holds. R(1, 11): violated.
+  db.Insert("R", Tuple{Value::Int(1), Value::Int(10)});
+  db.Insert("R", Tuple{Value::Int(1), Value::Int(11)});
+  db.Insert("S", Tuple{Value::Int(1), Value::Int(10), Value::Int(7)});
+  db.Insert("T", Tuple{Value::Int(1), Value::Int(10), Value::Int(7)});
+  db.Insert("S", Tuple{Value::Int(1), Value::Int(11), Value::Int(8)});
+  AccessSchema access;
+  access.Add("R", {"A"}, 10);
+  access.Add("S", {"A", "B"}, 10);
+  access.Add("T", {"A", "B", "C"}, 1);
+  ASSERT_TRUE(access.BuildIndexes(&db, s).ok());
+  FoQuery q = FQ(
+      "Q(x, y) := R(x, y) and (forall z. S(x, y, z) implies T(x, y, z))", s);
+  ControllabilityAnalysis analysis = Analyze(q, s, access);
+  BoundedEvaluator bounded(&db);
+  Result<AnswerSet> r = bounded.Evaluate(q, analysis, {{V("x"), Value::Int(1)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(*r->begin(), Tuple{Value::Int(10)});
+  // Cross-check against the reference evaluator.
+  FoEvaluator reference(&db);
+  EXPECT_EQ(*r, reference.Evaluate(q, {{V("x"), Value::Int(1)}}));
+}
+
+TEST(BoundedEvalTest, DisjunctionExecution) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  Database db(s);
+  db.Insert("r", Tuple{Value::Int(1), Value::Int(10)});
+  db.Insert("t", Tuple{Value::Int(1), Value::Int(20)});
+  AccessSchema access;
+  access.Add("r", {"a"}, 5);
+  access.Add("t", {"a"}, 5);
+  ASSERT_TRUE(access.BuildIndexes(&db, s).ok());
+  FoQuery q = FQ("Q(x, y) := r(x, y) or t(x, y)", s);
+  ControllabilityAnalysis analysis = Analyze(q, s, access);
+  BoundedEvaluator bounded(&db);
+  Result<AnswerSet> r = bounded.Evaluate(q, analysis, {{V("x"), Value::Int(1)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+/// Property: wherever the analysis derives controllability, the bounded
+/// executor agrees with the reference evaluator and respects the bound.
+class BoundedVsNaiveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundedVsNaiveProperty, AgreeOnConformingData) {
+  Rng rng(GetParam());
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  // Build a conforming database: ≤3 tuples per key on both index attrs.
+  Database db(s);
+  for (int rel = 0; rel < 2; ++rel) {
+    const char* name = rel == 0 ? "r" : "t";
+    for (int64_t key = 0; key < 4; ++key) {
+      uint64_t group = rng.Uniform(4);  // ≤ 3
+      for (uint64_t g = 0; g < group; ++g) {
+        db.Insert(name, Tuple{Value::Int(key),
+                              Value::Int(static_cast<int64_t>(rng.Uniform(6)))});
+      }
+    }
+  }
+  AccessSchema access;
+  access.Add("r", {"a"}, 3);
+  access.Add("t", {"a"}, 3);
+  access.Add("t", {"a", "b"}, 1);
+  ASSERT_TRUE(access.BuildIndexes(&db, s).ok());
+
+  const char* queries[] = {
+      "Q(x, y) := r(x, y)",
+      "Q(x, z) := exists y. r(x, y) and t(y, z)",
+      "Q(x, y) := r(x, y) and not t(x, y)",
+      "Q(x) := exists y. r(x, y) and t(x, y)",
+      "Q(x, y) := r(x, y) and (y = 2 or y = 3)",
+      "Q(x) := forall y. r(x, y) implies t(x, y)",
+  };
+  for (const char* text : queries) {
+    FoQuery q = FQ(text, s);
+    ControllabilityAnalysis analysis = Analyze(q, s, access);
+    Variable x = V("x");
+    if (!analysis.IsControlledBy({x})) continue;
+    BoundedEvaluator bounded(&db);
+    FoEvaluator reference(&db);
+    for (int64_t p = 0; p < 4; ++p) {
+      Binding params{{x, Value::Int(p)}};
+      BoundedEvalStats stats;
+      Result<AnswerSet> fast = bounded.Evaluate(q, analysis, params, &stats);
+      ASSERT_TRUE(fast.ok()) << text;
+      EXPECT_EQ(*fast, reference.Evaluate(q, params)) << text << " p=" << p;
+      Result<double> bound = analysis.StaticFetchBound({x});
+      ASSERT_TRUE(bound.ok());
+      EXPECT_LE(static_cast<double>(stats.base_tuples_fetched), *bound) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedVsNaiveProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,117 @@
+#include "eval/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Cq Q(const char* text) {
+  Result<Cq> q = ParseCq(text);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(ContainmentTest, SpecializationIsContained) {
+  // Q2 asks for a path through a fixed midpoint: Q2 ⊆ Q1.
+  Cq q1 = Q("Q(x, z) :- e(x, y), e(y, z)");
+  Cq q2 = Q("Q(x, z) :- e(x, 5), e(5, z)");
+  EXPECT_TRUE(CqContains(q1, q2));
+  EXPECT_FALSE(CqContains(q2, q1));
+}
+
+TEST(ContainmentTest, SelfJoinCollapse) {
+  // A length-2 walk query contains the self-loop query; not conversely.
+  Cq walk = Q("Q(x) :- e(x, y), e(y, x)");
+  Cq loop = Q("Q(x) :- e(x, x)");
+  EXPECT_TRUE(CqContains(walk, loop));
+  EXPECT_FALSE(CqContains(loop, walk));
+}
+
+TEST(ContainmentTest, EquivalenceUpToRedundantAtoms) {
+  Cq q1 = Q("Q(x) :- e(x, y)");
+  Cq q2 = Q("Q(x) :- e(x, y), e(x, z)");
+  EXPECT_TRUE(CqEquivalent(q1, q2));
+}
+
+TEST(ContainmentTest, ConstantsBlockHomomorphisms) {
+  Cq general = Q("Q(x) :- r(x, y)");
+  Cq with_const = Q("Q(x) :- r(x, 1)");
+  EXPECT_TRUE(CqContains(general, with_const));
+  EXPECT_FALSE(CqContains(with_const, general));
+  EXPECT_FALSE(CqEquivalent(general, with_const));
+}
+
+TEST(ContainmentTest, MinimizeRemovesRedundantAtoms) {
+  Cq q = Q("Q(x) :- e(x, y), e(x, z), e(x, w)");
+  Cq core = MinimizeCq(q);
+  EXPECT_EQ(core.TableauSize(), 1u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST(ContainmentTest, MinimizeKeepsNecessaryAtoms) {
+  Cq q = Q("Q(x, z) :- e(x, y), e(y, z)");
+  Cq core = MinimizeCq(q);
+  EXPECT_EQ(core.TableauSize(), 2u);
+}
+
+TEST(ContainmentTest, BooleanCycleCores) {
+  // Directed cycles are their own cores: no proper endomorphism exists.
+  Cq c4 = Q("Q() :- e(a, b), e(b, c), e(c, d), e(d, a)");
+  EXPECT_EQ(MinimizeCq(c4).TableauSize(), 4u);
+  Cq c3 = Q("Q() :- e(a, b), e(b, c), e(c, a)");
+  EXPECT_EQ(MinimizeCq(c3).TableauSize(), 3u);
+}
+
+TEST(ContainmentTest, ZigzagFoldsOntoOneEdge) {
+  // The zigzag e(x,y), e(z,y), e(z,w) folds onto a single edge via the
+  // endomorphism z ↦ x, w ↦ y — a collapse that requires variable folding,
+  // which MinimizeCq must find.
+  Cq zigzag = Q("Q() :- e(x, y), e(z, y), e(z, w)");
+  Cq core = MinimizeCq(zigzag);
+  EXPECT_EQ(core.TableauSize(), 1u);
+  EXPECT_TRUE(CqEquivalent(core, zigzag));
+}
+
+TEST(ContainmentTest, MinimizePreservesHeadVariables) {
+  // With x and w distinguished, the zigzag can only fold z; the two outer
+  // edges must survive.
+  Cq zigzag = Q("Q(x, w) :- e(x, y), e(z, y), e(z, w)");
+  Cq core = MinimizeCq(zigzag);
+  EXPECT_TRUE(CqEquivalent(core, zigzag));
+  EXPECT_EQ(core.HeadVars(), zigzag.HeadVars());
+  EXPECT_GE(core.TableauSize(), 2u);
+}
+
+TEST(ContainmentTest, FreezeRoundTrip) {
+  Cq q = Q("Q(x) :- e(x, y), v(y)");
+  FrozenCq frozen = FreezeCq(q);
+  EXPECT_EQ(frozen.db.TotalTuples(), 2u);
+  ASSERT_EQ(frozen.frozen_head.size(), 1u);
+  Term back = UnfreezeValue(frozen.frozen_head[0]);
+  ASSERT_TRUE(back.is_var());
+  EXPECT_EQ(back.var(), Variable::Named("x"));
+  // Real constants survive unfreezing unchanged.
+  EXPECT_EQ(UnfreezeValue(Value::Int(5)), Term::Const(Value::Int(5)));
+  EXPECT_EQ(UnfreezeValue(Value::Str("NYC")), Term::Const(Value::Str("NYC")));
+}
+
+TEST(ContainmentTest, UcqContainment) {
+  Result<Ucq> big = ParseUcq("Q(x) :- e(x, y)\nQ(x) :- v(x)\n");
+  Result<Ucq> small = ParseUcq("Q(x) :- e(x, 3)\n");
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(UcqContains(*big, *small));
+  EXPECT_FALSE(UcqContains(*small, *big));
+  EXPECT_FALSE(UcqEquivalent(*big, *small));
+  EXPECT_TRUE(UcqEquivalent(*big, *big));
+}
+
+TEST(ContainmentTest, TrivialityIsSyntactic) {
+  EXPECT_TRUE(IsTrivialCq(Q("Q() :- true")));
+  EXPECT_FALSE(IsTrivialCq(Q("Q() :- r(x)")));
+}
+
+}  // namespace
+}  // namespace scalein

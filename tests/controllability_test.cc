@@ -1,0 +1,304 @@
+#include "core/controllability.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+Formula Body(const char* text, const Schema& s) {
+  Result<Formula> f = ParseFormula(text, &s);
+  SI_CHECK_MSG(f.ok(), f.status().message().c_str());
+  return *std::move(f);
+}
+
+ControllabilityAnalysis Analyze(const Formula& f, const Schema& s,
+                                const AccessSchema& a) {
+  Result<ControllabilityAnalysis> r = ControllabilityAnalysis::Analyze(f, s, a);
+  SI_CHECK_MSG(r.ok(), r.status().message().c_str());
+  return *std::move(r);
+}
+
+TEST(ControllabilityTest, AtomControlledThroughAccessStatement) {
+  Schema s = SocialSchema(false);
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  ControllabilityAnalysis c = Analyze(Body("friend(p, id)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("p")}));
+  EXPECT_FALSE(c.IsControlledBy({V("id")}));
+  EXPECT_TRUE(c.IsControlledBy({V("p"), V("id")}));  // expansion rule
+  Result<double> bound = c.StaticFetchBound({V("p")});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(*bound, 5000);
+}
+
+TEST(ControllabilityTest, NoAccessMeansNoControl) {
+  Schema s = SocialSchema(false);
+  AccessSchema empty;
+  ControllabilityAnalysis c = Analyze(Body("friend(p, id)", s), s, empty);
+  EXPECT_FALSE(c.IsControlled());
+  EXPECT_FALSE(c.IsControlledBy({V("p"), V("id")}));
+}
+
+TEST(ControllabilityTest, Example41Q1IsPControlled) {
+  // The paper's running example: Q1(p, name) under the Facebook schema.
+  SocialConfig config;
+  config.max_friends_per_person = 5000;
+  Schema s = SocialSchema(false);
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  a.AddKey("person", {"id"});
+  Formula q1 =
+      Body("exists id. friend(p, id) and person(id, name, \"NYC\")", s);
+  ControllabilityAnalysis c = Analyze(q1, s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("p")}));
+  std::vector<VarSet> minimal = c.MinimalControlSets();
+  ASSERT_FALSE(minimal.empty());
+  EXPECT_EQ(minimal[0], VarSet{V("p")});
+  // Fetch bound: 5000 friends + one person lookup each.
+  Result<double> bound = c.StaticFetchBound({V("p")});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(*bound, 5000 + 5000 * 1);
+}
+
+TEST(ControllabilityTest, Example41Q3IsNotControlledWithoutEmbedded) {
+  // Q3 adds dated visits; without embedded statements the visit atom blocks
+  // controllability for (p, yy) (the existential "forgets" rid, mm, dd).
+  Schema s = SocialSchema(true);
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  a.AddKey("person", {"id"});
+  a.AddKey("restr", {"rid"});
+  a.Add("restr", {"city"}, 1000);
+  Formula q3 = Body(
+      "exists id, rid, pn, mm, dd. friend(p, id) and "
+      "visit(id, rid, yy, mm, dd) and person(id, pn, \"NYC\") and "
+      "restr(rid, rn, \"NYC\", \"A\")",
+      s);
+  ControllabilityAnalysis c = Analyze(q3, s, a);
+  EXPECT_FALSE(c.IsControlledBy({V("p"), V("yy")}));
+  EXPECT_FALSE(c.IsControlledBy({V("p"), V("yy"), V("rn")}));
+}
+
+TEST(ControllabilityTest, ConditionsControlledByTheirVariables) {
+  Schema s;
+  s.Relation("r", {"a"});
+  AccessSchema a;
+  ControllabilityAnalysis c = Analyze(Body("x = y or not x = 3", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x"), V("y")}));
+  EXPECT_FALSE(c.IsControlledBy({V("x")}));
+}
+
+TEST(ControllabilityTest, ConjunctionPropagatesBindings) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("t", {"a"}, 20);
+  // r(x, y) ∧ t(y, z): x gives y (≤10), each y gives z (≤20).
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) and t(y, z)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  Result<double> bound = c.StaticFetchBound({V("x")});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(*bound, 10 + 10 * 20);
+}
+
+TEST(ControllabilityTest, ConjunctionBothOrdersDerived) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("t", {"a"}, 20);
+  // r(x, y) ∧ t(y, x): evaluating r first needs {x} (then y is bound and
+  // t(y, x) is checkable); evaluating t first needs {y}. Both alternatives
+  // of the conjunction rule must be derived.
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) and t(y, x)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  EXPECT_TRUE(c.IsControlledBy({V("y")}));
+}
+
+TEST(ControllabilityTest, DisjunctionUnionsControls) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("t", {"b"}, 20);
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) or t(x, y)", s), s, a);
+  // r needs x, t needs y: the disjunction needs both.
+  EXPECT_FALSE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({V("y")}));
+  EXPECT_TRUE(c.IsControlledBy({V("x"), V("y")}));
+}
+
+TEST(ControllabilityTest, DisjunctionRequiresSameFreeVariables) {
+  Schema s;
+  s.Relation("r", {"a"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("t", {"a", "b"}, 10);
+  // free(r(x)) = {x} ≠ {x, y} = free(t(x, y)): rule does not apply.
+  ControllabilityAnalysis c = Analyze(Body("r(x) or t(x, y)", s), s, a);
+  EXPECT_FALSE(c.IsControlledBy({V("x"), V("y")}));
+}
+
+TEST(ControllabilityTest, SafeNegation) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("blocked", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("blocked", {"a", "b"}, 1);
+  ControllabilityAnalysis c =
+      Analyze(Body("r(x, y) and not blocked(x, y)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  // Without an access path for the negated atom, the rule cannot fire.
+  AccessSchema a2;
+  a2.Add("r", {"a"}, 10);
+  ControllabilityAnalysis c2 =
+      Analyze(Body("r(x, y) and not blocked(x, y)", s), s, a2);
+  EXPECT_FALSE(c2.IsControlledBy({V("x")}));
+}
+
+TEST(ControllabilityTest, SafeNegationRequiresVariablesFromPositivePart) {
+  Schema s;
+  s.Relation("r", {"a"});
+  s.Relation("blocked", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("blocked", {"a", "b"}, 1);
+  // ¬blocked(x, w) mentions w, which the positive part never binds.
+  ControllabilityAnalysis c =
+      Analyze(Body("r(x) and not blocked(x, w)", s), s, a);
+  EXPECT_FALSE(c.IsControlledBy({V("x"), V("w")}));
+}
+
+TEST(ControllabilityTest, ExistentialMustAvoidControls) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"b"}, 10);
+  // r(x, y) is y-controlled; ∃y r(x, y) quantifies the controlling variable
+  // away, so nothing is left to control the query with.
+  ControllabilityAnalysis c = Analyze(Body("exists y. r(x, y)", s), s, a);
+  EXPECT_FALSE(c.IsControlledBy({V("x")}));
+}
+
+TEST(ControllabilityTest, PaperSqlExampleUniversalRule) {
+  // §4's SQL example: R(x, y) ∧ x = 1 ∧ ∀z (S(x, y, z) → T(x, y, z)).
+  Schema s;
+  s.Relation("R", {"A", "B"});
+  s.Relation("S", {"A", "B", "C"});
+  s.Relation("T", {"A", "B", "C"});
+  AccessSchema a;
+  a.Add("R", {"A"}, 10);
+  a.Add("S", {"A", "B"}, 50);
+  a.Add("T", {"A", "B", "C"}, 1);
+  Formula f = Body(
+      "R(x, y) and x = 1 and (forall z. S(x, y, z) implies T(x, y, z))", s);
+  ControllabilityAnalysis c = Analyze(f, s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+
+  // Dropping T's access statement breaks the universal rule (Q' must be
+  // controlled); dropping S's breaks the premise enumeration.
+  AccessSchema no_t;
+  no_t.Add("R", {"A"}, 10).Add("S", {"A", "B"}, 50);
+  EXPECT_FALSE(Analyze(f, s, no_t).IsControlledBy({V("x")}));
+  AccessSchema no_s;
+  no_s.Add("R", {"A"}, 10).Add("T", {"A", "B", "C"}, 1);
+  EXPECT_FALSE(Analyze(f, s, no_s).IsControlledBy({V("x")}));
+}
+
+TEST(ControllabilityTest, ForallQuantifiedVariableMustBeEnumerable) {
+  Schema s;
+  s.Relation("S", {"A"});
+  s.Relation("T", {"A", "B"});
+  AccessSchema a;
+  a.Add("S", {"A"}, 5);
+  a.Add("T", {"A", "B"}, 1);
+  // ∀z (S(x) → T(x, z)): z is not enumerated by the premise but appears in
+  // the conclusion — not derivable.
+  ControllabilityAnalysis c =
+      Analyze(Body("forall z. S(x) implies T(x, z)", s), s, a);
+  EXPECT_FALSE(c.IsControlledBy({V("x")}));
+}
+
+TEST(ControllabilityTest, QCntlDecisions) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 10);
+  a.Add("t", {"a"}, 10);
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) and t(y, z)", s), s, a);
+  EXPECT_EQ(DecideQCntl(c, 1), Verdict::kYes);   // {x}
+  EXPECT_EQ(DecideQCntl(c, 0), Verdict::kNo);
+  EXPECT_EQ(DecideQCntlMin(c, V("x")), Verdict::kYes);
+  EXPECT_EQ(DecideQCntlMin(c, V("z")), Verdict::kNo);  // z never needed
+}
+
+TEST(ControllabilityTest, ExplainRendersDerivation) {
+  Schema s = SocialSchema(false);
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  a.AddKey("person", {"id"});
+  Formula q1 =
+      Body("exists id. friend(p, id) and person(id, name, \"NYC\")", s);
+  ControllabilityAnalysis c = Analyze(q1, s, a);
+  std::string explanation = c.Explain({V("p")});
+  EXPECT_NE(explanation.find("exists"), std::string::npos);
+  EXPECT_NE(explanation.find("atom"), std::string::npos);
+  EXPECT_NE(explanation.find("friend"), std::string::npos);
+}
+
+TEST(ControllabilityTest, Proposition55DeltaRelationFullAccess) {
+  // Proposition 5.5 / Example 5.6: under A(R) — the access schema extended
+  // with (∆visit, ∅, k, 1), "the whole (small) update relation is readable"
+  // — the maintenance query ∆Q2 becomes p-controllable, although Q2 itself
+  // is not p-controllable under A alone.
+  Schema s;
+  s.Relation("friend", {"id1", "id2"});
+  s.Relation("visit", {"id", "rid"});
+  s.Relation("dvisit", {"id", "rid"});  // ∆visit
+  s.Relation("restr", {"rid", "rn", "city", "rating"});
+  AccessSchema a;
+  a.Add("friend", {"id1"}, 5000);
+  a.AddKey("restr", {"rid"});
+  Formula q2 = Body(
+      "exists id, rid. friend(p, id) and visit(id, rid) and "
+      "restr(rid, rn, \"NYC\", \"A\")",
+      s);
+  EXPECT_FALSE(Analyze(q2, s, a).IsControlledBy({V("p")}));
+
+  // ∆Q2 swaps visit for ∆visit; A(R) grants (∆visit, ∅, k, 1).
+  AccessSchema a_r = a;
+  a_r.AddFullAccess("dvisit", 100);  // k ≤ 100 update tuples
+  Formula dq2 = Body(
+      "exists id, rid. friend(p, id) and dvisit(id, rid) and "
+      "restr(rid, rn, \"NYC\", \"A\")",
+      s);
+  ControllabilityAnalysis c = Analyze(dq2, s, a_r);
+  EXPECT_TRUE(c.IsControlledBy({V("p")}));
+  // And without the full-access statement it stays uncontrollable.
+  EXPECT_FALSE(Analyze(dq2, s, a).IsControlledBy({V("p")}));
+}
+
+TEST(ControllabilityTest, KeyOnConstantPositionNeedsNoControls) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 3);
+  // The controlling position holds a constant: ∅-controlled.
+  ControllabilityAnalysis c = Analyze(Body("r(7, y)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({}));
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,109 @@
+#include "incremental/delta_qsi.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.Relation("e", {"a", "b"}).Relation("mark", {"a"});
+  return s;
+}
+
+Cq Q(const char* text, const Schema& s) {
+  Result<Cq> q = ParseCq(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+std::vector<TupleRef> EdgeUniverse(int64_t n) {
+  std::vector<TupleRef> out;
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = 0; b < n; ++b) {
+      out.push_back({"e", Tuple{Value::Int(a), Value::Int(b)}});
+    }
+  }
+  return out;
+}
+
+TEST(DeltaQsiTest, SingleAtomQueryNeedsNoOldTuples) {
+  // Q(x, y) :- e(x, y): a new answer's support is the inserted tuple itself.
+  Schema s = GraphSchema();
+  Database db(s);
+  db.Insert("e", Tuple{Value::Int(0), Value::Int(1)});
+  DeltaQsiOptions options;
+  options.insertion_universe = EdgeUniverse(3);
+  DeltaQsiDecision d =
+      DecideDeltaQsiCqInsertions(Q("Q(x, y) :- e(x, y)", s), db, 0, 2, options);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  EXPECT_EQ(d.worst_fetch, 0u);
+}
+
+TEST(DeltaQsiTest, JoinNeedsOldPartners) {
+  // Q(x, z) :- e(x, y), e(y, z): a new edge can pair with existing edges, so
+  // some old tuples must be accessible; M = 0 fails, a generous M succeeds.
+  Schema s = GraphSchema();
+  Database db(s);
+  db.Insert("e", Tuple{Value::Int(0), Value::Int(1)});
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  Cq q = Q("Q(x, z) :- e(x, y), e(y, z)", s);
+  DeltaQsiOptions options;
+  options.insertion_universe = EdgeUniverse(3);
+  DeltaQsiDecision no = DecideDeltaQsiCqInsertions(q, db, 0, 1, options);
+  EXPECT_EQ(no.verdict, Verdict::kNo);
+  ASSERT_TRUE(no.counterexample.has_value());
+  DeltaQsiDecision yes = DecideDeltaQsiCqInsertions(q, db, 4, 1, options);
+  EXPECT_EQ(yes.verdict, Verdict::kYes);
+  EXPECT_GT(yes.worst_fetch, 0u);
+  EXPECT_LE(yes.worst_fetch, 4u);
+}
+
+TEST(DeltaQsiTest, BudgetInBetweenIsTight) {
+  Schema s = GraphSchema();
+  Database db(s);
+  // Star into vertex 0: new edge (0, z) pairs with every spoke.
+  for (int64_t i = 1; i <= 3; ++i) {
+    db.Insert("e", Tuple{Value::Int(i), Value::Int(0)});
+  }
+  Cq q = Q("Q(x, z) :- e(x, y), e(y, z)", s);
+  DeltaQsiOptions options;
+  options.insertion_universe = {
+      {"e", Tuple{Value::Int(0), Value::Int(4)}},
+  };
+  // Inserting e(0,4) creates answers (1,4), (2,4), (3,4): each needs its own
+  // old spoke: 3 old tuples needed.
+  DeltaQsiDecision tight = DecideDeltaQsiCqInsertions(q, db, 3, 1, options);
+  EXPECT_EQ(tight.verdict, Verdict::kYes);
+  EXPECT_EQ(tight.worst_fetch, 3u);
+  DeltaQsiDecision low = DecideDeltaQsiCqInsertions(q, db, 2, 1, options);
+  EXPECT_EQ(low.verdict, Verdict::kNo);
+}
+
+TEST(DeltaQsiTest, PairsOfInsertionsJoinWithEachOther) {
+  // k = 2: two fresh edges can join with each other, costing 0 old tuples.
+  Schema s = GraphSchema();
+  Database db(s);
+  Cq q = Q("Q(x, z) :- e(x, y), e(y, z)", s);
+  DeltaQsiOptions options;
+  options.insertion_universe = EdgeUniverse(3);
+  DeltaQsiDecision d = DecideDeltaQsiCqInsertions(q, db, 0, 2, options);
+  EXPECT_EQ(d.verdict, Verdict::kYes);  // empty D: all supports are ∆-tuples
+}
+
+TEST(DeltaQsiTest, UpdateCapReportsUnknown) {
+  Schema s = GraphSchema();
+  Database db(s);
+  db.Insert("e", Tuple{Value::Int(0), Value::Int(1)});
+  Cq q = Q("Q(x, z) :- e(x, y), e(y, z)", s);
+  DeltaQsiOptions options;
+  options.insertion_universe = EdgeUniverse(4);
+  options.max_updates = 2;
+  DeltaQsiDecision d = DecideDeltaQsiCqInsertions(q, db, 100, 3, options);
+  EXPECT_EQ(d.verdict, Verdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,182 @@
+#include "incremental/delta_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ra_evaluator.h"
+#include "util/rng.h"
+#include "workload/update_gen.h"
+
+namespace scalein {
+namespace {
+
+Schema TwoRelSchema() {
+  Schema s;
+  s.Relation("p", {"a", "b"});
+  s.Relation("q", {"b", "c"});
+  return s;
+}
+
+TEST(UpdateTest, ValidationRules) {
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(2)});
+  Update ok;
+  ok.AddInsertion("p", Tuple{Value::Int(3), Value::Int(4)});
+  ok.AddDeletion("p", Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(ok.Validate(db).ok());
+  EXPECT_EQ(ok.TotalTuples(), 2u);
+
+  Update dup_insert;
+  dup_insert.AddInsertion("p", Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(dup_insert.Validate(db).ok());
+
+  Update ghost_delete;
+  ghost_delete.AddDeletion("p", Tuple{Value::Int(9), Value::Int(9)});
+  EXPECT_FALSE(ghost_delete.Validate(db).ok());
+}
+
+TEST(UpdateTest, ApplyAndRevertRoundTrip) {
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("q", Tuple{Value::Int(2), Value::Int(3)});
+  Database snapshot = db.Clone();
+  Update u;
+  u.AddInsertion("p", Tuple{Value::Int(5), Value::Int(6)});
+  u.AddDeletion("q", Tuple{Value::Int(2), Value::Int(3)});
+  ApplyUpdate(&db, u);
+  EXPECT_TRUE(db.relation("p").Contains(Tuple{Value::Int(5), Value::Int(6)}));
+  EXPECT_FALSE(db.relation("q").Contains(Tuple{Value::Int(2), Value::Int(3)}));
+  RevertUpdate(&db, u);
+  EXPECT_TRUE(db.Equals(snapshot));
+}
+
+/// Checks the GLT guarantees for one expression and one update:
+///   removed = E(D) − E(D ⊕ ∆D), inserted = E(D ⊕ ∆D) − E(D).
+void CheckDelta(const RaExpr& expr, const Database& db, const Update& u) {
+  Result<DeltaResult> delta = ComputeDelta(expr, db, u);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString() << " " << expr.ToString();
+
+  Relation old_value = EvalRa(expr, db);
+  Database db_new = db.Clone();
+  ApplyUpdate(&db_new, u);
+  Relation new_value = EvalRa(expr, db_new);
+
+  // Semantic deltas.
+  Relation expected_removed(old_value.arity());
+  for (size_t i = 0; i < old_value.size(); ++i) {
+    if (!new_value.Contains(old_value.TupleAt(i))) {
+      expected_removed.Insert(old_value.TupleAt(i));
+    }
+  }
+  Relation expected_inserted(new_value.arity());
+  for (size_t i = 0; i < new_value.size(); ++i) {
+    if (!old_value.Contains(new_value.TupleAt(i))) {
+      expected_inserted.Insert(new_value.TupleAt(i));
+    }
+  }
+  EXPECT_TRUE(delta->removed.SetEquals(expected_removed))
+      << expr.ToString() << "\nupdate " << u.ToString();
+  EXPECT_TRUE(delta->inserted.SetEquals(expected_inserted))
+      << expr.ToString() << "\nupdate " << u.ToString();
+
+  // Minimality invariants (E∇ ⊆ E, E∆ ∩ E = ∅) and the maintenance identity.
+  EXPECT_TRUE(delta->removed.IsSubsetOf(old_value));
+  for (size_t i = 0; i < delta->inserted.size(); ++i) {
+    EXPECT_FALSE(old_value.Contains(delta->inserted.TupleAt(i)));
+  }
+  Relation maintained = ApplyDelta(old_value, *delta);
+  EXPECT_TRUE(maintained.SetEquals(new_value)) << expr.ToString();
+}
+
+std::vector<RaExpr> ExpressionZoo() {
+  RaExpr p = RaExpr::Relation("p", {"a", "b"});
+  RaExpr q = RaExpr::Relation("q", {"b", "c"});
+  SelectionCondition cond;
+  cond.conjuncts.push_back(SelectionAtom::AttrEqConst("a", Value::Int(1)));
+  SelectionCondition neq;
+  neq.conjuncts.push_back(SelectionAtom::AttrNeqAttr("a", "b"));
+  RaExpr pb = RaExpr::Project(p, {"b"});
+  RaExpr qb = RaExpr::Project(q, {"b"});
+  return {
+      p,
+      RaExpr::Select(p, cond),
+      RaExpr::Select(p, neq),
+      pb,
+      RaExpr::Union(pb, qb),
+      RaExpr::Diff(pb, qb),
+      RaExpr::Join(p, q),
+      RaExpr::Project(RaExpr::Join(p, q), {"a", "c"}),
+      RaExpr::Diff(RaExpr::Project(RaExpr::Join(p, q), {"b"}), qb),
+      RaExpr::Rename(RaExpr::Join(p, q), {{"c", "z"}}),
+  };
+}
+
+TEST(DeltaRulesTest, InsertOnlyUpdates) {
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("q", Tuple{Value::Int(2), Value::Int(3)});
+  Update u;
+  u.AddInsertion("p", Tuple{Value::Int(1), Value::Int(5)});
+  u.AddInsertion("q", Tuple{Value::Int(5), Value::Int(9)});
+  for (const RaExpr& expr : ExpressionZoo()) CheckDelta(expr, db, u);
+}
+
+TEST(DeltaRulesTest, DeleteOnlyUpdates) {
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("p", Tuple{Value::Int(4), Value::Int(2)});
+  db.Insert("q", Tuple{Value::Int(2), Value::Int(3)});
+  Update u;
+  u.AddDeletion("p", Tuple{Value::Int(1), Value::Int(2)});
+  for (const RaExpr& expr : ExpressionZoo()) CheckDelta(expr, db, u);
+}
+
+TEST(DeltaRulesTest, ProjectionSurvivesAlternativeDerivation) {
+  // π_b(p) keeps b=2 alive through the second tuple: the delta must be empty.
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("p", Tuple{Value::Int(4), Value::Int(2)});
+  Update u;
+  u.AddDeletion("p", Tuple{Value::Int(1), Value::Int(2)});
+  RaExpr pb = RaExpr::Project(RaExpr::Relation("p", {"a", "b"}), {"b"});
+  Result<DeltaResult> delta = ComputeDelta(pb, db, u);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->removed.size(), 0u);
+  EXPECT_EQ(delta->inserted.size(), 0u);
+}
+
+TEST(DeltaRulesTest, DiffReactsToRightSideInsertion) {
+  // Inserting into E2 removes from E1 − E2.
+  Database db(TwoRelSchema());
+  db.Insert("p", Tuple{Value::Int(1), Value::Int(7)});
+  Update u;
+  u.AddInsertion("q", Tuple{Value::Int(7), Value::Int(0)});
+  RaExpr diff = RaExpr::Diff(RaExpr::Project(RaExpr::Relation("p", {"a", "b"}), {"b"}),
+                             RaExpr::Project(RaExpr::Relation("q", {"b", "c"}), {"b"}));
+  Result<DeltaResult> delta = ComputeDelta(diff, db, u);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->removed.size(), 1u);
+  EXPECT_TRUE(delta->removed.Contains(Tuple{Value::Int(7)}));
+}
+
+class DeltaRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaRandomProperty, MixedRandomUpdates) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    Database db(TwoRelSchema());
+    // Random content.
+    for (int i = 0; i < 12; ++i) {
+      const char* rel = rng.Bernoulli(0.5) ? "p" : "q";
+      db.Insert(rel, Tuple{Value::Int(static_cast<int64_t>(rng.Uniform(5))),
+                           Value::Int(static_cast<int64_t>(rng.Uniform(5)))});
+    }
+    Update u = RandomUpdate(db, 1 + rng.Uniform(3), rng.Uniform(3), 5, &rng);
+    for (const RaExpr& expr : ExpressionZoo()) CheckDelta(expr, db, u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRandomProperty,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+}  // namespace
+}  // namespace scalein

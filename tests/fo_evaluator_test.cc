@@ -1,0 +1,117 @@
+#include "eval/fo_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.Relation("e", {"a", "b"}).Relation("v", {"a"});
+  return s;
+}
+
+Database Path3() {
+  // v = {1,2,3}, e = {(1,2), (2,3)}.
+  Database db(GraphSchema());
+  for (int64_t i = 1; i <= 3; ++i) db.Insert("v", Tuple{Value::Int(i)});
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("e", Tuple{Value::Int(2), Value::Int(3)});
+  return db;
+}
+
+FoQuery Q(const char* text, const Schema& s) {
+  Result<FoQuery> q = ParseFoQuery(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(FoEvaluatorTest, AtomAndJoin) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  AnswerSet twohop = eval.Evaluate(Q("Q(x, z) := exists y. e(x, y) and e(y, z)", s));
+  ASSERT_EQ(twohop.size(), 1u);
+  EXPECT_EQ(*twohop.begin(), (Tuple{Value::Int(1), Value::Int(3)}));
+}
+
+TEST(FoEvaluatorTest, NegationAndUniversal) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  // Sinks: vertices with no outgoing edge.
+  AnswerSet sinks = eval.Evaluate(Q("Q(x) := v(x) and not exists y. e(x, y)", s));
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(*sinks.begin(), Tuple{Value::Int(3)});
+
+  EXPECT_FALSE(eval.EvaluateBoolean(Q("Q() := forall x. exists y. e(x, y)", s)));
+  EXPECT_TRUE(eval.EvaluateBoolean(
+      Q("Q() := forall x. v(x) implies (x = 3 or exists y. e(x, y))", s)));
+}
+
+TEST(FoEvaluatorTest, ActiveDomainSemantics) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  // x = x holds for every active-domain element.
+  AnswerSet all = eval.Evaluate(Q("Q(x) := x = x", s));
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(FoEvaluatorTest, BindingFixesParameters) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  FoQuery q = Q("Q(x, y) := e(x, y)", s);
+  AnswerSet from1 = eval.Evaluate(q, {{Variable::Named("x"), Value::Int(1)}});
+  ASSERT_EQ(from1.size(), 1u);
+  EXPECT_EQ(*from1.begin(), Tuple{Value::Int(2)});  // only the open column
+}
+
+TEST(FoEvaluatorTest, QuantifierShadowingRestoresOuterBinding) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  // Inner ∃x shadows the free x; after it, the outer x must be intact.
+  FoQuery q = Q("Q(x) := (exists x. e(x, x)) or e(x, 2)", s);
+  AnswerSet answers = eval.Evaluate(q);
+  // No self loops, so only the right disjunct fires: x = 1.
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(*answers.begin(), Tuple{Value::Int(1)});
+}
+
+TEST(FoEvaluatorTest, EmptyDatabase) {
+  Schema s = GraphSchema();
+  Database db(s);
+  FoEvaluator eval(&db);
+  EXPECT_TRUE(eval.Evaluate(Q("Q(x) := v(x)", s)).empty());
+  // Universal over an empty adom is vacuously true.
+  EXPECT_TRUE(eval.EvaluateBoolean(Q("Q() := forall x. v(x)", s)));
+  EXPECT_FALSE(eval.EvaluateBoolean(Q("Q() := exists x. x = x", s)));
+}
+
+TEST(FoEvaluatorTest, ImplicationTruthTable) {
+  Schema s = GraphSchema();
+  Database db = Path3();
+  FoEvaluator eval(&db);
+  EXPECT_TRUE(eval.EvaluateBoolean(Q("Q() := e(1, 2) implies e(2, 3)", s)));
+  EXPECT_TRUE(eval.EvaluateBoolean(Q("Q() := e(9, 9) implies e(8, 8)", s)));
+  EXPECT_FALSE(eval.EvaluateBoolean(Q("Q() := e(1, 2) implies e(9, 9)", s)));
+}
+
+TEST(FoEvaluatorTest, StringConstants) {
+  Schema s;
+  s.Relation("person", {"id", "city"});
+  Database db(s);
+  db.Insert("person", Tuple{Value::Int(1), Value::Str("NYC")});
+  db.Insert("person", Tuple{Value::Int(2), Value::Str("LA")});
+  FoEvaluator eval(&db);
+  AnswerSet nyc = eval.Evaluate(Q("Q(id) := person(id, \"NYC\")", s));
+  ASSERT_EQ(nyc.size(), 1u);
+  EXPECT_EQ(*nyc.begin(), Tuple{Value::Int(1)});
+}
+
+}  // namespace
+}  // namespace scalein

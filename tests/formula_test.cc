@@ -1,0 +1,127 @@
+#include "query/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+Term TV(const char* name) { return Term::Var(V(name)); }
+Term TC(int64_t c) { return Term::Const(Value::Int(c)); }
+
+TEST(FormulaTest, FreeVariablesOfAtomsAndEq) {
+  Formula atom = Formula::Atom("r", {TV("x"), TC(3), TV("y")});
+  EXPECT_EQ(atom.FreeVariables(), (VarSet{V("x"), V("y")}));
+  Formula eq = Formula::Eq(TV("x"), TC(1));
+  EXPECT_EQ(eq.FreeVariables(), (VarSet{V("x")}));
+}
+
+TEST(FormulaTest, QuantifiersBindVariables) {
+  Formula f = Formula::Exists(
+      {V("y")}, Formula::Atom("r", {TV("x"), TV("y")}));
+  EXPECT_EQ(f.FreeVariables(), (VarSet{V("x")}));
+  Formula g = Formula::Forall({V("x")}, f);
+  EXPECT_TRUE(g.FreeVariables().empty());
+}
+
+TEST(FormulaTest, SizeCountsNodes) {
+  Formula f = Formula::And(Formula::Atom("r", {TV("x")}),
+                           Formula::Not(Formula::Atom("s", {TV("x")})));
+  EXPECT_EQ(f.Size(), 4u);  // and, atom, not, atom
+}
+
+TEST(FormulaTest, StructuralEquality) {
+  Formula a = Formula::And(Formula::Atom("r", {TV("x")}),
+                           Formula::Eq(TV("x"), TC(1)));
+  Formula b = Formula::And(Formula::Atom("r", {TV("x")}),
+                           Formula::Eq(TV("x"), TC(1)));
+  Formula c = Formula::And(Formula::Atom("r", {TV("y")}),
+                           Formula::Eq(TV("x"), TC(1)));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(FormulaTest, SubstituteFreeOnly) {
+  // ∃y r(x, y): substituting y must not touch the bound occurrence.
+  Formula f = Formula::Exists({V("y")}, Formula::Atom("r", {TV("x"), TV("y")}));
+  Formula sub = f.Substitute({{V("x"), TC(7)}, {V("y"), TC(9)}});
+  EXPECT_EQ(sub.kind(), FormulaKind::kExists);
+  const Formula& atom = sub.body();
+  EXPECT_EQ(atom.args()[0], TC(7));
+  EXPECT_TRUE(atom.args()[1].is_var());
+}
+
+TEST(FormulaTest, SubstituteAvoidsCapture) {
+  // ∃y r(x, y) with x := y must rename the bound y.
+  Formula f = Formula::Exists({V("y")}, Formula::Atom("r", {TV("x"), TV("y")}));
+  Formula sub = f.Substitute({{V("x"), TV("y")}});
+  ASSERT_EQ(sub.kind(), FormulaKind::kExists);
+  const Formula& atom = sub.body();
+  ASSERT_TRUE(atom.args()[0].is_var());
+  ASSERT_TRUE(atom.args()[1].is_var());
+  EXPECT_EQ(atom.args()[0].var(), V("y"));          // the substituted-in y
+  EXPECT_NE(atom.args()[1].var(), V("y"));          // the renamed bound var
+  EXPECT_EQ(sub.quantified()[0], atom.args()[1].var());
+  EXPECT_EQ(sub.FreeVariables(), (VarSet{V("y")}));
+}
+
+TEST(FormulaTest, IsEqualityCondition) {
+  EXPECT_TRUE(Formula::True().IsEqualityCondition());
+  EXPECT_TRUE(Formula::Eq(TV("x"), TV("y")).IsEqualityCondition());
+  EXPECT_TRUE(Formula::Not(Formula::Eq(TV("x"), TC(1))).IsEqualityCondition());
+  EXPECT_TRUE(Formula::Or(Formula::Eq(TV("x"), TC(1)),
+                          Formula::Eq(TV("x"), TC(2)))
+                  .IsEqualityCondition());
+  EXPECT_FALSE(Formula::Atom("r", {TV("x")}).IsEqualityCondition());
+  EXPECT_FALSE(
+      Formula::And(Formula::Eq(TV("x"), TC(1)), Formula::Atom("r", {TV("x")}))
+          .IsEqualityCondition());
+}
+
+TEST(FormulaTest, ToStringRoundTripsThroughParser) {
+  const char* queries[] = {
+      "Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      "Q() := forall x. r(x) implies exists y. s(x, y)",
+      "Q(x) := r(x) and not (s(x) or t(x))",
+      "Q(x) := r(x) and x != 3",
+  };
+  for (const char* text : queries) {
+    Result<FoQuery> q = ParseFoQuery(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    Result<FoQuery> again = ParseFoQuery(q->ToString());
+    ASSERT_TRUE(again.ok()) << q->ToString();
+    EXPECT_TRUE(q->body.Equals(again->body)) << q->ToString();
+  }
+}
+
+TEST(FormulaTest, VarSetOperations) {
+  VarSet a{V("x"), V("y")};
+  VarSet b{V("y"), V("z")};
+  EXPECT_EQ(VarUnion(a, b), (VarSet{V("x"), V("y"), V("z")}));
+  EXPECT_EQ(VarMinus(a, b), (VarSet{V("x")}));
+  EXPECT_EQ(VarIntersect(a, b), (VarSet{V("y")}));
+  EXPECT_TRUE(VarSubset(VarSet{V("x")}, a));
+  EXPECT_FALSE(VarSubset(a, b));
+  EXPECT_EQ(VarSetToString(VarSet{V("y"), V("x")}), "{x, y}");
+}
+
+TEST(FormulaTest, FreshVariablesAreDistinct) {
+  Variable a = Variable::Fresh("v");
+  Variable b = Variable::Fresh("v");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.name(), b.name());
+}
+
+TEST(FoQueryTest, WellFormedness) {
+  Result<FoQuery> q = ParseFoQuery("Q(x) := r(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsWellFormed());
+  // Head must list exactly the free variables.
+  EXPECT_FALSE(ParseFoQuery("Q(x, y) := r(x)").ok());
+  EXPECT_FALSE(ParseFoQuery("Q() := r(x)").ok());
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,84 @@
+#include "incremental/key_preserving.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Schema EmpSchema() {
+  Schema s;
+  s.Relation("emp", {"eid", "dept"});
+  s.Relation("dept", {"did", "budget"});
+  return s;
+}
+
+AccessSchema Keys() {
+  AccessSchema a;
+  a.AddKey("emp", {"eid"});
+  a.AddKey("dept", {"did"});
+  return a;
+}
+
+Cq Q(const char* text, const Schema& s) {
+  Result<Cq> q = ParseCq(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(KeyPreservingTest, HeadCoveringAllKeysQualifies) {
+  Schema s = EmpSchema();
+  Cq q = Q("Q(e, d) :- emp(e, d), dept(d, b)", s);
+  Result<bool> r = IsKeyPreserving(q, s, Keys());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(KeyPreservingTest, ProjectedAwayKeyDisqualifies) {
+  Schema s = EmpSchema();
+  // dept's key d stays, but emp's key e is projected away.
+  Cq q = Q("Q(d) :- emp(e, d), dept(d, b)", s);
+  Result<bool> r = IsKeyPreserving(q, s, Keys());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(KeyPreservingTest, ConstantKeyPositionsCount) {
+  Schema s = EmpSchema();
+  // emp's key is fixed to the constant 7: preserved without a head variable.
+  Cq q = Q("Q(d) :- emp(7, d), dept(d, b)", s);
+  Result<bool> r = IsKeyPreserving(q, s, Keys());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(KeyPreservingTest, NonKeyStatementsAreIgnored) {
+  Schema s = EmpSchema();
+  AccessSchema a;
+  a.Add("emp", {"eid"}, 5);   // N = 5: an index, not a key
+  a.AddKey("dept", {"did"});
+  Cq q = Q("Q(e, d) :- emp(e, d), dept(d, b)", s);
+  Result<bool> r = IsKeyPreserving(q, s, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(KeyPreservingTest, EveryOccurrenceMustBeCovered) {
+  Schema s = EmpSchema();
+  // Self-join: the second occurrence's key variable is existential.
+  Cq q = Q("Q(e) :- emp(e, d), emp(e2, d)", s);
+  Result<bool> r = IsKeyPreserving(q, s, Keys());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(KeyPreservingTest, UnknownRelationErrors) {
+  Schema s = EmpSchema();
+  Cq q("Q", {Term::Var(Variable::Named("x"))},
+       {CqAtom{"ghost", {Term::Var(Variable::Named("x"))}}});
+  EXPECT_FALSE(IsKeyPreserving(q, s, Keys()).ok());
+}
+
+}  // namespace
+}  // namespace scalein

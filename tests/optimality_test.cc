@@ -1,0 +1,197 @@
+// Proposition 4.3: each controllability rule is *optimal* — there are
+// instances where the controlling tuple it derives cannot be shrunk. For
+// each rule we check two things:
+//   (syntactic)  the engine's minimal antichain contains no smaller set;
+//   (semantic)   fixing any strictly smaller tuple leaves the answer set
+//                growing without bound over a family of conforming
+//                databases — and a scale-independent query's answer count
+//                is bounded by a function of M, so no bound M can work.
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/controllability.h"
+#include "eval/fo_evaluator.h"
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+Formula Body(const char* text, const Schema& s) {
+  Result<Formula> f = ParseFormula(text, &s);
+  SI_CHECK_MSG(f.ok(), f.status().message().c_str());
+  return *std::move(f);
+}
+
+ControllabilityAnalysis Analyze(const Formula& f, const Schema& s,
+                                const AccessSchema& a) {
+  Result<ControllabilityAnalysis> r = ControllabilityAnalysis::Analyze(f, s, a);
+  SI_CHECK_MSG(r.ok(), r.status().message().c_str());
+  return *std::move(r);
+}
+
+/// Answer count of `q` with `params` fixed to value 0 on a database of
+/// `scale` conforming rows.
+size_t AnswerCountAtScale(const FoQuery& q, const Schema& s,
+                          const VarSet& params,
+                          const std::function<void(Database*, int64_t)>& fill,
+                          int64_t scale) {
+  Database db(s);
+  fill(&db, scale);
+  FoEvaluator eval(&db);
+  Binding binding;
+  for (const Variable& v : params) binding.emplace(v, Value::Int(0));
+  return eval.Evaluate(q, binding).size();
+}
+
+/// Asserts that with `params` fixed the answer count grows with the data —
+/// the semantic witness that `params` cannot control the query.
+void ExpectUnboundedGrowth(const FoQuery& q, const Schema& s,
+                           const VarSet& params,
+                           const std::function<void(Database*, int64_t)>& fill) {
+  size_t small = AnswerCountAtScale(q, s, params, fill, 4);
+  size_t large = AnswerCountAtScale(q, s, params, fill, 16);
+  EXPECT_GT(large, small) << "answers did not grow for "
+                          << VarSetToString(params);
+}
+
+TEST(OptimalityTest, AtomRule) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  ControllabilityAnalysis c = Analyze(Body("r(x, y)", s), s, a);
+  std::vector<VarSet> minimal = c.MinimalControlSets();
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], VarSet{V("x")});
+  // Semantic: with nothing fixed, the answers are all of r.
+  Result<FoQuery> q = ParseFoQuery("Q(x, y) := r(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  ExpectUnboundedGrowth(*q, s, {}, [](Database* db, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      db->Insert("r", Tuple{Value::Int(i), Value::Int(i)});  // conforms: N=1≤2
+    }
+  });
+}
+
+TEST(OptimalityTest, ConjunctionRule) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  a.Add("t", {"a"}, 2);
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) and t(y, z)", s), s, a);
+  // {x} is minimal: no subset (∅) is derivable.
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({}));
+  Result<FoQuery> q =
+      ParseFoQuery("Q(x, y, z) := r(x, y) and t(y, z)", &s);
+  ASSERT_TRUE(q.ok());
+  ExpectUnboundedGrowth(*q, s, {}, [](Database* db, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      db->Insert("r", Tuple{Value::Int(i), Value::Int(i)});
+      db->Insert("t", Tuple{Value::Int(i), Value::Int(i)});
+    }
+  });
+}
+
+TEST(OptimalityTest, DisjunctionRuleNeedsTheUnion) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("t", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  a.Add("t", {"b"}, 2);
+  // r is x-controlled, t is y-controlled; the union {x, y} cannot shrink.
+  ControllabilityAnalysis c = Analyze(Body("r(x, y) or t(x, y)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x"), V("y")}));
+  EXPECT_FALSE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({V("y")}));
+  Result<FoQuery> q = ParseFoQuery("Q(x, y) := r(x, y) or t(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  // Fixing only x: t's side keeps contributing fresh (x', y) pairs... the
+  // answers with x = 0 fixed grow through t tuples with a = 0? t is
+  // b-controlled: rows (0, i) conform when each b-group stays ≤ 2. Fill so
+  // that x = 0 matches ever more rows on the t side.
+  ExpectUnboundedGrowth(*q, s, {V("x")}, [](Database* db, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      db->Insert("t", Tuple{Value::Int(0), Value::Int(i)});  // b-groups size 1
+    }
+  });
+}
+
+TEST(OptimalityTest, ExistentialRule) {
+  Schema s;
+  s.Relation("r", {"a", "b", "c"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  ControllabilityAnalysis c = Analyze(Body("exists y. r(x, y, z)", s), s, a);
+  // x̄ = {x} survives; nothing smaller can.
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({}));
+  Result<FoQuery> q = ParseFoQuery("Q(x, z) := exists y. r(x, y, z)", &s);
+  ASSERT_TRUE(q.ok());
+  ExpectUnboundedGrowth(*q, s, {}, [](Database* db, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      db->Insert("r", Tuple{Value::Int(i), Value::Int(0), Value::Int(i)});
+    }
+  });
+}
+
+TEST(OptimalityTest, UniversalRuleControlsAllFrees) {
+  Schema s;
+  s.Relation("S", {"A", "B"});
+  s.Relation("T", {"A", "B"});
+  AccessSchema a;
+  a.Add("S", {"A"}, 2);
+  a.Add("T", {"A", "B"}, 1);
+  ControllabilityAnalysis c =
+      Analyze(Body("forall z. S(x, z) implies T(x, z)", s), s, a);
+  // The rule only guarantees control by all free variables ({x} here).
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({}));
+}
+
+TEST(OptimalityTest, SafeNegationKeepsPositiveControls) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  s.Relation("bl", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  a.Add("bl", {"a", "b"}, 1);
+  ControllabilityAnalysis c =
+      Analyze(Body("r(x, y) and not bl(x, y)", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({V("x")}));
+  EXPECT_FALSE(c.IsControlledBy({}));
+  Result<FoQuery> q = ParseFoQuery("Q(x, y) := r(x, y) and not bl(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  ExpectUnboundedGrowth(*q, s, {}, [](Database* db, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      db->Insert("r", Tuple{Value::Int(i), Value::Int(i)});
+    }
+  });
+}
+
+TEST(OptimalityTest, ConditionPinningIsExactlyTheDeterminedClass) {
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("r", {"a"}, 2);
+  // x pinned by the constant; y determined from x's class? No: y is its own
+  // class, still needed. The minimal set is exactly {y}... but y is bound by
+  // the atom through the chain; the full conjunction is ∅-controlled.
+  ControllabilityAnalysis c =
+      Analyze(Body("r(x, y) and x = 1", s), s, a);
+  EXPECT_TRUE(c.IsControlledBy({}));
+  // Variable-to-variable chains: w is determined by y.
+  ControllabilityAnalysis chain =
+      Analyze(Body("r(x, y) and x = 1 and y = w", s), s, a);
+  EXPECT_TRUE(chain.IsControlledBy({}));
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,183 @@
+#include "core/qdsi.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "workload/formula_gen.h"
+
+namespace scalein {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.Relation("e", {"a", "b"}).Relation("v", {"a"});
+  return s;
+}
+
+Cq Q(const char* text) {
+  Result<Cq> q = ParseCq(text);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+FoQuery FQ(const char* text) {
+  Result<FoQuery> q = ParseFoQuery(text);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+Database Edges(std::vector<std::pair<int64_t, int64_t>> edges) {
+  Database db(GraphSchema());
+  for (auto [a, b] : edges) {
+    db.Insert("e", Tuple{Value::Int(a), Value::Int(b)});
+  }
+  return db;
+}
+
+TEST(QdsiCqTest, WholeDatabaseFastPath) {
+  Database db = Edges({{1, 2}, {3, 4}});
+  QdsiDecision d = DecideQdsiCq(Q("Q(x) :- e(x, y)"), db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  EXPECT_EQ(d.method, "whole-database");
+}
+
+TEST(QdsiCqTest, BooleanTableauBound) {
+  Database db = Edges({{1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  // ‖Q‖ = 2 ≤ M = 2: O(1) yes per Corollary 3.2.
+  QdsiDecision d = DecideQdsiCq(Q("Q() :- e(x, y), e(y, z)"), db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  EXPECT_EQ(d.method, "boolean-tableau-bound");
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_LE(d.witness->size(), 2u);
+  EXPECT_TRUE(IsWitnessCq(Q("Q() :- e(x, y), e(y, z)"), db,
+                          SubDatabase(db, *d.witness)));
+}
+
+TEST(QdsiCqTest, FalseBooleanHasEmptyWitness) {
+  Database db = Edges({{1, 2}, {3, 4}});
+  QdsiDecision d = DecideQdsiCq(Q("Q() :- e(x, x)"), db, 1);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_TRUE(d.witness->empty());
+}
+
+TEST(QdsiCqTest, AnswerCountBound) {
+  Database db = Edges({{1, 2}, {1, 3}, {2, 3}});
+  // 3 distinct x-answers? answers are x ∈ {1, 2}; ‖Q‖ = 1; M = 2 suffices.
+  Cq q = Q("Q(x) :- e(x, y)");
+  QdsiDecision d = DecideQdsiCq(q, db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_LE(d.witness->size(), 2u);
+  EXPECT_TRUE(IsWitnessCq(q, db, SubDatabase(db, *d.witness)));
+}
+
+TEST(QdsiCqTest, ExactNoWhenEveryAnswerNeedsItsOwnTuple) {
+  Database db = Edges({{1, 10}, {2, 20}, {3, 30}});
+  Cq q = Q("Q(x) :- e(x, y)");
+  QdsiDecision d = DecideQdsiCq(q, db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kNo);
+  EXPECT_EQ(d.method, "support-cover");
+}
+
+TEST(QdsiCqTest, SharedTuplesAllowSmallWitness) {
+  // All answers flow through the hub tuple e(0, 100): answers (x) for
+  // x ∈ {1, 2, 3} via e(x, 0), e(0, 100).
+  Database db = Edges({{1, 0}, {2, 0}, {3, 0}, {0, 100}});
+  Cq q = Q("Q(x) :- e(x, y), e(y, z)");
+  QdsiDecision d = DecideQdsiCq(q, db, 4 - 1 + 1);  // M = 4 = |D|... use 4
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  // Tight: 3 private tuples + 1 shared hub.
+  QdsiDecision tight = DecideQdsiCq(q, db, 3);
+  EXPECT_EQ(tight.verdict, Verdict::kNo);
+}
+
+TEST(QdsiUcqTest, AnswerCoveredThroughEitherDisjunct) {
+  Database db(GraphSchema());
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("v", Tuple{Value::Int(1)});
+  Result<Ucq> u = ParseUcq("Q(x) :- e(x, y)\nQ(x) :- v(x)\n");
+  ASSERT_TRUE(u.ok());
+  // Single answer (1), coverable by one tuple from either relation.
+  QdsiDecision d = DecideQdsiUcq(*u, db, 1);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_EQ(d.witness->size(), 1u);
+}
+
+TEST(QdsiFoTest, SubsetSearchFindsMinimumWitness) {
+  Database db = Edges({{1, 2}, {2, 3}, {7, 7}});
+  FoQuery q = FQ("Q() := exists x. e(x, x)");
+  QdsiDecision d = DecideQdsiFo(q, db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_EQ(d.witness->size(), 1u);
+  EXPECT_TRUE(
+      d.witness->count(TupleRef{"e", Tuple{Value::Int(7), Value::Int(7)}}));
+}
+
+TEST(QdsiFoTest, NonMonotoneQueryNeedsFullInput) {
+  // "nonempty and no sinks" on a directed cycle: only D itself works
+  // (the Proposition 3.6 fully-uses-input family).
+  Database db = Edges({{1, 2}, {2, 3}, {3, 1}});
+  FoQuery q = FQ(
+      "Q() := (exists x, y. e(x, y)) and (forall x. "
+      "((exists w. e(x, w) or e(w, x)) implies exists y. e(x, y)))");
+  QdsiDecision d = DecideQdsiFo(q, db, 2);
+  EXPECT_EQ(d.verdict, Verdict::kNo);
+  QdsiDecision full = DecideQdsiFo(q, db, 3);
+  EXPECT_EQ(full.verdict, Verdict::kYes);
+  EXPECT_EQ(full.witness->size(), 3u);
+}
+
+TEST(QdsiFoTest, BudgetExhaustionReportsUnknown) {
+  Database db = Edges({{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}});
+  FoQuery q = FQ("Q(x) := exists y. e(x, y)");
+  QdsiOptions options;
+  options.max_subsets = 3;
+  QdsiDecision d = DecideQdsiFo(q, db, 4, options);
+  EXPECT_EQ(d.verdict, Verdict::kUnknown);
+}
+
+/// Property: on tiny instances, the CQ support-cover solver and the FO
+/// subset-search solver agree (they decide the same problem).
+class QdsiCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QdsiCrossCheck, CqSolverAgreesWithFoSubsetSearch) {
+  Rng rng(GetParam());
+  FormulaGenConfig config;
+  config.num_relations = 2;
+  config.max_arity = 2;
+  config.num_variables = 3;
+  config.domain_size = 3;
+  Schema schema = RandomSchema(config, &rng);
+  for (int round = 0; round < 4; ++round) {
+    Database db = RandomDatabase(schema, config, 5, &rng);
+    Cq q = RandomCq(schema, config, 1 + rng.Uniform(2), &rng);
+    // Restrict to distinct-variable heads so the FO translation applies.
+    VarSet seen;
+    bool ok_head = true;
+    for (const Term& t : q.head()) {
+      if (!t.is_var() || !seen.insert(t.var()).second) {
+        ok_head = false;
+        break;
+      }
+    }
+    if (!ok_head) continue;
+    for (uint64_t m = 0; m <= db.TotalTuples(); ++m) {
+      QdsiDecision via_cq = DecideQdsiCq(q, db, m);
+      QdsiDecision via_fo = DecideQdsiFo(q.ToFoQuery(), db, m);
+      ASSERT_NE(via_cq.verdict, Verdict::kUnknown);
+      ASSERT_NE(via_fo.verdict, Verdict::kUnknown);
+      EXPECT_EQ(via_cq.verdict, via_fo.verdict)
+          << q.ToString() << " M=" << m << "\n"
+          << db.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QdsiCrossCheck,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace scalein

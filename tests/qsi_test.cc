@@ -1,0 +1,156 @@
+#include "core/qsi.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cq_evaluator.h"
+#include "query/parser.h"
+
+namespace scalein {
+namespace {
+
+Cq Q(const char* text) {
+  Result<Cq> q = ParseCq(text);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(QsiCqTest, TrivialQueryIsScaleIndependent) {
+  QsiDecision d = DecideQsiCq(Q("Q() :- true"), 0);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  EXPECT_EQ(d.method, "trivial");
+}
+
+TEST(QsiCqTest, DataSelectingIsNeverScaleIndependent) {
+  Cq q = Q("Q(x) :- e(x, y)");
+  QsiDecision d = DecideQsiCq(q, 5);
+  EXPECT_EQ(d.verdict, Verdict::kNo);
+  ASSERT_TRUE(d.counterexample.has_value());
+  // The counterexample genuinely defeats M = 5: every answer needs its own
+  // tuple and there are more than 5 answers.
+  CqEvaluator eval(&*d.counterexample);
+  EXPECT_GT(eval.EvaluateFull(q).size(), 5u);
+  QdsiDecision probe = DecideQdsiCq(q, *d.counterexample, 5);
+  EXPECT_EQ(probe.verdict, Verdict::kNo);
+}
+
+TEST(QsiCqTest, BooleanDecidedByCoreSize) {
+  // Redundant atoms don't count: the core of this query has one atom.
+  Cq q = Q("Q() :- e(x, y), e(x, z)");
+  EXPECT_EQ(DecideQsiCq(q, 1).verdict, Verdict::kYes);
+  EXPECT_EQ(DecideQsiCq(q, 0).verdict, Verdict::kNo);
+
+  // A triangle does not collapse: core size 3.
+  Cq triangle = Q("Q() :- e(a, b), e(b, c), e(c, a)");
+  EXPECT_EQ(DecideQsiCq(triangle, 2).verdict, Verdict::kNo);
+  EXPECT_EQ(DecideQsiCq(triangle, 3).verdict, Verdict::kYes);
+}
+
+TEST(QsiCqTest, BooleanCounterexampleIsTight) {
+  Cq triangle = Q("Q() :- e(a, b), e(b, c), e(c, a)");
+  QsiDecision d = DecideQsiCq(triangle, 2);
+  ASSERT_TRUE(d.counterexample.has_value());
+  QdsiDecision probe = DecideQdsiCq(triangle, *d.counterexample, 2);
+  EXPECT_EQ(probe.verdict, Verdict::kNo);
+  QdsiDecision enough = DecideQdsiCq(triangle, *d.counterexample, 3);
+  EXPECT_EQ(enough.verdict, Verdict::kYes);
+}
+
+TEST(QsiUcqTest, PumpableDisjunctForcesNo) {
+  Result<Ucq> u = ParseUcq("Q(x) :- e(x, y)\nQ(x) :- v(x)\n");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(DecideQsiUcq(*u, 3).verdict, Verdict::kNo);
+}
+
+TEST(QsiUcqTest, BooleanUcqCoreBound) {
+  Result<Ucq> u = ParseUcq(
+      "Q() :- e(x, y)\n"
+      "Q() :- e(a, b), e(b, c), e(c, a)\n");
+  ASSERT_TRUE(u.ok());
+  // max core = 3 (triangle); M = 3 suffices for every database.
+  EXPECT_EQ(DecideQsiUcq(*u, 3).verdict, Verdict::kYes);
+  // M = 2: the triangle disjunct's frozen core is NOT a counterexample —
+  // it satisfies the single-edge disjunct with one tuple. The sound checker
+  // must not claim "no"; yes or unknown are both acceptable.
+  QsiDecision d = DecideQsiUcq(*u, 2);
+  EXPECT_NE(d.verdict, Verdict::kNo);
+}
+
+TEST(QsiFoTest, ConstantQueriesAreYes) {
+  Result<FoQuery> q = ParseFoQuery("Q() := 1 = 1 or 2 = 3");
+  ASSERT_TRUE(q.ok());
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  QsiDecision d = DecideQsiFo(*q, s, 0);
+  EXPECT_EQ(d.verdict, Verdict::kYes);
+  EXPECT_EQ(d.method, "constant-query");
+}
+
+TEST(QsiFoTest, CounterexampleSearchFindsNo) {
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  Result<FoQuery> q = ParseFoQuery("Q(x) := exists y. e(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  QsiFoOptions options;
+  options.domain_size = 3;
+  options.max_tuples = 3;
+  // M = 1 fails on a database with two sources.
+  QsiDecision d = DecideQsiFo(*q, s, 1, options);
+  EXPECT_EQ(d.verdict, Verdict::kNo);
+  ASSERT_TRUE(d.counterexample.has_value());
+  QdsiDecision probe = DecideQdsiFo(*q, *d.counterexample, 1);
+  EXPECT_EQ(probe.verdict, Verdict::kNo);
+}
+
+TEST(QsiFoTest, UndecidabilityMeansUnknownIsAcceptable) {
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  // A query that IS scale-independent for M ≥ 1 in the searched space; the
+  // sound checker cannot prove it and must say unknown (never "no").
+  Result<FoQuery> q = ParseFoQuery("Q() := exists x, y. e(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  QsiFoOptions options;
+  options.domain_size = 2;
+  options.max_tuples = 2;
+  QsiDecision d = DecideQsiFo(*q, s, 1, options);
+  EXPECT_EQ(d.verdict, Verdict::kUnknown);
+}
+
+TEST(Prop36Test, CycleQueryFullyUsesItsInput) {
+  // Q = "nonempty ∧ no vertex with an incident edge lacks an out-edge":
+  // on directed n-cycles every proper sub-database flips the truth value,
+  // so the minimum witness is |D| — the query fully uses its input
+  // (Proposition 3.6).
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  Result<FoQuery> q = ParseFoQuery(
+      "Q() := (exists x, y. e(x, y)) and (forall x. "
+      "((exists w. e(x, w) or e(w, x)) implies exists y. e(x, y)))",
+      &s);
+  ASSERT_TRUE(q.ok());
+  for (int64_t n = 2; n <= 4; ++n) {
+    Database db(s);
+    for (int64_t i = 0; i < n; ++i) {
+      db.Insert("e", Tuple{Value::Int(i), Value::Int((i + 1) % n)});
+    }
+    Result<uint64_t> min_witness = MinWitnessSizeFo(*q, db);
+    ASSERT_TRUE(min_witness.ok());
+    EXPECT_EQ(*min_witness, static_cast<uint64_t>(n)) << "cycle length " << n;
+  }
+}
+
+TEST(Prop36Test, MonotoneBooleanDoesNotFullyUseInput) {
+  Schema s;
+  s.Relation("e", {"a", "b"});
+  Result<FoQuery> q = ParseFoQuery("Q() := exists x, y. e(x, y)", &s);
+  ASSERT_TRUE(q.ok());
+  Database db(s);
+  for (int64_t i = 0; i < 5; ++i) {
+    db.Insert("e", Tuple{Value::Int(i), Value::Int(i + 1)});
+  }
+  Result<uint64_t> min_witness = MinWitnessSizeFo(*q, db);
+  ASSERT_TRUE(min_witness.ok());
+  EXPECT_EQ(*min_witness, 1u);
+}
+
+}  // namespace
+}  // namespace scalein

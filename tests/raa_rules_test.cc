@@ -1,0 +1,161 @@
+#include "incremental/raa_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "core/controllability.h"
+
+namespace scalein {
+namespace {
+
+Schema TwoRelSchema() {
+  Schema s;
+  s.Relation("p", {"a", "b"});
+  s.Relation("q", {"b", "c"});
+  return s;
+}
+
+AccessSchema BothKeyed() {
+  AccessSchema a;
+  a.Add("p", {"a"}, 10);
+  a.Add("q", {"b"}, 10);
+  return a;
+}
+
+RaaAnalysis Analyze(const RaExpr& e, const Schema& s, const AccessSchema& a) {
+  Result<RaaAnalysis> r = RaaAnalysis::Analyze(e, s, a);
+  SI_CHECK_MSG(r.ok(), r.status().message().c_str());
+  return *std::move(r);
+}
+
+TEST(RaaRulesTest, BaseRelationRules) {
+  Schema s = TwoRelSchema();
+  RaaAnalysis r =
+      Analyze(RaExpr::Relation("p", {"a", "b"}), s, BothKeyed());
+  EXPECT_TRUE(r.IsScaleIndependent({"a"}));
+  EXPECT_FALSE(r.IsScaleIndependent({"b"}));
+  // (R∇, ∅) and (R∆, ∅): deltas arrive with the update.
+  EXPECT_TRUE(r.IsIncrementallyScaleIndependent({}));
+}
+
+TEST(RaaRulesTest, SelectionDropsConstantBoundAttrs) {
+  Schema s = TwoRelSchema();
+  SelectionCondition cond;
+  cond.conjuncts.push_back(SelectionAtom::AttrEqConst("a", Value::Int(1)));
+  RaExpr e = RaExpr::Select(RaExpr::Relation("p", {"a", "b"}), cond);
+  RaaAnalysis r = Analyze(e, s, BothKeyed());
+  // σ_{a=1}(p): the controlling attribute a is supplied by the condition.
+  EXPECT_TRUE(r.IsScaleIndependent({}));
+}
+
+TEST(RaaRulesTest, ProjectionRestrictsControls) {
+  Schema s = TwoRelSchema();
+  RaExpr p = RaExpr::Relation("p", {"a", "b"});
+  RaaAnalysis keeps = Analyze(RaExpr::Project(p, {"a"}), s, BothKeyed());
+  EXPECT_TRUE(keeps.IsScaleIndependent({"a"}));
+  // Projecting the controlling attribute away kills the derivation.
+  RaaAnalysis drops = Analyze(RaExpr::Project(p, {"b"}), s, BothKeyed());
+  EXPECT_FALSE(drops.IsScaleIndependent({"b"}));
+}
+
+TEST(RaaRulesTest, JoinCombinesControls) {
+  Schema s = TwoRelSchema();
+  RaExpr join = RaExpr::Join(RaExpr::Relation("p", {"a", "b"}),
+                             RaExpr::Relation("q", {"b", "c"}));
+  RaaAnalysis r = Analyze(join, s, BothKeyed());
+  // a gives b through p, b gives c through q.
+  EXPECT_TRUE(r.IsScaleIndependent({"a"}));
+  EXPECT_FALSE(r.IsScaleIndependent({"c"}));
+}
+
+TEST(RaaRulesTest, UnionNeedsBothSides) {
+  Schema s;
+  s.Relation("p", {"a", "b"});
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("p", {"a"}, 10);
+  // r has no access statement at all.
+  RaExpr u = RaExpr::Union(RaExpr::Relation("p", {"a", "b"}),
+                           RaExpr::Relation("r", {"a", "b"}));
+  RaaAnalysis none = Analyze(u, s, a);
+  EXPECT_FALSE(none.IsScaleIndependent({"a", "b"}));
+  a.Add("r", {"b"}, 10);
+  RaaAnalysis both = Analyze(u, s, a);
+  EXPECT_TRUE(both.IsScaleIndependent({"a", "b"}));
+  EXPECT_FALSE(both.IsScaleIndependent({"a"}));
+}
+
+TEST(RaaRulesTest, DiffNeedsFullyControlledSubtrahend) {
+  Schema s;
+  s.Relation("p", {"a", "b"});
+  s.Relation("r", {"a", "b"});
+  AccessSchema a;
+  a.Add("p", {"a"}, 10);
+  RaExpr d = RaExpr::Diff(RaExpr::Relation("p", {"a", "b"}),
+                          RaExpr::Relation("r", {"a", "b"}));
+  EXPECT_FALSE(Analyze(d, s, a).IsScaleIndependent({"a"}));
+  a.Add("r", {"a", "b"}, 1);
+  EXPECT_TRUE(Analyze(d, s, a).IsScaleIndependent({"a"}));
+}
+
+TEST(RaaRulesTest, RenameMapsControls) {
+  Schema s = TwoRelSchema();
+  RaExpr renamed =
+      RaExpr::Rename(RaExpr::Relation("p", {"a", "b"}), {{"a", "key"}});
+  RaaAnalysis r = Analyze(renamed, s, BothKeyed());
+  EXPECT_TRUE(r.IsScaleIndependent({"key"}));
+  EXPECT_FALSE(r.IsScaleIndependent({"a"}));
+}
+
+TEST(RaaRulesTest, IncrementalJoinRule) {
+  Schema s = TwoRelSchema();
+  RaExpr join = RaExpr::Join(RaExpr::Relation("p", {"a", "b"}),
+                             RaExpr::Relation("q", {"b", "c"}));
+  RaaAnalysis r = Analyze(join, s, BothKeyed());
+  // (E1 ⋈ E2)∇ / ∆ need plain control of both sides; with both keyed the
+  // derivable controlling set is {a} (Y1 = {a}, Y2 = {b} folds into a's b).
+  EXPECT_TRUE(r.IsIncrementallyScaleIndependent({"a"}));
+  EXPECT_FALSE(r.IsIncrementallyScaleIndependent({}));
+}
+
+TEST(RaaRulesTest, Theorem54CrossValidatesWithFoControllability) {
+  // Whenever the RAA rules derive (E, X), the FO translation of E must be
+  // controlled by the corresponding variables under the same access schema.
+  Schema s = TwoRelSchema();
+  AccessSchema a = BothKeyed();
+  RaExpr p = RaExpr::Relation("p", {"a", "b"});
+  RaExpr q = RaExpr::Relation("q", {"b", "c"});
+  SelectionCondition cond;
+  cond.conjuncts.push_back(SelectionAtom::AttrEqConst("a", Value::Int(1)));
+  std::vector<RaExpr> zoo = {
+      p,
+      RaExpr::Select(p, cond),
+      RaExpr::Project(p, {"a"}),
+      RaExpr::Join(p, q),
+      RaExpr::Project(RaExpr::Join(p, q), {"a", "c"}),
+  };
+  for (const RaExpr& e : zoo) {
+    RaaAnalysis raa = Analyze(e, s, a);
+    Result<FoQuery> fo = RaToFoQuery(e, s);
+    ASSERT_TRUE(fo.ok());
+    Result<ControllabilityAnalysis> fo_ctl =
+        ControllabilityAnalysis::Analyze(fo->body, s, a);
+    ASSERT_TRUE(fo_ctl.ok());
+    for (const AttrSet& x : raa.root().plain) {
+      VarSet vars;
+      for (const std::string& attr : x) vars.insert(Variable::Named(attr));
+      EXPECT_TRUE(fo_ctl->IsControlledBy(vars))
+          << e.ToString() << " X=" << AttrSetToString(x);
+    }
+  }
+}
+
+TEST(RaaRulesTest, ToStringListsFamilies) {
+  Schema s = TwoRelSchema();
+  RaaAnalysis r = Analyze(RaExpr::Relation("p", {"a", "b"}), s, BothKeyed());
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("plain="), std::string::npos);
+  EXPECT_NE(text.find("decrement="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalein

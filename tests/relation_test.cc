@@ -1,0 +1,154 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace scalein {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple{Value::Int(a), Value::Int(b)}; }
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(T2(1, 2)));
+  EXPECT_FALSE(r.Insert(T2(1, 2)));
+  EXPECT_TRUE(r.Insert(T2(1, 3)));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T2(1, 2)));
+  EXPECT_FALSE(r.Contains(T2(2, 1)));
+}
+
+TEST(RelationTest, RemoveSwapsAndKeepsContent) {
+  Relation r(2);
+  for (int64_t i = 0; i < 10; ++i) r.Insert(T2(i, i * i));
+  EXPECT_TRUE(r.Remove(T2(3, 9)));
+  EXPECT_FALSE(r.Remove(T2(3, 9)));
+  EXPECT_EQ(r.size(), 9u);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.Contains(T2(i, i * i)), i != 3);
+  }
+}
+
+TEST(RelationTest, IndexLookupAfterBulkLoad) {
+  Relation r(2);
+  for (int64_t i = 0; i < 100; ++i) r.Insert(T2(i % 10, i));
+  const HashIndex& idx = r.EnsureIndex({0});
+  const std::vector<uint32_t>* rows = idx.Lookup(Tuple{Value::Int(3)});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 10u);
+  for (uint32_t row : *rows) {
+    EXPECT_EQ(r.TupleAt(row)[0], Value::Int(3));
+  }
+  EXPECT_EQ(idx.MaxBucketSize(), 10u);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInsertAndRemove) {
+  Relation r(2);
+  r.EnsureIndex({0});  // index exists before any data
+  Rng rng(123);
+  std::set<Tuple> reference;
+  for (int step = 0; step < 2000; ++step) {
+    Tuple t = T2(static_cast<int64_t>(rng.Uniform(20)),
+                 static_cast<int64_t>(rng.Uniform(20)));
+    if (rng.Bernoulli(0.6)) {
+      r.Insert(t);
+      reference.insert(t);
+    } else {
+      r.Remove(t);
+      reference.erase(t);
+    }
+  }
+  EXPECT_EQ(r.size(), reference.size());
+  // Every key's bucket must match the reference exactly.
+  const HashIndex* idx = r.FindIndex({0});
+  ASSERT_NE(idx, nullptr);
+  for (int64_t key = 0; key < 20; ++key) {
+    std::set<Tuple> expected;
+    for (const Tuple& t : reference) {
+      if (t[0] == Value::Int(key)) expected.insert(t);
+    }
+    const std::vector<uint32_t>* rows = idx->Lookup(Tuple{Value::Int(key)});
+    std::set<Tuple> actual;
+    if (rows != nullptr) {
+      for (uint32_t row : *rows) actual.insert(ToTuple(r.TupleAt(row)));
+    }
+    EXPECT_EQ(actual, expected) << "key " << key;
+  }
+}
+
+TEST(RelationTest, IndexPositionsCanonicalized) {
+  Relation r(3);
+  r.Insert(Tuple{Value::Int(1), Value::Int(2), Value::Int(3)});
+  const HashIndex& a = r.EnsureIndex({2, 0});
+  const HashIndex* b = r.FindIndex({0, 2});
+  EXPECT_EQ(&a, b);
+  // Key order follows sorted positions: (pos0, pos2).
+  EXPECT_NE(a.Lookup(Tuple{Value::Int(1), Value::Int(3)}), nullptr);
+}
+
+TEST(RelationTest, ProjectionIndexDistinctness) {
+  Relation r(3);
+  // Rows sharing key 7 with duplicate (b) projections.
+  r.Insert(Tuple{Value::Int(7), Value::Int(1), Value::Int(10)});
+  r.Insert(Tuple{Value::Int(7), Value::Int(1), Value::Int(20)});
+  r.Insert(Tuple{Value::Int(7), Value::Int(2), Value::Int(30)});
+  r.Insert(Tuple{Value::Int(8), Value::Int(9), Value::Int(40)});
+  const ProjectionIndex& p = r.EnsureProjectionIndex({0}, {1});
+  EXPECT_EQ(p.GroupSize(Tuple{Value::Int(7)}), 2u);
+  EXPECT_EQ(p.GroupSize(Tuple{Value::Int(8)}), 1u);
+  EXPECT_EQ(p.MaxGroupSize(), 2u);
+
+  // Removing one of the duplicates keeps the projection present.
+  r.Remove(Tuple{Value::Int(7), Value::Int(1), Value::Int(10)});
+  EXPECT_EQ(p.GroupSize(Tuple{Value::Int(7)}), 2u);
+  r.Remove(Tuple{Value::Int(7), Value::Int(1), Value::Int(20)});
+  EXPECT_EQ(p.GroupSize(Tuple{Value::Int(7)}), 1u);
+}
+
+TEST(RelationTest, CloneIsIndependent) {
+  Relation r(1);
+  r.Insert(Tuple{Value::Int(1)});
+  Relation copy = r.Clone();
+  copy.Insert(Tuple{Value::Int(2)});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_TRUE(r.IsSubsetOf(copy));
+  EXPECT_FALSE(copy.IsSubsetOf(r));
+}
+
+TEST(RelationTest, SetEqualsIgnoresInsertionOrder) {
+  Relation a(1);
+  Relation b(1);
+  a.Insert(Tuple{Value::Int(1)});
+  a.Insert(Tuple{Value::Int(2)});
+  b.Insert(Tuple{Value::Int(2)});
+  b.Insert(Tuple{Value::Int(1)});
+  EXPECT_TRUE(a.SetEquals(b));
+  b.Remove(Tuple{Value::Int(1)});
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+TEST(RelationTest, SortedTuplesDeterministic) {
+  Relation r(2);
+  r.Insert(T2(2, 1));
+  r.Insert(T2(1, 2));
+  r.Insert(T2(1, 1));
+  std::vector<Tuple> sorted = r.SortedTuples();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], T2(1, 1));
+  EXPECT_EQ(sorted[1], T2(1, 2));
+  EXPECT_EQ(sorted[2], T2(2, 1));
+}
+
+TEST(TupleTest, ProjectAndHash) {
+  Tuple t{Value::Int(1), Value::Str("a"), Value::Int(3)};
+  Tuple p = ProjectTuple(t, {2, 0});
+  EXPECT_EQ(p, (Tuple{Value::Int(3), Value::Int(1)}));
+  EXPECT_EQ(HashTuple(t), HashTuple(ToTuple(TupleView(t))));
+  EXPECT_NE(HashTuple(t), HashTuple(p));
+  EXPECT_EQ(TupleToString(p), "(3, 1)");
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,79 @@
+#include "relational/database.h"
+
+#include <gtest/gtest.h>
+
+namespace scalein {
+namespace {
+
+Schema TwoRelations() {
+  Schema s;
+  s.Relation("r", {"a", "b"}).Relation("s", {"x"});
+  return s;
+}
+
+TEST(SchemaTest, AttributePositions) {
+  RelationSchema rs("person", {"id", "name", "city"});
+  EXPECT_EQ(rs.arity(), 3u);
+  EXPECT_EQ(rs.AttributePosition("name"), 1u);
+  EXPECT_EQ(rs.AttributePosition("nope"), std::nullopt);
+  Result<std::vector<size_t>> positions = rs.AttributePositions({"city", "id"});
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(*positions, (std::vector<size_t>{2, 0}));
+  EXPECT_FALSE(rs.AttributePositions({"ghost"}).ok());
+  EXPECT_EQ(rs.ToString(), "person(id, name, city)");
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation(RelationSchema("r", {"a"})).ok());
+  Status dup = s.AddRelation(RelationSchema("r", {"b"}));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, Lookup) {
+  Schema s = TwoRelations();
+  EXPECT_TRUE(s.HasRelation("r"));
+  EXPECT_FALSE(s.HasRelation("t"));
+  EXPECT_NE(s.FindRelation("s"), nullptr);
+  EXPECT_EQ(s.FindRelation("t"), nullptr);
+  EXPECT_TRUE(s.GetRelation("r").ok());
+  EXPECT_EQ(s.GetRelation("t").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, InsertRemoveAndSize) {
+  Database db(TwoRelations());
+  EXPECT_TRUE(db.Insert("r", Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(db.Insert("r", Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(db.Insert("s", Tuple{Value::Int(9)}));
+  EXPECT_EQ(db.TotalTuples(), 2u);
+  EXPECT_TRUE(db.Remove("s", Tuple{Value::Int(9)}));
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, ActiveDomainSortedDistinct) {
+  Database db(TwoRelations());
+  db.Insert("r", Tuple{Value::Int(3), Value::Int(1)});
+  db.Insert("s", Tuple{Value::Int(3)});
+  db.Insert("s", Tuple{Value::Int(2)});
+  std::vector<Value> adom = db.ActiveDomain();
+  ASSERT_EQ(adom.size(), 3u);
+  EXPECT_EQ(adom[0], Value::Int(1));
+  EXPECT_EQ(adom[1], Value::Int(2));
+  EXPECT_EQ(adom[2], Value::Int(3));
+}
+
+TEST(DatabaseTest, CloneEqualsAndSubset) {
+  Database db(TwoRelations());
+  db.Insert("r", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("s", Tuple{Value::Int(5)});
+  Database copy = db.Clone();
+  EXPECT_TRUE(copy.Equals(db));
+  EXPECT_TRUE(copy.IsSubsetOf(db));
+  copy.Insert("s", Tuple{Value::Int(6)});
+  EXPECT_FALSE(copy.Equals(db));
+  EXPECT_TRUE(db.IsSubsetOf(copy));
+  EXPECT_FALSE(copy.IsSubsetOf(db));
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,107 @@
+#include "io/shell.h"
+
+#include <gtest/gtest.h>
+
+namespace scalein {
+namespace {
+
+/// Runs a command that must succeed, returning its output.
+std::string Must(Shell* shell, std::string_view line) {
+  Result<std::string> out = shell->Execute(line);
+  SI_CHECK_MSG(out.ok(), out.status().message().c_str());
+  return *out;
+}
+
+Shell LoadedShell() {
+  Shell shell;
+  Must(&shell, "schema relation person(id, name, city)");
+  Must(&shell, "schema relation friend(id1, id2)");
+  Must(&shell, "access access friend(id1) N=50");
+  Must(&shell, "access key person(id)");
+  Must(&shell, "row person 1,\"ada\",\"NYC\"");
+  Must(&shell, "row person 2,\"bob\",\"LA\"");
+  Must(&shell, "row person 3,\"cyd\",\"NYC\"");
+  Must(&shell, "row friend 1,2");
+  Must(&shell, "row friend 1,3");
+  return shell;
+}
+
+TEST(ShellTest, SchemaAndShow) {
+  Shell shell = LoadedShell();
+  std::string out = Must(&shell, "show");
+  EXPECT_NE(out.find("person(id, name, city)"), std::string::npos);
+  EXPECT_NE(out.find("N=50"), std::string::npos);
+  EXPECT_NE(out.find("|D| = 5 tuples"), std::string::npos);
+}
+
+TEST(ShellTest, CommentsAndBlanksIgnored) {
+  Shell shell;
+  EXPECT_EQ(Must(&shell, "   "), "");
+  EXPECT_EQ(Must(&shell, "# a comment"), "");
+}
+
+TEST(ShellTest, AnalyzeReportsControllingSets) {
+  Shell shell = LoadedShell();
+  std::string out = Must(
+      &shell,
+      "analyze Q(p, name) := exists id. friend(p, id) and person(id, name, "
+      "\"NYC\")");
+  EXPECT_NE(out.find("controlled by {p}"), std::string::npos);
+  EXPECT_NE(out.find("fetch bound 100"), std::string::npos);  // 50 + 50*1
+}
+
+TEST(ShellTest, EvalReturnsAnswersAndFetchCount) {
+  Shell shell = LoadedShell();
+  std::string out = Must(
+      &shell,
+      "eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, "
+      "\"NYC\")");
+  EXPECT_NE(out.find("\"cyd\""), std::string::npos);
+  EXPECT_EQ(out.find("\"bob\""), std::string::npos);  // bob is in LA
+  EXPECT_NE(out.find("base tuples fetched"), std::string::npos);
+}
+
+TEST(ShellTest, QdsiCommand) {
+  Shell shell = LoadedShell();
+  std::string out = Must(&shell, "qdsi 5 Q(x) :- friend(x, y)");
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  Result<std::string> bad = shell.Execute("qdsi abc Q(x) :- friend(x, y)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ShellTest, ConformanceCommand) {
+  Shell shell = LoadedShell();
+  std::string out = Must(&shell, "conformance");
+  EXPECT_NE(out.find("conforms: yes"), std::string::npos);
+  // Violate the friend cap declared as N=50? Tighter: redeclare N=1 and check.
+  Must(&shell, "access access friend(id1) N=1");
+  std::string bad = Must(&shell, "conformance");
+  EXPECT_NE(bad.find("conforms: no"), std::string::npos);
+}
+
+TEST(ShellTest, ErrorsAreReportedNotFatal) {
+  Shell shell = LoadedShell();
+  EXPECT_FALSE(shell.Execute("bogus command").ok());
+  EXPECT_FALSE(shell.Execute("row ghost 1,2").ok());
+  EXPECT_FALSE(shell.Execute("analyze Q( :=").ok());
+  EXPECT_FALSE(shell.Execute("schema relation person(dup)").ok());
+  // The shell still works afterwards.
+  EXPECT_NE(Must(&shell, "show").find("person"), std::string::npos);
+}
+
+TEST(ShellTest, SchemaFrozenAfterData) {
+  Shell shell = LoadedShell();
+  Result<std::string> r = shell.Execute("schema relation extra(x)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShellTest, HelpListsCommands) {
+  Shell shell;
+  std::string out = Must(&shell, "help");
+  EXPECT_NE(out.find("analyze"), std::string::npos);
+  EXPECT_NE(out.find("qdsi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalein

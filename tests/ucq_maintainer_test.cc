@@ -1,0 +1,160 @@
+#include "incremental/ucq_maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cq_evaluator.h"
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+struct Fixture {
+  Schema schema;
+  Database db{Schema{}};
+  AccessSchema access;
+  Ucq q{"Q", {Cq("Q", {}, {})}};
+
+  Fixture() {
+    schema.Relation("likes", {"p", "item"});
+    schema.Relation("owns", {"p", "item"});
+    schema.Relation("item", {"item", "tag"});
+    db = Database(schema);
+    access.Add("likes", {"p"}, 16);
+    access.Add("owns", {"p"}, 16);
+    access.AddKey("item", {"item"});
+    access.Add("likes", {"p", "item"}, 1);
+    access.Add("owns", {"p", "item"}, 1);
+    access.Add("item", {"item", "tag"}, 1);
+    Result<Ucq> parsed = ParseUcq(
+        "Q(p, item) :- likes(p, item), item(item, \"hot\")\n"
+        "Q(p, item) :- owns(p, item), item(item, \"hot\")\n",
+        &schema);
+    SI_CHECK_MSG(parsed.ok(), parsed.status().message().c_str());
+    q = *std::move(parsed);
+
+    Rng rng(8);
+    for (int64_t i = 0; i < 30; ++i) {
+      db.Insert("item",
+                Tuple{Value::Int(i),
+                      Value::Str(rng.Bernoulli(0.4) ? "hot" : "cold")});
+    }
+    for (int64_t p = 0; p < 10; ++p) {
+      for (int k = 0; k < 4; ++k) {
+        db.Insert("likes", Tuple{Value::Int(p),
+                                 Value::Int(static_cast<int64_t>(rng.Uniform(30)))});
+        db.Insert("owns", Tuple{Value::Int(p),
+                                Value::Int(static_cast<int64_t>(rng.Uniform(30)))});
+      }
+    }
+    SI_CHECK(access.BuildIndexes(&db, schema).ok());
+  }
+
+  AnswerSet Recompute(const Binding& params) {
+    CqEvaluator eval(&db);
+    return eval.EvaluateFull(q, params);
+  }
+};
+
+TEST(UcqMaintainerTest, CreationAndSupport) {
+  Fixture f;
+  Result<UcqMaintainer> m =
+      UcqMaintainer::Create(f.q, f.schema, f.access, {V("p")});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(m->SupportsInsertions("likes"));
+  EXPECT_TRUE(m->SupportsInsertions("owns"));
+  EXPECT_TRUE(m->SupportsDeletions());
+}
+
+TEST(UcqMaintainerTest, MaintainRequiresInitialize) {
+  Fixture f;
+  Result<UcqMaintainer> m =
+      UcqMaintainer::Create(f.q, f.schema, f.access, {V("p")});
+  ASSERT_TRUE(m.ok());
+  Update u;
+  Result<AnswerSet> r = m->Maintain(&f.db, u, {{V("p"), Value::Int(1)}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(UcqMaintainerTest, UnionSurvivesSingleDisjunctDeletion) {
+  Fixture f;
+  // Craft an item both liked and owned by person 1.
+  f.db.Insert("item", Tuple{Value::Int(99), Value::Str("hot")});
+  f.db.Insert("likes", Tuple{Value::Int(1), Value::Int(99)});
+  f.db.Insert("owns", Tuple{Value::Int(1), Value::Int(99)});
+
+  Result<UcqMaintainer> m =
+      UcqMaintainer::Create(f.q, f.schema, f.access, {V("p")});
+  ASSERT_TRUE(m.ok());
+  Binding params{{V("p"), Value::Int(1)}};
+  Result<AnswerSet> initial = m->Initialize(&f.db, params);
+  ASSERT_TRUE(initial.ok());
+  Tuple both{Value::Int(1), Value::Int(99)};
+  ASSERT_TRUE(initial->count(both));
+
+  // Deleting the like must keep the answer (still owned)...
+  Update drop_like;
+  drop_like.AddDeletion("likes", Tuple{Value::Int(1), Value::Int(99)});
+  Result<AnswerSet> after_like = m->Maintain(&f.db, drop_like, params);
+  ASSERT_TRUE(after_like.ok()) << after_like.status().ToString();
+  EXPECT_TRUE(after_like->count(both));
+  EXPECT_EQ(*after_like, f.Recompute(params));
+
+  // ...and deleting the ownership too finally removes it.
+  Update drop_own;
+  drop_own.AddDeletion("owns", Tuple{Value::Int(1), Value::Int(99)});
+  Result<AnswerSet> after_own = m->Maintain(&f.db, drop_own, params);
+  ASSERT_TRUE(after_own.ok());
+  EXPECT_FALSE(after_own->count(both));
+  EXPECT_EQ(*after_own, f.Recompute(params));
+}
+
+TEST(UcqMaintainerTest, RandomMixedStreamMatchesRecomputation) {
+  Fixture f;
+  Result<UcqMaintainer> m =
+      UcqMaintainer::Create(f.q, f.schema, f.access, {V("p")});
+  ASSERT_TRUE(m.ok());
+  Binding params{{V("p"), Value::Int(2)}};
+  ASSERT_TRUE(m->Initialize(&f.db, params).ok());
+
+  Rng rng(77);
+  for (int batch = 0; batch < 6; ++batch) {
+    Update u;
+    // A few random insertions into likes/owns.
+    for (int i = 0; i < 4; ++i) {
+      const char* rel = rng.Bernoulli(0.5) ? "likes" : "owns";
+      Tuple t{Value::Int(static_cast<int64_t>(rng.Uniform(10))),
+              Value::Int(static_cast<int64_t>(rng.Uniform(31)))};
+      if (!f.db.relation(rel).Contains(t)) {
+        bool dup = false;
+        auto it = u.insertions.find(rel);
+        if (it != u.insertions.end()) {
+          for (const Tuple& existing : it->second) dup |= existing == t;
+        }
+        if (!dup) u.AddInsertion(rel, t);
+      }
+    }
+    // A couple of deletions.
+    for (int i = 0; i < 2; ++i) {
+      const char* rel = rng.Bernoulli(0.5) ? "likes" : "owns";
+      const Relation& r = f.db.relation(rel);
+      if (r.empty()) continue;
+      Tuple t = ToTuple(r.TupleAt(rng.Uniform(r.size())));
+      bool dup = false;
+      auto it = u.deletions.find(rel);
+      if (it != u.deletions.end()) {
+        for (const Tuple& existing : it->second) dup |= existing == t;
+      }
+      if (!dup) u.AddDeletion(rel, t);
+    }
+    Result<AnswerSet> maintained = m->Maintain(&f.db, u, params);
+    ASSERT_TRUE(maintained.ok()) << maintained.status().ToString();
+    EXPECT_EQ(*maintained, f.Recompute(params)) << "batch " << batch;
+  }
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,91 @@
+#include "relational/value.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace scalein {
+namespace {
+
+TEST(ValueTest, IntBasics) {
+  Value v = Value::Int(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, NegativeInt) {
+  Value v = Value::Int(-7);
+  EXPECT_EQ(v.AsInt(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, StringBasics) {
+  Value v = Value::Str("NYC");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "NYC");
+  EXPECT_EQ(v.ToString(), "\"NYC\"");
+}
+
+TEST(ValueTest, StringInterningGivesEquality) {
+  Value a = Value::Str("hello");
+  Value b = Value::Str("hello");
+  Value c = Value::Str("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, IntAndStringNeverEqual) {
+  // Interned string ids could collide numerically with int payloads; the kind
+  // tag must keep them apart.
+  Value s = Value::Str("zero-ish");
+  Value i = Value::Int(0);
+  EXPECT_NE(s, i);
+}
+
+TEST(ValueTest, OrderingIntsBeforeStringsAndLexicographic) {
+  Value i1 = Value::Int(5);
+  Value i2 = Value::Int(9);
+  Value s1 = Value::Str("abc");
+  Value s2 = Value::Str("abd");
+  EXPECT_LT(i1, i2);
+  EXPECT_LT(i2, s1);
+  EXPECT_LT(s1, s2);
+  EXPECT_FALSE(s2 < s1);
+}
+
+TEST(ValueTest, OrderingIsByContentNotInternId) {
+  // Intern "zzz" before "aaa": order must still be lexicographic.
+  Value z = Value::Str("zzz$order");
+  Value a = Value::Str("aaa$order");
+  EXPECT_LT(a, z);
+}
+
+TEST(ValueTest, UsableInOrderedAndUnorderedContainers) {
+  std::set<Value> ordered{Value::Int(3), Value::Int(1), Value::Str("x")};
+  EXPECT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered.begin()->AsInt(), 1);
+
+  std::unordered_set<Value, ValueHash> hashed;
+  for (int i = 0; i < 100; ++i) hashed.insert(Value::Int(i % 10));
+  EXPECT_EQ(hashed.size(), 10u);
+}
+
+TEST(ValueTest, EmptyStringIsValid) {
+  Value v = Value::Str("");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "");
+  EXPECT_EQ(v, Value::Str(""));
+}
+
+}  // namespace
+}  // namespace scalein

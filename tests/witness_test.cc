@@ -1,0 +1,147 @@
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "workload/setcover_gen.h"
+
+namespace scalein {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.Relation("e", {"a", "b"}).Relation("v", {"a"});
+  return s;
+}
+
+Cq Q(const char* text) {
+  Result<Cq> q = ParseCq(text);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(WitnessTest, SubDatabaseAndAllTuples) {
+  Database db(GraphSchema());
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("v", Tuple{Value::Int(1)});
+  std::vector<TupleRef> all = AllTuples(db);
+  EXPECT_EQ(all.size(), 2u);
+  TupleSet just_v{{"v", Tuple{Value::Int(1)}}};
+  Database sub = SubDatabase(db, just_v);
+  EXPECT_EQ(sub.TotalTuples(), 1u);
+  EXPECT_TRUE(sub.relation("v").Contains(Tuple{Value::Int(1)}));
+  EXPECT_TRUE(sub.relation("e").empty());
+}
+
+TEST(WitnessTest, WitnessProblemCq) {
+  Database db(GraphSchema());
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("e", Tuple{Value::Int(3), Value::Int(4)});
+  Cq q = Q("Q(x) :- e(x, y)");
+  // Dropping one e-tuple loses an answer.
+  TupleSet partial{{"e", Tuple{Value::Int(1), Value::Int(2)}}};
+  EXPECT_FALSE(IsWitnessCq(q, db, SubDatabase(db, partial)));
+  TupleSet full{{"e", Tuple{Value::Int(1), Value::Int(2)}},
+                {"e", Tuple{Value::Int(3), Value::Int(4)}}};
+  EXPECT_TRUE(IsWitnessCq(q, db, SubDatabase(db, full)));
+}
+
+TEST(WitnessTest, AnswerSupportsAreMinimal) {
+  Database db(GraphSchema());
+  // Answer 1 is derivable through two different middle vertices.
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(3)});
+  db.Insert("e", Tuple{Value::Int(2), Value::Int(9)});
+  db.Insert("e", Tuple{Value::Int(3), Value::Int(9)});
+  Cq q = Q("Q(x) :- e(x, y), e(y, z)");
+  std::vector<TupleSet> supports =
+      AnswerSupports(q, db, Tuple{Value::Int(1)});
+  EXPECT_EQ(supports.size(), 2u);
+  for (const TupleSet& s : supports) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(WitnessTest, SupportOfSelfLoopIsSingleton) {
+  Database db(GraphSchema());
+  db.Insert("e", Tuple{Value::Int(5), Value::Int(5)});
+  Cq q = Q("Q(x) :- e(x, y), e(y, x)");
+  std::vector<TupleSet> supports =
+      AnswerSupports(q, db, Tuple{Value::Int(5)});
+  ASSERT_EQ(supports.size(), 1u);
+  EXPECT_EQ(supports[0].size(), 1u);  // both atoms map to the same tuple
+}
+
+TEST(WitnessTest, GreedyWitnessCoversAllAnswers) {
+  SetCoverConfig config;
+  config.num_elements = 12;
+  config.num_sets = 5;
+  config.planted_cover_size = 2;
+  config.noise_memberships = 10;
+  SetCoverInstance inst = GenerateSetCover(config);
+  TupleSet witness = GreedyWitnessCq(inst.query, inst.db);
+  EXPECT_TRUE(IsWitnessCq(inst.query, inst.db, SubDatabase(inst.db, witness)));
+}
+
+TEST(WitnessTest, MinimumWitnessMatchesPlantedCover) {
+  SetCoverConfig config;
+  config.num_elements = 10;
+  config.num_sets = 6;
+  config.planted_cover_size = 2;
+  config.noise_memberships = 0;  // planted cover is exactly optimal
+  SetCoverInstance inst = GenerateSetCover(config);
+  MinWitnessResult result =
+      MinimumWitnessCq(inst.query, inst.db, /*budget=*/100);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(result.exact);
+  // Minimum = one covers-tuple per element + the planted number of setreps.
+  EXPECT_EQ(result.witness->size(),
+            config.num_elements + config.planted_cover_size);
+  EXPECT_TRUE(
+      IsWitnessCq(inst.query, inst.db, SubDatabase(inst.db, *result.witness)));
+}
+
+TEST(WitnessTest, MinimumWitnessRespectsBudget) {
+  SetCoverConfig config;
+  config.num_elements = 10;
+  config.num_sets = 6;
+  config.planted_cover_size = 2;
+  config.noise_memberships = 0;
+  SetCoverInstance inst = GenerateSetCover(config);
+  MinWitnessResult impossible =
+      MinimumWitnessCq(inst.query, inst.db, /*budget=*/5);
+  EXPECT_FALSE(impossible.witness.has_value());
+  EXPECT_TRUE(impossible.exact);
+}
+
+TEST(WitnessTest, GreedyNeverBeatsExact) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SetCoverConfig config;
+    config.num_elements = 8;
+    config.num_sets = 5;
+    config.planted_cover_size = 2;
+    config.noise_memberships = 12;
+    config.seed = seed;
+    SetCoverInstance inst = GenerateSetCover(config);
+    TupleSet greedy = GreedyWitnessCq(inst.query, inst.db);
+    MinWitnessResult exact = MinimumWitnessCq(inst.query, inst.db, 1000);
+    ASSERT_TRUE(exact.witness.has_value());
+    EXPECT_LE(exact.witness->size(), greedy.size()) << "seed " << seed;
+  }
+}
+
+TEST(WitnessTest, BooleanSupports) {
+  Database db(GraphSchema());
+  db.Insert("e", Tuple{Value::Int(1), Value::Int(2)});
+  Cq q = Q("Q() :- e(x, y)");
+  MinWitnessResult result = MinimumWitnessCq(q, db, 10);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_EQ(result.witness->size(), 1u);
+
+  // When the query is false, the empty witness suffices.
+  Cq loop = Q("Q() :- e(x, x)");
+  MinWitnessResult empty = MinimumWitnessCq(loop, db, 10);
+  ASSERT_TRUE(empty.witness.has_value());
+  EXPECT_TRUE(empty.witness->empty());
+}
+
+}  // namespace
+}  // namespace scalein

@@ -1,0 +1,157 @@
+#include "workload/social_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/formula_gen.h"
+#include "workload/setcover_gen.h"
+#include "workload/update_gen.h"
+
+namespace scalein {
+namespace {
+
+TEST(SocialGenTest, DeterministicForSameSeed) {
+  SocialConfig config;
+  config.num_persons = 50;
+  Database a = GenerateSocial(config);
+  Database b = GenerateSocial(config);
+  EXPECT_TRUE(a.Equals(b));
+  config.seed = 43;
+  Database c = GenerateSocial(config);
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(SocialGenTest, RespectsFriendCap) {
+  SocialConfig config;
+  config.num_persons = 100;
+  config.max_friends_per_person = 5;
+  Database db = GenerateSocial(config);
+  Relation& friends = db.relation("friend");
+  const HashIndex& by_person = friends.EnsureIndex({0});
+  EXPECT_LE(by_person.MaxBucketSize(), 5u);
+}
+
+TEST(SocialGenTest, DatedVisitsKeepFd) {
+  SocialConfig config;
+  config.num_persons = 60;
+  config.dated_visits = true;
+  config.avg_visits_per_person = 8;
+  Database db = GenerateSocial(config);
+  Schema schema = SocialSchema(true);
+  AccessSchema access = SocialAccessSchema(config);
+  Result<ConformanceReport> report = CheckConformance(db, schema, access);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->conforms);
+}
+
+TEST(SocialGenTest, UndatedConformance) {
+  SocialConfig config;
+  config.num_persons = 120;
+  config.max_friends_per_person = 7;
+  Database db = GenerateSocial(config);
+  Result<ConformanceReport> report =
+      CheckConformance(db, SocialSchema(false), SocialAccessSchema(config));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->conforms);
+}
+
+TEST(SetCoverGenTest, PlantedCoverExists) {
+  SetCoverConfig config;
+  config.num_elements = 20;
+  config.num_sets = 8;
+  config.planted_cover_size = 3;
+  SetCoverInstance inst = GenerateSetCover(config);
+  // Every element is covered by one of the first `planted_cover_size` sets.
+  Relation& covers = inst.db.relation("covers");
+  const HashIndex& by_elem = covers.EnsureIndex({1});
+  for (uint64_t x = 0; x < config.num_elements; ++x) {
+    const std::vector<uint32_t>* rows =
+        by_elem.Lookup(Tuple{Value::Int(static_cast<int64_t>(x))});
+    ASSERT_NE(rows, nullptr) << "element " << x << " uncovered";
+    bool planted = false;
+    for (uint32_t r : *rows) {
+      if (covers.TupleAt(r)[0].AsInt() <
+          static_cast<int64_t>(config.planted_cover_size)) {
+        planted = true;
+      }
+    }
+    EXPECT_TRUE(planted);
+  }
+}
+
+TEST(FormulaGenTest, RandomCqIsSafeAndDeterministic) {
+  FormulaGenConfig config;
+  Rng rng1(5);
+  Rng rng2(5);
+  Schema s1 = RandomSchema(config, &rng1);
+  Schema s2 = RandomSchema(config, &rng2);
+  Cq q1 = RandomCq(s1, config, 3, &rng1);
+  Cq q2 = RandomCq(s2, config, 3, &rng2);
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+  EXPECT_TRUE(q1.IsSafe());
+}
+
+TEST(FormulaGenTest, RandomFoQueryIsWellFormed) {
+  FormulaGenConfig config;
+  Rng rng(9);
+  Schema s = RandomSchema(config, &rng);
+  for (int i = 0; i < 20; ++i) {
+    FoQuery q = RandomFoQuery(s, config, 1 + rng.Uniform(6), &rng);
+    EXPECT_TRUE(q.IsWellFormed()) << q.ToString();
+  }
+}
+
+TEST(UpdateGenTest, RandomUpdateIsValid) {
+  FormulaGenConfig config;
+  Rng rng(4);
+  Schema s = RandomSchema(config, &rng);
+  Database db = RandomDatabase(s, config, 15, &rng);
+  for (int i = 0; i < 10; ++i) {
+    Update u = RandomUpdate(db, 2, 2, config.domain_size, &rng);
+    EXPECT_TRUE(u.Validate(db).ok()) << u.ToString();
+  }
+}
+
+TEST(UpdateGenTest, VisitInsertionsKeepConformance) {
+  SocialConfig config;
+  config.num_persons = 60;
+  config.dated_visits = true;
+  Database db = GenerateSocial(config);
+  Rng rng(3);
+  for (int batch = 0; batch < 3; ++batch) {
+    Update u = VisitInsertions(db, config, 15, &rng);
+    EXPECT_TRUE(u.Validate(db).ok());
+    ApplyUpdate(&db, u);
+  }
+  Result<ConformanceReport> report =
+      CheckConformance(db, SocialSchema(true), SocialAccessSchema(config));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->conforms);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Zipf(50, 0.8), 50u);
+    EXPECT_LT(rng.Zipf(50, 0.0), 50u);
+    EXPECT_LT(rng.Zipf(1, 1.5), 1u);
+  }
+}
+
+TEST(RngTest, UniformBoundsAndDeterminism) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Uniform(13);
+    EXPECT_LT(va, 13u);
+    EXPECT_EQ(va, b.Uniform(13));
+  }
+  Rng c(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = c.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace scalein
