@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controllability.dir/bench_controllability.cc.o"
+  "CMakeFiles/bench_controllability.dir/bench_controllability.cc.o.d"
+  "bench_controllability"
+  "bench_controllability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controllability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

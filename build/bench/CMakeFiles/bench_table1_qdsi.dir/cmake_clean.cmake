@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_qdsi.dir/bench_table1_qdsi.cc.o"
+  "CMakeFiles/bench_table1_qdsi.dir/bench_table1_qdsi.cc.o.d"
+  "bench_table1_qdsi"
+  "bench_table1_qdsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_qdsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vqsi.dir/bench_vqsi.cc.o"
+  "CMakeFiles/bench_vqsi.dir/bench_vqsi.cc.o.d"
+  "bench_vqsi"
+  "bench_vqsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vqsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_feed.dir/incremental_feed.cpp.o"
+  "CMakeFiles/incremental_feed.dir/incremental_feed.cpp.o.d"
+  "incremental_feed"
+  "incremental_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

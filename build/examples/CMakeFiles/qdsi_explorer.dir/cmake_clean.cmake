@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdsi_explorer.dir/qdsi_explorer.cpp.o"
+  "CMakeFiles/qdsi_explorer.dir/qdsi_explorer.cpp.o.d"
+  "qdsi_explorer"
+  "qdsi_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdsi_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalein_shell.dir/scalein_shell.cpp.o"
+  "CMakeFiles/scalein_shell.dir/scalein_shell.cpp.o.d"
+  "scalein_shell"
+  "scalein_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalein_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_search.dir/social_search.cpp.o"
+  "CMakeFiles/social_search.dir/social_search.cpp.o.d"
+  "social_search"
+  "social_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_schema.cc" "src/CMakeFiles/scalein.dir/core/access_schema.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/access_schema.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/scalein.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/approx.cc" "src/CMakeFiles/scalein.dir/core/approx.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/approx.cc.o.d"
+  "/root/repo/src/core/bounded_eval.cc" "src/CMakeFiles/scalein.dir/core/bounded_eval.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/bounded_eval.cc.o.d"
+  "/root/repo/src/core/controllability.cc" "src/CMakeFiles/scalein.dir/core/controllability.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/controllability.cc.o.d"
+  "/root/repo/src/core/embedded_controllability.cc" "src/CMakeFiles/scalein.dir/core/embedded_controllability.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/embedded_controllability.cc.o.d"
+  "/root/repo/src/core/qdsi.cc" "src/CMakeFiles/scalein.dir/core/qdsi.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/qdsi.cc.o.d"
+  "/root/repo/src/core/qsi.cc" "src/CMakeFiles/scalein.dir/core/qsi.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/qsi.cc.o.d"
+  "/root/repo/src/core/witness.cc" "src/CMakeFiles/scalein.dir/core/witness.cc.o" "gcc" "src/CMakeFiles/scalein.dir/core/witness.cc.o.d"
+  "/root/repo/src/eval/containment.cc" "src/CMakeFiles/scalein.dir/eval/containment.cc.o" "gcc" "src/CMakeFiles/scalein.dir/eval/containment.cc.o.d"
+  "/root/repo/src/eval/cq_evaluator.cc" "src/CMakeFiles/scalein.dir/eval/cq_evaluator.cc.o" "gcc" "src/CMakeFiles/scalein.dir/eval/cq_evaluator.cc.o.d"
+  "/root/repo/src/eval/fo_evaluator.cc" "src/CMakeFiles/scalein.dir/eval/fo_evaluator.cc.o" "gcc" "src/CMakeFiles/scalein.dir/eval/fo_evaluator.cc.o.d"
+  "/root/repo/src/eval/ra_evaluator.cc" "src/CMakeFiles/scalein.dir/eval/ra_evaluator.cc.o" "gcc" "src/CMakeFiles/scalein.dir/eval/ra_evaluator.cc.o.d"
+  "/root/repo/src/incremental/delta_qsi.cc" "src/CMakeFiles/scalein.dir/incremental/delta_qsi.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/delta_qsi.cc.o.d"
+  "/root/repo/src/incremental/delta_rules.cc" "src/CMakeFiles/scalein.dir/incremental/delta_rules.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/delta_rules.cc.o.d"
+  "/root/repo/src/incremental/key_preserving.cc" "src/CMakeFiles/scalein.dir/incremental/key_preserving.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/key_preserving.cc.o.d"
+  "/root/repo/src/incremental/maintainer.cc" "src/CMakeFiles/scalein.dir/incremental/maintainer.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/maintainer.cc.o.d"
+  "/root/repo/src/incremental/raa_rules.cc" "src/CMakeFiles/scalein.dir/incremental/raa_rules.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/raa_rules.cc.o.d"
+  "/root/repo/src/incremental/ucq_maintainer.cc" "src/CMakeFiles/scalein.dir/incremental/ucq_maintainer.cc.o" "gcc" "src/CMakeFiles/scalein.dir/incremental/ucq_maintainer.cc.o.d"
+  "/root/repo/src/io/catalog.cc" "src/CMakeFiles/scalein.dir/io/catalog.cc.o" "gcc" "src/CMakeFiles/scalein.dir/io/catalog.cc.o.d"
+  "/root/repo/src/io/shell.cc" "src/CMakeFiles/scalein.dir/io/shell.cc.o" "gcc" "src/CMakeFiles/scalein.dir/io/shell.cc.o.d"
+  "/root/repo/src/query/cq.cc" "src/CMakeFiles/scalein.dir/query/cq.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/cq.cc.o.d"
+  "/root/repo/src/query/cq_to_ra.cc" "src/CMakeFiles/scalein.dir/query/cq_to_ra.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/cq_to_ra.cc.o.d"
+  "/root/repo/src/query/fo_to_ra.cc" "src/CMakeFiles/scalein.dir/query/fo_to_ra.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/fo_to_ra.cc.o.d"
+  "/root/repo/src/query/formula.cc" "src/CMakeFiles/scalein.dir/query/formula.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/formula.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/scalein.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/printer.cc" "src/CMakeFiles/scalein.dir/query/printer.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/printer.cc.o.d"
+  "/root/repo/src/query/ra_expr.cc" "src/CMakeFiles/scalein.dir/query/ra_expr.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/ra_expr.cc.o.d"
+  "/root/repo/src/query/term.cc" "src/CMakeFiles/scalein.dir/query/term.cc.o" "gcc" "src/CMakeFiles/scalein.dir/query/term.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/scalein.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/index.cc" "src/CMakeFiles/scalein.dir/relational/index.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/index.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/scalein.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/scalein.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/scalein.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/scalein.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/scalein.dir/relational/value.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/scalein.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/scalein.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/scalein.dir/util/status.cc.o" "gcc" "src/CMakeFiles/scalein.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/scalein.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/scalein.dir/util/strings.cc.o.d"
+  "/root/repo/src/views/rewriting.cc" "src/CMakeFiles/scalein.dir/views/rewriting.cc.o" "gcc" "src/CMakeFiles/scalein.dir/views/rewriting.cc.o.d"
+  "/root/repo/src/views/view_def.cc" "src/CMakeFiles/scalein.dir/views/view_def.cc.o" "gcc" "src/CMakeFiles/scalein.dir/views/view_def.cc.o.d"
+  "/root/repo/src/views/view_exec.cc" "src/CMakeFiles/scalein.dir/views/view_exec.cc.o" "gcc" "src/CMakeFiles/scalein.dir/views/view_exec.cc.o.d"
+  "/root/repo/src/views/vqsi.cc" "src/CMakeFiles/scalein.dir/views/vqsi.cc.o" "gcc" "src/CMakeFiles/scalein.dir/views/vqsi.cc.o.d"
+  "/root/repo/src/workload/formula_gen.cc" "src/CMakeFiles/scalein.dir/workload/formula_gen.cc.o" "gcc" "src/CMakeFiles/scalein.dir/workload/formula_gen.cc.o.d"
+  "/root/repo/src/workload/setcover_gen.cc" "src/CMakeFiles/scalein.dir/workload/setcover_gen.cc.o" "gcc" "src/CMakeFiles/scalein.dir/workload/setcover_gen.cc.o.d"
+  "/root/repo/src/workload/social_gen.cc" "src/CMakeFiles/scalein.dir/workload/social_gen.cc.o" "gcc" "src/CMakeFiles/scalein.dir/workload/social_gen.cc.o.d"
+  "/root/repo/src/workload/update_gen.cc" "src/CMakeFiles/scalein.dir/workload/update_gen.cc.o" "gcc" "src/CMakeFiles/scalein.dir/workload/update_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

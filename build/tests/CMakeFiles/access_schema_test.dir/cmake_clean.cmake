@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_schema_test.dir/access_schema_test.cc.o"
+  "CMakeFiles/access_schema_test.dir/access_schema_test.cc.o.d"
+  "access_schema_test"
+  "access_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

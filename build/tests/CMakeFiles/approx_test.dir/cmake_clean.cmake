@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_test.dir/approx_test.cc.o"
+  "CMakeFiles/approx_test.dir/approx_test.cc.o.d"
+  "approx_test"
+  "approx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllability_fuzz_test.dir/controllability_fuzz_test.cc.o"
+  "CMakeFiles/controllability_fuzz_test.dir/controllability_fuzz_test.cc.o.d"
+  "controllability_fuzz_test"
+  "controllability_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllability_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_evaluator_test.dir/cq_evaluator_test.cc.o"
+  "CMakeFiles/cq_evaluator_test.dir/cq_evaluator_test.cc.o.d"
+  "cq_evaluator_test"
+  "cq_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

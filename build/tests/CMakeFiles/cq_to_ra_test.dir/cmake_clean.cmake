@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_to_ra_test.dir/cq_to_ra_test.cc.o"
+  "CMakeFiles/cq_to_ra_test.dir/cq_to_ra_test.cc.o.d"
+  "cq_to_ra_test"
+  "cq_to_ra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_to_ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_qsi_test.dir/delta_qsi_test.cc.o"
+  "CMakeFiles/delta_qsi_test.dir/delta_qsi_test.cc.o.d"
+  "delta_qsi_test"
+  "delta_qsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_qsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_to_ra_test.dir/fo_to_ra_test.cc.o"
+  "CMakeFiles/fo_to_ra_test.dir/fo_to_ra_test.cc.o.d"
+  "fo_to_ra_test"
+  "fo_to_ra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_to_ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

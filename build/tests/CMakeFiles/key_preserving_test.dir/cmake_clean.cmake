@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_preserving_test.dir/key_preserving_test.cc.o"
+  "CMakeFiles/key_preserving_test.dir/key_preserving_test.cc.o.d"
+  "key_preserving_test"
+  "key_preserving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_preserving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdsi_test.dir/qdsi_test.cc.o"
+  "CMakeFiles/qdsi_test.dir/qdsi_test.cc.o.d"
+  "qdsi_test"
+  "qdsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

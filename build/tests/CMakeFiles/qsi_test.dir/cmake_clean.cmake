@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsi_test.dir/qsi_test.cc.o"
+  "CMakeFiles/qsi_test.dir/qsi_test.cc.o.d"
+  "qsi_test"
+  "qsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

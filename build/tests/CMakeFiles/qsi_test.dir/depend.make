@@ -1,0 +1,2 @@
+# Empty dependencies file for qsi_test.
+# This may be replaced when dependencies are built.

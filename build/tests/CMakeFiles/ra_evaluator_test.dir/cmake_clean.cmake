@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_evaluator_test.dir/ra_evaluator_test.cc.o"
+  "CMakeFiles/ra_evaluator_test.dir/ra_evaluator_test.cc.o.d"
+  "ra_evaluator_test"
+  "ra_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

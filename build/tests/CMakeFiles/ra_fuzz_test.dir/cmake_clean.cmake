@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_fuzz_test.dir/ra_fuzz_test.cc.o"
+  "CMakeFiles/ra_fuzz_test.dir/ra_fuzz_test.cc.o.d"
+  "ra_fuzz_test"
+  "ra_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raa_rules_test.dir/raa_rules_test.cc.o"
+  "CMakeFiles/raa_rules_test.dir/raa_rules_test.cc.o.d"
+  "raa_rules_test"
+  "raa_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raa_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_database_test.dir/schema_database_test.cc.o"
+  "CMakeFiles/schema_database_test.dir/schema_database_test.cc.o.d"
+  "schema_database_test"
+  "schema_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucq_maintainer_test.dir/ucq_maintainer_test.cc.o"
+  "CMakeFiles/ucq_maintainer_test.dir/ucq_maintainer_test.cc.o.d"
+  "ucq_maintainer_test"
+  "ucq_maintainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucq_maintainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
