@@ -48,8 +48,10 @@ int main() {
          "bounded executor: fetches and latency flat in |D|; scan baseline "
          "linear in |D| — the gap widens to orders of magnitude");
 
-  TablePrinter table({"persons", "|D|", "bounded fetches", "bound", "bounded ms",
-                      "scan rows", "scan ms", "speedup"});
+  bench::JsonReport report("fig_bounded_q1");
+  TablePrinter table({"persons", "|D|", "bounded fetches", "index lookups",
+                      "bound", "bounded ms", "scan rows", "scan ms",
+                      "speedup"});
   for (uint64_t persons : {3000u, 30000u, 300000u}) {
     SocialConfig config;
     config.num_persons = persons;
@@ -90,10 +92,19 @@ int main() {
 
     table.AddRow({FormatCount(persons), FormatCount(db.TotalTuples()),
                   std::to_string(stats.base_tuples_fetched),
+                  std::to_string(stats.index_lookups),
                   FormatDouble(*analysis->StaticFetchBound({p}), 0),
                   FormatDouble(bounded_ms, 4), FormatCount(scan_rows),
                   FormatDouble(scan_ms, 3),
                   FormatDouble(scan_ms / bounded_ms, 1) + "x"});
+    std::string prefix = "persons_" + std::to_string(persons) + ".";
+    report.Add(prefix + "total_tuples", db.TotalTuples());
+    report.Add(prefix + "base_tuples_fetched", stats.base_tuples_fetched);
+    report.Add(prefix + "index_lookups", stats.index_lookups);
+    report.Add(prefix + "static_bound", *analysis->StaticFetchBound({p}));
+    report.Add(prefix + "bounded_ms", bounded_ms);
+    report.Add(prefix + "scan_rows", scan_rows);
+    report.Add(prefix + "scan_ms", scan_ms);
   }
   table.Print();
   std::printf(

@@ -29,8 +29,9 @@ int main() {
   Variable p = Variable::Named("p");
   Variable yy = Variable::Named("yy");
 
-  TablePrinter table({"persons", "|D|", "plan", "fetches", "static bound",
-                      "chase ms", "join-eval ms", "answers"});
+  bench::JsonReport report("fig_embedded_q3");
+  TablePrinter table({"persons", "|D|", "plan", "fetches", "index lookups",
+                      "static bound", "chase ms", "join-eval ms", "answers"});
   for (uint64_t persons : {2000u, 20000u, 200000u}) {
     SocialConfig config;
     config.num_persons = persons;
@@ -66,9 +67,17 @@ int main() {
     table.AddRow({FormatCount(persons), FormatCount(db.TotalTuples()),
                   std::to_string(analysis->plan().atom_plans.size()) + " atoms",
                   std::to_string(stats.base_tuples_fetched),
+                  std::to_string(stats.index_lookups),
                   FormatDouble(analysis->StaticFetchBound(), 0),
                   FormatDouble(chase_ms, 3), FormatDouble(join_ms, 3),
                   std::to_string(answers->size())});
+    std::string prefix = "persons_" + std::to_string(persons) + ".";
+    report.Add(prefix + "total_tuples", db.TotalTuples());
+    report.Add(prefix + "base_tuples_fetched", stats.base_tuples_fetched);
+    report.Add(prefix + "index_lookups", stats.index_lookups);
+    report.Add(prefix + "static_bound", analysis->StaticFetchBound());
+    report.Add(prefix + "chase_ms", chase_ms);
+    report.Add(prefix + "join_eval_ms", join_ms);
   }
   table.Print();
 

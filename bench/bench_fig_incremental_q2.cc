@@ -50,8 +50,9 @@ void GrowDatabase() {
   Header("E6a: maintenance vs recomputation while |D| grows",
          "Example 1.1(b) / Corollary 5.3 / Proposition 5.5",
          "maintenance fetches/latency flat in |D|; recomputation grows");
-  TablePrinter table({"persons", "|D|", "|dD|", "fetches", "maintain ms",
-                      "recompute ms", "speedup"});
+  bench::JsonReport report("incremental_q2_grow_db");
+  TablePrinter table({"persons", "|D|", "|dD|", "fetches", "index lookups",
+                      "maintain ms", "recompute ms", "speedup"});
   for (uint64_t persons : {5000u, 50000u, 250000u}) {
     Instance inst(persons);
     Variable p = Variable::Named("p");
@@ -78,8 +79,16 @@ void GrowDatabase() {
     table.AddRow({FormatCount(persons), FormatCount(inst.db.TotalTuples()),
                   std::to_string(u.TotalTuples()),
                   std::to_string(stats.base_tuples_fetched),
+                  std::to_string(stats.index_lookups),
                   FormatDouble(maintain_ms, 3), FormatDouble(recompute_ms, 3),
                   FormatDouble(recompute_ms / maintain_ms, 1) + "x"});
+    std::string prefix = "persons_" + std::to_string(persons) + ".";
+    report.Add(prefix + "total_tuples", inst.db.TotalTuples());
+    report.Add(prefix + "delta_tuples", u.TotalTuples());
+    report.Add(prefix + "base_tuples_fetched", stats.base_tuples_fetched);
+    report.Add(prefix + "index_lookups", stats.index_lookups);
+    report.Add(prefix + "maintain_ms", maintain_ms);
+    report.Add(prefix + "recompute_ms", recompute_ms);
   }
   table.Print();
 }
@@ -99,7 +108,9 @@ void GrowUpdate() {
   std::printf("static fetch bound per inserted visit tuple: %.0f\n",
               m->FetchBoundPerInsertedTuple("visit"));
 
-  TablePrinter table({"|dD|", "fetches", "fetches/|dD|", "maintain ms"});
+  bench::JsonReport report("incremental_q2_grow_update");
+  TablePrinter table(
+      {"|dD|", "fetches", "index lookups", "fetches/|dD|", "maintain ms"});
   Rng rng(66);
   for (size_t delta : {10u, 40u, 160u, 640u}) {
     Update u = VisitInsertions(inst.db, inst.config, delta, &rng);
@@ -109,10 +120,15 @@ void GrowUpdate() {
     double ms = timer.ElapsedMs();
     table.AddRow({std::to_string(u.TotalTuples()),
                   std::to_string(stats.base_tuples_fetched),
+                  std::to_string(stats.index_lookups),
                   FormatDouble(static_cast<double>(stats.base_tuples_fetched) /
                                    u.TotalTuples(),
                                2),
                   FormatDouble(ms, 3)});
+    std::string prefix = "delta_" + std::to_string(u.TotalTuples()) + ".";
+    report.Add(prefix + "base_tuples_fetched", stats.base_tuples_fetched);
+    report.Add(prefix + "index_lookups", stats.index_lookups);
+    report.Add(prefix + "maintain_ms", ms);
   }
   table.Print();
 }

@@ -32,8 +32,10 @@ int main() {
   SI_CHECK(rw.ok());
   Variable p = Variable::Named("p");
 
+  bench::JsonReport report("fig_views_q2");
   TablePrinter table({"persons", "|D|", "|V1|+|V2|", "base fetches",
-                      "view fetches", "views ms", "direct ms"});
+                      "view fetches", "index lookups", "views ms",
+                      "direct ms"});
   for (uint64_t persons : {5000u, 50000u, 250000u}) {
     SocialConfig config;
     config.num_persons = persons;
@@ -70,7 +72,15 @@ int main() {
                   FormatCount(view_sizes),
                   std::to_string(stats.base_tuples_fetched),
                   std::to_string(stats.view_tuples_fetched),
+                  std::to_string(stats.raw.index_lookups),
                   FormatDouble(views_ms, 3), FormatDouble(direct_ms, 3)});
+    std::string prefix = "persons_" + std::to_string(persons) + ".";
+    report.Add(prefix + "total_tuples", db.TotalTuples());
+    report.Add(prefix + "base_tuples_fetched", stats.base_tuples_fetched);
+    report.Add(prefix + "view_tuples_fetched", stats.view_tuples_fetched);
+    report.Add(prefix + "index_lookups", stats.raw.index_lookups);
+    report.Add(prefix + "views_ms", views_ms);
+    report.Add(prefix + "direct_ms", direct_ms);
   }
   table.Print();
   std::printf(

@@ -4,8 +4,73 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace scalein::bench {
+
+/// Machine-readable sidecar for a benchmark run: collects flat key → value
+/// metrics and writes them as BENCH_<name>.json in the working directory.
+/// Keys keep insertion order so the file diffs cleanly between runs; values
+/// are numbers or strings. Intended for plotting scripts and regression
+/// checks that should not scrape the human-readable tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { Write(); }
+
+  void Add(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  /// Writes BENCH_<name>.json; called automatically from the destructor
+  /// (subsequent calls are no-ops).
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+                 Escape(name_).c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   Escape(entries_[i].first).c_str(),
+                   entries_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  bool written_ = false;
+};
 
 /// Wall-clock stopwatch in milliseconds.
 class Timer {

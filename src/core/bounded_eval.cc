@@ -45,19 +45,21 @@ bool EvalConditionFormula(const Formula& f, const Binding& env) {
 
 using BindingSet = std::set<Binding>;
 
+/// Walks a controllability derivation, fetching data exclusively through the
+/// engine's metered access layer so its charges land in the same
+/// exec::ExecContext counters (budget, per-relation totals) every other
+/// evaluation path uses.
 class PlainExecutor {
  public:
-  PlainExecutor(Database* db, bool enforce_bounds, uint64_t fetch_budget,
-                BoundedEvalStats* stats)
-      : db_(db), enforce_bounds_(enforce_bounds), fetch_budget_(fetch_budget),
-        stats_(stats) {}
+  PlainExecutor(Database* db, bool enforce_bounds, exec::ExecContext* ctx)
+      : db_(db), enforce_bounds_(enforce_bounds), ctx_(ctx) {}
 
-  Status status() const { return status_; }
+  Status status() const { return ctx_->status(); }
 
   /// Returns bindings over free(node) − dom(env).
   BindingSet Eval(const NodeAnalysis& node, const ControlOption& opt,
                   const Binding& env) {
-    if (!status_.ok()) return {};
+    if (!ctx_->ok()) return {};
     if (opt.rule == "condition") {
       // Variables the condition *determines* (x = c pins, x = y chains back
       // to a controlled representative) extend the environment first.
@@ -92,7 +94,7 @@ class PlainExecutor {
   BindingSet EvalAtom(const NodeAnalysis& node, const ControlOption& opt,
                       const Binding& env) {
     const Formula& atom = node.formula;
-    Relation* rel = const_cast<Relation*>(db_->FindRelation(atom.relation()));
+    const Relation* rel = db_->FindRelation(atom.relation());
     if (rel == nullptr) return {};
 
     // Assemble the index key over the statement's X positions.
@@ -137,27 +139,26 @@ class PlainExecutor {
 
     if (positions.empty()) {
       // (R, ∅, N, T): the whole relation is the access unit.
-      CountFetch(atom.relation(), rel->size());
-      if (!status_.ok()) return {};
+      exec::ChargeFullAccess(ctx_, atom.relation(), *rel);
+      if (!ctx_->ok()) return {};
       if (enforce_bounds_ && rel->size() > opt.access->max_tuples) {
-        status_ = Status::ResourceExhausted(
+        ctx_->SetError(Status::ResourceExhausted(
             "relation " + atom.relation() + " exceeds declared N of " +
-            opt.access->ToString());
+            opt.access->ToString()));
         return {};
       }
       for (size_t i = 0; i < rel->size(); ++i) consume(rel->TupleAt(i));
       return out;
     }
 
-    const HashIndex& index = rel->EnsureIndex(positions);
-    const std::vector<uint32_t>* rows = index.Lookup(key);
-    CountFetch(atom.relation(), rows == nullptr ? 0 : rows->size());
-    if (!status_.ok()) return {};
+    const std::vector<uint32_t>* rows =
+        exec::MeteredIndexLookup(ctx_, atom.relation(), *rel, positions, key);
+    if (!ctx_->ok()) return {};
     if (rows == nullptr) return out;
     if (enforce_bounds_ && rows->size() > opt.access->max_tuples) {
-      status_ = Status::ResourceExhausted("σ on " + atom.relation() +
-                                          " exceeds declared N of " +
-                                          opt.access->ToString());
+      ctx_->SetError(Status::ResourceExhausted(
+          "σ on " + atom.relation() + " exceeds declared N of " +
+          opt.access->ToString()));
       return {};
     }
     for (uint32_t r : *rows) consume(rel->TupleAt(r));
@@ -180,7 +181,7 @@ class PlainExecutor {
           for (const auto& [v, val] : ext) merged.insert_or_assign(v, val);
           next.push_back(std::move(merged));
         }
-        if (!status_.ok()) return {};
+        if (!ctx_->ok()) return {};
       }
       partials = std::move(next);
     }
@@ -199,7 +200,7 @@ class PlainExecutor {
           keep = false;
           break;
         }
-        if (!status_.ok()) return {};
+        if (!ctx_->ok()) return {};
       }
       if (keep) out.insert(partial);
     }
@@ -212,7 +213,7 @@ class PlainExecutor {
     for (size_t i = 0; i < node.subs.size(); ++i) {
       BindingSet part = Eval(*node.subs[i], *opt.child_options[i], env);
       out.insert(part.begin(), part.end());
-      if (!status_.ok()) return {};
+      if (!ctx_->ok()) return {};
     }
     return out;
   }
@@ -242,36 +243,21 @@ class PlainExecutor {
                         const Binding& env) {
     BindingSet premise_results =
         Eval(*node.subs[0], *opt.child_options[0], env);
-    if (!status_.ok()) return {};
+    if (!ctx_->ok()) return {};
     for (const Binding& r : premise_results) {
       Binding extended = env;
       for (const auto& [v, val] : r) extended.insert_or_assign(v, val);
       if (Eval(*node.subs[1], *opt.child_options[1], extended).empty()) {
         return {};
       }
-      if (!status_.ok()) return {};
+      if (!ctx_->ok()) return {};
     }
     return BindingSet{Binding{}};
   }
 
-  /// Central fetch accounting: records into the caller's stats and enforces
-  /// the optional hard budget.
-  void CountFetch(const std::string& relation, uint64_t tuples) {
-    fetched_ += tuples;
-    if (stats_ != nullptr) stats_->Count(relation, tuples);
-    if (fetch_budget_ != 0 && fetched_ > fetch_budget_ && status_.ok()) {
-      status_ = Status::ResourceExhausted(
-          "fetch budget of " + std::to_string(fetch_budget_) +
-          " base tuples exceeded");
-    }
-  }
-
   Database* db_;
   bool enforce_bounds_;
-  uint64_t fetch_budget_;
-  uint64_t fetched_ = 0;
-  BoundedEvalStats* stats_;
-  Status status_ = Status::OK();
+  exec::ExecContext* ctx_;
 };
 
 }  // namespace
@@ -292,9 +278,12 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
         "query is not controlled by the given parameters " +
         VarSetToString(param_vars));
   }
-  PlainExecutor exec(db_, enforce_bounds_, fetch_budget_, stats);
+  exec::ExecContext ctx(db_);
+  ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
+  PlainExecutor exec(db_, enforce_bounds_, &ctx);
   BindingSet results = exec.Eval(analysis.root(), *opt, params);
-  SI_RETURN_IF_ERROR(exec.status());
+  if (stats != nullptr) stats->Accumulate(ctx);
+  SI_RETURN_IF_ERROR(ctx.status());
 
   std::vector<Variable> open;
   for (const Variable& v : q.head) {
@@ -317,6 +306,16 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
 Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
     const EmbeddedCqAnalysis& analysis, const Binding& params,
     BoundedEvalStats* stats) const {
+  exec::ExecContext ctx(db_);
+  ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
+  Result<AnswerSet> result = EvaluateEmbeddedImpl(analysis, params, &ctx);
+  if (stats != nullptr) stats->Accumulate(ctx);
+  return result;
+}
+
+Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
+    const EmbeddedCqAnalysis& analysis, const Binding& params,
+    exec::ExecContext* ctx) const {
   if (!analysis.IsScaleIndependent()) {
     return Status::FailedPrecondition(
         "query has no embedded-controllability plan");
@@ -329,23 +328,13 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
   }
   const Cq& q = analysis.query();
   const EmbeddedPlan& plan = analysis.plan();
-  uint64_t fetched = 0;
-  auto charge = [&](uint64_t tuples) -> Status {
-    fetched += tuples;
-    if (fetch_budget_ != 0 && fetched > fetch_budget_) {
-      return Status::ResourceExhausted(
-          "fetch budget of " + std::to_string(fetch_budget_) +
-          " data units exceeded");
-    }
-    return Status::OK();
-  };
 
   using Partial = std::vector<std::optional<Value>>;
   std::vector<Binding> assignments = {params};
 
   for (const AtomPlan& ap : plan.atom_plans) {
     const CqAtom& atom = q.atoms()[ap.atom_index];
-    Relation* rel = const_cast<Relation*>(db_->FindRelation(atom.relation));
+    const Relation* rel = db_->FindRelation(atom.relation);
     std::vector<Binding> next_assignments;
     for (const Binding& assignment : assignments) {
       if (rel == nullptr) continue;
@@ -375,9 +364,10 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
             SI_CHECK(cand[p].has_value());
             key.push_back(*cand[p]);
           }
-          std::vector<Tuple> projections = index.Lookup(key);
-          if (stats != nullptr) stats->Count(atom.relation, projections.size());
-          SI_RETURN_IF_ERROR(charge(projections.size()));
+          std::vector<Tuple> projections = exec::MeteredProjectionLookup(
+              ctx, atom.relation, *rel, step.key_positions,
+              step.value_positions, key);
+          SI_RETURN_IF_ERROR(ctx->status());
           if (enforce_bounds_ &&
               projections.size() > step.statement->max_tuples) {
             return Status::ResourceExhausted(
@@ -411,11 +401,9 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
         if (ap.needs_verification) {
           const HashIndex& vindex = rel->EnsureIndex(ap.verify_key_positions);
           Tuple vkey = ProjectTuple(row, vindex.positions());
-          const std::vector<uint32_t>* rows = vindex.Lookup(vkey);
-          if (stats != nullptr) {
-            stats->Count(atom.relation, rows == nullptr ? 0 : rows->size());
-          }
-          SI_RETURN_IF_ERROR(charge(rows == nullptr ? 0 : rows->size()));
+          const std::vector<uint32_t>* rows = exec::MeteredIndexLookup(
+              ctx, atom.relation, *rel, vindex.positions(), vkey);
+          SI_RETURN_IF_ERROR(ctx->status());
           bool found = false;
           if (rows != nullptr) {
             if (enforce_bounds_ &&

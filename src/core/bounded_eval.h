@@ -4,6 +4,7 @@
 #include "core/controllability.h"
 #include "core/embedded_controllability.h"
 #include "eval/answer_set.h"
+#include "exec/exec_context.h"
 #include "relational/database.h"
 
 namespace scalein {
@@ -14,6 +15,12 @@ namespace scalein {
 /// from base relations through access-schema indexes; the library's property
 /// tests assert it never exceeds the analysis' static bound on conforming
 /// databases.
+///
+/// Since the unified engine landed, this is a *view* over
+/// `exec::ExecContext` counters: each BoundedEvaluator call runs with a
+/// fresh context (so the fetch budget is per-evaluation) and folds the
+/// context's totals in here via `Accumulate`, letting one stats object
+/// aggregate across many evaluations (as the incremental maintainer does).
 struct BoundedEvalStats {
   uint64_t base_tuples_fetched = 0;
   uint64_t index_lookups = 0;
@@ -25,6 +32,15 @@ struct BoundedEvalStats {
     ++index_lookups;
     base_tuples_fetched += tuples;
     fetched_by_relation[relation] += tuples;
+  }
+
+  /// Folds one finished evaluation's context counters into this object.
+  void Accumulate(const exec::ExecContext& ctx) {
+    base_tuples_fetched += ctx.base_tuples_fetched();
+    index_lookups += ctx.index_lookups();
+    for (const auto& [name, n] : ctx.fetched_by_relation()) {
+      fetched_by_relation[name] += n;
+    }
   }
 };
 
@@ -66,6 +82,10 @@ class BoundedEvaluator {
                                      BoundedEvalStats* stats = nullptr) const;
 
  private:
+  Result<AnswerSet> EvaluateEmbeddedImpl(const EmbeddedCqAnalysis& analysis,
+                                         const Binding& params,
+                                         exec::ExecContext* ctx) const;
+
   Database* db_;
   bool enforce_bounds_ = false;
   uint64_t fetch_budget_ = 0;

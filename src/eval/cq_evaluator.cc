@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "exec/exec_context.h"
+#include "exec/planner.h"
+
 namespace scalein {
 namespace {
 
@@ -12,165 +15,50 @@ std::map<Variable, Term> AsSubstitution(const Binding& binding) {
   return subst;
 }
 
-struct SearchState {
-  Database* db;
-  const std::vector<CqAtom>* atoms;
-  std::vector<bool> done;
-  Binding env;
-  uint64_t* tuples_examined;
-  bool stop_at_first = false;
-  bool found_any = false;
-  // Output assembly.
-  const std::vector<Term>* head;
-  bool full_head = false;
-  AnswerSet* out;
-
-  /// How many argument positions of atom `i` are already value-bound.
-  int BoundScore(size_t i) const {
-    int score = 0;
-    for (const Term& t : (*atoms)[i].args) {
-      if (t.is_const() || env.count(t.var())) ++score;
-    }
-    return score;
-  }
-
-  void EmitAnswer() {
-    found_any = true;
-    Tuple t;
-    for (const Term& h : *head) {
-      if (h.is_const()) {
-        if (full_head) t.push_back(h.constant());
-        continue;
-      }
-      auto it = env.find(h.var());
-      SI_CHECK(it != env.end());
-      t.push_back(it->second);
-    }
-    out->insert(std::move(t));
-  }
-
-  void Search(size_t remaining) {
-    if (stop_at_first && found_any) return;
-    if (remaining == 0) {
-      EmitAnswer();
-      return;
-    }
-    // Pick the most-bound pending atom; ties broken by relation size.
-    size_t best = atoms->size();
-    int best_score = -1;
-    size_t best_size = 0;
-    for (size_t i = 0; i < atoms->size(); ++i) {
-      if (done[i]) continue;
-      int score = BoundScore(i);
-      const Relation* rel = db->FindRelation((*atoms)[i].relation);
-      size_t size = rel == nullptr ? 0 : rel->size();
-      if (score > best_score ||
-          (score == best_score && size < best_size)) {
-        best = i;
-        best_score = score;
-        best_size = size;
-      }
-    }
-    SI_CHECK_LT(best, atoms->size());
-    done[best] = true;
-    MatchAtom(best, remaining);
-    done[best] = false;
-  }
-
-  void MatchAtom(size_t idx, size_t remaining) {
-    const CqAtom& atom = (*atoms)[idx];
-    Relation* rel = const_cast<Relation*>(db->FindRelation(atom.relation));
-    if (rel == nullptr || rel->arity() != atom.args.size()) return;
-
-    // Split positions into bound (value known) and open.
-    std::vector<size_t> bound_positions;
-    Tuple key;
-    for (size_t p = 0; p < atom.args.size(); ++p) {
-      const Term& t = atom.args[p];
-      if (t.is_const()) {
-        bound_positions.push_back(p);
-        key.push_back(t.constant());
-      } else {
-        auto it = env.find(t.var());
-        if (it != env.end()) {
-          bound_positions.push_back(p);
-          key.push_back(it->second);
-        }
-      }
-    }
-
-    auto try_row = [&](TupleView row) {
-      ++*tuples_examined;
-      // Bind open variables, checking repeated-variable consistency.
-      std::vector<Variable> newly_bound;
-      bool ok = true;
-      for (size_t p = 0; p < atom.args.size() && ok; ++p) {
-        const Term& t = atom.args[p];
-        if (t.is_const()) {
-          ok = t.constant() == row[p];
-          continue;
-        }
-        auto it = env.find(t.var());
-        if (it != env.end()) {
-          ok = it->second == row[p];
-        } else {
-          env.emplace(t.var(), row[p]);
-          newly_bound.push_back(t.var());
-        }
-      }
-      if (ok) Search(remaining - 1);
-      for (const Variable& v : newly_bound) env.erase(v);
-    };
-
-    if (!bound_positions.empty()) {
-      // Canonicalize key to sorted-position order to match index layout.
-      std::vector<std::pair<size_t, Value>> kv;
-      kv.reserve(bound_positions.size());
-      for (size_t i = 0; i < bound_positions.size(); ++i) {
-        kv.emplace_back(bound_positions[i], key[i]);
-      }
-      std::sort(kv.begin(), kv.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      std::vector<size_t> positions;
-      Tuple sorted_key;
-      for (auto& [p, v] : kv) {
-        if (!positions.empty() && positions.back() == p) continue;  // dup var
-        positions.push_back(p);
-        sorted_key.push_back(v);
-      }
-      const HashIndex& index = rel->EnsureIndex(positions);
-      const std::vector<uint32_t>* rows = index.Lookup(sorted_key);
-      if (rows == nullptr) return;
-      for (uint32_t r : *rows) {
-        if (stop_at_first && found_any) return;
-        try_row(rel->TupleAt(r));
-      }
-    } else {
-      for (size_t r = 0; r < rel->size(); ++r) {
-        if (stop_at_first && found_any) return;
-        try_row(rel->TupleAt(r));
-      }
-    }
-  }
-};
-
 }  // namespace
 
 AnswerSet CqEvaluator::EvaluateImpl(const Cq& q, bool full_head,
                                     bool stop_at_first) const {
   AnswerSet out;
-  SearchState state;
-  state.db = db_;
-  std::vector<CqAtom> atoms = q.atoms();
-  state.atoms = &atoms;
-  state.done.assign(atoms.size(), false);
-  state.tuples_examined = &tuples_examined_;
-  state.stop_at_first = stop_at_first;
-  std::vector<Term> head = q.head();
-  state.head = &head;
-  state.full_head = full_head;
-  state.out = &out;
-  state.Search(atoms.size());
+  exec::ExecContext ctx(db_);
+  exec::CqPlan plan = exec::PlanCq(q, &ctx);
+
+  // Head assembly: map each head term to a plan column (or a constant).
+  // Resolved lazily on the first row — an EmptyOp plan (unknown relation,
+  // arity mismatch) may not bind every variable, and emits nothing anyway.
+  std::vector<int> head_map;  // -1 = constant, else column index
+  bool mapped = false;
+  plan.root->Open();
+  Tuple row;
+  while (plan.root->Next(&row)) {
+    if (!mapped) {
+      head_map.reserve(q.head().size());
+      for (const Term& h : q.head()) {
+        if (h.is_const()) {
+          head_map.push_back(-1);
+          continue;
+        }
+        auto it =
+            std::find(plan.columns.begin(), plan.columns.end(), h.var());
+        SI_CHECK(it != plan.columns.end());
+        head_map.push_back(static_cast<int>(it - plan.columns.begin()));
+      }
+      mapped = true;
+    }
+    Tuple t;
+    size_t hi = 0;
+    for (const Term& h : q.head()) {
+      int col = head_map[hi++];
+      if (col < 0) {
+        if (full_head) t.push_back(h.constant());
+        continue;
+      }
+      t.push_back(row[static_cast<size_t>(col)]);
+    }
+    out.insert(std::move(t));
+    if (stop_at_first) break;
+  }
+  tuples_examined_ += ctx.base_tuples_fetched();
   return out;
 }
 

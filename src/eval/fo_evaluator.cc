@@ -1,6 +1,11 @@
 #include "eval/fo_evaluator.h"
 
 #include <optional>
+#include <set>
+
+#include "exec/exec_context.h"
+#include "exec/planner.h"
+#include "query/fo_to_ra.h"
 
 namespace scalein {
 
@@ -100,6 +105,34 @@ AnswerSet FoEvaluator::Evaluate(const FoQuery& query,
   std::vector<Variable> open;
   for (const Variable& v : query.head) {
     if (!binding.count(v)) open.push_back(v);
+  }
+  // Engine path: translate to relational algebra and execute through the
+  // unified pull engine. Falls back to the naive active-domain enumeration
+  // when the translation's caveats apply (empty active domain, no open
+  // columns, duplicate head names) or the translation itself fails.
+  if (!adom_.empty() && !open.empty()) {
+    std::set<std::string> names;
+    for (const Variable& v : open) names.insert(v.name());
+    if (names.size() == open.size()) {
+      std::map<Variable, Term> subst;
+      for (const auto& [v, val] : binding) subst.emplace(v, Term::Const(val));
+      FoQuery fixed;
+      fixed.name = query.name;
+      fixed.head = open;
+      fixed.body = query.body.Substitute(subst);
+      Result<RaExpr> ra = FoToRa(fixed, db_->schema());
+      if (ra.ok()) {
+        exec::ExecContext ctx(db_);
+        exec::Plan plan = exec::PlanRa(*ra, &ctx);
+        Relation rows =
+            exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+        AnswerSet engine_answers;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          engine_answers.insert(ToTuple(rows.TupleAt(i)));
+        }
+        return engine_answers;
+      }
+    }
   }
   AnswerSet answers;
   Binding env = binding;

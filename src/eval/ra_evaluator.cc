@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "exec/exec_context.h"
+#include "exec/planner.h"
+
 namespace scalein {
 
 const Relation* RaContext::Lookup(const std::string& name) const {
@@ -20,14 +23,6 @@ size_t PositionOf(const std::vector<std::string>& attrs,
   return static_cast<size_t>(it - attrs.begin());
 }
 
-std::vector<size_t> PositionsOf(const std::vector<std::string>& attrs,
-                                const std::vector<std::string>& names) {
-  std::vector<size_t> out;
-  out.reserve(names.size());
-  for (const std::string& n : names) out.push_back(PositionOf(attrs, n));
-  return out;
-}
-
 }  // namespace
 
 bool EvalCondition(const SelectionCondition& cond,
@@ -44,123 +39,13 @@ bool EvalCondition(const SelectionCondition& cond,
 }
 
 Relation EvalRa(const RaExpr& expr, const RaContext& ctx) {
-  switch (expr.kind()) {
-    case RaExpr::Kind::kRelation: {
-      const Relation* rel = ctx.Lookup(expr.relation_name());
-      Relation out(expr.attributes().size());
-      if (rel == nullptr) return out;
-      SI_CHECK_EQ(rel->arity(), expr.attributes().size());
-      for (size_t i = 0; i < rel->size(); ++i) out.Insert(rel->TupleAt(i));
-      return out;
-    }
-    case RaExpr::Kind::kSelect: {
-      Relation in = EvalRa(expr.input(), ctx);
-      Relation out(in.arity());
-      const std::vector<std::string>& attrs = expr.input().attributes();
-      for (size_t i = 0; i < in.size(); ++i) {
-        TupleView row = in.TupleAt(i);
-        if (EvalCondition(expr.condition(), attrs, row)) out.Insert(row);
-      }
-      return out;
-    }
-    case RaExpr::Kind::kProject: {
-      Relation in = EvalRa(expr.input(), ctx);
-      std::vector<size_t> positions =
-          PositionsOf(expr.input().attributes(), expr.projection());
-      Relation out(positions.size());
-      for (size_t i = 0; i < in.size(); ++i) {
-        out.Insert(ProjectTuple(in.TupleAt(i), positions));
-      }
-      return out;
-    }
-    case RaExpr::Kind::kRename:
-      return EvalRa(expr.input(), ctx);  // data unchanged, names only
-    case RaExpr::Kind::kUnion: {
-      Relation lhs = EvalRa(expr.left(), ctx);
-      Relation rhs = EvalRa(expr.right(), ctx);
-      // Align right columns to left's order by attribute name.
-      std::vector<size_t> align =
-          PositionsOf(expr.right().attributes(), expr.left().attributes());
-      Relation out = lhs.Clone();
-      for (size_t i = 0; i < rhs.size(); ++i) {
-        out.Insert(ProjectTuple(rhs.TupleAt(i), align));
-      }
-      return out;
-    }
-    case RaExpr::Kind::kDiff: {
-      Relation lhs = EvalRa(expr.left(), ctx);
-      Relation rhs = EvalRa(expr.right(), ctx);
-      std::vector<size_t> align =
-          PositionsOf(expr.right().attributes(), expr.left().attributes());
-      Relation aligned(lhs.arity());
-      for (size_t i = 0; i < rhs.size(); ++i) {
-        aligned.Insert(ProjectTuple(rhs.TupleAt(i), align));
-      }
-      Relation out(lhs.arity());
-      for (size_t i = 0; i < lhs.size(); ++i) {
-        if (!aligned.Contains(lhs.TupleAt(i))) out.Insert(lhs.TupleAt(i));
-      }
-      return out;
-    }
-    case RaExpr::Kind::kJoin: {
-      Relation lhs = EvalRa(expr.left(), ctx);
-      Relation rhs = EvalRa(expr.right(), ctx);
-      const std::vector<std::string>& lattrs = expr.left().attributes();
-      const std::vector<std::string>& rattrs = expr.right().attributes();
-      AttrSet lset(lattrs.begin(), lattrs.end());
-      // Shared attributes and the right-side extras, by position.
-      std::vector<size_t> l_shared;
-      std::vector<size_t> r_shared;
-      std::vector<size_t> r_extra;
-      for (size_t rp = 0; rp < rattrs.size(); ++rp) {
-        if (lset.count(rattrs[rp])) {
-          r_shared.push_back(rp);
-          l_shared.push_back(PositionOf(lattrs, rattrs[rp]));
-        } else {
-          r_extra.push_back(rp);
-        }
-      }
-      Relation out(expr.attributes().size());
-      if (r_shared.empty()) {
-        // Cartesian product.
-        for (size_t i = 0; i < lhs.size(); ++i) {
-          Tuple base = ToTuple(lhs.TupleAt(i));
-          for (size_t j = 0; j < rhs.size(); ++j) {
-            Tuple row = base;
-            TupleView rrow = rhs.TupleAt(j);
-            for (size_t rp : r_extra) row.push_back(rrow[rp]);
-            out.Insert(row);
-          }
-        }
-        return out;
-      }
-      // Hash join keyed on shared attributes (index over right side).
-      const HashIndex& index = rhs.EnsureIndex(r_shared);
-      // The index canonicalizes positions (sorted); build the matching key
-      // order for the left side.
-      std::vector<size_t> r_sorted = index.positions();
-      std::vector<size_t> l_key;
-      l_key.reserve(r_sorted.size());
-      for (size_t rp : r_sorted) {
-        l_key.push_back(PositionOf(lattrs, rattrs[rp]));
-      }
-      for (size_t i = 0; i < lhs.size(); ++i) {
-        TupleView lrow = lhs.TupleAt(i);
-        Tuple key = ProjectTuple(lrow, l_key);
-        const std::vector<uint32_t>* rows = index.Lookup(key);
-        if (rows == nullptr) continue;
-        for (uint32_t r : *rows) {
-          TupleView rrow = rhs.TupleAt(r);
-          Tuple row(lrow.begin(), lrow.end());
-          for (size_t rp : r_extra) row.push_back(rrow[rp]);
-          out.Insert(row);
-        }
-      }
-      return out;
-    }
-  }
-  SI_CHECK(false);
-  return Relation(0);
+  // Thin wrapper over the unified execution engine: lower to a pull-based
+  // operator tree (index-aware joins, selection pushdown into index
+  // lookups), then drain into a materialized relation.
+  exec::ExecContext ectx(ctx.db);
+  for (const auto& [name, rel] : ctx.overrides) ectx.AddOverride(name, rel);
+  exec::Plan plan = exec::PlanRa(expr, &ectx);
+  return exec::DrainToRelation(plan.root.get(), plan.attributes.size());
 }
 
 Relation EvalRa(const RaExpr& expr, const Database& db) {

@@ -1,0 +1,96 @@
+#include "exec/exec_context.h"
+
+namespace scalein::exec {
+
+const Relation* ExecContext::Resolve(const std::string& name) const {
+  auto it = overrides_.find(name);
+  if (it != overrides_.end()) return it->second;
+  if (db_ == nullptr) return nullptr;
+  return db_->FindRelation(name);
+}
+
+void ExecContext::CheckBudget() {
+  if (fetch_budget_ != 0 && base_tuples_fetched_ > fetch_budget_ &&
+      status_.ok()) {
+    status_ = Status::ResourceExhausted(
+        "fetch budget of " + std::to_string(fetch_budget_) +
+        " base tuples exceeded");
+  }
+}
+
+void ExecContext::Charge(const std::string& relation, uint64_t tuples) {
+  base_tuples_fetched_ += tuples;
+  fetched_by_relation_[relation] += tuples;
+  CheckBudget();
+}
+
+void ExecContext::ChargeRows(uint64_t* slot, uint64_t n, OpCounters* op) {
+  *slot += n;
+  base_tuples_fetched_ += n;
+  if (op != nullptr) op->tuples_fetched += n;
+  CheckBudget();
+}
+
+void ExecContext::ChargeIndexLookup(const std::string& relation,
+                                    uint64_t tuples, OpCounters* op) {
+  ++index_lookups_;
+  if (op != nullptr) {
+    ++op->index_lookups;
+    op->tuples_fetched += tuples;
+  }
+  Charge(relation, tuples);
+}
+
+void ExecContext::ChargeScan(const std::string& relation, uint64_t tuples,
+                             OpCounters* op) {
+  if (op != nullptr) op->tuples_fetched += tuples;
+  Charge(relation, tuples);
+}
+
+void ExecContext::SetError(Status s) {
+  if (status_.ok()) status_ = std::move(s);
+}
+
+OpCounters* ExecContext::NewOp(std::string label) {
+  ops_.emplace_back();
+  ops_.back().label = std::move(label);
+  return &ops_.back();
+}
+
+std::string ExecContext::DebugString() const {
+  std::string out = "fetched=" + std::to_string(base_tuples_fetched_) +
+                    " lookups=" + std::to_string(index_lookups_);
+  for (const OpCounters& op : ops_) {
+    out += " | " + op.label + ": out=" + std::to_string(op.rows_out) +
+           " fetched=" + std::to_string(op.tuples_fetched);
+  }
+  return out;
+}
+
+const std::vector<uint32_t>* MeteredIndexLookup(
+    ExecContext* ctx, const std::string& name, const Relation& rel,
+    const std::vector<size_t>& positions, const Tuple& key, OpCounters* op) {
+  const HashIndex& index = rel.EnsureIndex(positions);
+  const std::vector<uint32_t>* rows = index.Lookup(key);
+  ctx->ChargeIndexLookup(name, rows == nullptr ? 0 : rows->size(), op);
+  return rows;
+}
+
+std::vector<Tuple> MeteredProjectionLookup(
+    ExecContext* ctx, const std::string& name, const Relation& rel,
+    const std::vector<size_t>& key_positions,
+    const std::vector<size_t>& value_positions, const Tuple& key,
+    OpCounters* op) {
+  const ProjectionIndex& index =
+      rel.EnsureProjectionIndex(key_positions, value_positions);
+  std::vector<Tuple> projections = index.Lookup(key);
+  ctx->ChargeIndexLookup(name, projections.size(), op);
+  return projections;
+}
+
+void ChargeFullAccess(ExecContext* ctx, const std::string& name,
+                      const Relation& rel, OpCounters* op) {
+  ctx->ChargeIndexLookup(name, rel.size(), op);
+}
+
+}  // namespace scalein::exec

@@ -1,0 +1,142 @@
+#ifndef SCALEIN_EXEC_EXEC_CONTEXT_H_
+#define SCALEIN_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace scalein::exec {
+
+/// Per-operator accounting: one entry per operator instance in a plan. Kept
+/// addressable for the lifetime of the ExecContext so operators can bump
+/// their counters without a lookup on the hot path.
+struct OpCounters {
+  std::string label;            ///< e.g. "scan(friend)", "idx-join(visit)"
+  uint64_t rows_out = 0;        ///< rows the operator emitted downstream
+  uint64_t tuples_fetched = 0;  ///< base tuples this operator pulled from storage
+  uint64_t index_lookups = 0;   ///< index probes this operator issued
+};
+
+/// Shared state of one physical evaluation: the database (with optional
+/// per-relation content overrides, used by the incremental engine to make a
+/// base-relation name stand for ∆R/∇R), the universal fetch accounting the
+/// paper's |D_Q| ≤ M bound is measured against, an optional hard fetch
+/// budget (the paper's M as "the capacity of our available resources"), and
+/// per-operator counters.
+///
+/// Every tuple any engine component retrieves from a base relation — scans,
+/// hash-index probes, projection-index probes — is charged here, on every
+/// evaluation path (RA, CQ, FO, bounded, incremental, views). This is the
+/// single metered access layer the bounded-evaluation guarantees hang off.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(const Database* db) : db_(db) {}
+
+  const Database* db() const { return db_; }
+  void set_db(const Database* db) { db_ = db; }
+
+  /// Makes `name` resolve to `rel` instead of the database's relation.
+  void AddOverride(const std::string& name, const Relation* rel) {
+    overrides_[name] = rel;
+  }
+
+  /// The relation `name` resolves to, honoring overrides; nullptr if unknown.
+  const Relation* Resolve(const std::string& name) const;
+
+  /// Hard cap on base tuples fetched during this context's lifetime; 0
+  /// disables (default). Exceeding it sets a ResourceExhausted status.
+  void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
+  uint64_t fetch_budget() const { return fetch_budget_; }
+
+  // --- Universal accounting (the |D_Q| of §3–§4, measured) ---
+  uint64_t base_tuples_fetched() const { return base_tuples_fetched_; }
+  uint64_t index_lookups() const { return index_lookups_; }
+  const std::map<std::string, uint64_t>& fetched_by_relation() const {
+    return fetched_by_relation_;
+  }
+
+  /// Charges `tuples` fetched from `relation` via an index probe (hash or
+  /// projection index). `op` may be null.
+  void ChargeIndexLookup(const std::string& relation, uint64_t tuples,
+                         OpCounters* op);
+
+  /// Charges `tuples` fetched from `relation` via a sequential scan.
+  void ChargeScan(const std::string& relation, uint64_t tuples, OpCounters* op);
+
+  /// Stable pointer to the per-relation fetched counter for `name` (map
+  /// nodes are pointer-stable). Pair with ChargeRows so per-row scan charges
+  /// skip the name lookup.
+  uint64_t* RelationSlot(const std::string& name) {
+    return &fetched_by_relation_[name];
+  }
+
+  /// Hot-path scan charge of `n` tuples against a pre-resolved slot.
+  void ChargeRows(uint64_t* slot, uint64_t n, OpCounters* op);
+
+  /// First error wins; operators stop producing once a context has failed.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+  void SetError(Status s);
+
+  /// Registers a per-operator counter slot; the pointer stays valid for the
+  /// context's lifetime.
+  OpCounters* NewOp(std::string label);
+  const std::deque<OpCounters>& ops() const { return ops_; }
+
+  /// One-line accounting summary for logs and benches.
+  std::string DebugString() const;
+
+ private:
+  void Charge(const std::string& relation, uint64_t tuples);
+  void CheckBudget();
+
+  const Database* db_ = nullptr;
+  std::map<std::string, const Relation*> overrides_;
+  uint64_t fetch_budget_ = 0;
+  uint64_t base_tuples_fetched_ = 0;
+  uint64_t index_lookups_ = 0;
+  std::map<std::string, uint64_t> fetched_by_relation_;
+  std::deque<OpCounters> ops_;
+  Status status_ = Status::OK();
+};
+
+/// Metered access primitives. Every component that touches base-relation
+/// storage — the pull operators below, the Theorem 4.2 bounded executor, the
+/// embedded-statement chase — fetches through one of these, so their charges
+/// land in the same ExecContext counters and the bounded/unbounded paths
+/// report comparable numbers.
+
+/// Hash-index probe on `positions` (canonicalized by the relation) with
+/// `key` in canonical position order. Charges one index lookup plus the
+/// bucket size; returns the matching row ids or nullptr.
+const std::vector<uint32_t>* MeteredIndexLookup(ExecContext* ctx,
+                                                const std::string& name,
+                                                const Relation& rel,
+                                                const std::vector<size_t>& positions,
+                                                const Tuple& key,
+                                                OpCounters* op = nullptr);
+
+/// Projection-index probe (embedded access statements): distinct
+/// `value_positions` projections of the rows matching `key`. Charges one
+/// index lookup plus the group size.
+std::vector<Tuple> MeteredProjectionLookup(
+    ExecContext* ctx, const std::string& name, const Relation& rel,
+    const std::vector<size_t>& key_positions,
+    const std::vector<size_t>& value_positions, const Tuple& key,
+    OpCounters* op = nullptr);
+
+/// Charges a full sequential pass over `rel` (the (R, ∅, N, T) access unit).
+/// Counted as one lookup fetching |R| tuples, mirroring how the bounded
+/// executor has always accounted whole-relation access.
+void ChargeFullAccess(ExecContext* ctx, const std::string& name,
+                      const Relation& rel, OpCounters* op = nullptr);
+
+}  // namespace scalein::exec
+
+#endif  // SCALEIN_EXEC_EXEC_CONTEXT_H_

@@ -12,12 +12,24 @@ size_t HashIndex::MaxBucketSize() const {
   return best;
 }
 
+const Tuple& HashIndex::ScratchKey(TupleView row) const {
+  scratch_.resize(positions_.size());
+  for (size_t i = 0; i < positions_.size(); ++i) scratch_[i] = row[positions_[i]];
+  return scratch_;
+}
+
 void HashIndex::AddRow(TupleView row, uint32_t row_id) {
-  buckets_[KeyOf(row)].push_back(row_id);
+  const Tuple& key = ScratchKey(row);
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    buckets_.emplace(key, std::vector<uint32_t>{row_id});
+  } else {
+    it->second.push_back(row_id);
+  }
 }
 
 void HashIndex::RemoveRow(TupleView row, uint32_t row_id) {
-  auto it = buckets_.find(KeyOf(row));
+  auto it = buckets_.find(ScratchKey(row));
   SI_CHECK(it != buckets_.end());
   std::vector<uint32_t>& rows = it->second;
   auto pos = std::find(rows.begin(), rows.end(), row_id);
@@ -28,7 +40,7 @@ void HashIndex::RemoveRow(TupleView row, uint32_t row_id) {
 }
 
 void HashIndex::MoveRow(TupleView row, uint32_t old_id, uint32_t new_id) {
-  auto it = buckets_.find(KeyOf(row));
+  auto it = buckets_.find(ScratchKey(row));
   SI_CHECK(it != buckets_.end());
   std::vector<uint32_t>& rows = it->second;
   auto pos = std::find(rows.begin(), rows.end(), old_id);

@@ -24,8 +24,9 @@ class HashIndex {
   const std::vector<size_t>& positions() const { return positions_; }
 
   /// Row ids whose key equals `key` (values in `positions()` order), or
-  /// nullptr when no row matches.
-  const std::vector<uint32_t>* Lookup(const Tuple& key) const {
+  /// nullptr when no row matches. Accepts any tuple representation without
+  /// materializing (transparent lookup).
+  const std::vector<uint32_t>* Lookup(TupleView key) const {
     auto it = buckets_.find(key);
     if (it == buckets_.end()) return nullptr;
     return &it->second;
@@ -47,8 +48,14 @@ class HashIndex {
   void MoveRow(TupleView row, uint32_t old_id, uint32_t new_id);
 
  private:
+  /// Projects `row` onto the key positions into a reused buffer, so the
+  /// maintenance hooks don't allocate a fresh key per maintained index on
+  /// every insert/remove.
+  const Tuple& ScratchKey(TupleView row) const;
+
   std::vector<size_t> positions_;
   std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> buckets_;
+  mutable Tuple scratch_;
 };
 
 /// Index supporting embedded access-schema statements (R, X[Y], N, T):

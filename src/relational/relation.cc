@@ -40,7 +40,7 @@ bool Relation::Insert(TupleView t) {
 bool Relation::Remove(TupleView t) {
   SI_CHECK_EQ(t.size(), arity_);
   const HashIndex& full = FullIndex();
-  const std::vector<uint32_t>* rows = full.Lookup(ToTuple(t));
+  const std::vector<uint32_t>* rows = full.Lookup(t);
   if (rows == nullptr) return false;
   SI_CHECK_EQ(rows->size(), 1u);  // set semantics
   uint32_t victim = (*rows)[0];
@@ -65,10 +65,11 @@ bool Relation::Remove(TupleView t) {
 
 bool Relation::Contains(TupleView t) const {
   SI_CHECK_EQ(t.size(), arity_);
-  return FullIndex().Lookup(ToTuple(t)) != nullptr;
+  return FullIndex().Lookup(t) != nullptr;
 }
 
-const HashIndex& Relation::EnsureIndex(const std::vector<size_t>& positions) {
+const HashIndex& Relation::EnsureIndex(
+    const std::vector<size_t>& positions) const {
   std::vector<size_t> c = Canonical(positions);
   for (size_t p : c) SI_CHECK_LT(p, arity_);
   auto it = indexes_.find(c);
@@ -90,7 +91,7 @@ const HashIndex* Relation::FindIndex(
 
 const ProjectionIndex& Relation::EnsureProjectionIndex(
     const std::vector<size_t>& key_positions,
-    const std::vector<size_t>& value_positions) {
+    const std::vector<size_t>& value_positions) const {
   std::vector<size_t> ck = Canonical(key_positions);
   std::vector<size_t> cv = Canonical(value_positions);
   for (size_t p : ck) SI_CHECK_LT(p, arity_);

@@ -41,6 +41,10 @@ class Relation {
     return TupleView(data_.data() + i * arity_, arity_);
   }
 
+  /// Pre-sizes row storage for `rows` total tuples. Call before bulk loads
+  /// to avoid repeated reallocation of the flat data array.
+  void Reserve(size_t rows) { data_.reserve(rows * arity_); }
+
   /// Inserts `t` if not already present; returns true if inserted.
   bool Insert(TupleView t);
 
@@ -52,8 +56,9 @@ class Relation {
 
   /// Ensures a hash index on `positions` exists and returns it. Positions are
   /// canonicalized (sorted + deduplicated) so logically equal indexes are
-  /// shared.
-  const HashIndex& EnsureIndex(const std::vector<size_t>& positions);
+  /// shared. Const: building an index is a caching concern, not a logical
+  /// mutation, and read-only evaluation paths build indexes on demand.
+  const HashIndex& EnsureIndex(const std::vector<size_t>& positions) const;
 
   /// The index on `positions` if it exists, else nullptr.
   const HashIndex* FindIndex(const std::vector<size_t>& positions) const;
@@ -62,7 +67,7 @@ class Relation {
   /// projections onto `value_positions`.
   const ProjectionIndex& EnsureProjectionIndex(
       const std::vector<size_t>& key_positions,
-      const std::vector<size_t>& value_positions);
+      const std::vector<size_t>& value_positions) const;
 
   const ProjectionIndex* FindProjectionIndex(
       const std::vector<size_t>& key_positions,

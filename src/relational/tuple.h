@@ -33,13 +33,16 @@ Tuple ToTuple(TupleView t);
 /// Projects `t` onto `positions` (each must be < t.size()).
 Tuple ProjectTuple(TupleView t, const std::vector<size_t>& positions);
 
+/// Transparent (C++20 heterogeneous) hash/equality so hash containers keyed
+/// on owning Tuples can be probed with a TupleView — no materialization on
+/// the lookup path.
 struct TupleHash {
-  uint64_t operator()(const Tuple& t) const { return HashTuple(t); }
+  using is_transparent = void;
+  uint64_t operator()(TupleView t) const { return HashTuple(t); }
 };
 struct TupleEq {
-  bool operator()(const Tuple& a, const Tuple& b) const {
-    return TupleEquals(a, b);
-  }
+  using is_transparent = void;
+  bool operator()(TupleView a, TupleView b) const { return TupleEquals(a, b); }
 };
 
 }  // namespace scalein

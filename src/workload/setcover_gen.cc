@@ -13,6 +13,10 @@ SetCoverInstance GenerateSetCover(const SetCoverConfig& config) {
   Database db(schema);
   Rng rng(config.seed);
 
+  db.relation("setrep").Reserve(config.num_sets);
+  db.relation("covers").Reserve(config.num_elements +
+                                config.noise_memberships);
+
   for (uint64_t s = 0; s < config.num_sets; ++s) {
     db.Insert("setrep", Tuple{Value::Int(static_cast<int64_t>(s))});
   }

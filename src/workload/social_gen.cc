@@ -44,6 +44,16 @@ Database GenerateSocial(const SocialConfig& config) {
     return c == 0 ? std::string(kNyc) : "city" + std::to_string(c);
   };
 
+  // Size the column stores up front: generation is the dominant cost of the
+  // large-|D| benchmark points, and the repeated doubling of unreserved
+  // vectors shows up there.
+  db.relation("person").Reserve(config.num_persons);
+  db.relation("restr").Reserve(config.num_restaurants);
+  db.relation("friend").Reserve(config.num_persons *
+                                (config.max_friends_per_person / 2 + 1));
+  db.relation("visit").Reserve(config.num_persons *
+                               config.avg_visits_per_person);
+
   // Persons: id is a key by construction.
   for (uint64_t i = 0; i < config.num_persons; ++i) {
     uint64_t city = rng.Uniform(std::max<uint64_t>(1, config.num_cities));

@@ -154,6 +154,60 @@ TEST(BoundedEvalTest, FetchBudgetEnforced) {
   EXPECT_TRUE(bounded.Evaluate(q1, analysis, params).ok());
 }
 
+TEST(BoundedEvalTest, FetchBudgetStopsMidEvaluationWithPartialStats) {
+  Social social(50);
+  FoQuery q1 = FQ(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      social.schema);
+  ControllabilityAnalysis analysis = Analyze(q1, social.schema, social.access);
+  BoundedEvaluator bounded(&social.db);
+  Binding params{{V("p"), Value::Int(5)}};
+  BoundedEvalStats full;
+  ASSERT_TRUE(bounded.Evaluate(q1, analysis, params, &full).ok());
+  ASSERT_GT(full.base_tuples_fetched, 2u);
+
+  // With a budget of 1 the engine must stop at the first overrun, not run
+  // to completion and reject afterwards: the partial counters stay strictly
+  // below the unbudgeted total.
+  bounded.set_fetch_budget(1);
+  BoundedEvalStats partial;
+  Result<AnswerSet> r = bounded.Evaluate(q1, analysis, params, &partial);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(partial.base_tuples_fetched, 0u);
+  EXPECT_LT(partial.base_tuples_fetched, full.base_tuples_fetched);
+}
+
+TEST(BoundedEvalTest, StatsAccumulateAcrossEvaluations) {
+  // One stats object fed by several evaluations (the incremental
+  // maintainer's usage): totals add up, the budget stays per-evaluation.
+  Social social(50);
+  FoQuery q1 = FQ(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      social.schema);
+  ControllabilityAnalysis analysis = Analyze(q1, social.schema, social.access);
+  BoundedEvaluator bounded(&social.db);
+  Binding params{{V("p"), Value::Int(5)}};
+  BoundedEvalStats once;
+  ASSERT_TRUE(bounded.Evaluate(q1, analysis, params, &once).ok());
+  ASSERT_GT(once.base_tuples_fetched, 0u);
+  ASSERT_GT(once.index_lookups, 0u);
+
+  BoundedEvalStats twice;
+  ASSERT_TRUE(bounded.Evaluate(q1, analysis, params, &twice).ok());
+  ASSERT_TRUE(bounded.Evaluate(q1, analysis, params, &twice).ok());
+  EXPECT_EQ(twice.base_tuples_fetched, 2 * once.base_tuples_fetched);
+  EXPECT_EQ(twice.index_lookups, 2 * once.index_lookups);
+  EXPECT_EQ(twice.fetched_by_relation.at("friend"),
+            2 * once.fetched_by_relation.at("friend"));
+
+  // A budget large enough for one evaluation does not trip on the second:
+  // the cap is per Evaluate call, not per stats object.
+  bounded.set_fetch_budget(once.base_tuples_fetched);
+  EXPECT_TRUE(bounded.Evaluate(q1, analysis, params).ok());
+  EXPECT_TRUE(bounded.Evaluate(q1, analysis, params).ok());
+}
+
 TEST(BoundedEvalTest, SafeNegationExecution) {
   Schema s;
   s.Relation("r", {"a", "b"});
