@@ -76,6 +76,7 @@ int main() {
     BoundedEvaluator evaluator(&db);
     Binding params{{p, Value::Int(42)}};
     BoundedEvalStats stats;
+    stats.capture_ops = true;  // per-operator breakdown for the sidecar
     Result<AnswerSet> bounded_answers =
         evaluator.Evaluate(*q1, *analysis, params, &stats);
     SI_CHECK(bounded_answers.ok());
@@ -105,6 +106,19 @@ int main() {
     report.Add(prefix + "bounded_ms", bounded_ms);
     report.Add(prefix + "scan_rows", scan_rows);
     report.Add(prefix + "scan_ms", scan_ms);
+    // Per-operator breakdown of the executed derivation (EXPLAIN ANALYZE
+    // counters): one key group per derivation node, plus its static bound.
+    for (size_t i = 0; i < stats.ops.size(); ++i) {
+      const exec::OpCounters& op = stats.ops[i];
+      std::string op_prefix = prefix + "op" + std::to_string(i) + ".";
+      report.Add(op_prefix + "label", op.label);
+      report.Add(op_prefix + "rows_out", op.rows_out);
+      report.Add(op_prefix + "tuples_fetched", op.tuples_fetched);
+      report.Add(op_prefix + "index_lookups", op.index_lookups);
+      if (op.static_bound >= 0) {
+        report.Add(op_prefix + "static_bound", op.static_bound);
+      }
+    }
   }
   table.Print();
   std::printf(

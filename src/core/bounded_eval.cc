@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
+
+#include "obs/trace.h"
 
 namespace scalein {
 namespace {
@@ -56,9 +59,71 @@ class PlainExecutor {
 
   Status status() const { return ctx_->status(); }
 
-  /// Returns bindings over free(node) − dom(env).
+  /// Pre-registers one OpCounters per derivation node (children in
+  /// evaluation order), carrying the node's static fetch bound
+  /// (ControlOption::fetch_bound), so the executed derivation renders as an
+  /// EXPLAIN ANALYZE tree with bound-vs-actual per node. Optional: when not
+  /// called, Eval runs without per-node accounting.
+  void RegisterOps(const NodeAnalysis& node, const ControlOption& opt,
+                   int32_t parent) {
+    std::string label =
+        opt.rule == "atom" ? "atom(" + node.formula.relation() + ")" : opt.rule;
+    exec::OpCounters* op = ctx_->NewOp(std::move(label), parent);
+    op->static_bound = opt.fetch_bound;
+    node_ops_[&node] = op;
+    if (opt.rule == "and") {
+      for (size_t step = 0; step < opt.conjunct_order.size(); ++step) {
+        RegisterOps(*node.subs[opt.conjunct_order[step]],
+                    *opt.child_options[step], op->id);
+      }
+      const size_t n_neg = node.subs.size() - node.n_positives;
+      for (size_t ni = 0; ni < n_neg; ++ni) {
+        RegisterOps(*node.subs[node.n_positives + ni],
+                    *opt.child_options[opt.conjunct_order.size() + ni],
+                    op->id);
+      }
+    } else if (opt.rule == "or") {
+      for (size_t i = 0; i < node.subs.size(); ++i) {
+        RegisterOps(*node.subs[i], *opt.child_options[i], op->id);
+      }
+    } else if (opt.rule == "exists") {
+      RegisterOps(*node.subs[0], *opt.child_options[0], op->id);
+    } else if (opt.rule == "forall") {
+      RegisterOps(*node.subs[0], *opt.child_options[0], op->id);
+      RegisterOps(*node.subs[1], *opt.child_options[1], op->id);
+    }
+  }
+
+  /// Returns bindings over free(node) − dom(env). Thin accounting wrapper
+  /// around EvalImpl: rows_out counts bindings produced per visit, and —
+  /// only when the context enabled timing — inclusive wall time per node.
   BindingSet Eval(const NodeAnalysis& node, const ControlOption& opt,
                   const Binding& env) {
+    exec::OpCounters* op = OpFor(node);
+#if SCALEIN_OBS_ENABLE_TIMING
+    if (op != nullptr && ctx_->timing_enabled()) {
+      const uint64_t start = obs::MonotonicNowNs();
+      BindingSet out = EvalImpl(node, opt, env, op);
+      op->next_ns += obs::MonotonicNowNs() - start;
+      ++op->next_calls;
+      op->rows_out += out.size();
+      return out;
+    }
+#endif
+    BindingSet out = EvalImpl(node, opt, env, op);
+    if (op != nullptr) op->rows_out += out.size();
+    return out;
+  }
+
+ private:
+  exec::OpCounters* OpFor(const NodeAnalysis& node) const {
+    if (node_ops_.empty()) return nullptr;
+    auto it = node_ops_.find(&node);
+    return it == node_ops_.end() ? nullptr : it->second;
+  }
+
+  BindingSet EvalImpl(const NodeAnalysis& node, const ControlOption& opt,
+                      const Binding& env, exec::OpCounters* op) {
     if (!ctx_->ok()) return {};
     if (opt.rule == "condition") {
       // Variables the condition *determines* (x = c pins, x = y chains back
@@ -81,7 +146,7 @@ class PlainExecutor {
                  ? BindingSet{std::move(extension)}
                  : BindingSet{};
     }
-    if (opt.rule == "atom") return EvalAtom(node, opt, env);
+    if (opt.rule == "atom") return EvalAtom(node, opt, env, op);
     if (opt.rule == "and") return EvalAnd(node, opt, env);
     if (opt.rule == "or") return EvalOr(node, opt, env);
     if (opt.rule == "exists") return EvalExists(node, opt, env);
@@ -90,9 +155,8 @@ class PlainExecutor {
     return {};
   }
 
- private:
   BindingSet EvalAtom(const NodeAnalysis& node, const ControlOption& opt,
-                      const Binding& env) {
+                      const Binding& env, exec::OpCounters* op) {
     const Formula& atom = node.formula;
     const Relation* rel = db_->FindRelation(atom.relation());
     if (rel == nullptr) return {};
@@ -139,7 +203,7 @@ class PlainExecutor {
 
     if (positions.empty()) {
       // (R, ∅, N, T): the whole relation is the access unit.
-      exec::ChargeFullAccess(ctx_, atom.relation(), *rel);
+      exec::ChargeFullAccess(ctx_, atom.relation(), *rel, op);
       if (!ctx_->ok()) return {};
       if (enforce_bounds_ && rel->size() > opt.access->max_tuples) {
         ctx_->SetError(Status::ResourceExhausted(
@@ -151,8 +215,8 @@ class PlainExecutor {
       return out;
     }
 
-    const std::vector<uint32_t>* rows =
-        exec::MeteredIndexLookup(ctx_, atom.relation(), *rel, positions, key);
+    const std::vector<uint32_t>* rows = exec::MeteredIndexLookup(
+        ctx_, atom.relation(), *rel, positions, key, op);
     if (!ctx_->ok()) return {};
     if (rows == nullptr) return out;
     if (enforce_bounds_ && rows->size() > opt.access->max_tuples) {
@@ -258,6 +322,7 @@ class PlainExecutor {
   Database* db_;
   bool enforce_bounds_;
   exec::ExecContext* ctx_;
+  std::unordered_map<const NodeAnalysis*, exec::OpCounters*> node_ops_;
 };
 
 }  // namespace
@@ -280,9 +345,21 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
   }
   exec::ExecContext ctx(db_);
   ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
+  ctx.set_timing_enabled(collect_timing_);
+  obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate", "core");
   PlainExecutor exec(db_, enforce_bounds_, &ctx);
+  if (collect_timing_ || (stats != nullptr && stats->capture_ops)) {
+    exec.RegisterOps(analysis.root(), *opt, /*parent=*/-1);
+  }
   BindingSet results = exec.Eval(analysis.root(), *opt, params);
-  if (stats != nullptr) stats->Accumulate(ctx);
+  if (span.enabled()) {
+    span.Arg("fetched", ctx.base_tuples_fetched());
+    span.Arg("static_bound", opt->fetch_bound);
+  }
+  if (stats != nullptr) {
+    stats->static_bound = opt->fetch_bound;
+    stats->Accumulate(ctx);
+  }
   SI_RETURN_IF_ERROR(ctx.status());
 
   std::vector<Variable> open;
@@ -308,14 +385,25 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
     BoundedEvalStats* stats) const {
   exec::ExecContext ctx(db_);
   ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
-  Result<AnswerSet> result = EvaluateEmbeddedImpl(analysis, params, &ctx);
-  if (stats != nullptr) stats->Accumulate(ctx);
+  ctx.set_timing_enabled(collect_timing_);
+  obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_embedded", "core");
+  const bool capture_ops =
+      collect_timing_ || (stats != nullptr && stats->capture_ops);
+  Result<AnswerSet> result =
+      EvaluateEmbeddedImpl(analysis, params, &ctx, capture_ops);
+  if (span.enabled()) span.Arg("fetched", ctx.base_tuples_fetched());
+  if (stats != nullptr) {
+    if (analysis.IsScaleIndependent()) {
+      stats->static_bound = analysis.plan().fetch_bound;
+    }
+    stats->Accumulate(ctx);
+  }
   return result;
 }
 
 Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
     const EmbeddedCqAnalysis& analysis, const Binding& params,
-    exec::ExecContext* ctx) const {
+    exec::ExecContext* ctx, bool capture_ops) const {
   if (!analysis.IsScaleIndependent()) {
     return Status::FailedPrecondition(
         "query has no embedded-controllability plan");
@@ -329,10 +417,32 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
   const Cq& q = analysis.query();
   const EmbeddedPlan& plan = analysis.plan();
 
+  // Optional EXPLAIN ANALYZE forest: a root for the whole chase plus one
+  // child per atom plan, each carrying its per-invocation static bound.
+  exec::OpCounters* root_op = nullptr;
+  std::vector<exec::OpCounters*> atom_ops;
+  if (capture_ops) {
+    root_op = ctx->NewOp("embedded-cq");
+    root_op->static_bound = plan.fetch_bound;
+    atom_ops.reserve(plan.atom_plans.size());
+    for (const AtomPlan& ap : plan.atom_plans) {
+      exec::OpCounters* op = ctx->NewOp(
+          "chase(" + q.atoms()[ap.atom_index].relation + ")", root_op->id);
+      op->static_bound = ap.fetch_bound;
+      atom_ops.push_back(op);
+    }
+  }
+
   using Partial = std::vector<std::optional<Value>>;
   std::vector<Binding> assignments = {params};
 
-  for (const AtomPlan& ap : plan.atom_plans) {
+  for (size_t ai = 0; ai < plan.atom_plans.size(); ++ai) {
+    const AtomPlan& ap = plan.atom_plans[ai];
+    exec::OpCounters* op = capture_ops ? atom_ops[ai] : nullptr;
+#if SCALEIN_OBS_ENABLE_TIMING
+    const bool timed = op != nullptr && ctx->timing_enabled();
+    const uint64_t atom_start = timed ? obs::MonotonicNowNs() : 0;
+#endif
     const CqAtom& atom = q.atoms()[ap.atom_index];
     const Relation* rel = db_->FindRelation(atom.relation);
     std::vector<Binding> next_assignments;
@@ -366,7 +476,7 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
           }
           std::vector<Tuple> projections = exec::MeteredProjectionLookup(
               ctx, atom.relation, *rel, step.key_positions,
-              step.value_positions, key);
+              step.value_positions, key, op);
           SI_RETURN_IF_ERROR(ctx->status());
           if (enforce_bounds_ &&
               projections.size() > step.statement->max_tuples) {
@@ -402,7 +512,7 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
           const HashIndex& vindex = rel->EnsureIndex(ap.verify_key_positions);
           Tuple vkey = ProjectTuple(row, vindex.positions());
           const std::vector<uint32_t>* rows = exec::MeteredIndexLookup(
-              ctx, atom.relation, *rel, vindex.positions(), vkey);
+              ctx, atom.relation, *rel, vindex.positions(), vkey, op);
           SI_RETURN_IF_ERROR(ctx->status());
           bool found = false;
           if (rows != nullptr) {
@@ -437,6 +547,15 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
         if (ok) next_assignments.push_back(std::move(extended));
       }
     }
+    if (op != nullptr) {
+      op->rows_out += next_assignments.size();
+#if SCALEIN_OBS_ENABLE_TIMING
+      if (timed) {
+        op->next_ns += obs::MonotonicNowNs() - atom_start;
+        ++op->next_calls;
+      }
+#endif
+    }
     assignments = std::move(next_assignments);
   }
 
@@ -451,6 +570,7 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
     }
     answers.insert(std::move(t));
   }
+  if (root_op != nullptr) root_op->rows_out += answers.size();
   return answers;
 }
 

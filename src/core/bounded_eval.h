@@ -28,6 +28,18 @@ struct BoundedEvalStats {
   /// bounded base access from free materialized-view access).
   std::map<std::string, uint64_t> fetched_by_relation;
 
+  /// When true, Accumulate also appends the evaluation's per-node counter
+  /// forest into `ops` — the input of obs' EXPLAIN ANALYZE renderer, with
+  /// each derivation node's static Theorem 4.2 bound in
+  /// OpCounters::static_bound. Off by default: aggregators that fold
+  /// thousands of evaluations (the incremental maintainer) would otherwise
+  /// accumulate unbounded op snapshots.
+  bool capture_ops = false;
+  std::vector<exec::OpCounters> ops;
+  /// Static fetch bound of the most recent evaluation's derivation (the
+  /// Theorem 4.2 / Proposition 4.5 M); negative until an evaluation ran.
+  double static_bound = -1.0;
+
   void Count(const std::string& relation, uint64_t tuples) {
     ++index_lookups;
     base_tuples_fetched += tuples;
@@ -40,6 +52,10 @@ struct BoundedEvalStats {
     index_lookups += ctx.index_lookups();
     for (const auto& [name, n] : ctx.fetched_by_relation()) {
       fetched_by_relation[name] += n;
+    }
+    if (capture_ops) {
+      std::vector<exec::OpCounters> snapshot = ctx.SnapshotOps();
+      ops.insert(ops.end(), snapshot.begin(), snapshot.end());
     }
   }
 };
@@ -66,6 +82,11 @@ class BoundedEvaluator {
   /// ResourceExhausted instead of touching more data.
   void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
 
+  /// If true, the evaluator records per-derivation-node wall time into the
+  /// captured op counters (EXPLAIN ANALYZE's time column). Off by default —
+  /// the measured fetch counts never depend on it.
+  void set_collect_timing(bool collect) { collect_timing_ = collect; }
+
   /// Evaluates Q(ā, ·) via a plain-controllability derivation: `params`
   /// must cover some derived controlling set. Answers range over the head
   /// variables not bound by `params`, in head order.
@@ -84,11 +105,13 @@ class BoundedEvaluator {
  private:
   Result<AnswerSet> EvaluateEmbeddedImpl(const EmbeddedCqAnalysis& analysis,
                                          const Binding& params,
-                                         exec::ExecContext* ctx) const;
+                                         exec::ExecContext* ctx,
+                                         bool capture_ops) const;
 
   Database* db_;
   bool enforce_bounds_ = false;
   uint64_t fetch_budget_ = 0;
+  bool collect_timing_ = false;
 };
 
 }  // namespace scalein

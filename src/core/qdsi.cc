@@ -4,6 +4,7 @@
 
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
+#include "obs/trace.h"
 
 namespace scalein {
 
@@ -20,6 +21,21 @@ const char* VerdictName(Verdict v) {
 }
 
 namespace {
+
+/// Runs one QDSI decision procedure under an engine-level span, annotating
+/// it with the resource bound and the outcome (verdict, method, search work).
+template <typename Fn>
+QdsiDecision DecideWithSpan(const char* name, uint64_t m, Fn&& fn) {
+  obs::ScopedSpan span(obs::Tracer::Global(), name, "core");
+  QdsiDecision decision = fn();
+  if (span.enabled()) {
+    span.Arg("m", m);
+    span.Arg("verdict", VerdictName(decision.verdict));
+    span.Arg("method", decision.method);
+    span.Arg("work", decision.work);
+  }
+  return decision;
+}
 
 TupleSet WholeDatabase(const Database& d) {
   std::vector<TupleRef> all = AllTuples(d);
@@ -135,73 +151,79 @@ QdsiDecision DecideMonotone(const std::vector<Cq>& disjuncts, size_t tableau,
 
 QdsiDecision DecideQdsiCq(const Cq& q, const Database& d, uint64_t m,
                           const QdsiOptions& options) {
-  return DecideMonotone({q}, q.TableauSize(), q.IsBoolean(), d, m, options);
+  return DecideWithSpan("qdsi.decide_cq", m, [&] {
+    return DecideMonotone({q}, q.TableauSize(), q.IsBoolean(), d, m, options);
+  });
 }
 
 QdsiDecision DecideQdsiUcq(const Ucq& q, const Database& d, uint64_t m,
                            const QdsiOptions& options) {
-  return DecideMonotone(q.disjuncts(), q.TableauSize(), q.IsBoolean(), d, m,
-                        options);
+  return DecideWithSpan("qdsi.decide_ucq", m, [&] {
+    return DecideMonotone(q.disjuncts(), q.TableauSize(), q.IsBoolean(), d, m,
+                          options);
+  });
 }
 
 QdsiDecision DecideQdsiFo(const FoQuery& q, const Database& d, uint64_t m,
                           const QdsiOptions& options) {
-  QdsiDecision decision;
+  return DecideWithSpan("qdsi.decide_fo", m, [&] {
+    QdsiDecision decision;
 
-  std::vector<TupleRef> all = AllTuples(d);
-  const size_t n = all.size();
-  if (m >= n) {
-    decision.verdict = Verdict::kYes;
-    decision.witness = TupleSet(all.begin(), all.end());
-    decision.method = "whole-database";
-    return decision;
-  }
+    std::vector<TupleRef> all = AllTuples(d);
+    const size_t n = all.size();
+    if (m >= n) {
+      decision.verdict = Verdict::kYes;
+      decision.witness = TupleSet(all.begin(), all.end());
+      decision.method = "whole-database";
+      return decision;
+    }
 
-  decision.method = "subset-search";
-  FoEvaluator full_eval(&d);
-  const bool is_boolean = q.IsBoolean();
-  const bool full_bool = is_boolean && full_eval.EvaluateBoolean(q);
-  const AnswerSet full_answers = is_boolean ? AnswerSet{} : full_eval.Evaluate(q);
+    decision.method = "subset-search";
+    FoEvaluator full_eval(&d);
+    const bool is_boolean = q.IsBoolean();
+    const bool full_bool = is_boolean && full_eval.EvaluateBoolean(q);
+    const AnswerSet full_answers = is_boolean ? AnswerSet{} : full_eval.Evaluate(q);
 
-  // Enumerate subsets by increasing size (so a found witness is minimum).
-  bool capped = false;
-  for (uint64_t size = 0; size <= m && !capped; ++size) {
-    // Combination enumeration over indices into `all`.
-    std::vector<size_t> idx(size);
-    for (size_t i = 0; i < size; ++i) idx[i] = i;
-    bool more = true;
-    while (more) {
-      if (++decision.work > options.max_subsets) {
-        capped = true;
-        break;
-      }
-      TupleSet subset;
-      for (size_t i : idx) subset.insert(all[i]);
-      Database sub = SubDatabase(d, subset);
-      FoEvaluator sub_eval(&sub);
-      bool match = is_boolean ? sub_eval.EvaluateBoolean(q) == full_bool
-                              : sub_eval.Evaluate(q) == full_answers;
-      if (match) {
-        decision.verdict = Verdict::kYes;
-        decision.witness = std::move(subset);
-        return decision;
-      }
-      // Next combination.
-      if (size == 0) break;
-      size_t k = size;
-      while (k > 0) {
-        --k;
-        if (idx[k] != k + n - size) {
-          ++idx[k];
-          for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+    // Enumerate subsets by increasing size (so a found witness is minimum).
+    bool capped = false;
+    for (uint64_t size = 0; size <= m && !capped; ++size) {
+      // Combination enumeration over indices into `all`.
+      std::vector<size_t> idx(size);
+      for (size_t i = 0; i < size; ++i) idx[i] = i;
+      bool more = true;
+      while (more) {
+        if (++decision.work > options.max_subsets) {
+          capped = true;
           break;
         }
-        if (k == 0) more = false;
+        TupleSet subset;
+        for (size_t i : idx) subset.insert(all[i]);
+        Database sub = SubDatabase(d, subset);
+        FoEvaluator sub_eval(&sub);
+        bool match = is_boolean ? sub_eval.EvaluateBoolean(q) == full_bool
+                                : sub_eval.Evaluate(q) == full_answers;
+        if (match) {
+          decision.verdict = Verdict::kYes;
+          decision.witness = std::move(subset);
+          return decision;
+        }
+        // Next combination.
+        if (size == 0) break;
+        size_t k = size;
+        while (k > 0) {
+          --k;
+          if (idx[k] != k + n - size) {
+            ++idx[k];
+            for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+            break;
+          }
+          if (k == 0) more = false;
+        }
       }
     }
-  }
-  decision.verdict = capped ? Verdict::kUnknown : Verdict::kNo;
-  return decision;
+    decision.verdict = capped ? Verdict::kUnknown : Verdict::kNo;
+    return decision;
+  });
 }
 
 }  // namespace scalein

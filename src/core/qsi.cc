@@ -3,10 +3,25 @@
 #include <algorithm>
 
 #include "eval/containment.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace scalein {
 namespace {
+
+/// Runs one QSI decision procedure under an engine-level span, annotating it
+/// with the resource bound and the outcome.
+template <typename Fn>
+QsiDecision DecideWithSpan(const char* name, uint64_t m, Fn&& fn) {
+  obs::ScopedSpan span(obs::Tracer::Global(), name, "core");
+  QsiDecision decision = fn();
+  if (span.enabled()) {
+    span.Arg("m", m);
+    span.Arg("verdict", VerdictName(decision.verdict));
+    span.Arg("method", decision.method);
+  }
+  return decision;
+}
 
 bool HeadHasVariable(const Cq& q) {
   for (const Term& t : q.head()) {
@@ -106,158 +121,164 @@ bool FormulaHasQuantifiers(const Formula& f) {
 }  // namespace
 
 QsiDecision DecideQsiCq(const Cq& q, uint64_t m) {
-  QsiDecision decision;
-  if (IsTrivialCq(q)) {
-    decision.verdict = Verdict::kYes;
-    decision.method = "trivial";
+  return DecideWithSpan("qsi.decide_cq", m, [&] {
+    QsiDecision decision;
+    if (IsTrivialCq(q)) {
+      decision.verdict = Verdict::kYes;
+      decision.method = "trivial";
+      return decision;
+    }
+    if (HeadHasVariable(q)) {
+      // Monotonicity: fresh copies pump fresh answers past any M.
+      decision.verdict = Verdict::kNo;
+      decision.method = "monotone-pumping";
+      decision.counterexample = PumpedCounterexample(q, m + 1);
+      return decision;
+    }
+    // Boolean / constant-head: behavior determined by the core size.
+    Cq core = MinimizeCq(q);
+    if (core.TableauSize() <= m) {
+      decision.verdict = Verdict::kYes;
+      decision.method = "core-bound";
+    } else {
+      decision.verdict = Verdict::kNo;
+      decision.method = "core-bound";
+      decision.counterexample = FreezeCq(core).db;
+    }
     return decision;
-  }
-  if (HeadHasVariable(q)) {
-    // Monotonicity: fresh copies pump fresh answers past any M.
-    decision.verdict = Verdict::kNo;
-    decision.method = "monotone-pumping";
-    decision.counterexample = PumpedCounterexample(q, m + 1);
-    return decision;
-  }
-  // Boolean / constant-head: behavior determined by the core size.
-  Cq core = MinimizeCq(q);
-  if (core.TableauSize() <= m) {
-    decision.verdict = Verdict::kYes;
-    decision.method = "core-bound";
-  } else {
-    decision.verdict = Verdict::kNo;
-    decision.method = "core-bound";
-    decision.counterexample = FreezeCq(core).db;
-  }
-  return decision;
+  });
 }
 
 QsiDecision DecideQsiUcq(const Ucq& q, uint64_t m) {
-  QsiDecision decision;
-  bool all_trivial = true;
-  for (const Cq& d : q.disjuncts()) {
-    if (IsTrivialCq(d)) continue;
-    all_trivial = false;
-    if (HeadHasVariable(d)) {
-      decision.verdict = Verdict::kNo;
-      decision.method = "monotone-pumping";
-      decision.counterexample = PumpedCounterexample(d, m + 1);
+  return DecideWithSpan("qsi.decide_ucq", m, [&] {
+    QsiDecision decision;
+    bool all_trivial = true;
+    for (const Cq& d : q.disjuncts()) {
+      if (IsTrivialCq(d)) continue;
+      all_trivial = false;
+      if (HeadHasVariable(d)) {
+        decision.verdict = Verdict::kNo;
+        decision.method = "monotone-pumping";
+        decision.counterexample = PumpedCounterexample(d, m + 1);
+        return decision;
+      }
+    }
+    if (all_trivial) {
+      decision.verdict = Verdict::kYes;
+      decision.method = "trivial";
       return decision;
     }
-  }
-  if (all_trivial) {
-    decision.verdict = Verdict::kYes;
-    decision.method = "trivial";
-    return decision;
-  }
-  // Boolean / constant-head UCQ.
-  uint64_t max_core = 0;
-  std::vector<Cq> cores;
-  for (const Cq& d : q.disjuncts()) {
-    cores.push_back(MinimizeCq(d));
-    max_core = std::max<uint64_t>(max_core, cores.back().TableauSize());
-  }
-  if (max_core <= m) {
-    decision.verdict = Verdict::kYes;
-    decision.method = "core-bound";
-    return decision;
-  }
-  // Probe each frozen core as a potential counterexample.
-  for (const Cq& core : cores) {
-    if (core.TableauSize() <= m) continue;
-    Database candidate = FreezeCq(core).db;
-    QdsiDecision probe = DecideQdsiUcq(q, candidate, m);
-    if (probe.verdict == Verdict::kNo) {
-      decision.verdict = Verdict::kNo;
-      decision.method = "frozen-core-probe";
-      decision.counterexample = std::move(candidate);
+    // Boolean / constant-head UCQ.
+    uint64_t max_core = 0;
+    std::vector<Cq> cores;
+    for (const Cq& d : q.disjuncts()) {
+      cores.push_back(MinimizeCq(d));
+      max_core = std::max<uint64_t>(max_core, cores.back().TableauSize());
+    }
+    if (max_core <= m) {
+      decision.verdict = Verdict::kYes;
+      decision.method = "core-bound";
       return decision;
     }
-  }
-  decision.verdict = Verdict::kUnknown;
-  decision.method = "frozen-core-probe";
-  return decision;
+    // Probe each frozen core as a potential counterexample.
+    for (const Cq& core : cores) {
+      if (core.TableauSize() <= m) continue;
+      Database candidate = FreezeCq(core).db;
+      QdsiDecision probe = DecideQdsiUcq(q, candidate, m);
+      if (probe.verdict == Verdict::kNo) {
+        decision.verdict = Verdict::kNo;
+        decision.method = "frozen-core-probe";
+        decision.counterexample = std::move(candidate);
+        return decision;
+      }
+    }
+    decision.verdict = Verdict::kUnknown;
+    decision.method = "frozen-core-probe";
+    return decision;
+  });
 }
 
 QsiDecision DecideQsiFo(const FoQuery& q, const Schema& schema, uint64_t m,
                         const QsiFoOptions& options) {
-  QsiDecision decision;
-  if (q.IsBoolean() && !FormulaHasAtoms(q.body) &&
-      !FormulaHasQuantifiers(q.body)) {
-    // Quantifier-free closed condition: a constant query.
-    decision.verdict = Verdict::kYes;
-    decision.method = "constant-query";
+  return DecideWithSpan("qsi.decide_fo", m, [&] {
+    QsiDecision decision;
+    if (q.IsBoolean() && !FormulaHasAtoms(q.body) &&
+        !FormulaHasQuantifiers(q.body)) {
+      // Quantifier-free closed condition: a constant query.
+      decision.verdict = Verdict::kYes;
+      decision.method = "constant-query";
+      return decision;
+    }
+
+    // Counterexample search over small databases.
+    decision.method = "bounded-counterexample-search";
+    std::vector<std::pair<std::string, Tuple>> universe;
+    for (const RelationSchema& rs : schema.relations()) {
+      // All tuples over {1, ..., domain_size}^arity.
+      std::vector<size_t> digits(rs.arity(), 0);
+      bool more = true;
+      if (rs.arity() == 0) continue;
+      while (more) {
+        Tuple t;
+        t.reserve(rs.arity());
+        for (size_t dgt : digits) {
+          t.push_back(Value::Int(static_cast<int64_t>(dgt) + 1));
+        }
+        universe.emplace_back(rs.name(), std::move(t));
+        // Increment mixed-radix counter.
+        size_t pos = 0;
+        for (;;) {
+          if (pos == digits.size()) {
+            more = false;
+            break;
+          }
+          if (++digits[pos] < options.domain_size) break;
+          digits[pos] = 0;
+          ++pos;
+        }
+      }
+    }
+
+    uint64_t examined = 0;
+    const size_t n = universe.size();
+    size_t max_size = std::min(options.max_tuples, n);
+    for (size_t size = 1; size <= max_size; ++size) {
+      std::vector<size_t> idx(size);
+      for (size_t i = 0; i < size; ++i) idx[i] = i;
+      bool more = true;
+      while (more) {
+        if (++examined > options.max_databases) {
+          decision.verdict = Verdict::kUnknown;
+          return decision;
+        }
+        Database candidate(schema);
+        for (size_t i : idx) {
+          candidate.Insert(universe[i].first, universe[i].second);
+        }
+        QdsiDecision probe = DecideQdsiFo(q, candidate, m, options.qdsi);
+        if (probe.verdict == Verdict::kNo) {
+          decision.verdict = Verdict::kNo;
+          decision.counterexample = std::move(candidate);
+          return decision;
+        }
+        // Next combination.
+        size_t k = size;
+        bool advanced = false;
+        while (k > 0) {
+          --k;
+          if (idx[k] != k + n - size) {
+            ++idx[k];
+            for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) more = false;
+      }
+    }
+    decision.verdict = Verdict::kUnknown;
     return decision;
-  }
-
-  // Counterexample search over small databases.
-  decision.method = "bounded-counterexample-search";
-  std::vector<std::pair<std::string, Tuple>> universe;
-  for (const RelationSchema& rs : schema.relations()) {
-    // All tuples over {1, ..., domain_size}^arity.
-    std::vector<size_t> digits(rs.arity(), 0);
-    bool more = true;
-    if (rs.arity() == 0) continue;
-    while (more) {
-      Tuple t;
-      t.reserve(rs.arity());
-      for (size_t dgt : digits) {
-        t.push_back(Value::Int(static_cast<int64_t>(dgt) + 1));
-      }
-      universe.emplace_back(rs.name(), std::move(t));
-      // Increment mixed-radix counter.
-      size_t pos = 0;
-      for (;;) {
-        if (pos == digits.size()) {
-          more = false;
-          break;
-        }
-        if (++digits[pos] < options.domain_size) break;
-        digits[pos] = 0;
-        ++pos;
-      }
-    }
-  }
-
-  uint64_t examined = 0;
-  const size_t n = universe.size();
-  size_t max_size = std::min(options.max_tuples, n);
-  for (size_t size = 1; size <= max_size; ++size) {
-    std::vector<size_t> idx(size);
-    for (size_t i = 0; i < size; ++i) idx[i] = i;
-    bool more = true;
-    while (more) {
-      if (++examined > options.max_databases) {
-        decision.verdict = Verdict::kUnknown;
-        return decision;
-      }
-      Database candidate(schema);
-      for (size_t i : idx) {
-        candidate.Insert(universe[i].first, universe[i].second);
-      }
-      QdsiDecision probe = DecideQdsiFo(q, candidate, m, options.qdsi);
-      if (probe.verdict == Verdict::kNo) {
-        decision.verdict = Verdict::kNo;
-        decision.counterexample = std::move(candidate);
-        return decision;
-      }
-      // Next combination.
-      size_t k = size;
-      bool advanced = false;
-      while (k > 0) {
-        --k;
-        if (idx[k] != k + n - size) {
-          ++idx[k];
-          for (size_t j = k + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
-          advanced = true;
-          break;
-        }
-      }
-      if (!advanced) more = false;
-    }
-  }
-  decision.verdict = Verdict::kUnknown;
-  return decision;
+  });
 }
 
 Result<uint64_t> MinWitnessSizeFo(const FoQuery& q, const Database& d,

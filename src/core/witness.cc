@@ -4,6 +4,7 @@
 
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
+#include "obs/trace.h"
 
 namespace scalein {
 
@@ -171,6 +172,7 @@ std::optional<TupleSet> FirstSupport(const Cq& q, const Database& d) {
 }
 
 TupleSet GreedyWitnessCq(const Cq& q, const Database& d) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "witness.greedy_cq", "core");
   CqEvaluator eval(const_cast<Database*>(&d));
   AnswerSet answers = eval.EvaluateFull(q);
 
@@ -216,12 +218,17 @@ TupleSet GreedyWitnessCq(const Cq& q, const Database& d) {
     }
     (void)best_answer;
   }
+  if (span.enabled()) {
+    span.Arg("answers", static_cast<uint64_t>(answers.size()));
+    span.Arg("witness_size", static_cast<uint64_t>(chosen.size()));
+  }
   return chosen;
 }
 
 MinWitnessResult MinimumSupportCover(
     const std::vector<std::vector<TupleSet>>& per_answer_supports,
     uint64_t budget) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "witness.support_cover", "core");
   constexpr uint64_t kNodeCap = 2'000'000;
   MinWitnessResult result;
 
@@ -280,12 +287,19 @@ MinWitnessResult MinimumSupportCover(
     result.witness = std::move(best);
     // A found witness is a definite "yes" regardless of truncation.
   }
+  if (span.enabled()) {
+    span.Arg("budget", budget);
+    span.Arg("nodes_explored", result.nodes_explored);
+    span.Arg("exact", result.exact);
+    span.Arg("found", result.witness.has_value());
+  }
   return result;
 }
 
 MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
                                   uint64_t budget,
                                   size_t max_supports_per_answer) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "witness.minimum_cq", "core");
   CqEvaluator eval(const_cast<Database*>(&d));
   AnswerSet answers = eval.EvaluateFull(q);
 
@@ -300,6 +314,12 @@ MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
   }
   MinWitnessResult result = MinimumSupportCover(supports, budget);
   if (any_truncated) result.exact = result.witness.has_value();
+  if (span.enabled()) {
+    span.Arg("budget", budget);
+    span.Arg("nodes_explored", result.nodes_explored);
+    span.Arg("exact", result.exact);
+    span.Arg("found", result.witness.has_value());
+  }
   return result;
 }
 

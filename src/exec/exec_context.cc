@@ -1,6 +1,14 @@
 #include "exec/exec_context.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scalein::exec {
+
+ExecContext::ExecContext() : tracer_(obs::Tracer::Global()) {}
+
+ExecContext::ExecContext(const Database* db)
+    : db_(db), tracer_(obs::Tracer::Global()) {}
 
 const Relation* ExecContext::Resolve(const std::string& name) const {
   auto it = overrides_.find(name);
@@ -51,10 +59,27 @@ void ExecContext::SetError(Status s) {
   if (status_.ok()) status_ = std::move(s);
 }
 
-OpCounters* ExecContext::NewOp(std::string label) {
+OpCounters* ExecContext::NewOp(std::string label, int32_t parent) {
   ops_.emplace_back();
-  ops_.back().label = std::move(label);
-  return &ops_.back();
+  OpCounters& op = ops_.back();
+  op.label = std::move(label);
+  op.id = static_cast<int32_t>(ops_.size()) - 1;
+  op.parent = parent;
+  return &op;
+}
+
+std::vector<OpCounters> ExecContext::SnapshotOps() const {
+  return std::vector<OpCounters>(ops_.begin(), ops_.end());
+}
+
+void ExecContext::ExportMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) const {
+  registry->GetCounter(prefix + "base_tuples_fetched")
+      .Increment(base_tuples_fetched_);
+  registry->GetCounter(prefix + "index_lookups").Increment(index_lookups_);
+  for (const auto& [name, tuples] : fetched_by_relation_) {
+    registry->GetCounter(prefix + "fetched." + name).Increment(tuples);
+  }
 }
 
 std::string ExecContext::DebugString() const {

@@ -10,24 +10,41 @@
 #include "relational/database.h"
 #include "util/status.h"
 
+namespace scalein::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace scalein::obs
+
 namespace scalein::exec {
 
-/// Per-operator accounting: one entry per operator instance in a plan. Kept
-/// addressable for the lifetime of the ExecContext so operators can bump
-/// their counters without a lookup on the hot path.
+/// Per-operator accounting: one entry per operator (or bounded-derivation
+/// node) instance in a plan. Kept addressable for the lifetime of the
+/// ExecContext so operators can bump their counters without a lookup on the
+/// hot path. `id`/`parent` link the entries into the executed tree that
+/// EXPLAIN ANALYZE renders (obs/explain.h); the `*_ns` wall-time fields are
+/// populated only when the context has timing enabled.
 struct OpCounters {
   std::string label;            ///< e.g. "scan(friend)", "idx-join(visit)"
+  int32_t id = -1;              ///< index into ExecContext::ops()
+  int32_t parent = -1;          ///< parent op id; -1 for roots
   uint64_t rows_out = 0;        ///< rows the operator emitted downstream
   uint64_t tuples_fetched = 0;  ///< base tuples this operator pulled from storage
   uint64_t index_lookups = 0;   ///< index probes this operator issued
+  uint64_t open_ns = 0;         ///< inclusive wall time spent in Open()
+  uint64_t next_ns = 0;         ///< inclusive wall time spent across Next()
+  uint64_t next_calls = 0;      ///< number of Next() calls
+  /// Static Theorem 4.2 fetch bound for this (sub)operator, when one exists
+  /// (bounded-derivation nodes); negative means "no static bound known".
+  double static_bound = -1.0;
 };
 
 /// Shared state of one physical evaluation: the database (with optional
 /// per-relation content overrides, used by the incremental engine to make a
 /// base-relation name stand for ∆R/∇R), the universal fetch accounting the
 /// paper's |D_Q| ≤ M bound is measured against, an optional hard fetch
-/// budget (the paper's M as "the capacity of our available resources"), and
-/// per-operator counters.
+/// budget (the paper's M as "the capacity of our available resources"),
+/// per-operator counters, and the observability hooks (span tracer, per-op
+/// wall-time collection).
 ///
 /// Every tuple any engine component retrieves from a base relation — scans,
 /// hash-index probes, projection-index probes — is charged here, on every
@@ -35,8 +52,8 @@ struct OpCounters {
 /// single metered access layer the bounded-evaluation guarantees hang off.
 class ExecContext {
  public:
-  ExecContext() = default;
-  explicit ExecContext(const Database* db) : db_(db) {}
+  ExecContext();
+  explicit ExecContext(const Database* db);
 
   const Database* db() const { return db_; }
   void set_db(const Database* db) { db_ = db; }
@@ -53,6 +70,21 @@ class ExecContext {
   /// disables (default). Exceeding it sets a ResourceExhausted status.
   void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
   uint64_t fetch_budget() const { return fetch_budget_; }
+
+  // --- Observability (src/obs) ---
+
+  /// Span sink for engine-level phases (planning, draining, witness search).
+  /// Defaults to the process-global tracer (obs::Tracer::Global()) captured
+  /// at construction; nullptr disables span recording.
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// When enabled *before planning*, operators record per-op Open/Next wall
+  /// time into their OpCounters (EXPLAIN ANALYZE's timing column). Off by
+  /// default so the pull loop stays a branch-on-null away from the untimed
+  /// path; compile with SCALEIN_OBS_ENABLE_TIMING=0 to remove even that.
+  bool timing_enabled() const { return timing_enabled_; }
+  void set_timing_enabled(bool enabled) { timing_enabled_ = enabled; }
 
   // --- Universal accounting (the |D_Q| of §3–§4, measured) ---
   uint64_t base_tuples_fetched() const { return base_tuples_fetched_; }
@@ -84,10 +116,20 @@ class ExecContext {
   bool ok() const { return status_.ok(); }
   void SetError(Status s);
 
-  /// Registers a per-operator counter slot; the pointer stays valid for the
-  /// context's lifetime.
-  OpCounters* NewOp(std::string label);
+  /// Registers a per-operator counter slot under `parent` (-1 = root); the
+  /// pointer stays valid for the context's lifetime.
+  OpCounters* NewOp(std::string label, int32_t parent = -1);
   const std::deque<OpCounters>& ops() const { return ops_; }
+
+  /// Copy of the per-op counters, for callers that outlive the context
+  /// (BoundedEvalStats, EXPLAIN rendering, bench sidecars).
+  std::vector<OpCounters> SnapshotOps() const;
+
+  /// Folds this context's totals into `registry` under `prefix` (e.g.
+  /// prefix "exec." writes counters "exec.base_tuples_fetched",
+  /// "exec.index_lookups", and "exec.fetched.<relation>").
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 
   /// One-line accounting summary for logs and benches.
   std::string DebugString() const;
@@ -104,6 +146,8 @@ class ExecContext {
   std::map<std::string, uint64_t> fetched_by_relation_;
   std::deque<OpCounters> ops_;
   Status status_ = Status::OK();
+  obs::Tracer* tracer_ = nullptr;
+  bool timing_enabled_ = false;
 };
 
 /// Metered access primitives. Every component that touches base-relation

@@ -15,6 +15,21 @@ size_t PositionOf(const std::vector<std::string>& attrs,
 
 }  // namespace
 
+void Operator::TimedOpen() {
+  const uint64_t start = obs::MonotonicNowNs();
+  DoOpen();
+  op_->open_ns += obs::MonotonicNowNs() - start;
+}
+
+bool Operator::TimedNext(Tuple* out) {
+  const uint64_t start = obs::MonotonicNowNs();
+  bool produced = DoNext(out);
+  op_->next_ns += obs::MonotonicNowNs() - start;
+  ++op_->next_calls;
+  if (produced) ++op_->rows_out;
+  return produced;
+}
+
 CompiledCondition CompiledCondition::Compile(
     const SelectionCondition& cond, const std::vector<std::string>& attrs) {
   CompiledCondition out;
@@ -35,44 +50,40 @@ CompiledCondition CompiledCondition::Compile(
 }
 
 ScanOp::ScanOp(ExecContext* ctx, std::string name, const Relation* rel)
-    : ctx_(ctx),
+    : Operator(ctx, "scan(" + name + ")"),
       rel_(rel),
-      op_(ctx->NewOp("scan(" + name + ")")),
       slot_(ctx->RelationSlot(name)) {}
 
-bool ScanOp::Next(Tuple* out) {
+bool ScanOp::DoNext(Tuple* out) {
   if (!ctx_->ok() || rel_ == nullptr || next_row_ >= rel_->size()) return false;
   TupleView row = rel_->TupleAt(next_row_++);
   ctx_->ChargeRows(slot_, 1, op_);
   // The fetch that trips the budget must not be emitted: stop right here.
   if (!ctx_->ok()) return false;
   out->assign(row.begin(), row.end());
-  ++op_->rows_out;
   return true;
 }
 
 IndexLookupOp::IndexLookupOp(ExecContext* ctx, std::string name,
                              const Relation* rel,
                              std::vector<size_t> positions, Tuple key)
-    : ctx_(ctx),
+    : Operator(ctx, "idx-lookup(" + name + ")"),
       rel_(rel),
       name_(std::move(name)),
       positions_(std::move(positions)),
-      key_(std::move(key)),
-      op_(ctx->NewOp("idx-lookup(" + name_ + ")")) {}
+      key_(std::move(key)) {}
 
-void IndexLookupOp::Open() {
+void IndexLookupOp::DoOpen() {
   rows_ = rel_ == nullptr
               ? nullptr
               : MeteredIndexLookup(ctx_, name_, *rel_, positions_, key_, op_);
   next_ = 0;
 }
 
-bool IndexLookupOp::Next(Tuple* out) {
+bool IndexLookupOp::DoNext(Tuple* out) {
   if (!ctx_->ok() || rows_ == nullptr || next_ >= rows_->size()) return false;
   TupleView row = rel_->TupleAt((*rows_)[next_++]);
   out->assign(row.begin(), row.end());
-  ++op_->rows_out;
   return true;
 }
 
@@ -81,16 +92,15 @@ ProjectionLookupOp::ProjectionLookupOp(ExecContext* ctx, std::string name,
                                        std::vector<size_t> key_positions,
                                        std::vector<size_t> value_positions,
                                        Tuple key, std::vector<size_t> remap)
-    : ctx_(ctx),
+    : Operator(ctx, "proj-lookup(" + name + ")"),
       rel_(rel),
       name_(std::move(name)),
       key_positions_(std::move(key_positions)),
       value_positions_(std::move(value_positions)),
       key_(std::move(key)),
-      remap_(std::move(remap)),
-      op_(ctx->NewOp("proj-lookup(" + name_ + ")")) {}
+      remap_(std::move(remap)) {}
 
-void ProjectionLookupOp::Open() {
+void ProjectionLookupOp::DoOpen() {
   groups_.clear();
   if (rel_ != nullptr) {
     groups_ = MeteredProjectionLookup(ctx_, name_, *rel_, key_positions_,
@@ -99,24 +109,23 @@ void ProjectionLookupOp::Open() {
   next_ = 0;
 }
 
-bool ProjectionLookupOp::Next(Tuple* out) {
+bool ProjectionLookupOp::DoNext(Tuple* out) {
   if (!ctx_->ok() || next_ >= groups_.size()) return false;
   const Tuple& group = groups_[next_++];
   out->clear();
   out->reserve(remap_.size());
   for (size_t i : remap_) out->push_back(group[i]);
-  ++op_->rows_out;
   return true;
 }
 
-bool FilterOp::Next(Tuple* out) {
+bool FilterOp::DoNext(Tuple* out) {
   while (child_->Next(out)) {
     if (condition_.Eval(*out)) return true;
   }
   return false;
 }
 
-bool ProjectOp::Next(Tuple* out) {
+bool ProjectOp::DoNext(Tuple* out) {
   if (!child_->Next(&scratch_)) return false;
   out->clear();
   out->reserve(positions_.size());
@@ -124,13 +133,13 @@ bool ProjectOp::Next(Tuple* out) {
   return true;
 }
 
-void UnionOp::Open() {
+void UnionOp::DoOpen() {
   left_->Open();
   right_->Open();
   on_right_ = false;
 }
 
-bool UnionOp::Next(Tuple* out) {
+bool UnionOp::DoNext(Tuple* out) {
   if (!on_right_) {
     if (left_->Next(out)) return true;
     on_right_ = true;
@@ -142,7 +151,7 @@ bool UnionOp::Next(Tuple* out) {
   return true;
 }
 
-void DiffOp::Open() {
+void DiffOp::DoOpen() {
   right_rows_.clear();
   right_->Open();
   Tuple row;
@@ -156,14 +165,14 @@ void DiffOp::Open() {
   left_->Open();
 }
 
-bool DiffOp::Next(Tuple* out) {
+bool DiffOp::DoNext(Tuple* out) {
   while (left_->Next(out)) {
     if (right_rows_.find(*out) == right_rows_.end()) return true;
   }
   return false;
 }
 
-void HashJoinOp::Open() {
+void HashJoinOp::DoOpen() {
   table_.clear();
   right_->Open();
   Tuple row;
@@ -175,7 +184,7 @@ void HashJoinOp::Open() {
   match_next_ = 0;
 }
 
-bool HashJoinOp::Next(Tuple* out) {
+bool HashJoinOp::DoNext(Tuple* out) {
   for (;;) {
     if (matches_ != nullptr && match_next_ < matches_->size()) {
       const Tuple& rrow = (*matches_)[match_next_++];
@@ -196,7 +205,7 @@ IndexJoinOp::IndexJoinOp(ExecContext* ctx, std::string name,
                          std::vector<KeySource> key_sources,
                          CompiledCondition residual,
                          std::vector<size_t> emit_positions)
-    : ctx_(ctx),
+    : Operator(ctx, "idx-join(" + name + ")"),
       name_(std::move(name)),
       rel_(rel),
       left_(std::move(left)),
@@ -204,12 +213,12 @@ IndexJoinOp::IndexJoinOp(ExecContext* ctx, std::string name,
       key_sources_(std::move(key_sources)),
       residual_(std::move(residual)),
       emit_positions_(std::move(emit_positions)),
-      op_(ctx->NewOp("idx-join(" + name_ + ")")),
       slot_(ctx->RelationSlot(name_)) {
+  Adopt(*left_);
   key_.resize(key_sources_.size());
 }
 
-void IndexJoinOp::Open() {
+void IndexJoinOp::DoOpen() {
   left_->Open();
   left_valid_ = false;
   matches_ = nullptr;
@@ -233,7 +242,7 @@ bool IndexJoinOp::AdvanceLeft() {
   return true;
 }
 
-bool IndexJoinOp::Next(Tuple* out) {
+bool IndexJoinOp::DoNext(Tuple* out) {
   if (rel_ == nullptr) return false;
   for (;;) {
     if (!ctx_->ok()) return false;
@@ -251,7 +260,6 @@ bool IndexJoinOp::Next(Tuple* out) {
         if (!residual_.Eval(row)) continue;
         *out = left_row_;
         for (size_t p : emit_positions_) out->push_back(row[p]);
-        ++op_->rows_out;
         return true;
       }
     } else {
@@ -260,7 +268,6 @@ bool IndexJoinOp::Next(Tuple* out) {
         if (!residual_.Eval(row)) continue;
         *out = left_row_;
         for (size_t p : emit_positions_) out->push_back(row[p]);
-        ++op_->rows_out;
         return true;
       }
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/exec_context.h"
+#include "obs/trace.h"
 #include "query/ra_expr.h"
 #include "relational/relation.h"
 
@@ -18,11 +19,61 @@ namespace scalein::exec {
 /// `*out` and returns false on exhaustion or when the context has failed
 /// (budget exhausted), so early-exit consumers (Boolean queries, first-answer
 /// probes) stop fetching as soon as they have what they need.
+///
+/// Every operator registers an OpCounters with the context at construction
+/// (`NewOp`), and parents link children via `Adopt`, so the executed tree is
+/// reconstructible for EXPLAIN ANALYZE. `Open`/`Next` are non-virtual
+/// wrappers (NVI): they count rows_out uniformly and — only when the context
+/// enabled timing before planning — record per-op wall time. With timing off
+/// the wrapper costs one predicted branch; compiling with
+/// SCALEIN_OBS_ENABLE_TIMING=0 removes even that, restoring the exact
+/// untimed hot loop.
 class Operator {
  public:
+  Operator(ExecContext* ctx, std::string label)
+      : ctx_(ctx),
+        op_(ctx->NewOp(std::move(label))),
+        timing_(ctx->timing_enabled() ? op_ : nullptr) {}
   virtual ~Operator() = default;
-  virtual void Open() = 0;
-  virtual bool Next(Tuple* out) = 0;
+
+  void Open() {
+#if SCALEIN_OBS_ENABLE_TIMING
+    if (timing_ != nullptr) {
+      TimedOpen();
+      return;
+    }
+#endif
+    DoOpen();
+  }
+
+  bool Next(Tuple* out) {
+#if SCALEIN_OBS_ENABLE_TIMING
+    if (timing_ != nullptr) return TimedNext(out);
+#endif
+    bool produced = DoNext(out);
+    if (produced) ++op_->rows_out;
+    return produced;
+  }
+
+  /// This operator's slot in the context's op table (never null).
+  OpCounters* counters() const { return op_; }
+
+ protected:
+  /// Declares `child` a subtree of this operator in the explain tree; call
+  /// once per child from the parent's constructor.
+  void Adopt(Operator& child) { child.op_->parent = op_->id; }
+
+  virtual void DoOpen() = 0;
+  virtual bool DoNext(Tuple* out) = 0;
+
+  ExecContext* ctx_;
+  OpCounters* op_;
+
+ private:
+  void TimedOpen();
+  bool TimedNext(Tuple* out);
+
+  OpCounters* timing_;
 };
 
 /// One selection conjunct compiled to column positions over a fixed layout.
@@ -55,15 +106,21 @@ struct CompiledCondition {
 /// Emits no rows: unknown relations and statically-empty plans.
 class EmptyOp final : public Operator {
  public:
-  void Open() override {}
-  bool Next(Tuple*) override { return false; }
+  explicit EmptyOp(ExecContext* ctx) : Operator(ctx, "empty") {}
+
+ protected:
+  void DoOpen() override {}
+  bool DoNext(Tuple*) override { return false; }
 };
 
 /// Emits exactly one zero-column row: the seed of a CQ probe chain.
 class ConstRowOp final : public Operator {
  public:
-  void Open() override { done_ = false; }
-  bool Next(Tuple* out) override {
+  explicit ConstRowOp(ExecContext* ctx) : Operator(ctx, "const-row") {}
+
+ protected:
+  void DoOpen() override { done_ = false; }
+  bool DoNext(Tuple* out) override {
     if (done_) return false;
     done_ = true;
     out->clear();
@@ -78,13 +135,13 @@ class ConstRowOp final : public Operator {
 class ScanOp final : public Operator {
  public:
   ScanOp(ExecContext* ctx, std::string name, const Relation* rel);
-  void Open() override { next_row_ = 0; }
-  bool Next(Tuple* out) override;
+
+ protected:
+  void DoOpen() override { next_row_ = 0; }
+  bool DoNext(Tuple* out) override;
 
  private:
-  ExecContext* ctx_;
   const Relation* rel_;
-  OpCounters* op_;
   uint64_t* slot_;
   size_t next_row_ = 0;
 };
@@ -96,16 +153,16 @@ class IndexLookupOp final : public Operator {
   /// `positions` must be sorted and duplicate-free; `key` in that order.
   IndexLookupOp(ExecContext* ctx, std::string name, const Relation* rel,
                 std::vector<size_t> positions, Tuple key);
-  void Open() override;
-  bool Next(Tuple* out) override;
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
-  ExecContext* ctx_;
   const Relation* rel_;
   std::string name_;
   std::vector<size_t> positions_;
   Tuple key_;
-  OpCounters* op_;
   const std::vector<uint32_t>* rows_ = nullptr;
   size_t next_ = 0;
 };
@@ -120,18 +177,18 @@ class ProjectionLookupOp final : public Operator {
                      std::vector<size_t> key_positions,
                      std::vector<size_t> value_positions, Tuple key,
                      std::vector<size_t> remap);
-  void Open() override;
-  bool Next(Tuple* out) override;
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
-  ExecContext* ctx_;
   const Relation* rel_;
   std::string name_;
   std::vector<size_t> key_positions_;
   std::vector<size_t> value_positions_;
   Tuple key_;
   std::vector<size_t> remap_;
-  OpCounters* op_;
   std::vector<Tuple> groups_;
   size_t next_ = 0;
 };
@@ -139,10 +196,17 @@ class ProjectionLookupOp final : public Operator {
 /// Filters child rows by a compiled condition.
 class FilterOp final : public Operator {
  public:
-  FilterOp(std::unique_ptr<Operator> child, CompiledCondition condition)
-      : child_(std::move(child)), condition_(std::move(condition)) {}
-  void Open() override { child_->Open(); }
-  bool Next(Tuple* out) override;
+  FilterOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+           CompiledCondition condition)
+      : Operator(ctx, "filter"),
+        child_(std::move(child)),
+        condition_(std::move(condition)) {
+    Adopt(*child_);
+  }
+
+ protected:
+  void DoOpen() override { child_->Open(); }
+  bool DoNext(Tuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -153,10 +217,17 @@ class FilterOp final : public Operator {
 /// semantics are restored when the drain materializes into a Relation).
 class ProjectOp final : public Operator {
  public:
-  ProjectOp(std::unique_ptr<Operator> child, std::vector<size_t> positions)
-      : child_(std::move(child)), positions_(std::move(positions)) {}
-  void Open() override { child_->Open(); }
-  bool Next(Tuple* out) override;
+  ProjectOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+            std::vector<size_t> positions)
+      : Operator(ctx, "project"),
+        child_(std::move(child)),
+        positions_(std::move(positions)) {
+    Adopt(*child_);
+  }
+
+ protected:
+  void DoOpen() override { child_->Open(); }
+  bool DoNext(Tuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -168,12 +239,19 @@ class ProjectOp final : public Operator {
 /// (`align[i]` = right position of left column i).
 class UnionOp final : public Operator {
  public:
-  UnionOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
-          std::vector<size_t> align)
-      : left_(std::move(left)), right_(std::move(right)),
-        align_(std::move(align)) {}
-  void Open() override;
-  bool Next(Tuple* out) override;
+  UnionOp(ExecContext* ctx, std::unique_ptr<Operator> left,
+          std::unique_ptr<Operator> right, std::vector<size_t> align)
+      : Operator(ctx, "union"),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        align_(std::move(align)) {
+    Adopt(*left_);
+    Adopt(*right_);
+  }
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -187,12 +265,19 @@ class UnionOp final : public Operator {
 /// right side.
 class DiffOp final : public Operator {
  public:
-  DiffOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
-         std::vector<size_t> align)
-      : left_(std::move(left)), right_(std::move(right)),
-        align_(std::move(align)) {}
-  void Open() override;
-  bool Next(Tuple* out) override;
+  DiffOp(ExecContext* ctx, std::unique_ptr<Operator> left,
+         std::unique_ptr<Operator> right, std::vector<size_t> align)
+      : Operator(ctx, "diff"),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        align_(std::move(align)) {
+    Adopt(*left_);
+    Adopt(*right_);
+  }
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -207,14 +292,22 @@ class DiffOp final : public Operator {
 /// cartesian product.
 class HashJoinOp final : public Operator {
  public:
-  HashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
-             std::vector<size_t> l_key, std::vector<size_t> r_key,
-             std::vector<size_t> r_extra)
-      : left_(std::move(left)), right_(std::move(right)),
-        l_key_(std::move(l_key)), r_key_(std::move(r_key)),
-        r_extra_(std::move(r_extra)) {}
-  void Open() override;
-  bool Next(Tuple* out) override;
+  HashJoinOp(ExecContext* ctx, std::unique_ptr<Operator> left,
+             std::unique_ptr<Operator> right, std::vector<size_t> l_key,
+             std::vector<size_t> r_key, std::vector<size_t> r_extra)
+      : Operator(ctx, "hash-join"),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        l_key_(std::move(l_key)),
+        r_key_(std::move(r_key)),
+        r_extra_(std::move(r_extra)) {
+    Adopt(*left_);
+    Adopt(*right_);
+  }
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -252,13 +345,14 @@ class IndexJoinOp final : public Operator {
               std::vector<size_t> index_positions,
               std::vector<KeySource> key_sources, CompiledCondition residual,
               std::vector<size_t> emit_positions);
-  void Open() override;
-  bool Next(Tuple* out) override;
+
+ protected:
+  void DoOpen() override;
+  bool DoNext(Tuple* out) override;
 
  private:
   bool AdvanceLeft();
 
-  ExecContext* ctx_;
   std::string name_;
   const Relation* rel_;
   std::unique_ptr<Operator> left_;
@@ -266,7 +360,6 @@ class IndexJoinOp final : public Operator {
   std::vector<KeySource> key_sources_;
   CompiledCondition residual_;
   std::vector<size_t> emit_positions_;
-  OpCounters* op_;
   uint64_t* slot_;
 
   Tuple left_row_;

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace scalein::exec {
 namespace {
 
@@ -92,7 +94,7 @@ std::map<size_t, Value> ConstPins(const CompiledCondition& conds) {
 
 std::unique_ptr<Operator> PlanAccessPath(const AccessPath& ap,
                                          ExecContext* ctx) {
-  if (ap.rel == nullptr) return std::make_unique<EmptyOp>();
+  if (ap.rel == nullptr) return std::make_unique<EmptyOp>(ctx);
 
   std::map<size_t, Value> pins = ConstPins(ap.conds);
   bool all_const_eq = true;
@@ -132,10 +134,10 @@ std::unique_ptr<Operator> PlanAccessPath(const AccessPath& ap,
     // Conjuncts beyond the key (attr=attr, ≠, duplicate pins) run as a
     // residual filter over the base row.
     if (!all_const_eq || cond_positions.size() != pins.size()) {
-      op = std::make_unique<FilterOp>(std::move(op), ap.conds);
+      op = std::make_unique<FilterOp>(ctx, std::move(op), ap.conds);
     }
     if (!IsIdentity(ap.out_to_base, ap.base_arity)) {
-      op = std::make_unique<ProjectOp>(std::move(op), ap.out_to_base);
+      op = std::make_unique<ProjectOp>(ctx, std::move(op), ap.out_to_base);
     }
     return op;
   }
@@ -143,10 +145,10 @@ std::unique_ptr<Operator> PlanAccessPath(const AccessPath& ap,
   std::unique_ptr<Operator> op =
       std::make_unique<ScanOp>(ctx, ap.name, ap.rel);
   if (!ap.conds.atoms.empty()) {
-    op = std::make_unique<FilterOp>(std::move(op), ap.conds);
+    op = std::make_unique<FilterOp>(ctx, std::move(op), ap.conds);
   }
   if (!IsIdentity(ap.out_to_base, ap.base_arity)) {
-    op = std::make_unique<ProjectOp>(std::move(op), ap.out_to_base);
+    op = std::make_unique<ProjectOp>(ctx, std::move(op), ap.out_to_base);
   }
   return op;
 }
@@ -181,7 +183,7 @@ std::unique_ptr<Operator> PlanJoin(const RaExpr& expr, ExecContext* ctx) {
 
   std::optional<AccessPath> path = ResolveAccessPath(expr.right(), ctx);
   if (path.has_value()) {
-    if (path->rel == nullptr) return std::make_unique<EmptyOp>();
+    if (path->rel == nullptr) return std::make_unique<EmptyOp>(ctx);
     // Probe columns: shared attributes keyed from the left row, plus any
     // constant-pinned base positions from pushed-down selections.
     std::vector<std::pair<size_t, IndexJoinOp::KeySource>> entries;
@@ -225,7 +227,7 @@ std::unique_ptr<Operator> PlanJoin(const RaExpr& expr, ExecContext* ctx) {
   }
 
   Plan right = PlanRa(expr.right(), ctx);
-  return std::make_unique<HashJoinOp>(std::move(left.root),
+  return std::make_unique<HashJoinOp>(ctx, std::move(left.root),
                                       std::move(right.root), l_shared,
                                       r_shared, r_extra);
 }
@@ -233,6 +235,9 @@ std::unique_ptr<Operator> PlanJoin(const RaExpr& expr, ExecContext* ctx) {
 }  // namespace
 
 Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
+  // Recursive calls nest, so an installed tracer sees planning as a flame
+  // graph of the expression tree; with no tracer the span is a null check.
+  obs::ScopedSpan span(ctx->tracer(), "plan.ra", "plan");
   Plan plan;
   plan.attributes = expr.attributes();
   std::optional<AccessPath> path = ResolveAccessPath(expr, ctx);
@@ -245,14 +250,16 @@ Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
       Plan left = PlanRa(expr.left(), ctx);
       Plan right = PlanRa(expr.right(), ctx);
       plan.root = std::make_unique<UnionOp>(
-          std::move(left.root), std::move(right.root), AlignRightToLeft(expr));
+          ctx, std::move(left.root), std::move(right.root),
+          AlignRightToLeft(expr));
       return plan;
     }
     case RaExpr::Kind::kDiff: {
       Plan left = PlanRa(expr.left(), ctx);
       Plan right = PlanRa(expr.right(), ctx);
       plan.root = std::make_unique<DiffOp>(
-          std::move(left.root), std::move(right.root), AlignRightToLeft(expr));
+          ctx, std::move(left.root), std::move(right.root),
+          AlignRightToLeft(expr));
       return plan;
     }
     case RaExpr::Kind::kJoin:
@@ -267,7 +274,7 @@ Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
       switch (expr.kind()) {
         case RaExpr::Kind::kSelect:
           plan.root = std::make_unique<FilterOp>(
-              std::move(input.root),
+              ctx, std::move(input.root),
               CompiledCondition::Compile(expr.condition(), input.attributes));
           return plan;
         case RaExpr::Kind::kProject: {
@@ -276,8 +283,8 @@ Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
           for (const std::string& a : expr.projection()) {
             positions.push_back(PositionOf(input.attributes, a));
           }
-          plan.root =
-              std::make_unique<ProjectOp>(std::move(input.root), positions);
+          plan.root = std::make_unique<ProjectOp>(ctx, std::move(input.root),
+                                                positions);
           return plan;
         }
         default:  // kRename: names only
@@ -293,9 +300,10 @@ Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
 }
 
 CqPlan PlanCq(const Cq& q, ExecContext* ctx) {
+  obs::ScopedSpan span(ctx->tracer(), "plan.cq", "plan");
   const std::vector<CqAtom>& atoms = q.atoms();
   CqPlan plan;
-  std::unique_ptr<Operator> root = std::make_unique<ConstRowOp>();
+  std::unique_ptr<Operator> root = std::make_unique<ConstRowOp>(ctx);
   std::map<Variable, size_t> col_of;
   std::vector<bool> done(atoms.size(), false);
 
@@ -324,7 +332,7 @@ CqPlan PlanCq(const Cq& q, ExecContext* ctx) {
     const CqAtom& atom = atoms[best];
     const Relation* rel = ctx->Resolve(atom.relation);
     if (rel == nullptr || rel->arity() != atom.args.size()) {
-      plan.root = std::make_unique<EmptyOp>();
+      plan.root = std::make_unique<EmptyOp>(ctx);
       return plan;
     }
 

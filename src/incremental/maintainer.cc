@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/cq_evaluator.h"
+#include "obs/trace.h"
 
 namespace scalein {
 namespace {
@@ -114,6 +115,8 @@ double IncrementalMaintainer::FetchBoundPerInsertedTuple(
 
 Result<AnswerSet> IncrementalMaintainer::InitialAnswers(
     Database* db, const Binding& params) const {
+  obs::ScopedSpan span(obs::Tracer::Global(), "incremental.initial_answers",
+                       "incremental");
   CqEvaluator eval(db);
   return eval.EvaluateFull(query_, params);
 }
@@ -261,6 +264,15 @@ Status IncrementalMaintainer::Maintain(Database* db, const Update& u,
                                        const Binding& params,
                                        AnswerSet* answers,
                                        BoundedEvalStats* stats) const {
+  obs::ScopedSpan span(obs::Tracer::Global(), "incremental.maintain",
+                       "incremental");
+  if (span.enabled()) {
+    uint64_t ins = 0, del = 0;
+    for (const auto& [name, rows] : u.insertions) ins += rows.size();
+    for (const auto& [name, rows] : u.deletions) del += rows.size();
+    span.Arg("insertions", ins);
+    span.Arg("deletions", del);
+  }
   SI_RETURN_IF_ERROR(u.Validate(*db));
   AnswerSet deletion_candidates;
   SI_RETURN_IF_ERROR(

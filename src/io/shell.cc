@@ -4,6 +4,7 @@
 #include "core/controllability.h"
 #include "core/qdsi.h"
 #include "io/catalog.h"
+#include "obs/explain.h"
 #include "query/parser.h"
 #include "util/strings.h"
 
@@ -43,7 +44,9 @@ std::string Shell::HelpText() {
       "  show | conformance\n"
       "  analyze Q(x, ...) := <FO formula>\n"
       "  eval var=value,... Q(x, ...) := <FO formula>\n"
+      "  explain var=value,... Q(x, ...) := <FO formula>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
+      "  stats\n"
       "  quit\n";
 }
 
@@ -144,28 +147,11 @@ Result<std::string> Shell::Execute(std::string_view line) {
     return out;
   }
 
-  if (command == "eval") {
-    size_t sp = rest.find(' ');
-    if (sp == std::string_view::npos) {
-      return Status::InvalidArgument("usage: eval var=value,... <query>");
-    }
-    SI_ASSIGN_OR_RETURN(Binding params, ParseShellBinding(rest.substr(0, sp)));
-    SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest.substr(sp + 1), &schema_));
-    if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
-    SI_ASSIGN_OR_RETURN(
-        ControllabilityAnalysis analysis,
-        ControllabilityAnalysis::Analyze(q.body, schema_, access_));
-    SI_RETURN_IF_ERROR(access_.BuildIndexes(db_.get(), schema_));
-    BoundedEvaluator evaluator(db_.get());
-    BoundedEvalStats stats;
-    SI_ASSIGN_OR_RETURN(AnswerSet answers,
-                        evaluator.Evaluate(q, analysis, params, &stats));
-    return AnswerSetToString(answers, 50) +
-           StrFormat("\n(%zu answers, %llu base tuples fetched)\n",
-                     answers.size(),
-                     static_cast<unsigned long long>(
-                         stats.base_tuples_fetched));
-  }
+  if (command == "eval") return RunEval(rest, /*explain=*/false);
+
+  if (command == "explain") return RunEval(rest, /*explain=*/true);
+
+  if (command == "stats") return metrics_->ToJson() + "\n";
 
   if (command == "qdsi") {
     size_t sp = rest.find(' ');
@@ -197,6 +183,49 @@ Result<std::string> Shell::Execute(std::string_view line) {
 
   return Status::InvalidArgument("unknown command '" + command +
                                  "' (try 'help')");
+}
+
+Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
+  const char* usage = explain ? "usage: explain var=value,... <query>"
+                              : "usage: eval var=value,... <query>";
+  size_t sp = rest.find(' ');
+  if (sp == std::string_view::npos) return Status::InvalidArgument(usage);
+  SI_ASSIGN_OR_RETURN(Binding params, ParseShellBinding(rest.substr(0, sp)));
+  SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest.substr(sp + 1), &schema_));
+  if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+  SI_ASSIGN_OR_RETURN(
+      ControllabilityAnalysis analysis,
+      ControllabilityAnalysis::Analyze(q.body, schema_, access_));
+  SI_RETURN_IF_ERROR(access_.BuildIndexes(db_.get(), schema_));
+
+  BoundedEvaluator evaluator(db_.get());
+  evaluator.set_collect_timing(explain);
+  BoundedEvalStats stats;
+  stats.capture_ops = explain;
+  AnswerSet answers;
+  {
+    obs::ScopedLatencyMs latency(&metrics_->GetHistogram(
+        "shell.eval_latency_ms", obs::DefaultLatencyBucketsMs()));
+    SI_ASSIGN_OR_RETURN(answers, evaluator.Evaluate(q, analysis, params,
+                                                    &stats));
+  }
+  metrics_->GetCounter("shell.queries").Increment();
+  metrics_->GetCounter("shell.base_tuples_fetched")
+      .Increment(stats.base_tuples_fetched);
+  metrics_->GetCounter("shell.index_lookups").Increment(stats.index_lookups);
+  for (const auto& [relation, fetched] : stats.fetched_by_relation) {
+    metrics_->GetCounter("shell.fetched." + relation).Increment(fetched);
+  }
+
+  if (explain) {
+    return obs::RenderExplainAnalyze(stats.ops, stats.base_tuples_fetched,
+                                     stats.index_lookups, stats.static_bound) +
+           StrFormat("(%zu answers)\n", answers.size());
+  }
+  return AnswerSetToString(answers, 50) +
+         StrFormat("\n(%zu answers, %llu base tuples fetched)\n",
+                   answers.size(),
+                   static_cast<unsigned long long>(stats.base_tuples_fetched));
 }
 
 }  // namespace scalein

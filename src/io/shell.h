@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/access_schema.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 #include "relational/schema.h"
 #include "util/status.h"
@@ -25,7 +26,9 @@ namespace scalein {
 ///   show | conformance
 ///   analyze Q(x, ...) := <FO formula>
 ///   eval var=value,... Q(x, ...) := <FO formula>
+///   explain var=value,... Q(x, ...) := <FO formula>
 ///   qdsi <M> Q(x) :- <CQ body>
+///   stats
 class Shell {
  public:
   Shell() = default;
@@ -39,13 +42,24 @@ class Shell {
   const Schema& schema() const { return schema_; }
   const AccessSchema& access() const { return access_; }
   const Database* db() const { return db_.get(); }
+  /// Session-scoped metrics (queries, fetch totals, latency histogram);
+  /// rendered by the `stats` command.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   Database* EnsureDb();
+  /// Shared body of `eval` and `explain`: bounded evaluation of a
+  /// parameterized FO query. `explain` additionally collects per-node
+  /// counters/timings and renders the EXPLAIN ANALYZE tree with the static
+  /// Theorem 4.2 bound next to the actual fetch count.
+  Result<std::string> RunEval(std::string_view rest, bool explain);
 
   Schema schema_;
   AccessSchema access_;
   std::unique_ptr<Database> db_;
+  // Behind a pointer: the registry owns a mutex, and Shell must stay movable.
+  std::unique_ptr<obs::MetricsRegistry> metrics_ =
+      std::make_unique<obs::MetricsRegistry>();
 };
 
 }  // namespace scalein

@@ -1,0 +1,99 @@
+#include "obs/explain.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace scalein::obs {
+namespace {
+
+/// Formats nanoseconds as a human-friendly duration (µs below 1 ms, else ms).
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  }
+  return buf;
+}
+
+std::string FormatBound(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", bound);
+  return buf;
+}
+
+void RenderNode(const std::vector<exec::OpCounters>& ops,
+                const std::vector<std::vector<size_t>>& children, size_t index,
+                int depth, const ExplainOptions& options, std::string* out) {
+  const exec::OpCounters& op = ops[index];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.label);
+  if (options.show_bounds && op.static_bound >= 0) {
+    out->append("  bound=").append(FormatBound(op.static_bound));
+  }
+  out->append("  rows=").append(std::to_string(op.rows_out));
+  out->append("  fetched=").append(std::to_string(op.tuples_fetched));
+  out->append("  lookups=").append(std::to_string(op.index_lookups));
+  const uint64_t total_ns = op.open_ns + op.next_ns;
+  if (options.show_timing && total_ns > 0) {
+    out->append("  time=").append(FormatNs(total_ns));
+  }
+  out->push_back('\n');
+  for (size_t child : children[index]) {
+    RenderNode(ops, children, child, depth + 1, options, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderOpTree(const std::vector<exec::OpCounters>& ops,
+                         const ExplainOptions& options) {
+  std::string out;
+  if (ops.empty()) return out;
+  // Build the child lists from parent links. NewOp assigns ids in creation
+  // order, so ids equal vector indices and sibling order is creation order.
+  std::vector<std::vector<size_t>> children(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const int32_t parent = ops[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < ops.size()) {
+      children[static_cast<size_t>(parent)].push_back(i);
+    }
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const int32_t parent = ops[i].parent;
+    if (parent < 0 || static_cast<size_t>(parent) >= ops.size()) {
+      RenderNode(ops, children, i, 0, options, &out);
+    }
+  }
+  return out;
+}
+
+std::string RenderOpTree(const exec::ExecContext& ctx,
+                         const ExplainOptions& options) {
+  return RenderOpTree(ctx.SnapshotOps(), options);
+}
+
+std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
+                                 uint64_t base_tuples_fetched,
+                                 uint64_t index_lookups, double static_bound,
+                                 const ExplainOptions& options) {
+  std::string out;
+  out.append("total: fetched=").append(std::to_string(base_tuples_fetched));
+  out.append("  lookups=").append(std::to_string(index_lookups));
+  if (static_bound >= 0) {
+    out.append("  static_bound=").append(FormatBound(static_bound));
+    if (static_bound > 0) {
+      char pct[32];
+      std::snprintf(pct, sizeof(pct), "%.1f%%",
+                    100.0 * static_cast<double>(base_tuples_fetched) /
+                        static_bound);
+      out.append(" (").append(pct).append(" of bound)");
+    }
+  }
+  out.push_back('\n');
+  out.append(RenderOpTree(ops, options));
+  return out;
+}
+
+}  // namespace scalein::obs

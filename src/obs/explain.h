@@ -1,0 +1,45 @@
+#ifndef SCALEIN_OBS_EXPLAIN_H_
+#define SCALEIN_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace scalein::obs {
+
+/// Options for EXPLAIN ANALYZE rendering.
+struct ExplainOptions {
+  /// Print the time= column. Auto-suppressed per op when no wall time was
+  /// collected (timing disabled), so disabled-tracing output is stable.
+  bool show_timing = true;
+  /// Print the static Theorem 4.2 bound column on ops that carry one.
+  bool show_bounds = true;
+};
+
+/// Renders the executed operator (or bounded-derivation) forest recorded in
+/// `ops` as an indented EXPLAIN ANALYZE tree. Each line shows the operator
+/// label, its static fetch bound when known (`bound=`), and the actuals:
+/// rows_out (`rows=`), tuples_fetched (`fetched=`), index_lookups
+/// (`lookups=`), and inclusive wall time (`time=`, only when collected).
+/// Children are indented two spaces under their parent; multiple roots
+/// (one ExecContext reused across plans) render in creation order.
+std::string RenderOpTree(const std::vector<exec::OpCounters>& ops,
+                         const ExplainOptions& options = {});
+
+/// Convenience overload over a live context.
+std::string RenderOpTree(const exec::ExecContext& ctx,
+                         const ExplainOptions& options = {});
+
+/// Full EXPLAIN ANALYZE block: the tree plus a totals line comparing the
+/// actual fetch count against `static_bound` (the Theorem 4.2 M; pass a
+/// negative value when no static bound applies and the comparison line is
+/// omitted).
+std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
+                                 uint64_t base_tuples_fetched,
+                                 uint64_t index_lookups, double static_bound,
+                                 const ExplainOptions& options = {});
+
+}  // namespace scalein::obs
+
+#endif  // SCALEIN_OBS_EXPLAIN_H_

@@ -1,0 +1,22 @@
+#ifndef SCALEIN_OBS_JSON_H_
+#define SCALEIN_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace scalein::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal: `"` and `\` are
+/// backslash-escaped, control characters (< 0x20) become `\n`/`\t`/`\r`/
+/// `\b`/`\f` or the generic `\u00XX` form. The output is valid regardless of
+/// the input bytes, which matters because metric keys and span names can
+/// carry user-supplied relation names.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number (no NaN/Inf — those are clamped to
+/// `null`-safe 0, since JSON has no spelling for them).
+std::string JsonNumber(double value);
+
+}  // namespace scalein::obs
+
+#endif  // SCALEIN_OBS_JSON_H_

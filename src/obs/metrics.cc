@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace scalein::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[upper_bounds_.size() + 1]) {
+  SI_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(upper_bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) upper_bounds = DefaultLatencyBucketsMs();
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out +=
+        "    \"" + JsonEscape(name) + "\": " + std::to_string(gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(hist->count()) +
+           ", \"sum\": " + JsonNumber(hist->sum()) + ", \"buckets\": [";
+    const std::vector<double>& bounds = hist->upper_bounds();
+    std::vector<uint64_t> counts = hist->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < bounds.size() ? JsonNumber(bounds[i]) : "\"inf\"";
+      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+ScopedLatencyMs::ScopedLatencyMs(Histogram* histogram)
+    : histogram_(histogram) {
+  if (histogram_ != nullptr) start_ns_ = MonotonicNowNs();
+}
+
+ScopedLatencyMs::~ScopedLatencyMs() {
+  if (histogram_ == nullptr) return;
+  histogram_->Observe(static_cast<double>(MonotonicNowNs() - start_ns_) /
+                      1e6);
+}
+
+}  // namespace scalein::obs

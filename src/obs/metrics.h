@@ -1,0 +1,111 @@
+#ifndef SCALEIN_OBS_METRICS_H_
+#define SCALEIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scalein::obs {
+
+/// Monotonically increasing counter (e.g. queries executed, tuples fetched).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. relation sizes, budget left).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are inclusive bucket upper edges
+/// in ascending order, with an implicit final +inf bucket. Observations also
+/// feed a running count and sum, so means are recoverable from a snapshot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; one longer than `upper_bounds()` (+inf bucket last).
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Power-of-ten latency edges in milliseconds (1µs .. 10s), the default for
+/// query-latency histograms.
+std::vector<double> DefaultLatencyBucketsMs();
+
+/// Named metric container. Instruments are created on first use and live for
+/// the registry's lifetime (pointers stay valid), so hot paths can resolve a
+/// metric once and increment a raw pointer afterwards. Scopes: construct one
+/// per component/evaluation for isolated accounting, or use `Global()` for
+/// process-wide totals. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// First call fixes the bucket layout; later calls with a different layout
+  /// return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+
+  /// JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  ///  buckets:[{le,count},...]}}} — keys sorted, so output is deterministic.
+  std::string ToJson() const;
+
+  /// Process-wide registry.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency probe: observes elapsed milliseconds into a histogram on
+/// destruction (no-op when `histogram` is nullptr).
+class ScopedLatencyMs {
+ public:
+  explicit ScopedLatencyMs(Histogram* histogram);
+  ~ScopedLatencyMs();
+  ScopedLatencyMs(const ScopedLatencyMs&) = delete;
+  ScopedLatencyMs& operator=(const ScopedLatencyMs&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace scalein::obs
+
+#endif  // SCALEIN_OBS_METRICS_H_

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace scalein::obs {
+namespace {
+
+Tracer* g_tracer = nullptr;
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+    out += ",\"ts\":" + JsonNumber(static_cast<double>(e.start_ns) / 1000.0);
+    out += ",\"dur\":" +
+           JsonNumber(static_cast<double>(e.duration_ns) / 1000.0);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a != 0) out += ",";
+        out += "\"" + JsonEscape(e.args[a].first) + "\":" + e.args[a].second;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Tracer* Tracer::Global() { return g_tracer; }
+
+void Tracer::InstallGlobal(Tracer* tracer) { g_tracer = tracer; }
+
+void ScopedSpan::Arg(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void ScopedSpan::Arg(const std::string& key, const char* value) {
+  Arg(key, std::string(value));
+}
+
+void ScopedSpan::Arg(const std::string& key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void ScopedSpan::Arg(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, JsonNumber(value));
+}
+
+void ScopedSpan::Arg(const std::string& key, bool value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, value ? "true" : "false");
+}
+
+}  // namespace scalein::obs

@@ -4,6 +4,7 @@
 
 #include "eval/containment.h"
 #include "eval/cq_evaluator.h"
+#include "obs/trace.h"
 
 namespace scalein {
 
@@ -44,6 +45,8 @@ RewritingSearchResult FindRewritings(const Cq& q, const ViewSet& views,
                                      const Schema& base_schema,
                                      const RewritingSearchOptions& options) {
   (void)base_schema;
+  obs::ScopedSpan span(obs::Tracer::Global(), "views.find_rewritings",
+                       "views");
   RewritingSearchResult result;
 
   // --- Candidate atom pool -------------------------------------------------
@@ -149,6 +152,11 @@ RewritingSearchResult FindRewritings(const Cq& q, const ViewSet& views,
       }
       if (!advanced) more = false;
     }
+  }
+  if (span.enabled()) {
+    span.Arg("candidates_checked", result.candidates_checked);
+    span.Arg("rewritings", static_cast<uint64_t>(result.rewritings.size()));
+    span.Arg("truncated", result.truncated);
   }
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "incremental/delta_rules.h"
 #include "incremental/maintainer.h"
+#include "obs/trace.h"
 
 namespace scalein {
 
@@ -59,6 +60,7 @@ Result<ViewExecutor> ViewExecutor::Create(const Database& base_db,
 Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
                                          const Binding& params,
                                          ViewExecStats* stats) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "views.evaluate", "views");
   FoQuery query = rewriting.ToFoQuery();
   SI_ASSIGN_OR_RETURN(ControllabilityAnalysis analysis,
                       ControllabilityAnalysis::Analyze(
@@ -76,6 +78,10 @@ Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
       } else {
         stats->base_tuples_fetched += fetched;
       }
+    }
+    if (span.enabled()) {
+      span.Arg("base_fetched", stats->base_tuples_fetched);
+      span.Arg("view_fetched", stats->view_tuples_fetched);
     }
   }
   return answers;
@@ -95,6 +101,8 @@ Status ViewExecutor::FullRefresh() {
 Status ViewExecutor::ApplyBaseUpdate(const Update& update,
                                      BoundedEvalStats* maintenance_stats,
                                      bool* used_incremental) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "views.apply_base_update",
+                       "views");
   SI_RETURN_IF_ERROR(update.Validate(*extended_db_));
   // Decide whether every view affected by the update has a bounded
   // maintenance path.
@@ -118,6 +126,7 @@ Status ViewExecutor::ApplyBaseUpdate(const Update& update,
     }
   }
   if (used_incremental != nullptr) *used_incremental = incremental;
+  span.Arg("used_incremental", incremental);
 
   if (!incremental) {
     ApplyUpdate(extended_db_.get(), update);

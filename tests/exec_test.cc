@@ -137,6 +137,46 @@ TEST(ExecContextTest, PerOperatorCountersCoverAllCharges) {
   EXPECT_EQ(per_op, ctx.base_tuples_fetched());
 }
 
+TEST(ExecContextTest, PerOperatorAggregationAcrossPlans) {
+  // One context can execute several plans; SnapshotOps keeps every plan's
+  // forest (ids equal vector positions, parent links stay in range) and the
+  // per-op fetch totals keep matching the context-wide accounting.
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  (void)Drain(EmpRel(), &ctx);
+  (void)Drain(RaExpr::Join(EmpRel(), DeptRel()), &ctx);
+  std::vector<exec::OpCounters> ops = ctx.SnapshotOps();
+  ASSERT_GE(ops.size(), 2u);
+  uint64_t per_op_fetched = 0;
+  uint64_t per_op_lookups = 0;
+  size_t roots = 0;
+  for (const exec::OpCounters& op : ops) {
+    EXPECT_EQ(op.id, static_cast<int32_t>(&op - ops.data()));
+    if (op.parent < 0) {
+      ++roots;
+    } else {
+      EXPECT_LT(op.parent, static_cast<int32_t>(ops.size()));
+      EXPECT_NE(op.parent, op.id);
+    }
+    per_op_fetched += op.tuples_fetched;
+    per_op_lookups += op.index_lookups;
+  }
+  EXPECT_EQ(roots, 2u);  // one root per drained plan
+  EXPECT_EQ(per_op_fetched, ctx.base_tuples_fetched());
+  EXPECT_EQ(per_op_lookups, ctx.index_lookups());
+}
+
+TEST(ExecContextTest, DebugStringListsTotalsAndPerOpCounters) {
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  Relation out = Drain(EmpRel(), &ctx);
+  ASSERT_EQ(out.size(), 3u);
+  std::string s = ctx.DebugString();
+  EXPECT_NE(s.find("fetched=3"), std::string::npos);
+  EXPECT_NE(s.find("lookups=0"), std::string::npos);
+  EXPECT_NE(s.find("scan(emp): out=3 fetched=3"), std::string::npos);
+}
+
 TEST(PlannerTest, HashJoinHandlesDerivedRightSide) {
   Database db = EmpDb();
   // Right side is a union — not an access path, so the planner must fall

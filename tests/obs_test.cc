@@ -1,0 +1,315 @@
+#include "obs/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounded_eval.h"
+#include "exec/planner.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/parser.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+TEST(ObsJsonTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(obs::JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsJsonTest, NumbersAreAlwaysValidJson) {
+  EXPECT_EQ(obs::JsonNumber(42.0), "42");
+  EXPECT_EQ(obs::JsonNumber(0.5), "0.5");
+  // Non-finite values would break a JSON document.
+  EXPECT_EQ(obs::JsonNumber(1.0 / 0.0), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(ObsMetricsTest, CountersGaugesHistograms) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("queries").Increment();
+  registry.GetCounter("queries").Increment(4);
+  EXPECT_EQ(registry.GetCounter("queries").value(), 5u);
+
+  registry.GetGauge("budget_left").Set(-3);
+  EXPECT_EQ(registry.GetGauge("budget_left").value(), -3);
+
+  obs::Histogram& h = registry.GetHistogram("latency", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(ObsMetricsTest, InstrumentPointersAreStable) {
+  obs::MetricsRegistry registry;
+  obs::Counter* first = &registry.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i)).Increment();
+  }
+  EXPECT_EQ(first, &registry.GetCounter("a"));
+}
+
+TEST(ObsMetricsTest, JsonSnapshotIsSortedAndComplete) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("zeta").Increment(2);
+  registry.GetCounter("alpha").Increment(1);
+  registry.GetHistogram("lat", {1.0}).Observe(0.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"alpha\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"zeta\": 2"), std::string::npos);
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"inf\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(ObsTraceTest, ScopedSpanRecordsEventWithArgs) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedSpan span(&tracer, "plan.cq", "plan");
+    ASSERT_TRUE(span.enabled());
+    span.Arg("atoms", uint64_t{3});
+    span.Arg("method", "greedy");
+    span.Arg("exact", true);
+  }
+  std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "plan.cq");
+  EXPECT_EQ(events[0].category, "plan");
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].second, "3");
+  EXPECT_EQ(events[0].args[1].second, "\"greedy\"");
+  EXPECT_EQ(events[0].args[2].second, "true");
+}
+
+TEST(ObsTraceTest, NullTracerIsANoOp) {
+  obs::ScopedSpan span(nullptr, "x", "y");
+  EXPECT_FALSE(span.enabled());
+  span.Arg("ignored", uint64_t{1});  // must not crash
+}
+
+TEST(ObsTraceTest, ChromeTraceJsonShape) {
+  obs::Tracer tracer;
+  { obs::ScopedSpan span(&tracer, "bounded.evaluate", "core"); }
+  std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bounded.evaluate\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE over a physical plan
+
+Schema EmpSchema() {
+  Schema s;
+  s.Relation("emp", {"id", "dept", "city"});
+  s.Relation("dept", {"dept", "budget"});
+  return s;
+}
+
+Database EmpDb() {
+  Database db(EmpSchema());
+  db.Insert("emp", Tuple{Value::Int(1), Value::Str("eng"), Value::Str("NYC")});
+  db.Insert("emp", Tuple{Value::Int(2), Value::Str("eng"), Value::Str("LA")});
+  db.Insert("dept", Tuple{Value::Str("eng"), Value::Int(100)});
+  return db;
+}
+
+RaExpr EmpJoinDept() {
+  return RaExpr::Join(RaExpr::Relation("emp", {"id", "dept", "city"}),
+                      RaExpr::Relation("dept", {"dept", "budget"}));
+}
+
+TEST(ObsExplainTest, PhysicalPlanTreeStructure) {
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  exec::Plan plan = exec::PlanRa(EmpJoinDept(), &ctx);
+  Relation out =
+      exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+  EXPECT_EQ(out.size(), 2u);
+
+  std::vector<exec::OpCounters> ops = ctx.SnapshotOps();
+  ASSERT_FALSE(ops.empty());
+  // Exactly one root, every parent link points at another op in the forest
+  // (the planner builds bottom-up, so a child's id may precede its parent's).
+  size_t roots = 0;
+  for (const exec::OpCounters& op : ops) {
+    if (op.parent < 0) {
+      ++roots;
+    } else {
+      ASSERT_LT(op.parent, static_cast<int32_t>(ops.size()));
+      ASSERT_NE(op.parent, op.id);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+
+  std::string tree = obs::RenderOpTree(ops);
+  // The join against a base relation plans as an index join over `dept` fed
+  // by a scan of `emp`; the child renders indented under its parent.
+  EXPECT_NE(tree.find("idx-join(dept)"), std::string::npos);
+  EXPECT_NE(tree.find("\n  scan(emp)"), std::string::npos);
+  EXPECT_NE(tree.find("rows=2"), std::string::npos);
+}
+
+TEST(ObsExplainTest, DisabledTimingCollectsNoWallTime) {
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  ASSERT_FALSE(ctx.timing_enabled());  // default: observation off
+  exec::Plan plan = exec::PlanRa(EmpJoinDept(), &ctx);
+  (void)exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+  for (const exec::OpCounters& op : ctx.SnapshotOps()) {
+    EXPECT_EQ(op.open_ns, 0u) << op.label;
+    EXPECT_EQ(op.next_ns, 0u) << op.label;
+    EXPECT_EQ(op.next_calls, 0u) << op.label;
+  }
+  // And the rendered tree carries no time= column, so output is stable.
+  EXPECT_EQ(obs::RenderOpTree(ctx.SnapshotOps()).find("time="),
+            std::string::npos);
+}
+
+TEST(ObsExplainTest, EnabledTimingFillsWallTime) {
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  ctx.set_timing_enabled(true);
+  exec::Plan plan = exec::PlanRa(EmpJoinDept(), &ctx);
+  (void)exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+  std::vector<exec::OpCounters> ops = ctx.SnapshotOps();
+  uint64_t total_calls = 0;
+  for (const exec::OpCounters& op : ops) total_calls += op.next_calls;
+  EXPECT_GT(total_calls, 0u);
+}
+
+TEST(ObsExplainTest, UntracedExecutionRecordsNoSpans) {
+  // With no global tracer installed, running a query must not append trace
+  // events anywhere — the instrumentation is inert, not buffering.
+  ASSERT_EQ(obs::Tracer::Global(), nullptr);
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);
+  EXPECT_EQ(ctx.tracer(), nullptr);
+  exec::Plan plan = exec::PlanRa(EmpJoinDept(), &ctx);
+  (void)exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+}
+
+TEST(ObsExplainTest, InstalledTracerSeesPlanningSpans) {
+  obs::Tracer tracer;
+  obs::Tracer::InstallGlobal(&tracer);
+  Database db = EmpDb();
+  exec::ExecContext ctx(&db);  // captures the global tracer
+  exec::Plan plan = exec::PlanRa(EmpJoinDept(), &ctx);
+  (void)exec::DrainToRelation(plan.root.get(), plan.attributes.size());
+  obs::Tracer::InstallGlobal(nullptr);
+  bool saw_plan_span = false;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.name == "plan.ra") saw_plan_span = true;
+  }
+  EXPECT_TRUE(saw_plan_span);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE over a bounded evaluation (Theorem 4.2 bound vs actual)
+
+TEST(ObsExplainTest, BoundedEvaluationShowsStaticBoundNextToActual) {
+  SocialConfig config;
+  config.num_persons = 80;
+  config.max_friends_per_person = 10;
+  config.num_restaurants = 20;
+  config.seed = 7;
+  Schema schema = SocialSchema(false);
+  Database db = GenerateSocial(config);
+  AccessSchema access = SocialAccessSchema(config);
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+
+  Result<FoQuery> q1 = ParseFoQuery(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      &schema);
+  ASSERT_TRUE(q1.ok());
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q1->body, schema, access);
+  ASSERT_TRUE(analysis.ok());
+
+  BoundedEvaluator evaluator(&db);
+  BoundedEvalStats stats;
+  stats.capture_ops = true;
+  Result<AnswerSet> answers =
+      evaluator.Evaluate(*q1, *analysis, {{V("p"), Value::Int(3)}}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+
+  // The derivation forest mirrors the formula: exists > and > two atoms,
+  // each carrying its static per-node fetch bound.
+  ASSERT_FALSE(stats.ops.empty());
+  EXPECT_GE(stats.static_bound, 0.0);
+  std::string text = obs::RenderExplainAnalyze(
+      stats.ops, stats.base_tuples_fetched, stats.index_lookups,
+      stats.static_bound);
+  EXPECT_NE(text.find("static_bound="), std::string::npos);
+  EXPECT_NE(text.find("atom(friend)"), std::string::npos);
+  EXPECT_NE(text.find("atom(person)"), std::string::npos);
+  EXPECT_NE(text.find("bound="), std::string::npos);
+  // Actual fetches respect the Theorem 4.2 bound, per op and in total.
+  double fetched_across_ops = 0;
+  for (const exec::OpCounters& op : stats.ops) {
+    ASSERT_GE(op.static_bound, 0.0) << op.label;
+    fetched_across_ops += static_cast<double>(op.tuples_fetched);
+  }
+  EXPECT_LE(static_cast<double>(stats.base_tuples_fetched),
+            stats.static_bound);
+  EXPECT_EQ(fetched_across_ops,
+            static_cast<double>(stats.base_tuples_fetched));
+}
+
+TEST(ObsExplainTest, BoundedEvaluationWithoutCaptureAddsNoOps) {
+  SocialConfig config;
+  config.num_persons = 40;
+  config.seed = 7;
+  Schema schema = SocialSchema(false);
+  Database db = GenerateSocial(config);
+  AccessSchema access = SocialAccessSchema(config);
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+  Result<FoQuery> q1 = ParseFoQuery(
+      "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")",
+      &schema);
+  ASSERT_TRUE(q1.ok());
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q1->body, schema, access);
+  ASSERT_TRUE(analysis.ok());
+  BoundedEvaluator evaluator(&db);
+  BoundedEvalStats stats;  // capture_ops defaults to false
+  ASSERT_TRUE(evaluator
+                  .Evaluate(*q1, *analysis, {{V("p"), Value::Int(3)}}, &stats)
+                  .ok());
+  EXPECT_TRUE(stats.ops.empty());
+  EXPECT_GT(stats.base_tuples_fetched, 0u);  // accounting still works
+}
+
+TEST(ObsExplainTest, TotalsHeaderComparesActualToBound) {
+  std::vector<exec::OpCounters> ops(1);
+  ops[0].label = "scan(r)";
+  ops[0].rows_out = 5;
+  ops[0].tuples_fetched = 5;
+  std::string text = obs::RenderExplainAnalyze(ops, 5, 0, 50.0);
+  EXPECT_NE(text.find("total: fetched=5"), std::string::npos);
+  EXPECT_NE(text.find("static_bound=50"), std::string::npos);
+  EXPECT_NE(text.find("10.0% of bound"), std::string::npos);
+  // Without a bound the comparison is omitted entirely.
+  EXPECT_EQ(obs::RenderExplainAnalyze(ops, 5, 0, -1.0).find("static_bound"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalein

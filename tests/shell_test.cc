@@ -61,6 +61,43 @@ TEST(ShellTest, EvalReturnsAnswersAndFetchCount) {
   EXPECT_NE(out.find("base tuples fetched"), std::string::npos);
 }
 
+TEST(ShellTest, ExplainRendersOperatorTreeWithBounds) {
+  Shell shell = LoadedShell();
+  std::string out = Must(
+      &shell,
+      "explain p=1 Q(p, name) := exists id. friend(p, id) and person(id, "
+      "name, \"NYC\")");
+  // Header compares actual fetches against the static Theorem 4.2 bound.
+  EXPECT_NE(out.find("total: fetched="), std::string::npos);
+  EXPECT_NE(out.find("static_bound=100"), std::string::npos);
+  EXPECT_NE(out.find("% of bound"), std::string::npos);
+  // Tree has the derivation nodes, each with its own per-node bound.
+  EXPECT_NE(out.find("atom(friend)"), std::string::npos);
+  EXPECT_NE(out.find("atom(person)"), std::string::npos);
+  EXPECT_NE(out.find("bound="), std::string::npos);
+  EXPECT_NE(out.find("rows="), std::string::npos);
+  // explain collects wall time; answers are still reported.
+  EXPECT_NE(out.find("time="), std::string::npos);
+  EXPECT_NE(out.find("(1 answers)"), std::string::npos);
+}
+
+TEST(ShellTest, StatsReflectsExecutedQueries) {
+  Shell shell = LoadedShell();
+  std::string before = Must(&shell, "stats");
+  EXPECT_EQ(before.find("shell.queries"), std::string::npos);
+  const char* eval =
+      "eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, "
+      "\"NYC\")";
+  Must(&shell, eval);
+  Must(&shell, eval);
+  std::string after = Must(&shell, "stats");
+  EXPECT_NE(after.find("\"shell.queries\": 2"), std::string::npos);
+  EXPECT_NE(after.find("\"shell.base_tuples_fetched\""), std::string::npos);
+  EXPECT_NE(after.find("\"shell.fetched.friend\""), std::string::npos);
+  EXPECT_NE(after.find("\"shell.eval_latency_ms\""), std::string::npos);
+  EXPECT_NE(after.find("\"le\": "), std::string::npos);
+}
+
 TEST(ShellTest, QdsiCommand) {
   Shell shell = LoadedShell();
   std::string out = Must(&shell, "qdsi 5 Q(x) :- friend(x, y)");
