@@ -3,11 +3,14 @@
 // bounded number of tuples while |D| grows by orders of magnitude; a
 // scan-based baseline (no access schema) grows linearly with |D|.
 
+#include <algorithm>
 #include <cinttypes>
+#include <limits>
 
 #include "bench_util.h"
 #include "core/bounded_eval.h"
 #include "core/controllability.h"
+#include "exec/governor.h"
 #include "query/parser.h"
 #include "query/printer.h"
 #include "workload/social_gen.h"
@@ -50,8 +53,8 @@ int main() {
 
   bench::JsonReport report("fig_bounded_q1");
   TablePrinter table({"persons", "|D|", "bounded fetches", "index lookups",
-                      "bound", "bounded ms", "scan rows", "scan ms",
-                      "speedup"});
+                      "bound", "bounded ms", "governed ms", "scan rows",
+                      "scan ms", "speedup"});
   for (uint64_t persons : {3000u, 30000u, 300000u}) {
     SocialConfig config;
     config.num_persons = persons;
@@ -80,8 +83,30 @@ int main() {
     Result<AnswerSet> bounded_answers =
         evaluator.Evaluate(*q1, *analysis, params, &stats);
     SI_CHECK(bounded_answers.ok());
-    double bounded_ms = MeasureMs(
-        [&] { (void)evaluator.Evaluate(*q1, *analysis, params, nullptr); });
+    // Same evaluation with the resource governor fully armed but sized to
+    // never trip: isolates the per-fetch Charge/Checkpoint overhead, which
+    // the regression script holds to <= 3% of the ungoverned time. The two
+    // variants are measured in alternation and each takes its best window —
+    // a 3% gate on microsecond-scale work needs frequency drift cancelled,
+    // not averaged in.
+    BoundedEvaluator governed_evaluator(&db);
+    exec::GovernorLimits governed_limits;
+    governed_limits.fetch_budget = 1'000'000'000;
+    governed_limits.deadline_ms = 3'600'000;
+    governed_limits.output_row_cap = 1'000'000'000;
+    governed_evaluator.set_limits(governed_limits);
+    double bounded_ms = std::numeric_limits<double>::infinity();
+    double governed_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      bounded_ms = std::min(
+          bounded_ms, MeasureMs([&] {
+            (void)evaluator.Evaluate(*q1, *analysis, params, nullptr);
+          }));
+      governed_ms = std::min(
+          governed_ms, MeasureMs([&] {
+            (void)governed_evaluator.Evaluate(*q1, *analysis, params, nullptr);
+          }));
+    }
 
     uint64_t scan_rows = 0;
     size_t scan_answers = ScanBaseline(db, 42, &scan_rows);
@@ -95,8 +120,8 @@ int main() {
                   std::to_string(stats.base_tuples_fetched),
                   std::to_string(stats.index_lookups),
                   FormatDouble(*analysis->StaticFetchBound({p}), 0),
-                  FormatDouble(bounded_ms, 4), FormatCount(scan_rows),
-                  FormatDouble(scan_ms, 3),
+                  FormatDouble(bounded_ms, 4), FormatDouble(governed_ms, 4),
+                  FormatCount(scan_rows), FormatDouble(scan_ms, 3),
                   FormatDouble(scan_ms / bounded_ms, 1) + "x"});
     std::string prefix = "persons_" + std::to_string(persons) + ".";
     report.Add(prefix + "total_tuples", db.TotalTuples());
@@ -104,6 +129,7 @@ int main() {
     report.Add(prefix + "index_lookups", stats.index_lookups);
     report.Add(prefix + "static_bound", *analysis->StaticFetchBound({p}));
     report.Add(prefix + "bounded_ms", bounded_ms);
+    report.Add(prefix + "bounded_governed_ms", governed_ms);
     report.Add(prefix + "scan_rows", scan_rows);
     report.Add(prefix + "scan_ms", scan_ms);
     // Per-operator breakdown of the executed derivation (EXPLAIN ANALYZE

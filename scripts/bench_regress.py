@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_*.json sidecars.
+
+Two modes:
+
+  Diff mode — compare a current sidecar against a baseline:
+      bench_regress.py baseline.json current.json
+  Any fetch-class counter (``*tuples_fetched``, ``*index_lookups``,
+  ``*fetched*``, ``*rows``) that grew versus the baseline is a regression
+  (exit 1): scale independence means the access pattern is deterministic, so
+  these counters must be bit-stable run to run. Timing keys (``*_ms``) are
+  reported but never fail the diff — wall clock belongs to the machine, not
+  the patch.
+
+  Bound-check mode — verify invariants inside a single sidecar:
+      bench_regress.py --check-bounds current.json [--overhead-pct 3]
+  Checks that every measured fetch count stays within its recorded static
+  Theorem 4.2 bound (``base_tuples_fetched <= static_bound`` per scale, and
+  per-op ``opN.tuples_fetched <= opN.static_bound * max(1, opN.index_lookups)``
+  — per-op bounds are per index probe), and that the armed-
+  but-untripped resource governor costs at most ``--overhead-pct`` percent:
+  sum(bounded_governed_ms) <= (1 + pct/100) * sum(bounded_ms), summed across
+  scales so single-scale timer noise averages out.
+
+Exit status: 0 clean, 1 regression/violation, 2 usage or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+FETCH_KEY_MARKERS = ("tuples_fetched", "index_lookups", "fetched", "rows")
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_regress: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"bench_regress: {path} has no 'metrics' object", file=sys.stderr)
+        sys.exit(2)
+    return metrics
+
+
+def as_number(value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def is_fetch_key(key):
+    last = key.rsplit(".", 1)[-1]
+    return any(marker in last for marker in FETCH_KEY_MARKERS)
+
+
+def diff_mode(baseline_path, current_path):
+    baseline = load_metrics(baseline_path)
+    current = load_metrics(current_path)
+    failures = []
+    for key, base_value in sorted(baseline.items()):
+        base_num = as_number(base_value)
+        if base_num is None or key not in current:
+            continue
+        cur_num = as_number(current[key])
+        if cur_num is None:
+            continue
+        if key.endswith("_ms"):
+            if base_num > 0:
+                delta = 100.0 * (cur_num - base_num) / base_num
+                if abs(delta) >= 10.0:
+                    print(f"  note  {key}: {base_num:g} -> {cur_num:g} ms "
+                          f"({delta:+.1f}%)")
+            continue
+        if is_fetch_key(key) and cur_num > base_num:
+            failures.append(f"{key}: {base_num:g} -> {cur_num:g}")
+    missing = sorted(k for k in baseline if k not in current)
+    for key in missing:
+        if is_fetch_key(key):
+            failures.append(f"{key}: present in baseline, missing in current")
+    if failures:
+        print(f"FAIL: {len(failures)} fetch-counter regression(s) "
+              f"({baseline_path} -> {current_path}):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: no fetch-counter regressions ({baseline_path} -> "
+          f"{current_path})")
+    return 0
+
+
+def check_bounds_mode(path, overhead_pct):
+    metrics = load_metrics(path)
+    failures = []
+
+    # Group keys by their dotted prefix ("persons_3000.", "...op2.") so each
+    # fetch count is compared against the static bound recorded next to it.
+    groups = {}
+    for key, value in metrics.items():
+        prefix, _, leaf = key.rpartition(".")
+        groups.setdefault(prefix, {})[leaf] = value
+
+    for prefix, leaves in sorted(groups.items()):
+        bound = as_number(leaves.get("static_bound"))
+        if bound is None or bound < 0:
+            continue
+        # Per-operator groups (the ones carrying a `label`) record a
+        # *per-lookup* bound: an atom driven by k index probes may fetch up
+        # to k * bound tuples in total. Scale-level groups record the
+        # query's M itself and are compared strictly.
+        if "label" in leaves:
+            lookups = as_number(leaves.get("index_lookups")) or 0
+            bound = bound * max(1.0, lookups)
+        for fetch_leaf in ("base_tuples_fetched", "tuples_fetched"):
+            fetched = as_number(leaves.get(fetch_leaf))
+            if fetched is not None and fetched > bound:
+                failures.append(
+                    f"{prefix}.{fetch_leaf} = {fetched:g} exceeds "
+                    f"allowed bound = {bound:g}")
+
+    governed_ms = 0.0
+    bounded_ms = 0.0
+    for prefix, leaves in sorted(groups.items()):
+        g = as_number(leaves.get("bounded_governed_ms"))
+        b = as_number(leaves.get("bounded_ms"))
+        if g is not None and b is not None and b > 0:
+            governed_ms += g
+            bounded_ms += b
+    if bounded_ms > 0:
+        overhead = 100.0 * (governed_ms - bounded_ms) / bounded_ms
+        print(f"governor overhead: {overhead:+.2f}% "
+              f"(governed {governed_ms:.4f} ms vs bounded {bounded_ms:.4f} ms,"
+              f" limit {overhead_pct:g}%)")
+        if overhead > overhead_pct:
+            failures.append(
+                f"governor overhead {overhead:.2f}% exceeds "
+                f"{overhead_pct:g}% cap")
+
+    if failures:
+        print(f"FAIL: {len(failures)} bound violation(s) in {path}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: bounds hold in {path}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json sidecars / verify fetch bounds")
+    parser.add_argument("files", nargs="+",
+                        help="baseline.json current.json, or one file "
+                             "with --check-bounds")
+    parser.add_argument("--check-bounds", action="store_true",
+                        help="verify static-bound and governor-overhead "
+                             "invariants inside a single sidecar")
+    parser.add_argument("--overhead-pct", type=float, default=3.0,
+                        help="max governed-vs-ungoverned overhead percent "
+                             "(default 3)")
+    args = parser.parse_args()
+
+    if args.check_bounds:
+        if len(args.files) != 1:
+            parser.error("--check-bounds takes exactly one sidecar")
+        return check_bounds_mode(args.files[0], args.overhead_pct)
+    if len(args.files) != 2:
+        parser.error("diff mode takes baseline.json current.json")
+    return diff_mode(args.files[0], args.files[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

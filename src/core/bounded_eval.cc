@@ -4,7 +4,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/approx.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace scalein {
 namespace {
@@ -344,7 +346,7 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
         VarSetToString(param_vars));
   }
   exec::ExecContext ctx(db_);
-  ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
+  ctx.set_limits(limits_);  // per-evaluation resource envelope
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate", "core");
   PlainExecutor exec(db_, enforce_bounds_, &ctx);
@@ -384,7 +386,7 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
     const EmbeddedCqAnalysis& analysis, const Binding& params,
     BoundedEvalStats* stats) const {
   exec::ExecContext ctx(db_);
-  ctx.set_fetch_budget(fetch_budget_);  // per-evaluation budget
+  ctx.set_limits(limits_);  // per-evaluation resource envelope
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_embedded", "core");
   const bool capture_ops =
@@ -444,6 +446,15 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
     const uint64_t atom_start = timed ? obs::MonotonicNowNs() : 0;
 #endif
     const CqAtom& atom = q.atoms()[ap.atom_index];
+    // One chase step of the Proposition 4.5 plan: extend every frontier
+    // assignment through this atom's access statements.
+    if (Status s = SCALEIN_FAILPOINT("chase_step"); !s.ok()) return s;
+    obs::ScopedSpan chase_span(ctx->tracer(), "bounded.chase_step", "core");
+    if (chase_span.enabled()) {
+      chase_span.Arg("relation", atom.relation);
+      chase_span.Arg("step", static_cast<uint64_t>(ai));
+      chase_span.Arg("frontier", static_cast<uint64_t>(assignments.size()));
+    }
     const Relation* rel = db_->FindRelation(atom.relation);
     std::vector<Binding> next_assignments;
     for (const Binding& assignment : assignments) {
@@ -572,6 +583,135 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
   }
   if (root_op != nullptr) root_op->rows_out += answers.size();
   return answers;
+}
+
+Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateDegraded(
+    const FoQuery& q, const ControllabilityAnalysis& analysis,
+    const Binding& params, BoundedEvalStats* stats) const {
+  SI_CHECK_MSG(analysis.root().formula.Equals(q.body),
+               "analysis does not match the query body");
+  VarSet param_vars;
+  for (const auto& [v, val] : params) {
+    (void)val;
+    param_vars.insert(v);
+  }
+  const ControlOption* opt = analysis.BestOptionFor(param_vars);
+  if (opt == nullptr) {
+    return Status::FailedPrecondition(
+        "query is not controlled by the given parameters " +
+        VarSetToString(param_vars));
+  }
+  exec::ExecContext ctx(db_);
+  ctx.set_limits(limits_);
+  ctx.set_timing_enabled(collect_timing_);
+  obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_degraded", "core");
+  PlainExecutor executor(db_, enforce_bounds_, &ctx);
+  // Ops are always registered here so that a trip's snapshot can name the
+  // derivation node that was executing when the limit fired.
+  executor.RegisterOps(analysis.root(), *opt, /*parent=*/-1);
+  BindingSet results = executor.Eval(analysis.root(), *opt, params);
+  if (span.enabled()) {
+    span.Arg("fetched", ctx.base_tuples_fetched());
+    span.Arg("static_bound", opt->fetch_bound);
+    span.Arg("tripped", ctx.trip().tripped());
+  }
+  if (stats != nullptr) {
+    stats->static_bound = opt->fetch_bound;
+    stats->Accumulate(ctx);
+  }
+
+  exec::Degraded<AnswerSet> out;
+  out.base_tuples_fetched = ctx.base_tuples_fetched();
+  out.index_lookups = ctx.index_lookups();
+  if (!ctx.ok()) {
+    // Only governor trips degrade; other failures stay errors.
+    if (!ctx.trip().tripped()) return ctx.status();
+    out.complete = false;
+    out.trip = ctx.trip();
+    out.ops = ctx.SnapshotOps();
+  }
+  // Bindings that survived the full derivation are sound answers even when
+  // the walk was cut short (subtrees abandoned mid-derivation return no
+  // bindings rather than unchecked ones).
+  std::vector<Variable> open;
+  for (const Variable& v : q.head) {
+    if (!params.count(v)) open.push_back(v);
+  }
+  for (const Binding& b : results) {
+    Tuple t;
+    t.reserve(open.size());
+    for (const Variable& v : open) {
+      auto it = b.find(v);
+      SI_CHECK_MSG(it != b.end(), "result missing a head variable");
+      t.push_back(it->second);
+    }
+    out.value.insert(std::move(t));
+  }
+  return out;
+}
+
+Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateEmbeddedDegraded(
+    const EmbeddedCqAnalysis& analysis, const Binding& params,
+    BoundedEvalStats* stats, bool fallback_to_approx) const {
+  exec::ExecContext ctx(db_);
+  ctx.set_limits(limits_);
+  ctx.set_timing_enabled(collect_timing_);
+  obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_embedded_degraded",
+                       "core");
+  // Capture ops unconditionally so a trip names the chase step it hit.
+  Result<AnswerSet> result =
+      EvaluateEmbeddedImpl(analysis, params, &ctx, /*capture_ops=*/true);
+  if (span.enabled()) {
+    span.Arg("fetched", ctx.base_tuples_fetched());
+    span.Arg("tripped", ctx.trip().tripped());
+  }
+  if (stats != nullptr) {
+    if (analysis.IsScaleIndependent()) {
+      stats->static_bound = analysis.plan().fetch_bound;
+    }
+    stats->Accumulate(ctx);
+  }
+
+  exec::Degraded<AnswerSet> out;
+  out.base_tuples_fetched = ctx.base_tuples_fetched();
+  out.index_lookups = ctx.index_lookups();
+  if (result.ok() && ctx.ok()) {
+    out.value = std::move(result).ValueOrDie();
+    return out;
+  }
+  if (!ctx.trip().tripped()) {
+    // Genuine failure (failpoint, bound violation, bad arguments).
+    return result.ok() ? ctx.status() : result.status();
+  }
+  out.complete = false;
+  out.trip = ctx.trip();
+  out.ops = ctx.SnapshotOps();
+  if (fallback_to_approx && limits_.fetch_budget > 0 &&
+      analysis.IsScaleIndependent()) {
+    // PIQL-style success tolerance: re-answer the (parameter-substituted)
+    // CQ with the greedy budgeted engine under the same budget M. Every
+    // answer it reports is a genuine answer of Q(D); project its full-head
+    // tuples onto the embedded answer shape (open head variables only).
+    const Cq& q = analysis.query();
+    std::map<Variable, Term> subst;
+    for (const auto& [v, val] : params) subst.emplace(v, Term::Const(val));
+    ApproxResult approx =
+        ApproximateCqAnswers(q.Substitute(subst), *db_, limits_.fetch_budget);
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < q.head().size(); ++i) {
+      const Term& h = q.head()[i];
+      if (h.is_const() || analysis.params().count(h.var())) continue;
+      keep.push_back(i);
+    }
+    for (const Tuple& full : approx.answers) {
+      Tuple t;
+      t.reserve(keep.size());
+      for (size_t i : keep) t.push_back(full[i]);
+      out.value.insert(std::move(t));
+    }
+    out.fallback = "approx";
+  }
+  return out;
 }
 
 }  // namespace scalein

@@ -80,7 +80,13 @@ class BoundedEvaluator {
   /// capacity of our available resources". 0 disables (default). When the
   /// running fetch count would exceed the budget, evaluation stops with
   /// ResourceExhausted instead of touching more data.
-  void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
+  void set_fetch_budget(uint64_t budget) { limits_.fetch_budget = budget; }
+
+  /// Full per-evaluation resource envelope (fetch budget, deadline, output
+  /// cap, cancellation), armed on each evaluation's fresh ExecContext.
+  /// Supersedes set_fetch_budget when both are used.
+  void set_limits(const exec::GovernorLimits& limits) { limits_ = limits; }
+  const exec::GovernorLimits& limits() const { return limits_; }
 
   /// If true, the evaluator records per-derivation-node wall time into the
   /// captured op counters (EXPLAIN ANALYZE's time column). Off by default —
@@ -95,12 +101,30 @@ class BoundedEvaluator {
                              const Binding& params,
                              BoundedEvalStats* stats = nullptr) const;
 
+  /// Degradation-aware variant (PIQL-style success tolerance): a governor
+  /// trip (budget/deadline/cap/cancel) returns the *partial* answer set
+  /// produced so far — a genuine subset of Q(D) for monotone derivations —
+  /// together with the trip record and the per-node counter snapshot,
+  /// instead of a bare error. Non-governor failures stay errors.
+  Result<exec::Degraded<AnswerSet>> EvaluateDegraded(
+      const FoQuery& q, const ControllabilityAnalysis& analysis,
+      const Binding& params, BoundedEvalStats* stats = nullptr) const;
+
   /// Evaluates an embedded-controllability plan (Proposition 4.5) for a CQ.
   /// `params` must bind exactly the variables the analysis was built with.
   /// Answers range over head positions whose term is an unbound variable.
   Result<AnswerSet> EvaluateEmbedded(const EmbeddedCqAnalysis& analysis,
                                      const Binding& params,
                                      BoundedEvalStats* stats = nullptr) const;
+
+  /// Degradation-aware embedded evaluation. On a governor trip, when
+  /// `fallback_to_approx` is set and a fetch budget is armed, the greedy
+  /// budgeted engine (core/approx.h) re-answers the underlying CQ within the
+  /// same budget M and the result is marked `fallback = "approx"` — every
+  /// reported answer is still a genuine answer of Q(D).
+  Result<exec::Degraded<AnswerSet>> EvaluateEmbeddedDegraded(
+      const EmbeddedCqAnalysis& analysis, const Binding& params,
+      BoundedEvalStats* stats = nullptr, bool fallback_to_approx = false) const;
 
  private:
   Result<AnswerSet> EvaluateEmbeddedImpl(const EmbeddedCqAnalysis& analysis,
@@ -110,7 +134,7 @@ class BoundedEvaluator {
 
   Database* db_;
   bool enforce_bounds_ = false;
-  uint64_t fetch_budget_ = 0;
+  exec::GovernorLimits limits_;
   bool collect_timing_ = false;
 };
 

@@ -122,6 +122,14 @@ QdsiDecision DecideMonotone(const std::vector<Cq>& disjuncts, size_t tableau,
   per_answer.reserve(answers.size());
   bool truncated = false;
   for (const Tuple& a : answers) {
+    // One checkpoint per answer keeps support enumeration under the
+    // caller's deadline. A trip here means some answers have NO supports
+    // gathered — a cover over the prefix would be an unsound "yes" — so the
+    // decision degrades straight to kUnknown.
+    if (options.governor != nullptr && !options.governor->Checkpoint()) {
+      decision.verdict = Verdict::kUnknown;
+      return decision;
+    }
     std::vector<TupleSet> pooled;
     for (const Cq& q : disjuncts) {
       std::vector<TupleSet> s =
@@ -134,7 +142,8 @@ QdsiDecision DecideMonotone(const std::vector<Cq>& disjuncts, size_t tableau,
     }
     per_answer.push_back(PruneToMinimal(std::move(pooled)));
   }
-  MinWitnessResult cover = MinimumSupportCover(per_answer, m);
+  MinWitnessResult cover =
+      MinimumSupportCover(per_answer, m, options.governor);
   decision.work = cover.nodes_explored;
   if (cover.witness.has_value()) {
     decision.verdict = Verdict::kYes;
@@ -193,6 +202,12 @@ QdsiDecision DecideQdsiFo(const FoQuery& q, const Database& d, uint64_t m,
       bool more = true;
       while (more) {
         if (++decision.work > options.max_subsets) {
+          capped = true;
+          break;
+        }
+        // Deadline/cancellation degrade exactly like the subset cap: the
+        // subsets already examined stay examined, verdict becomes kUnknown.
+        if (options.governor != nullptr && !options.governor->Checkpoint()) {
           capped = true;
           break;
         }

@@ -6,6 +6,7 @@
 
 #include "core/verdict.h"
 #include "core/witness.h"
+#include "exec/governor.h"
 #include "query/cq.h"
 #include "query/formula.h"
 #include "relational/database.h"
@@ -17,6 +18,10 @@ struct QdsiOptions {
   size_t max_supports_per_answer = 64;
   /// Cap on candidate subsets examined by the FO subset search.
   uint64_t max_subsets = 5'000'000;
+  /// Optional resource governor (deadline/cancellation) checkpointed by the
+  /// search loops; a trip degrades the verdict to kUnknown instead of
+  /// spinning past the caller's budget.
+  exec::ResourceGovernor* governor = nullptr;
 };
 
 /// Outcome of a QDSI decision: the verdict, a witness D_Q when the answer is

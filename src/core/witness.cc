@@ -4,6 +4,7 @@
 
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
+#include "exec/governor.h"
 #include "obs/trace.h"
 
 namespace scalein {
@@ -227,7 +228,7 @@ TupleSet GreedyWitnessCq(const Cq& q, const Database& d) {
 
 MinWitnessResult MinimumSupportCover(
     const std::vector<std::vector<TupleSet>>& per_answer_supports,
-    uint64_t budget) {
+    uint64_t budget, exec::ResourceGovernor* governor) {
   obs::ScopedSpan span(obs::Tracer::Global(), "witness.support_cover", "core");
   constexpr uint64_t kNodeCap = 2'000'000;
   MinWitnessResult result;
@@ -248,6 +249,12 @@ MinWitnessResult MinimumSupportCover(
 
   auto recurse = [&](auto&& self, size_t idx) -> void {
     if (++result.nodes_explored > kNodeCap) {
+      node_capped = true;
+      return;
+    }
+    // A governed search degrades like a node-capped one: stop exploring,
+    // report inexact, keep any witness already found (still a sound "yes").
+    if (governor != nullptr && !governor->Checkpoint()) {
       node_capped = true;
       return;
     }
@@ -298,7 +305,8 @@ MinWitnessResult MinimumSupportCover(
 
 MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
                                   uint64_t budget,
-                                  size_t max_supports_per_answer) {
+                                  size_t max_supports_per_answer,
+                                  exec::ResourceGovernor* governor) {
   obs::ScopedSpan span(obs::Tracer::Global(), "witness.minimum_cq", "core");
   CqEvaluator eval(const_cast<Database*>(&d));
   AnswerSet answers = eval.EvaluateFull(q);
@@ -312,7 +320,7 @@ MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
         SupportsImpl(q, d, a, max_supports_per_answer, &truncated));
     any_truncated |= truncated;
   }
-  MinWitnessResult result = MinimumSupportCover(supports, budget);
+  MinWitnessResult result = MinimumSupportCover(supports, budget, governor);
   if (any_truncated) result.exact = result.witness.has_value();
   if (span.enabled()) {
     span.Arg("budget", budget);

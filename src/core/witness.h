@@ -11,6 +11,10 @@
 #include "query/formula.h"
 #include "relational/database.h"
 
+namespace scalein::exec {
+class ResourceGovernor;
+}  // namespace scalein::exec
+
 namespace scalein {
 
 /// A tuple of a specific relation — the unit of the |D_Q| ≤ M accounting.
@@ -71,7 +75,9 @@ TupleSet GreedyWitnessCq(const Cq& q, const Database& d);
 /// per-answer supports. Returns nullopt if every witness exceeds `budget`
 /// tuples. `max_supports_per_answer` caps the branching factor (making the
 /// result a sound "yes"/possibly-incomplete "no" when hit; `exact` reports
-/// whether the search was exhaustive).
+/// whether the search was exhaustive). A governor (optional) checkpoints the
+/// search: a deadline/cancellation trip stops it gracefully with
+/// `exact = false`, exactly like hitting the node cap.
 struct MinWitnessResult {
   std::optional<TupleSet> witness;
   bool exact = true;
@@ -79,7 +85,8 @@ struct MinWitnessResult {
 };
 MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
                                   uint64_t budget,
-                                  size_t max_supports_per_answer = 64);
+                                  size_t max_supports_per_answer = 64,
+                                  exec::ResourceGovernor* governor = nullptr);
 
 /// The underlying combinatorial search: given, for each answer, its list of
 /// alternative supports, find a minimum-cardinality union choosing one
@@ -87,7 +94,7 @@ MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
 /// counterpart of the set-cover reduction in the Theorem 3.3 lower bound.
 MinWitnessResult MinimumSupportCover(
     const std::vector<std::vector<TupleSet>>& per_answer_supports,
-    uint64_t budget);
+    uint64_t budget, exec::ResourceGovernor* governor = nullptr);
 
 }  // namespace scalein
 

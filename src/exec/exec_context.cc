@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace scalein::exec {
 
@@ -17,26 +18,23 @@ const Relation* ExecContext::Resolve(const std::string& name) const {
   return db_->FindRelation(name);
 }
 
-void ExecContext::CheckBudget() {
-  if (fetch_budget_ != 0 && base_tuples_fetched_ > fetch_budget_ &&
-      status_.ok()) {
-    status_ = Status::ResourceExhausted(
-        "fetch budget of " + std::to_string(fetch_budget_) +
-        " base tuples exceeded");
-  }
+void ExecContext::RecordTrip() {
+  if (!status_.ok() || !governor_.tripped()) return;
+  status_ = governor_.trip().ToStatus();
 }
 
-void ExecContext::Charge(const std::string& relation, uint64_t tuples) {
+void ExecContext::Charge(const std::string& relation, uint64_t tuples,
+                         OpCounters* op) {
   base_tuples_fetched_ += tuples;
   fetched_by_relation_[relation] += tuples;
-  CheckBudget();
+  if (!governor_.OnFetch(base_tuples_fetched_, op)) RecordTrip();
 }
 
 void ExecContext::ChargeRows(uint64_t* slot, uint64_t n, OpCounters* op) {
   *slot += n;
   base_tuples_fetched_ += n;
   if (op != nullptr) op->tuples_fetched += n;
-  CheckBudget();
+  if (!governor_.OnFetch(base_tuples_fetched_, op)) RecordTrip();
 }
 
 void ExecContext::ChargeIndexLookup(const std::string& relation,
@@ -46,13 +44,13 @@ void ExecContext::ChargeIndexLookup(const std::string& relation,
     ++op->index_lookups;
     op->tuples_fetched += tuples;
   }
-  Charge(relation, tuples);
+  Charge(relation, tuples, op);
 }
 
 void ExecContext::ChargeScan(const std::string& relation, uint64_t tuples,
                              OpCounters* op) {
   if (op != nullptr) op->tuples_fetched += tuples;
-  Charge(relation, tuples);
+  Charge(relation, tuples, op);
 }
 
 void ExecContext::SetError(Status s) {
@@ -80,6 +78,12 @@ void ExecContext::ExportMetrics(obs::MetricsRegistry* registry,
   for (const auto& [name, tuples] : fetched_by_relation_) {
     registry->GetCounter(prefix + "fetched." + name).Increment(tuples);
   }
+  if (governor_.tripped()) {
+    registry
+        ->GetCounter(prefix + "governor.trips." +
+                     LimitKindName(governor_.trip().kind))
+        .Increment();
+  }
 }
 
 std::string ExecContext::DebugString() const {
@@ -95,6 +99,10 @@ std::string ExecContext::DebugString() const {
 const std::vector<uint32_t>* MeteredIndexLookup(
     ExecContext* ctx, const std::string& name, const Relation& rel,
     const std::vector<size_t>& positions, const Tuple& key, OpCounters* op) {
+  if (Status s = SCALEIN_FAILPOINT("index_probe"); !s.ok()) {
+    ctx->SetError(std::move(s));
+    return nullptr;
+  }
   const HashIndex& index = rel.EnsureIndex(positions);
   const std::vector<uint32_t>* rows = index.Lookup(key);
   ctx->ChargeIndexLookup(name, rows == nullptr ? 0 : rows->size(), op);
@@ -106,6 +114,10 @@ std::vector<Tuple> MeteredProjectionLookup(
     const std::vector<size_t>& key_positions,
     const std::vector<size_t>& value_positions, const Tuple& key,
     OpCounters* op) {
+  if (Status s = SCALEIN_FAILPOINT("index_probe"); !s.ok()) {
+    ctx->SetError(std::move(s));
+    return {};
+  }
   const ProjectionIndex& index =
       rel.EnsureProjectionIndex(key_positions, value_positions);
   std::vector<Tuple> projections = index.Lookup(key);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/governor.h"
 #include "relational/database.h"
 #include "util/status.h"
 
@@ -68,8 +69,43 @@ class ExecContext {
 
   /// Hard cap on base tuples fetched during this context's lifetime; 0
   /// disables (default). Exceeding it sets a ResourceExhausted status.
-  void set_fetch_budget(uint64_t budget) { fetch_budget_ = budget; }
-  uint64_t fetch_budget() const { return fetch_budget_; }
+  /// Shorthand for arming the governor with only a fetch budget (other armed
+  /// limits are preserved).
+  void set_fetch_budget(uint64_t budget) {
+    GovernorLimits limits = governor_.limits();
+    limits.fetch_budget = budget;
+    governor_.Arm(limits);
+  }
+  uint64_t fetch_budget() const { return governor_.limits().fetch_budget; }
+
+  // --- Resource governor (the unified run-time limits) ---
+
+  /// Arms the governor: fetch budget, wall-clock deadline, output-row cap,
+  /// cancellation. Re-arming restarts the deadline clock and clears any
+  /// recorded trip.
+  void set_limits(const GovernorLimits& limits) { governor_.Arm(limits); }
+
+  ResourceGovernor& governor() { return governor_; }
+  const ResourceGovernor& governor() const { return governor_; }
+
+  /// The governor trip that failed this context, if any (kind == kNone when
+  /// the context is clean or failed for a non-governor reason).
+  const TripInfo& trip() const { return governor_.trip(); }
+
+  /// Progress probe for fetch-free loops running under this context; on a
+  /// deadline/cancellation trip, fails the context and returns false.
+  bool Checkpoint(OpCounters* op = nullptr) {
+    if (governor_.Checkpoint(op)) return true;
+    RecordTrip();
+    return false;
+  }
+
+  /// Charges `n` emitted result rows against the output cap; false on trip.
+  bool ChargeOutput(uint64_t n, OpCounters* op = nullptr) {
+    if (governor_.OnOutput(n, op)) return true;
+    RecordTrip();
+    return false;
+  }
 
   // --- Observability (src/obs) ---
 
@@ -135,12 +171,13 @@ class ExecContext {
   std::string DebugString() const;
 
  private:
-  void Charge(const std::string& relation, uint64_t tuples);
-  void CheckBudget();
+  void Charge(const std::string& relation, uint64_t tuples, OpCounters* op);
+  /// Converts the governor's recorded trip into this context's first error.
+  void RecordTrip();
 
   const Database* db_ = nullptr;
   std::map<std::string, const Relation*> overrides_;
-  uint64_t fetch_budget_ = 0;
+  ResourceGovernor governor_;
   uint64_t base_tuples_fetched_ = 0;
   uint64_t index_lookups_ = 0;
   std::map<std::string, uint64_t> fetched_by_relation_;

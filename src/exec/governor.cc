@@ -1,0 +1,111 @@
+#include "exec/governor.h"
+
+#include "exec/exec_context.h"
+#include "util/strings.h"
+
+namespace scalein::exec {
+
+const char* LimitKindName(LimitKind kind) {
+  switch (kind) {
+    case LimitKind::kNone:
+      return "none";
+    case LimitKind::kFetchBudget:
+      return "fetch-budget";
+    case LimitKind::kDeadline:
+      return "deadline";
+    case LimitKind::kOutputRows:
+      return "output-rows";
+    case LimitKind::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+GovernorLimits GovernorLimits::Pinned() const {
+  GovernorLimits pinned = *this;
+  if (pinned.deadline_ns == 0 && pinned.deadline_ms != 0) {
+    pinned.deadline_ns = obs::MonotonicNowNs() + pinned.deadline_ms * 1'000'000;
+  }
+  return pinned;
+}
+
+std::string TripInfo::ToString() const {
+  if (kind == LimitKind::kNone) return "not tripped";
+  std::string out = std::string(LimitKindName(kind)) + ": " + detail;
+  out += " (";
+  if (!op_label.empty()) out += "at op " + op_label + ", ";
+  out += std::to_string(fetched_at_trip) + " tuples fetched)";
+  return out;
+}
+
+Status TripInfo::ToStatus() const {
+  switch (kind) {
+    case LimitKind::kNone:
+      return Status::OK();
+    case LimitKind::kDeadline:
+      return Status::DeadlineExceeded(ToString());
+    case LimitKind::kCancelled:
+      return Status::Cancelled(ToString());
+    case LimitKind::kFetchBudget:
+    case LimitKind::kOutputRows:
+      return Status::ResourceExhausted(ToString());
+  }
+  return Status::Internal("unknown limit kind");
+}
+
+void ResourceGovernor::Arm(const GovernorLimits& limits) {
+  limits_ = limits;
+  trip_ = TripInfo{};
+  rows_emitted_ = 0;
+  last_fetched_ = 0;
+  check_countdown_ = kCheckInterval;
+  deadline_ns_ = limits_.deadline_ns;
+  if (deadline_ns_ == 0 && limits_.deadline_ms != 0) {
+    deadline_ns_ = obs::MonotonicNowNs() + limits_.deadline_ms * 1'000'000;
+  }
+  has_time_limits_ = deadline_ns_ != 0 || limits_.has_cancel;
+}
+
+bool ResourceGovernor::TimeOkSlow(OpCounters* op) {
+  if (limits_.has_cancel && limits_.cancel.cancelled()) {
+    return Trip(LimitKind::kCancelled, op);
+  }
+  if (deadline_ns_ != 0 && obs::MonotonicNowNs() > deadline_ns_) {
+    return Trip(LimitKind::kDeadline, op);
+  }
+  return true;
+}
+
+bool ResourceGovernor::Trip(LimitKind kind, OpCounters* op) {
+  trip_.kind = kind;
+  trip_.fetched_at_trip = last_fetched_;
+  if (op != nullptr) {
+    trip_.op_id = op->id;
+    trip_.op_label = op->label;
+  }
+  switch (kind) {
+    case LimitKind::kFetchBudget:
+      trip_.detail = "fetch budget of " + std::to_string(limits_.fetch_budget) +
+                     " base tuples exceeded";
+      break;
+    case LimitKind::kDeadline:
+      trip_.detail =
+          limits_.deadline_ms != 0
+              ? "wall-clock deadline of " + std::to_string(limits_.deadline_ms) +
+                    "ms exceeded"
+              : "wall-clock deadline exceeded";
+      break;
+    case LimitKind::kOutputRows:
+      trip_.detail = "output cap of " + std::to_string(limits_.output_row_cap) +
+                     " rows exceeded";
+      break;
+    case LimitKind::kCancelled:
+      trip_.detail = "evaluation cancelled";
+      break;
+    case LimitKind::kNone:
+      break;
+  }
+  return false;
+}
+
+}  // namespace scalein::exec

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace scalein::exec {
 namespace {
 
@@ -56,6 +58,10 @@ ScanOp::ScanOp(ExecContext* ctx, std::string name, const Relation* rel)
 
 bool ScanOp::DoNext(Tuple* out) {
   if (!ctx_->ok() || rel_ == nullptr || next_row_ >= rel_->size()) return false;
+  if (Status s = SCALEIN_FAILPOINT("scan_next"); !s.ok()) {
+    ctx_->SetError(std::move(s));
+    return false;
+  }
   TupleView row = rel_->TupleAt(next_row_++);
   ctx_->ChargeRows(slot_, 1, op_);
   // The fetch that trips the budget must not be emitted: stop right here.

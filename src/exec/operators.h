@@ -58,6 +58,9 @@ class Operator {
   /// This operator's slot in the context's op table (never null).
   OpCounters* counters() const { return op_; }
 
+  /// The context this operator charges (drains consult its governor).
+  ExecContext* context() const { return ctx_; }
+
  protected:
   /// Declares `child` a subtree of this operator in the explain tree; call
   /// once per child from the parent's constructor.

@@ -397,8 +397,25 @@ Relation DrainToRelation(Operator* op, size_t arity) {
   Relation out(arity);
   op->Open();
   Tuple row;
-  while (op->Next(&row)) out.Insert(row);
+  while (op->Next(&row)) {
+    // The row that trips the output cap is not part of the answer.
+    if (!op->context()->ChargeOutput(1, op->counters())) break;
+    out.Insert(row);
+  }
   return out;
+}
+
+Degraded<Relation> DrainToRelationDegraded(Operator* op, size_t arity) {
+  Degraded<Relation> result(DrainToRelation(op, arity));
+  ExecContext* ctx = op->context();
+  result.base_tuples_fetched = ctx->base_tuples_fetched();
+  result.index_lookups = ctx->index_lookups();
+  if (ctx->trip().tripped()) {
+    result.complete = false;
+    result.trip = ctx->trip();
+    result.ops = ctx->SnapshotOps();
+  }
+  return result;
 }
 
 }  // namespace scalein::exec

@@ -56,8 +56,18 @@ struct CqPlan {
 CqPlan PlanCq(const Cq& q, ExecContext* ctx);
 
 /// Drains `op` (already constructed, not yet opened) into a Relation of
-/// `arity` columns; set semantics are restored by Relation::Insert.
+/// `arity` columns; set semantics are restored by Relation::Insert. Every
+/// emitted row is charged against the context's governor output cap; on any
+/// governor trip the drain stops with the rows produced so far (the context
+/// carries the typed error).
 Relation DrainToRelation(Operator* op, size_t arity);
+
+/// Degradation-aware drain: like DrainToRelation, but packages the partial
+/// relation together with the trip record and the per-operator counter
+/// snapshot when a governor limit stopped the pipeline. `complete` is true
+/// on a clean drain. Non-governor failures (failpoints, internal errors)
+/// still surface through the context's status only.
+Degraded<Relation> DrainToRelationDegraded(Operator* op, size_t arity);
 
 }  // namespace scalein::exec
 

@@ -3,18 +3,23 @@
 #include <algorithm>
 
 #include "eval/cq_evaluator.h"
+#include "exec/governor.h"
+#include "obs/trace.h"
 
 namespace scalein {
 namespace {
 
 /// Minimum number of old-database tuples needed to derive all new answers of
 /// one update, or nullopt if some new answer has no support (cannot happen
-/// for valid updates) or the budget is exceeded.
+/// for valid updates) or the budget is exceeded. `*search_exact` reports
+/// whether the inner cover search was exhaustive — a nullopt from an inexact
+/// (node-capped or governor-tripped) search is inconclusive, not a "no".
 std::optional<uint64_t> MinOldTuplesForUpdate(const Cq& q, Database* db,
                                               const AnswerSet& old_answers,
                                               const TupleSet& delta_tuples,
                                               uint64_t budget,
-                                              const QdsiOptions& qdsi) {
+                                              const QdsiOptions& qdsi,
+                                              bool* search_exact) {
   CqEvaluator eval(db);
   AnswerSet new_answers = eval.EvaluateFull(q);
 
@@ -52,7 +57,9 @@ std::optional<uint64_t> MinOldTuplesForUpdate(const Cq& q, Database* db,
     per_answer.push_back(std::move(minimal));
   }
   if (per_answer.empty()) return static_cast<uint64_t>(0);
-  MinWitnessResult cover = MinimumSupportCover(per_answer, budget);
+  MinWitnessResult cover =
+      MinimumSupportCover(per_answer, budget, qdsi.governor);
+  *search_exact = cover.exact;
   if (!cover.witness.has_value()) return std::nullopt;
   return static_cast<uint64_t>(cover.witness->size());
 }
@@ -62,6 +69,8 @@ std::optional<uint64_t> MinOldTuplesForUpdate(const Cq& q, Database* db,
 DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
                                             uint64_t m, uint64_t k,
                                             const DeltaQsiOptions& options) {
+  obs::ScopedSpan span(obs::Tracer::Global(), "delta_qsi.decide_insertions",
+                       "incremental");
   DeltaQsiDecision decision;
   Database* db = const_cast<Database*>(&d);
   CqEvaluator eval(db);
@@ -86,6 +95,12 @@ DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
         capped = true;
         break;
       }
+      // A governed enumeration degrades like a capped one (kUnknown).
+      if (options.qdsi.governor != nullptr &&
+          !options.qdsi.governor->Checkpoint()) {
+        capped = true;
+        break;
+      }
       Update u;
       TupleSet delta_tuples;
       for (size_t i : idx) {
@@ -93,12 +108,25 @@ DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
         delta_tuples.insert(universe[i]);
       }
       ApplyUpdate(db, u);
+      bool search_exact = true;
       std::optional<uint64_t> cost = MinOldTuplesForUpdate(
-          q, db, old_answers, delta_tuples, m, options.qdsi);
+          q, db, old_answers, delta_tuples, m, options.qdsi, &search_exact);
       RevertUpdate(db, u);
       if (!cost.has_value()) {
+        if (!search_exact) {
+          // The cover search was cut short (node cap or governor trip): the
+          // missing witness is inconclusive, not a counterexample.
+          capped = true;
+          break;
+        }
         decision.verdict = Verdict::kNo;
         decision.counterexample = std::move(u);
+        if (span.enabled()) {
+          span.Arg("m", m);
+          span.Arg("k", k);
+          span.Arg("verdict", VerdictName(decision.verdict));
+          span.Arg("updates_checked", decision.updates_checked);
+        }
         return decision;
       }
       decision.worst_fetch = std::max(decision.worst_fetch, *cost);
@@ -118,6 +146,13 @@ DeltaQsiDecision DecideDeltaQsiCqInsertions(const Cq& q, const Database& d,
     }
   }
   decision.verdict = capped ? Verdict::kUnknown : Verdict::kYes;
+  if (span.enabled()) {
+    span.Arg("m", m);
+    span.Arg("k", k);
+    span.Arg("verdict", VerdictName(decision.verdict));
+    span.Arg("updates_checked", decision.updates_checked);
+    span.Arg("worst_fetch", decision.worst_fetch);
+  }
   return decision;
 }
 

@@ -4,6 +4,7 @@
 
 #include "eval/cq_evaluator.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace scalein {
 namespace {
@@ -142,11 +143,11 @@ std::optional<Binding> IncrementalMaintainer::UnifyAtom(
   return env;
 }
 
-Status IncrementalMaintainer::CollectAnswers(const Occurrence& occ,
-                                             Database* db, const Binding& env,
-                                             AnswerSet* out,
-                                             BoundedEvalStats* stats) const {
+Status IncrementalMaintainer::CollectAnswers(
+    const Occurrence& occ, Database* db, const Binding& env, AnswerSet* out,
+    BoundedEvalStats* stats, const exec::GovernorLimits& limits) const {
   BoundedEvaluator be(db);
+  be.set_limits(limits);
   SI_ASSIGN_OR_RETURN(AnswerSet partial,
                       be.Evaluate(occ.residual, *occ.analysis, env, stats));
   // Residual answers cover the head variables not bound by env, in the
@@ -182,6 +183,16 @@ Status IncrementalMaintainer::CollectAnswers(const Occurrence& occ,
 Status IncrementalMaintainer::CollectDeletionCandidates(
     Database* db, const Update& u, const Binding& params,
     AnswerSet* candidates, BoundedEvalStats* stats) const {
+  return CollectDeletionCandidatesImpl(db, u, params, candidates, stats,
+                                       limits_.Pinned());
+}
+
+Status IncrementalMaintainer::CollectDeletionCandidatesImpl(
+    Database* db, const Update& u, const Binding& params,
+    AnswerSet* candidates, BoundedEvalStats* stats,
+    const exec::GovernorLimits& limits) const {
+  obs::ScopedSpan span(obs::Tracer::Global(),
+                       "incremental.collect_candidates", "incremental");
   size_t total_deletions = 0;
   for (const auto& [rel, rows] : u.deletions) total_deletions += rows.size();
   if (total_deletions == 0) return Status::OK();
@@ -197,7 +208,8 @@ Status IncrementalMaintainer::CollectDeletionCandidates(
     for (const Tuple& t : it->second) {
       std::optional<Binding> env = UnifyAtom(occ.atom_index, t, params);
       if (!env.has_value()) continue;
-      SI_RETURN_IF_ERROR(CollectAnswers(occ, db, *env, candidates, stats));
+      SI_RETURN_IF_ERROR(
+          CollectAnswers(occ, db, *env, candidates, stats, limits));
     }
   }
   return Status::OK();
@@ -207,6 +219,15 @@ Status IncrementalMaintainer::IntegrateInsertions(Database* db, const Update& u,
                                                   const Binding& params,
                                                   AnswerSet* answers,
                                                   BoundedEvalStats* stats) const {
+  return IntegrateInsertionsImpl(db, u, params, answers, stats,
+                                 limits_.Pinned());
+}
+
+Status IncrementalMaintainer::IntegrateInsertionsImpl(
+    Database* db, const Update& u, const Binding& params, AnswerSet* answers,
+    BoundedEvalStats* stats, const exec::GovernorLimits& limits) const {
+  obs::ScopedSpan span(obs::Tracer::Global(),
+                       "incremental.integrate_insertions", "incremental");
   // Evaluated on D ⊕ ∆D so joins among several inserted tuples are covered.
   for (const Occurrence& occ : occurrences_) {
     const std::string& rel = query_.atoms()[occ.atom_index].relation;
@@ -221,7 +242,8 @@ Status IncrementalMaintainer::IntegrateInsertions(Database* db, const Update& u,
     for (const Tuple& t : it->second) {
       std::optional<Binding> env = UnifyAtom(occ.atom_index, t, params);
       if (!env.has_value()) continue;
-      SI_RETURN_IF_ERROR(CollectAnswers(occ, db, *env, answers, stats));
+      SI_RETURN_IF_ERROR(
+          CollectAnswers(occ, db, *env, answers, stats, limits));
     }
   }
   return Status::OK();
@@ -232,6 +254,16 @@ Status IncrementalMaintainer::RecheckCandidates(Database* db,
                                                 const Binding& params,
                                                 AnswerSet* answers,
                                                 BoundedEvalStats* stats) const {
+  return RecheckCandidatesImpl(db, candidates, params, answers, stats,
+                               limits_.Pinned());
+}
+
+Status IncrementalMaintainer::RecheckCandidatesImpl(
+    Database* db, const AnswerSet& candidates, const Binding& params,
+    AnswerSet* answers, BoundedEvalStats* stats,
+    const exec::GovernorLimits& limits) const {
+  obs::ScopedSpan span(obs::Tracer::Global(),
+                       "incremental.recheck_candidates", "incremental");
   for (const Tuple& candidate : candidates) {
     if (!answers->count(candidate)) continue;
     // Bind head variables to the candidate's values.
@@ -252,6 +284,7 @@ Status IncrementalMaintainer::RecheckCandidates(Database* db,
     }
     if (!consistent) continue;
     BoundedEvaluator be(db);
+    be.set_limits(limits);
     SI_ASSIGN_OR_RETURN(
         AnswerSet still,
         be.Evaluate(membership_query_, *membership_analysis_, env, stats));
@@ -274,12 +307,20 @@ Status IncrementalMaintainer::Maintain(Database* db, const Update& u,
     span.Arg("deletions", del);
   }
   SI_RETURN_IF_ERROR(u.Validate(*db));
+  // One pinned deadline for the whole batch: all three phases (and every
+  // per-tuple bounded evaluation inside them) share the same wall clock.
+  const exec::GovernorLimits pinned = limits_.Pinned();
   AnswerSet deletion_candidates;
-  SI_RETURN_IF_ERROR(
-      CollectDeletionCandidates(db, u, params, &deletion_candidates, stats));
+  SI_RETURN_IF_ERROR(CollectDeletionCandidatesImpl(
+      db, u, params, &deletion_candidates, stats, pinned));
+  // Failing here (before ApplyUpdate) leaves both the database and the
+  // maintained answer set untouched — the chaos harness relies on that.
+  if (Status s = SCALEIN_FAILPOINT("delta_apply"); !s.ok()) return s;
   ApplyUpdate(db, u);
-  SI_RETURN_IF_ERROR(IntegrateInsertions(db, u, params, answers, stats));
-  return RecheckCandidates(db, deletion_candidates, params, answers, stats);
+  SI_RETURN_IF_ERROR(
+      IntegrateInsertionsImpl(db, u, params, answers, stats, pinned));
+  return RecheckCandidatesImpl(db, deletion_candidates, params, answers, stats,
+                               pinned);
 }
 
 }  // namespace scalein

@@ -41,6 +41,14 @@ class IncrementalMaintainer {
   /// residuals controlled and the body re-checkable given head + params.
   bool SupportsDeletions() const;
 
+  /// Resource envelope applied to every inner bounded evaluation. The fetch
+  /// budget is per-evaluation (each residual/membership check gets the full
+  /// budget — the per-tuple bound the paper's O(|∆D|) maintenance cost is
+  /// built from); a relative deadline is pinned once per Maintain call so
+  /// the whole update batch shares one wall clock.
+  void set_limits(const exec::GovernorLimits& limits) { limits_ = limits; }
+  const exec::GovernorLimits& limits() const { return limits_; }
+
   /// Static bound on base tuples fetched per inserted tuple into `relation`.
   double FetchBoundPerInsertedTuple(const std::string& relation) const;
 
@@ -97,11 +105,30 @@ class IncrementalMaintainer {
                                    const Binding& params) const;
 
   /// Evaluates the residual of `occ` under `env`, emitting full head tuples.
+  /// `limits` is the (already pinned) envelope for this evaluation.
   Status CollectAnswers(const Occurrence& occ, Database* db, const Binding& env,
-                        AnswerSet* out, BoundedEvalStats* stats) const;
+                        AnswerSet* out, BoundedEvalStats* stats,
+                        const exec::GovernorLimits& limits) const;
+
+  // Pinned-limits internals behind the public phase API (the public phases
+  // pin `limits_` themselves; Maintain pins once for all three).
+  Status CollectDeletionCandidatesImpl(Database* db, const Update& u,
+                                       const Binding& params,
+                                       AnswerSet* candidates,
+                                       BoundedEvalStats* stats,
+                                       const exec::GovernorLimits& limits) const;
+  Status IntegrateInsertionsImpl(Database* db, const Update& u,
+                                 const Binding& params, AnswerSet* answers,
+                                 BoundedEvalStats* stats,
+                                 const exec::GovernorLimits& limits) const;
+  Status RecheckCandidatesImpl(Database* db, const AnswerSet& candidates,
+                               const Binding& params, AnswerSet* answers,
+                               BoundedEvalStats* stats,
+                               const exec::GovernorLimits& limits) const;
 
   Cq query_;
   VarSet params_;
+  exec::GovernorLimits limits_;
   std::vector<Occurrence> occurrences_;
   /// Membership re-check: body controlled by params + head variables.
   FoQuery membership_query_;

@@ -1,5 +1,7 @@
 #include "incremental/ucq_maintainer.h"
 
+#include "obs/trace.h"
+
 namespace scalein {
 
 Result<UcqMaintainer> UcqMaintainer::Create(const Ucq& q, const Schema& schema,
@@ -30,6 +32,11 @@ bool UcqMaintainer::SupportsDeletions() const {
   return true;
 }
 
+void UcqMaintainer::set_limits(const exec::GovernorLimits& limits) {
+  limits_ = limits;
+  for (IncrementalMaintainer& m : maintainers_) m.set_limits(limits);
+}
+
 Result<AnswerSet> UcqMaintainer::Initialize(Database* db,
                                             const Binding& params) {
   for (size_t i = 0; i < maintainers_.size(); ++i) {
@@ -46,20 +53,59 @@ Result<AnswerSet> UcqMaintainer::Maintain(Database* db, const Update& u,
   if (!initialized_) {
     return Status::FailedPrecondition("Initialize must run before Maintain");
   }
+  obs::ScopedSpan span(obs::Tracer::Global(), "ucq.maintain", "incremental");
+  if (span.enabled()) {
+    span.Arg("disjuncts", static_cast<uint64_t>(maintainers_.size()));
+  }
   SI_RETURN_IF_ERROR(u.Validate(*db));
+  // One pinned deadline shared by every disjunct's phases; the relative
+  // envelope is restored afterwards so the next Maintain gets a fresh clock.
+  const exec::GovernorLimits pinned = limits_.Pinned();
+  for (IncrementalMaintainer& m : maintainers_) m.set_limits(pinned);
+  auto restore = [this] {
+    for (IncrementalMaintainer& m : maintainers_) m.set_limits(limits_);
+  };
   // Phase 1 for every disjunct before the update lands.
   std::vector<AnswerSet> candidates(maintainers_.size());
-  for (size_t i = 0; i < maintainers_.size(); ++i) {
-    SI_RETURN_IF_ERROR(maintainers_[i].CollectDeletionCandidates(
-        db, u, params, &candidates[i], stats));
+  {
+    obs::ScopedSpan phase(obs::Tracer::Global(), "ucq.collect_candidates",
+                          "incremental");
+    for (size_t i = 0; i < maintainers_.size(); ++i) {
+      Status s = maintainers_[i].CollectDeletionCandidates(db, u, params,
+                                                           &candidates[i],
+                                                           stats);
+      if (!s.ok()) {
+        restore();
+        return s;
+      }
+    }
   }
   ApplyUpdate(db, u);
-  for (size_t i = 0; i < maintainers_.size(); ++i) {
-    SI_RETURN_IF_ERROR(maintainers_[i].IntegrateInsertions(
-        db, u, params, &disjunct_answers_[i], stats));
-    SI_RETURN_IF_ERROR(maintainers_[i].RecheckCandidates(
-        db, candidates[i], params, &disjunct_answers_[i], stats));
+  {
+    obs::ScopedSpan phase(obs::Tracer::Global(), "ucq.integrate_insertions",
+                          "incremental");
+    for (size_t i = 0; i < maintainers_.size(); ++i) {
+      Status s = maintainers_[i].IntegrateInsertions(
+          db, u, params, &disjunct_answers_[i], stats);
+      if (!s.ok()) {
+        restore();
+        return s;
+      }
+    }
   }
+  {
+    obs::ScopedSpan phase(obs::Tracer::Global(), "ucq.recheck_candidates",
+                          "incremental");
+    for (size_t i = 0; i < maintainers_.size(); ++i) {
+      Status s = maintainers_[i].RecheckCandidates(
+          db, candidates[i], params, &disjunct_answers_[i], stats);
+      if (!s.ok()) {
+        restore();
+        return s;
+      }
+    }
+  }
+  restore();
   return CurrentAnswers();
 }
 

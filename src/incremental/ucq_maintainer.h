@@ -27,6 +27,11 @@ class UcqMaintainer {
   /// True if every disjunct supports deletions.
   bool SupportsDeletions() const;
 
+  /// Forwards the resource envelope to every per-disjunct maintainer;
+  /// Maintain additionally pins a relative deadline once per call so all
+  /// disjunct phases share one wall clock.
+  void set_limits(const exec::GovernorLimits& limits);
+
   /// Full evaluation of every disjunct; returns the union. Must be called
   /// before the first Maintain.
   Result<AnswerSet> Initialize(Database* db, const Binding& params);
@@ -48,6 +53,7 @@ class UcqMaintainer {
 
   Ucq query_;
   VarSet params_;
+  exec::GovernorLimits limits_;
   std::vector<IncrementalMaintainer> maintainers_;
   std::vector<AnswerSet> disjunct_answers_;
   bool initialized_ = false;

@@ -6,6 +6,7 @@
 #include "io/catalog.h"
 #include "obs/explain.h"
 #include "query/parser.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace scalein {
@@ -27,7 +28,27 @@ Result<Binding> ParseShellBinding(std::string_view text) {
   return out;
 }
 
+/// Parses a decimal uint64 ("fetch=100" right-hand sides).
+Result<uint64_t> ParseShellU64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("expected a number");
+  uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("expected a number, got '" +
+                                     std::string(text) + "'");
+    }
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
 }  // namespace
+
+Shell::Shell() {
+  // Best-effort: a malformed SCALEIN_FAILPOINTS spec must not brick the
+  // shell; it just leaves failpoints disarmed.
+  (void)util::Failpoints::Global().InitFromEnv();
+}
 
 Database* Shell::EnsureDb() {
   if (db_ == nullptr) db_ = std::make_unique<Database>(schema_);
@@ -46,7 +67,8 @@ std::string Shell::HelpText() {
       "  eval var=value,... Q(x, ...) := <FO formula>\n"
       "  explain var=value,... Q(x, ...) := <FO formula>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
-      "  stats\n"
+      "  limit [fetch=N] [deadline=MS] [rows=N] | limit off\n"
+      "  stats [prom]\n"
       "  quit\n";
 }
 
@@ -151,7 +173,15 @@ Result<std::string> Shell::Execute(std::string_view line) {
 
   if (command == "explain") return RunEval(rest, /*explain=*/true);
 
-  if (command == "stats") return metrics_->ToJson() + "\n";
+  if (command == "stats") {
+    if (rest == "prom") return metrics_->ToPrometheusText();
+    if (!rest.empty()) {
+      return Status::InvalidArgument("usage: stats [prom]");
+    }
+    return metrics_->ToJson() + "\n";
+  }
+
+  if (command == "limit") return RunLimit(rest);
 
   if (command == "qdsi") {
     size_t sp = rest.find(' ');
@@ -169,7 +199,13 @@ Result<std::string> Shell::Execute(std::string_view line) {
     }
     SI_ASSIGN_OR_RETURN(Cq q, ParseCq(rest.substr(sp + 1), &schema_));
     if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
-    QdsiDecision d = DecideQdsiCq(q, *db_, m);
+    QdsiOptions options;
+    exec::ResourceGovernor governor;
+    if (limits_.any()) {
+      governor.Arm(limits_.Pinned());
+      options.governor = &governor;
+    }
+    QdsiDecision d = DecideQdsiCq(q, *db_, m, options);
     std::string out =
         StrFormat("QDSI(M=%llu): %s via %s",
                   static_cast<unsigned long long>(m), VerdictName(d.verdict),
@@ -178,6 +214,13 @@ Result<std::string> Shell::Execute(std::string_view line) {
       out += StrFormat(" (witness %zu tuples)", d.witness->size());
     }
     out += "\n";
+    if (governor.tripped()) {
+      metrics_
+          ->GetCounter(std::string("shell.governor.trips.") +
+                       exec::LimitKindName(governor.trip().kind))
+          .Increment();
+      out += "tripped: " + governor.trip().ToString() + "\n";
+    }
     return out;
   }
 
@@ -200,15 +243,18 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
 
   BoundedEvaluator evaluator(db_.get());
   evaluator.set_collect_timing(explain);
+  evaluator.set_limits(limits_);
   BoundedEvalStats stats;
   stats.capture_ops = explain;
-  AnswerSet answers;
+  exec::Degraded<AnswerSet> degraded;
   {
     obs::ScopedLatencyMs latency(&metrics_->GetHistogram(
         "shell.eval_latency_ms", obs::DefaultLatencyBucketsMs()));
-    SI_ASSIGN_OR_RETURN(answers, evaluator.Evaluate(q, analysis, params,
-                                                    &stats));
+    SI_ASSIGN_OR_RETURN(degraded,
+                        evaluator.EvaluateDegraded(q, analysis, params,
+                                                   &stats));
   }
+  const AnswerSet& answers = degraded.value;
   metrics_->GetCounter("shell.queries").Increment();
   metrics_->GetCounter("shell.base_tuples_fetched")
       .Increment(stats.base_tuples_fetched);
@@ -216,16 +262,79 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   for (const auto& [relation, fetched] : stats.fetched_by_relation) {
     metrics_->GetCounter("shell.fetched." + relation).Increment(fetched);
   }
+  if (!degraded.complete) {
+    metrics_
+        ->GetCounter(std::string("shell.governor.trips.") +
+                     exec::LimitKindName(degraded.trip.kind))
+        .Increment();
+  }
 
   if (explain) {
     return obs::RenderExplainAnalyze(stats.ops, stats.base_tuples_fetched,
-                                     stats.index_lookups, stats.static_bound) +
-           StrFormat("(%zu answers)\n", answers.size());
+                                     stats.index_lookups, stats.static_bound,
+                                     degraded.trip) +
+           StrFormat("(%zu answers%s)\n", answers.size(),
+                     degraded.complete ? "" : ", partial");
   }
-  return AnswerSetToString(answers, 50) +
-         StrFormat("\n(%zu answers, %llu base tuples fetched)\n",
-                   answers.size(),
-                   static_cast<unsigned long long>(stats.base_tuples_fetched));
+  std::string out =
+      AnswerSetToString(answers, 50) +
+      StrFormat("\n(%zu answers, %llu base tuples fetched%s)\n",
+                answers.size(),
+                static_cast<unsigned long long>(stats.base_tuples_fetched),
+                degraded.complete ? "" : ", partial");
+  if (!degraded.complete) {
+    out += "tripped: " + degraded.trip.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::string> Shell::RunLimit(std::string_view rest) {
+  if (rest == "off") {
+    limits_ = exec::GovernorLimits();
+    return std::string("limits cleared\n");
+  }
+  if (rest.empty()) {
+    if (!limits_.any()) return std::string("no limits set\n");
+    std::string out = "limits:";
+    if (limits_.fetch_budget > 0) {
+      out += StrFormat(" fetch=%llu",
+                       static_cast<unsigned long long>(limits_.fetch_budget));
+    }
+    if (limits_.deadline_ms > 0) {
+      out += StrFormat(" deadline=%llums",
+                       static_cast<unsigned long long>(limits_.deadline_ms));
+    }
+    if (limits_.output_row_cap > 0) {
+      out += StrFormat(
+          " rows=%llu", static_cast<unsigned long long>(limits_.output_row_cap));
+    }
+    out += "\n";
+    return out;
+  }
+  exec::GovernorLimits parsed = limits_;
+  for (const std::string& piece : Split(rest, ' ')) {
+    std::string_view p = StripWhitespace(piece);
+    if (p.empty()) continue;
+    size_t eq = p.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "usage: limit [fetch=N] [deadline=MS] [rows=N] | limit off");
+    }
+    std::string_view key = p.substr(0, eq);
+    SI_ASSIGN_OR_RETURN(uint64_t value, ParseShellU64(p.substr(eq + 1)));
+    if (key == "fetch") {
+      parsed.fetch_budget = value;
+    } else if (key == "deadline") {
+      parsed.deadline_ms = value;
+    } else if (key == "rows") {
+      parsed.output_row_cap = value;
+    } else {
+      return Status::InvalidArgument("unknown limit '" + std::string(key) +
+                                     "' (fetch, deadline, rows)");
+    }
+  }
+  limits_ = parsed;
+  return std::string("ok\n");
 }
 
 }  // namespace scalein

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/access_schema.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 #include "relational/database.h"
 #include "relational/schema.h"
@@ -28,10 +29,18 @@ namespace scalein {
 ///   eval var=value,... Q(x, ...) := <FO formula>
 ///   explain var=value,... Q(x, ...) := <FO formula>
 ///   qdsi <M> Q(x) :- <CQ body>
-///   stats
+///   limit [fetch=N] [deadline=MS] [rows=N] | limit off
+///   stats [prom]
+///
+/// `limit` arms the session's resource governor: later eval/explain/qdsi
+/// commands run under the envelope and report *partial* results plus the
+/// tripped limit instead of failing outright (explain tags the tripping
+/// operator in the tree).
 class Shell {
  public:
-  Shell() = default;
+  /// Also arms the failpoint framework from SCALEIN_FAILPOINTS, so piping a
+  /// script through the shell exercises fault paths without recompiling.
+  Shell();
 
   /// Executes one command line; returns the text to display. Errors are
   /// reported in the Status (nothing is printed on error paths).
@@ -45,6 +54,8 @@ class Shell {
   /// Session-scoped metrics (queries, fetch totals, latency histogram);
   /// rendered by the `stats` command.
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Session resource envelope (armed by the `limit` command).
+  const exec::GovernorLimits& limits() const { return limits_; }
 
  private:
   Database* EnsureDb();
@@ -53,9 +64,12 @@ class Shell {
   /// counters/timings and renders the EXPLAIN ANALYZE tree with the static
   /// Theorem 4.2 bound next to the actual fetch count.
   Result<std::string> RunEval(std::string_view rest, bool explain);
+  /// Parses `limit` arguments into limits_ ("off" clears them).
+  Result<std::string> RunLimit(std::string_view rest);
 
   Schema schema_;
   AccessSchema access_;
+  exec::GovernorLimits limits_;
   std::unique_ptr<Database> db_;
   // Behind a pointer: the registry owns a mutex, and Shell must stay movable.
   std::unique_ptr<obs::MetricsRegistry> metrics_ =

@@ -39,6 +39,9 @@ void RenderNode(const std::vector<exec::OpCounters>& ops,
   if (options.show_timing && total_ns > 0) {
     out->append("  time=").append(FormatNs(total_ns));
   }
+  if (options.highlight_op >= 0 && op.id == options.highlight_op) {
+    out->append("  <-- tripped");
+  }
   out->push_back('\n');
   for (size_t child : children[index]) {
     RenderNode(ops, children, child, depth + 1, options, out);
@@ -93,6 +96,30 @@ std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
   }
   out.push_back('\n');
   out.append(RenderOpTree(ops, options));
+  return out;
+}
+
+std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
+                                 uint64_t base_tuples_fetched,
+                                 uint64_t index_lookups, double static_bound,
+                                 const exec::TripInfo& trip,
+                                 const ExplainOptions& options) {
+  if (!trip.tripped()) {
+    return RenderExplainAnalyze(ops, base_tuples_fetched, index_lookups,
+                                static_bound, options);
+  }
+  ExplainOptions tagged = options;
+  tagged.highlight_op = trip.op_id;
+  std::string out;
+  out.append("total: fetched=").append(std::to_string(base_tuples_fetched));
+  out.append("  lookups=").append(std::to_string(index_lookups));
+  if (static_bound >= 0) {
+    out.append("  static_bound=").append(FormatBound(static_bound));
+  }
+  out.append("  [PARTIAL]\n");
+  out.append("tripped: ").append(trip.ToString());
+  out.push_back('\n');
+  out.append(RenderOpTree(ops, tagged));
   return out;
 }
 

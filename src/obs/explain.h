@@ -15,6 +15,9 @@ struct ExplainOptions {
   bool show_timing = true;
   /// Print the static Theorem 4.2 bound column on ops that carry one.
   bool show_bounds = true;
+  /// Op id to tag with " <-- tripped" (the operator a governor limit fired
+  /// at); -1 tags nothing. Set automatically by the TripInfo overload.
+  int32_t highlight_op = -1;
 };
 
 /// Renders the executed operator (or bounded-derivation) forest recorded in
@@ -38,6 +41,15 @@ std::string RenderOpTree(const exec::ExecContext& ctx,
 std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
                                  uint64_t base_tuples_fetched,
                                  uint64_t index_lookups, double static_bound,
+                                 const ExplainOptions& options = {});
+
+/// Degradation-aware overload: when `trip` records a governor trip, a
+/// "tripped: ..." line follows the totals and the tripping operator is
+/// tagged in the tree — EXPLAIN ANALYZE for partial (degraded) results.
+std::string RenderExplainAnalyze(const std::vector<exec::OpCounters>& ops,
+                                 uint64_t base_tuples_fetched,
+                                 uint64_t index_lookups, double static_bound,
+                                 const exec::TripInfo& trip,
                                  const ExplainOptions& options = {});
 
 }  // namespace scalein::obs

@@ -104,6 +104,60 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dotted registry names
+/// ("exec.governor.trips.deadline") map onto underscores.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+/// `le` label value: Prometheus renders bucket edges as floats, +Inf last.
+std::string PromLe(double bound) {
+  std::string s = JsonNumber(bound);
+  return s;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    const std::vector<double>& bounds = hist->upper_bounds();
+    std::vector<uint64_t> counts = hist->bucket_counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += p + "_bucket{le=\"";
+      out += i < bounds.size() ? PromLe(bounds[i]) : "+Inf";
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_sum " + JsonNumber(hist->sum()) + "\n";
+    out += p + "_count " + std::to_string(hist->count()) + "\n";
+  }
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

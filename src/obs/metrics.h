@@ -82,6 +82,14 @@ class MetricsRegistry {
   ///  buckets:[{le,count},...]}}} — keys sorted, so output is deterministic.
   std::string ToJson() const;
 
+  /// Prometheus text exposition format (version 0.0.4): counters as
+  /// `# TYPE x counter`, gauges as gauge, histograms as the conventional
+  /// `x_bucket{le="..."}` series with *cumulative* bucket counts plus
+  /// `x_sum`/`x_count`. Metric names are sanitized ('.' and any other
+  /// non-[a-zA-Z0-9_:] byte become '_') since the registry's dotted names
+  /// are not legal Prometheus identifiers. Deterministic (keys sorted).
+  std::string ToPrometheusText() const;
+
   /// Process-wide registry.
   static MetricsRegistry& Global();
 

@@ -21,6 +21,8 @@ enum class StatusCode {
   kResourceExhausted, ///< solver/search exceeded its configured budget
   kUnimplemented,     ///< feature intentionally out of scope for the input class
   kInternal,          ///< invariant violation that was recoverable enough to report
+  kDeadlineExceeded,  ///< wall-clock deadline passed before completion
+  kCancelled,         ///< cooperative cancellation token fired
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include "incremental/delta_rules.h"
 #include "incremental/maintainer.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace scalein {
 
@@ -66,6 +67,7 @@ Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
                       ControllabilityAnalysis::Analyze(
                           query.body, extended_schema_, combined_access_));
   BoundedEvaluator evaluator(extended_db_.get());
+  evaluator.set_limits(limits_);
   BoundedEvalStats raw;
   SI_ASSIGN_OR_RETURN(AnswerSet answers,
                       evaluator.Evaluate(query, analysis, params, &raw));
@@ -87,7 +89,16 @@ Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
   return answers;
 }
 
+void ViewExecutor::set_limits(const exec::GovernorLimits& limits) {
+  limits_ = limits;
+  for (const std::shared_ptr<IncrementalMaintainer>& m : maintainers_) {
+    if (m != nullptr) m->set_limits(limits);
+  }
+}
+
 Status ViewExecutor::FullRefresh() {
+  obs::ScopedSpan span(obs::Tracer::Global(), "views.full_refresh", "views");
+  if (Status s = SCALEIN_FAILPOINT("view_refresh"); !s.ok()) return s;
   SI_RETURN_IF_ERROR(RefreshViews(extended_db_.get(), views_));
   for (size_t i = 0; i < views_.views().size(); ++i) {
     AnswerSet extent;

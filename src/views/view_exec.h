@@ -42,6 +42,11 @@ class ViewExecutor {
   Result<AnswerSet> Evaluate(const Cq& rewriting, const Binding& params,
                              ViewExecStats* stats = nullptr);
 
+  /// Resource envelope for rewriting evaluation and incremental view
+  /// maintenance (forwarded to every per-view maintenance plan).
+  void set_limits(const exec::GovernorLimits& limits);
+  const exec::GovernorLimits& limits() const { return limits_; }
+
   /// Propagates base updates into the extended database and maintains the
   /// view extents. When every affected view's maintenance plan is derivable
   /// (the §5 engine with an empty parameter set), the extents are updated
@@ -62,6 +67,7 @@ class ViewExecutor {
   Status FullRefresh();
 
   Schema extended_schema_;
+  exec::GovernorLimits limits_;
   std::unique_ptr<Database> extended_db_;
   ViewSet views_;
   AccessSchema combined_access_;

@@ -1,0 +1,135 @@
+#include "exec/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace scalein::exec {
+namespace {
+
+TEST(GovernorTest, UnarmedGovernorNeverTrips) {
+  ResourceGovernor governor;
+  governor.Arm(GovernorLimits{});
+  EXPECT_FALSE(governor.limits().any());
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    EXPECT_TRUE(governor.OnFetch(i, nullptr));
+    EXPECT_TRUE(governor.OnOutput(1, nullptr));
+    EXPECT_TRUE(governor.Checkpoint());
+  }
+  EXPECT_FALSE(governor.tripped());
+}
+
+TEST(GovernorTest, FetchBudgetTripsStrictlyAboveBudget) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.fetch_budget = 5;
+  governor.Arm(limits);
+  // The budget itself is allowed (Q(D_Q) with |D_Q| ≤ M); only exceeding it
+  // trips.
+  EXPECT_TRUE(governor.OnFetch(5, nullptr));
+  EXPECT_FALSE(governor.OnFetch(6, nullptr));
+  ASSERT_TRUE(governor.tripped());
+  EXPECT_EQ(governor.trip().kind, LimitKind::kFetchBudget);
+  EXPECT_EQ(governor.trip().fetched_at_trip, 6u);
+  EXPECT_EQ(governor.trip().ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, OutputRowCapTrips) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.output_row_cap = 3;
+  governor.Arm(limits);
+  EXPECT_TRUE(governor.OnOutput(3, nullptr));
+  EXPECT_FALSE(governor.OnOutput(1, nullptr));
+  EXPECT_EQ(governor.trip().kind, LimitKind::kOutputRows);
+  EXPECT_EQ(governor.rows_emitted(), 4u);
+  EXPECT_EQ(governor.trip().ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, DeadlineTripsAfterExpiry) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.deadline_ms = 1;
+  governor.Arm(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is only consulted every kCheckInterval probes, so a trip can
+  // be detected up to 63 probes late — never more.
+  bool tripped = false;
+  for (uint32_t i = 0; i <= ResourceGovernor::kCheckInterval && !tripped; ++i) {
+    tripped = !governor.Checkpoint();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.trip().kind, LimitKind::kDeadline);
+  EXPECT_EQ(governor.trip().ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernorTest, CancellationTokenObservedAtCheckpoints) {
+  CancellationToken token;
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.has_cancel = true;
+  limits.cancel = token;
+  governor.Arm(limits);
+  EXPECT_TRUE(governor.Checkpoint());
+  token.Cancel();
+  bool tripped = false;
+  for (uint32_t i = 0; i <= ResourceGovernor::kCheckInterval && !tripped; ++i) {
+    tripped = !governor.Checkpoint();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.trip().kind, LimitKind::kCancelled);
+  EXPECT_EQ(governor.trip().ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorTest, FirstTripSticks) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.fetch_budget = 1;
+  limits.output_row_cap = 1;
+  governor.Arm(limits);
+  EXPECT_FALSE(governor.OnFetch(2, nullptr));
+  // A later output overrun does not overwrite the recorded trip.
+  EXPECT_FALSE(governor.OnOutput(5, nullptr));
+  EXPECT_EQ(governor.trip().kind, LimitKind::kFetchBudget);
+}
+
+TEST(GovernorTest, RearmingClearsTheTrip) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.output_row_cap = 1;
+  governor.Arm(limits);
+  EXPECT_FALSE(governor.OnOutput(2, nullptr));
+  governor.Arm(limits);
+  EXPECT_FALSE(governor.tripped());
+  EXPECT_EQ(governor.rows_emitted(), 0u);
+  EXPECT_TRUE(governor.OnOutput(1, nullptr));
+}
+
+TEST(GovernorTest, PinnedResolvesRelativeDeadlineOnce) {
+  GovernorLimits limits;
+  limits.deadline_ms = 60'000;
+  GovernorLimits pinned = limits.Pinned();
+  EXPECT_GT(pinned.deadline_ns, 0u);
+  // Pinning again keeps the already-absolute deadline (shared batch clock).
+  GovernorLimits again = pinned.Pinned();
+  EXPECT_EQ(again.deadline_ns, pinned.deadline_ns);
+  // Unset limits stay unset.
+  EXPECT_EQ(GovernorLimits{}.Pinned().deadline_ns, 0u);
+}
+
+TEST(GovernorTest, TripInfoRendersKindAndDetail) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.fetch_budget = 2;
+  governor.Arm(limits);
+  EXPECT_FALSE(governor.OnFetch(3, nullptr));
+  std::string text = governor.trip().ToString();
+  EXPECT_NE(text.find("fetch-budget"), std::string::npos);
+  EXPECT_EQ(std::string(LimitKindName(LimitKind::kDeadline)), "deadline");
+  EXPECT_FALSE(TripInfo{}.tripped());
+  EXPECT_TRUE(TripInfo{}.ToStatus().ok());
+}
+
+}  // namespace
+}  // namespace scalein::exec
