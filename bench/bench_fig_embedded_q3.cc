@@ -53,6 +53,7 @@ int main() {
     Binding params{{p, Value::Int(42)},
                    {yy, Value::Int(static_cast<int64_t>(config.first_year))}};
     BoundedEvalStats stats;
+    stats.capture_ops = true;  // per-atom breakdown for the sidecar
     Result<AnswerSet> answers =
         evaluator.EvaluateEmbedded(*analysis, params, &stats);
     SI_CHECK(answers.ok());
@@ -78,6 +79,19 @@ int main() {
     report.Add(prefix + "static_bound", analysis->StaticFetchBound());
     report.Add(prefix + "chase_ms", chase_ms);
     report.Add(prefix + "join_eval_ms", join_ms);
+    // Per-atom breakdown of the chase: which atom fetched how much, next to
+    // its per-lookup bound (same key grammar as fig_bounded_q1).
+    for (size_t i = 0; i < stats.ops.size(); ++i) {
+      const exec::OpCounters& op = stats.ops[i];
+      std::string op_prefix = prefix + "op" + std::to_string(i) + ".";
+      report.Add(op_prefix + "label", op.label);
+      report.Add(op_prefix + "rows_out", op.rows_out);
+      report.Add(op_prefix + "tuples_fetched", op.tuples_fetched);
+      report.Add(op_prefix + "index_lookups", op.index_lookups);
+      if (op.static_bound >= 0) {
+        report.Add(op_prefix + "static_bound", op.static_bound);
+      }
+    }
   }
   table.Print();
 

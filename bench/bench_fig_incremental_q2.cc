@@ -131,6 +131,26 @@ void GrowUpdate() {
     report.Add(prefix + "maintain_ms", ms);
   }
   table.Print();
+
+  // Per-operator breakdown of one single-insertion maintenance step: the
+  // residual queries the maintainer runs per inserted tuple, each next to its
+  // per-lookup bound (same key grammar as fig_bounded_q1). A single insertion
+  // keeps the sidecar small — the op list grows with |dD| otherwise.
+  Update one = VisitInsertions(inst.db, inst.config, 1, &rng);
+  BoundedEvalStats op_stats;
+  op_stats.capture_ops = true;
+  SI_CHECK(m->Maintain(&inst.db, one, params, &*answers, &op_stats).ok());
+  for (size_t i = 0; i < op_stats.ops.size(); ++i) {
+    const exec::OpCounters& op = op_stats.ops[i];
+    std::string op_prefix = "per_insert.op" + std::to_string(i) + ".";
+    report.Add(op_prefix + "label", op.label);
+    report.Add(op_prefix + "rows_out", op.rows_out);
+    report.Add(op_prefix + "tuples_fetched", op.tuples_fetched);
+    report.Add(op_prefix + "index_lookups", op.index_lookups);
+    if (op.static_bound >= 0) {
+      report.Add(op_prefix + "static_bound", op.static_bound);
+    }
+  }
 }
 
 void RaaDerivation() {

@@ -56,6 +56,7 @@ int main() {
 
     Binding params{{p, Value::Int(42)}};
     ViewExecStats stats;
+    stats.raw.capture_ops = true;  // per-atom breakdown for the sidecar
     Result<AnswerSet> via_views = exec->Evaluate(*rw, params, &stats);
     SI_CHECK(via_views.ok());
     double views_ms =
@@ -81,6 +82,19 @@ int main() {
     report.Add(prefix + "index_lookups", stats.raw.index_lookups);
     report.Add(prefix + "views_ms", views_ms);
     report.Add(prefix + "direct_ms", direct_ms);
+    // Per-atom breakdown of the rewriting's evaluation: view atoms and the
+    // residual friend probe, each next to its per-lookup bound.
+    for (size_t i = 0; i < stats.raw.ops.size(); ++i) {
+      const exec::OpCounters& op = stats.raw.ops[i];
+      std::string op_prefix = prefix + "op" + std::to_string(i) + ".";
+      report.Add(op_prefix + "label", op.label);
+      report.Add(op_prefix + "rows_out", op.rows_out);
+      report.Add(op_prefix + "tuples_fetched", op.tuples_fetched);
+      report.Add(op_prefix + "index_lookups", op.index_lookups);
+      if (op.static_bound >= 0) {
+        report.Add(op_prefix + "static_bound", op.static_bound);
+      }
+    }
   }
   table.Print();
   std::printf(

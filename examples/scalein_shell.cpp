@@ -16,14 +16,32 @@
 //   qdsi 1 Q(x) :- friend(x, y)
 //   EOF
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "io/shell.h"
+#include "obs/dump.h"
 #include "util/strings.h"
 
+namespace {
+
+// SIGTERM/SIGINT: flush the post-mortem dump before dying. WritePostMortem
+// only touches the pre-armed leaked state (no allocation, no locks held by
+// this thread), so the handler is as close to async-signal-safe as a JSON
+// dump can be; _exit skips destructors that would re-write the dump.
+extern "C" void HandleTermSignal(int /*signum*/) {
+  (void)scalein::obs::WritePostMortem("signal");
+  std::_Exit(1);
+}
+
+}  // namespace
+
 int main() {
+  std::signal(SIGTERM, HandleTermSignal);
+  std::signal(SIGINT, HandleTermSignal);
   scalein::Shell shell;
   std::string line;
   std::printf("scalein shell — 'help' for commands\n");

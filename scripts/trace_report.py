@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Post-mortem report over a flight-recorder dump.
+
+    trace_report.py <dump.json> [--trace spans.json] [--bench BENCH_x.json...]
+                    [--top N]
+
+The dump is the JSON document written by the shell's ``dump`` command, the
+SCALEIN_DUMP_PATH post-mortem hook, or the shell binary's signal handler:
+
+    {"reason":..., "recorder":{...,"events":[...]},
+     "journal":{...,"certificates":[...]}, "metrics":{...}}
+
+Sections reported:
+
+  * header — dump reason, event/certificate counts, history dropped;
+  * top queries by fetches — certificates ranked by ``actual_fetches``,
+    each against its static Theorem 4.2 bound;
+  * certificate violations — certificates whose verdict is ``exceeded``
+    (a theorem violation) or ``tripped`` (governor stopped the query);
+  * trip timeline — governor-trip / failpoint-fire / slow-query events in
+    sequence order, with nanosecond timestamps relative to the first event;
+  * event kind histogram — what the recorder saw, by kind.
+
+With ``--trace`` (a Chrome ``traceEvents`` JSON from the tracer) the report
+joins span names against recorded event labels and prints the slowest spans
+next to the dump's view of the same work. With ``--bench`` sidecars it cross-
+checks certificate fetch counts against the benches' recorded bounds.
+
+Exit status: 0 report printed, 2 unreadable input. The report itself never
+fails the build — it is a forensic tool, not a gate (bench_regress.py is the
+gate).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_bound(bound):
+    if bound is None or bound < 0:
+        return "(no static bound)"
+    return f"bound {bound:g}"
+
+
+def report_header(dump):
+    recorder = dump.get("recorder", {})
+    journal = dump.get("journal", {})
+    events = recorder.get("events", [])
+    certs = journal.get("certificates", [])
+    print(f"dump reason: {dump.get('reason', '?')}")
+    print(f"events: {len(events)} in ring "
+          f"({recorder.get('appended', 0)} appended, "
+          f"{recorder.get('dropped', 0)} dropped)")
+    print(f"certificates: {len(certs)} "
+          f"({journal.get('dropped', 0)} dropped)")
+    return events, certs
+
+
+def report_top_queries(certs, top_n):
+    print(f"\n== top queries by fetches (top {top_n}) ==")
+    if not certs:
+        print("  (no certificates)")
+        return
+    ranked = sorted(certs, key=lambda c: c.get("actual_fetches", 0),
+                    reverse=True)
+    for cert in ranked[:top_n]:
+        fp = cert.get("query_fingerprint", "?")
+        fetches = cert.get("actual_fetches", 0)
+        verdict = cert.get("verdict", "?")
+        print(f"  {fp}  fetches={fetches}  "
+              f"{fmt_bound(cert.get('static_bound'))}  [{verdict}]")
+        query = cert.get("query", "")
+        if query:
+            print(f"      {query}")
+
+
+def report_violations(certs):
+    print("\n== certificate violations ==")
+    bad = [c for c in certs if c.get("verdict") in ("exceeded", "tripped")]
+    if not bad:
+        print("  none — every certified query stayed within its bound")
+        return
+    for cert in bad:
+        fp = cert.get("query_fingerprint", "?")
+        verdict = cert.get("verdict", "?")
+        line = (f"  {fp}  [{verdict}]  "
+                f"fetches={cert.get('actual_fetches', 0)}  "
+                f"{fmt_bound(cert.get('static_bound'))}")
+        reason = cert.get("trip_reason", "")
+        if reason:
+            line += f"  — {reason}"
+        print(line)
+        query = cert.get("query", "")
+        if query:
+            print(f"      {query}")
+
+
+TIMELINE_KINDS = ("governor-trip", "failpoint-fire", "slow-query")
+
+
+def report_trip_timeline(events):
+    print("\n== trip timeline ==")
+    timeline = [e for e in events if e.get("kind") in TIMELINE_KINDS]
+    if not timeline:
+        print("  none — no trips, failpoint fires, or slow queries recorded")
+        return
+    t0 = events[0].get("t_ns", 0) if events else 0
+    for e in timeline:
+        dt_ms = (e.get("t_ns", 0) - t0) / 1e6
+        args = e.get("args", {})
+        detail = " ".join(f"{k}={v}" for k, v in args.items())
+        print(f"  +{dt_ms:10.3f} ms  seq={e.get('seq', '?'):>5}  "
+              f"{e.get('kind')}  {e.get('label', '')}  {detail}")
+
+
+def report_kind_histogram(events):
+    print("\n== event kinds ==")
+    counts = {}
+    for e in events:
+        counts[e.get("kind", "?")] = counts.get(e.get("kind", "?"), 0) + 1
+    for kind in sorted(counts):
+        print(f"  {kind:20s} {counts[kind]}")
+
+
+def report_trace_join(events, trace_path):
+    trace = load_json(trace_path)
+    spans = trace.get("traceEvents", [])
+    print(f"\n== slowest spans ({trace_path}) ==")
+    complete = [s for s in spans if s.get("ph") == "X"]
+    if not complete:
+        print("  (no complete spans)")
+        return
+    labels = {e.get("label", "") for e in events}
+    for span in sorted(complete, key=lambda s: s.get("dur", 0),
+                       reverse=True)[:10]:
+        name = span.get("name", "?")
+        seen = "also in dump" if name in labels else ""
+        print(f"  {span.get('dur', 0):>10} us  {name}  {seen}")
+
+
+def report_bench_join(certs, bench_paths):
+    for path in bench_paths:
+        bench = load_json(path)
+        print(f"\n== bench cross-check ({path}) ==")
+        bounds = {k: v for k, v in bench.items() if k.endswith("static_bound")}
+        if not bounds:
+            print("  (sidecar records no static bounds)")
+            continue
+        max_bound = max(float(v) for v in bounds.values())
+        over = [c for c in certs
+                if c.get("static_bound", -1) >= 0
+                and c.get("actual_fetches", 0) > max_bound]
+        print(f"  sidecar max static bound: {max_bound:g}; "
+              f"{len(over)} certificate(s) above it")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="report over a flight-recorder dump")
+    parser.add_argument("dump", help="dump JSON written by the shell/recorder")
+    parser.add_argument("--trace", help="Chrome traceEvents JSON to join")
+    parser.add_argument("--bench", nargs="*", default=[],
+                        help="BENCH_*.json sidecars to cross-check")
+    parser.add_argument("--top", type=int, default=5,
+                        help="queries to list in the fetch ranking")
+    args = parser.parse_args()
+
+    dump = load_json(args.dump)
+    events, certs = report_header(dump)
+    report_top_queries(certs, args.top)
+    report_violations(certs)
+    report_trip_timeline(events)
+    report_kind_histogram(events)
+    if args.trace:
+        report_trace_join(events, args.trace)
+    if args.bench:
+        report_bench_join(certs, args.bench)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

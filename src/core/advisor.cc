@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "util/failpoint.h"
+
 namespace scalein {
 namespace {
 
@@ -40,13 +44,15 @@ struct Candidate {
 };
 
 /// All attribute subsets of size 1..max_key of `rs`, with N calibrated
-/// against `sample` when available.
-void EnumerateCandidates(const RelationSchema& rs, const Database* sample,
-                         const AdvisorOptions& options,
-                         std::vector<Candidate>* out) {
+/// against `sample` when available. The loop hosts the `advisor_candidates`
+/// failpoint so chaos runs can kill the search mid-enumeration.
+Status EnumerateCandidates(const RelationSchema& rs, const Database* sample,
+                           const AdvisorOptions& options,
+                           std::vector<Candidate>* out) {
   const std::vector<std::string>& attrs = rs.attributes();
   const size_t n = attrs.size();
   for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("advisor_candidates"));
     size_t bits = static_cast<size_t>(__builtin_popcount(mask));
     if (bits > options.max_key_size) continue;
     Candidate c;
@@ -70,6 +76,7 @@ void EnumerateCandidates(const RelationSchema& rs, const Database* sample,
     }
     out->push_back(std::move(c));
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -77,6 +84,13 @@ void EnumerateCandidates(const RelationSchema& rs, const Database* sample,
 Result<AdvisorResult> AdviseAccessSchema(
     const std::vector<WorkloadQuery>& workload, const Schema& schema,
     const Database* sample, const AdvisorOptions& options) {
+  // The advisor was the one engine without span/recorder coverage; the span
+  // wraps the whole iterative-deepening search, the event summarizes it.
+  obs::ScopedSpan span(obs::Tracer::Global(), "advisor.search", "core");
+  if (span.enabled()) {
+    span.Arg("workload", static_cast<uint64_t>(workload.size()));
+    span.Arg("max_statements", static_cast<uint64_t>(options.max_statements));
+  }
   AdvisorResult result;
   if (workload.empty()) {
     result.found = true;
@@ -94,8 +108,25 @@ Result<AdvisorResult> AdviseAccessSchema(
     if (rs == nullptr) {
       return Status::NotFound("workload uses unknown relation '" + name + "'");
     }
-    EnumerateCandidates(*rs, sample, options, &candidates);
+    SI_RETURN_IF_ERROR(EnumerateCandidates(*rs, sample, options, &candidates));
   }
+
+  auto finish = [&](const AdvisorResult& r) {
+    if (span.enabled()) {
+      span.Arg("candidates", static_cast<uint64_t>(candidates.size()));
+      span.Arg("combinations_checked", r.combinations_checked);
+      span.Arg("found", r.found);
+      span.Arg("truncated", r.truncated);
+    }
+    if (obs::FlightRecorderEnabled()) {
+      obs::RecordFlightEvent(
+          obs::EventKind::kAdvisorSearch, "advisor.search",
+          {obs::EventArg("candidates", static_cast<uint64_t>(candidates.size())),
+           obs::EventArg("combinations_checked", r.combinations_checked),
+           obs::EventArg("found", r.found),
+           obs::EventArg("truncated", r.truncated)});
+    }
+  };
 
   auto evaluate_design = [&](const std::vector<size_t>& picked,
                              double* total_bound) -> Result<bool> {
@@ -161,10 +192,12 @@ Result<AdvisorResult> AdviseAccessSchema(
         result.design.Add(candidates[i].relation, candidates[i].key_attrs,
                           candidates[i].bound);
       }
+      finish(result);
       return result;
     }
     if (result.truncated) break;
   }
+  finish(result);
   return result;
 }
 

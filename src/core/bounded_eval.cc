@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/approx.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 
@@ -362,6 +363,16 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
     stats->static_bound = opt->fetch_bound;
     stats->Accumulate(ctx);
   }
+  if (obs::FlightRecorderEnabled()) {
+    // One compact event for the whole evaluation: this is the µs-scale hot
+    // path gated at 3% recorder-on overhead, so no start/finish pair and no
+    // string-building arg path ("bounded.eval" stays in the SSO buffer).
+    obs::RecordFlightNums(
+        obs::EventKind::kQueryFinish, "bounded.eval",
+        {{"fetched", static_cast<double>(ctx.base_tuples_fetched())},
+         {"static_bound", opt->fetch_bound},
+         {"tripped", ctx.trip().tripped() ? 1.0 : 0.0}});
+  }
   SI_RETURN_IF_ERROR(ctx.status());
 
   std::vector<Variable> open;
@@ -399,6 +410,12 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
       stats->static_bound = analysis.plan().fetch_bound;
     }
     stats->Accumulate(ctx);
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kQueryFinish, "bounded.evaluate_embedded",
+        {obs::EventArg("fetched", ctx.base_tuples_fetched()),
+         obs::EventArg("ok", result.ok())});
   }
   return result;
 }
@@ -454,6 +471,12 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
       chase_span.Arg("relation", atom.relation);
       chase_span.Arg("step", static_cast<uint64_t>(ai));
       chase_span.Arg("frontier", static_cast<uint64_t>(assignments.size()));
+    }
+    if (obs::FlightRecorderEnabled()) {
+      obs::RecordFlightEvent(
+          obs::EventKind::kChaseStep, atom.relation,
+          {obs::EventArg("step", static_cast<uint64_t>(ai)),
+           obs::EventArg("frontier", static_cast<uint64_t>(assignments.size()))});
     }
     const Relation* rel = db_->FindRelation(atom.relation);
     std::vector<Binding> next_assignments;
@@ -605,6 +628,11 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateDegraded(
   ctx.set_limits(limits_);
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_degraded", "core");
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kQueryStart,
+                           "bounded.evaluate_degraded",
+                           {obs::EventArg("static_bound", opt->fetch_bound)});
+  }
   PlainExecutor executor(db_, enforce_bounds_, &ctx);
   // Ops are always registered here so that a trip's snapshot can name the
   // derivation node that was executing when the limit fired.
@@ -618,6 +646,13 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateDegraded(
   if (stats != nullptr) {
     stats->static_bound = opt->fetch_bound;
     stats->Accumulate(ctx);
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kQueryFinish, "bounded.evaluate_degraded",
+        {obs::EventArg("fetched", ctx.base_tuples_fetched()),
+         obs::EventArg("static_bound", opt->fetch_bound),
+         obs::EventArg("tripped", ctx.trip().tripped())});
   }
 
   exec::Degraded<AnswerSet> out;
@@ -658,6 +693,10 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateEmbeddedDegraded(
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_embedded_degraded",
                        "core");
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kQueryStart,
+                           "bounded.evaluate_embedded_degraded");
+  }
   // Capture ops unconditionally so a trip names the chase step it hit.
   Result<AnswerSet> result =
       EvaluateEmbeddedImpl(analysis, params, &ctx, /*capture_ops=*/true);
@@ -670,6 +709,12 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateEmbeddedDegraded(
       stats->static_bound = analysis.plan().fetch_bound;
     }
     stats->Accumulate(ctx);
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kQueryFinish, "bounded.evaluate_embedded_degraded",
+        {obs::EventArg("fetched", ctx.base_tuples_fetched()),
+         obs::EventArg("tripped", ctx.trip().tripped())});
   }
 
   exec::Degraded<AnswerSet> out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace scalein {
@@ -619,9 +620,14 @@ Result<ControllabilityAnalysis> ControllabilityAnalysis::Analyze(
     const Formula& f, const Schema& schema, const AccessSchema& access,
     const ControlAnalysisOptions& options) {
   SI_RETURN_IF_ERROR(access.Validate(schema));
+  obs::ScopedSpan span(obs::Tracer::Global(), "controllability.analyze",
+                       "core");
   Analyzer analyzer(schema, access, options);
   ControllabilityAnalysis out;
   SI_ASSIGN_OR_RETURN(out.root_, analyzer.Analyze(f));
+  if (span.enabled()) {
+    span.Arg("options", static_cast<uint64_t>(out.root_->options.size()));
+  }
   return out;
 }
 

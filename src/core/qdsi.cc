@@ -4,6 +4,7 @@
 
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace scalein {
@@ -33,6 +34,14 @@ QdsiDecision DecideWithSpan(const char* name, uint64_t m, Fn&& fn) {
     span.Arg("verdict", VerdictName(decision.verdict));
     span.Arg("method", decision.method);
     span.Arg("work", decision.work);
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kQdsiDecision, name,
+                           {obs::EventArg("m", m),
+                            obs::EventArg("verdict",
+                                          VerdictName(decision.verdict)),
+                            obs::EventArg("method", decision.method),
+                            obs::EventArg("work", decision.work)});
   }
   return decision;
 }

@@ -5,6 +5,7 @@
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
 #include "exec/governor.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace scalein {
@@ -223,6 +224,12 @@ TupleSet GreedyWitnessCq(const Cq& q, const Database& d) {
     span.Arg("answers", static_cast<uint64_t>(answers.size()));
     span.Arg("witness_size", static_cast<uint64_t>(chosen.size()));
   }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kWitnessSearch, "witness.greedy_cq",
+        {obs::EventArg("answers", static_cast<uint64_t>(answers.size())),
+         obs::EventArg("witness_size", static_cast<uint64_t>(chosen.size()))});
+  }
   return chosen;
 }
 
@@ -327,6 +334,13 @@ MinWitnessResult MinimumWitnessCq(const Cq& q, const Database& d,
     span.Arg("nodes_explored", result.nodes_explored);
     span.Arg("exact", result.exact);
     span.Arg("found", result.witness.has_value());
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kWitnessSearch, "witness.minimum_cq",
+        {obs::EventArg("nodes_explored", result.nodes_explored),
+         obs::EventArg("exact", result.exact),
+         obs::EventArg("found", result.witness.has_value())});
   }
   return result;
 }

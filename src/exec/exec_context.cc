@@ -1,5 +1,6 @@
 #include "exec/exec_context.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -21,6 +22,13 @@ const Relation* ExecContext::Resolve(const std::string& name) const {
 void ExecContext::RecordTrip() {
   if (!status_.ok() || !governor_.tripped()) return;
   status_ = governor_.trip().ToStatus();
+  if (obs::FlightRecorderEnabled()) {
+    const TripInfo& trip = governor_.trip();
+    obs::RecordFlightEvent(
+        obs::EventKind::kGovernorTrip, LimitKindName(trip.kind),
+        {obs::EventArg("detail", trip.ToString()),
+         obs::EventArg("fetched", base_tuples_fetched_)});
+  }
 }
 
 void ExecContext::Charge(const std::string& relation, uint64_t tuples,

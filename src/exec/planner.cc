@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace scalein::exec {
@@ -302,6 +303,22 @@ Plan PlanRa(const RaExpr& expr, ExecContext* ctx) {
 CqPlan PlanCq(const Cq& q, ExecContext* ctx) {
   obs::ScopedSpan span(ctx->tracer(), "plan.cq", "plan");
   const std::vector<CqAtom>& atoms = q.atoms();
+  if (obs::FlightRecorderEnabled()) {
+    // Fingerprint over the atom relation sequence — cheap to build and
+    // stable for a given query shape. (PlanRa recurses per node, so the
+    // plan event lives here and in the shell, not inside PlanRa.)
+    std::string shape;
+    for (const CqAtom& atom : atoms) {
+      shape += atom.relation;
+      shape += '/';
+      shape += std::to_string(atom.args.size());
+      shape += ';';
+    }
+    obs::RecordFlightEvent(
+        obs::EventKind::kPlan, obs::Fingerprint(shape),
+        {obs::EventArg("engine", "plan.cq"),
+         obs::EventArg("atoms", static_cast<uint64_t>(atoms.size()))});
+  }
   CqPlan plan;
   std::unique_ptr<Operator> root = std::make_unique<ConstRowOp>(ctx);
   std::map<Variable, size_t> col_of;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/cq_evaluator.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 
@@ -305,6 +306,14 @@ Status IncrementalMaintainer::Maintain(Database* db, const Update& u,
     for (const auto& [name, rows] : u.deletions) del += rows.size();
     span.Arg("insertions", ins);
     span.Arg("deletions", del);
+  }
+  if (obs::FlightRecorderEnabled()) {
+    uint64_t ins = 0, del = 0;
+    for (const auto& [name, rows] : u.insertions) ins += rows.size();
+    for (const auto& [name, rows] : u.deletions) del += rows.size();
+    obs::RecordFlightEvent(
+        obs::EventKind::kMaintenanceStep, "incremental.maintain",
+        {obs::EventArg("insertions", ins), obs::EventArg("deletions", del)});
   }
   SI_RETURN_IF_ERROR(u.Validate(*db));
   // One pinned deadline for the whole batch: all three phases (and every

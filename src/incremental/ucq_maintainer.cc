@@ -1,5 +1,6 @@
 #include "incremental/ucq_maintainer.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace scalein {
@@ -56,6 +57,12 @@ Result<AnswerSet> UcqMaintainer::Maintain(Database* db, const Update& u,
   obs::ScopedSpan span(obs::Tracer::Global(), "ucq.maintain", "incremental");
   if (span.enabled()) {
     span.Arg("disjuncts", static_cast<uint64_t>(maintainers_.size()));
+  }
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kMaintenanceStep, "ucq.maintain",
+        {obs::EventArg("disjuncts",
+                       static_cast<uint64_t>(maintainers_.size()))});
   }
   SI_RETURN_IF_ERROR(u.Validate(*db));
   // One pinned deadline shared by every disjunct's phases; the relative

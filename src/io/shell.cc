@@ -1,10 +1,13 @@
 #include "io/shell.h"
 
+#include <cstdlib>
+
 #include "core/bounded_eval.h"
 #include "core/controllability.h"
 #include "core/qdsi.h"
 #include "io/catalog.h"
 #include "obs/explain.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -42,12 +45,68 @@ Result<uint64_t> ParseShellU64(std::string_view text) {
   return out;
 }
 
+/// One line per collected span: name, duration, and its key=value args (arg
+/// values are pre-rendered JSON fragments; printed as-is). The explain
+/// renderer for `explain qdsi` / `explain analyze`.
+std::string RenderSpans(const std::vector<obs::TraceEvent>& events) {
+  std::string out;
+  for (const obs::TraceEvent& e : events) {
+    out += StrFormat("  %s (%.3f ms)", e.name.c_str(),
+                     static_cast<double>(e.duration_ns) / 1e6);
+    for (const auto& [key, value] : e.args) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace
 
 Shell::Shell() {
   // Best-effort: a malformed SCALEIN_FAILPOINTS spec must not brick the
   // shell; it just leaves failpoints disarmed.
   (void)util::Failpoints::Global().InitFromEnv();
+  recorder_ = std::make_unique<obs::FlightRecorder>();
+  journal_ = std::make_unique<obs::QueryJournal>();
+  // Latest shell wins the global slot; the destructor only uninstalls if it
+  // still owns it, so stacked shells in tests behave.
+  obs::FlightRecorder::InstallGlobal(recorder_.get());
+  if (const char* path = std::getenv("SCALEIN_DUMP_PATH");
+      path != nullptr && path[0] != '\0') {
+    dump_path_ = path;
+    obs::ArmPostMortem(dump_path_, recorder_.get(), journal_.get(),
+                       metrics_.get());
+  }
+  if (const char* spec = std::getenv("SCALEIN_METRICS_DUMP");
+      spec != nullptr && spec[0] != '\0') {
+    std::string path;
+    double secs = 0;
+    if (obs::ParseMetricsDumpSpec(spec, &path, &secs).ok()) {
+      dumper_ = std::make_unique<obs::MetricsDumper>();
+      (void)dumper_->Start(std::move(path), secs, metrics_.get());
+    }
+  }
+  if (const char* ms = std::getenv("SCALEIN_SLOW_QUERY_MS");
+      ms != nullptr && ms[0] != '\0') {
+    Result<uint64_t> parsed = ParseShellU64(ms);
+    if (parsed.ok()) {
+      metrics_->GetGauge("shell.slow_query_threshold_ms")
+          .Set(static_cast<int64_t>(*parsed));
+    }
+  }
+}
+
+Shell::~Shell() {
+  if (dumper_ != nullptr) dumper_->Stop();
+  if (recorder_ != nullptr &&
+      obs::FlightRecorder::Global() == recorder_.get()) {
+    if (obs::PostMortemArmed()) {
+      (void)obs::WritePostMortem("shell-exit");
+      obs::DisarmPostMortem();
+    }
+    obs::FlightRecorder::InstallGlobal(nullptr);
+  }
 }
 
 Database* Shell::EnsureDb() {
@@ -66,9 +125,14 @@ std::string Shell::HelpText() {
       "  analyze Q(x, ...) := <FO formula>\n"
       "  eval var=value,... Q(x, ...) := <FO formula>\n"
       "  explain var=value,... Q(x, ...) := <FO formula>\n"
+      "  explain qdsi <M> <cq-rule> | explain analyze <fo-query>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
       "  limit [fetch=N] [deadline=MS] [rows=N] | limit off\n"
-      "  stats [prom]\n"
+      "  stats [prom] | stats watch <secs> [path] | stats watch off\n"
+      "  journal        list this session's access certificates\n"
+      "  certify        re-verify every certificate offline\n"
+      "  dump [path]    write the flight-recorder/journal/metrics dump\n"
+      "  slowlog [<ms>|off]  set/show the slow-query threshold\n"
       "  quit\n";
 }
 
@@ -80,6 +144,20 @@ Result<std::string> Shell::Execute(std::string_view line) {
   std::string_view rest =
       space == std::string_view::npos ? "" : StripWhitespace(line.substr(space));
 
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kShellCommand, command);
+  }
+  Result<std::string> out = ExecuteImpl(command, rest);
+  if (!out.ok() && out.status().code() == StatusCode::kInternal &&
+      out.status().message().find("failpoint") != std::string::npos) {
+    // An injected fault surfaced to the user: snapshot the evidence.
+    (void)obs::WritePostMortem("failpoint-error");
+  }
+  return out;
+}
+
+Result<std::string> Shell::ExecuteImpl(const std::string& command,
+                                       std::string_view rest) {
   if (command == "help") return HelpText();
 
   if (command == "schema") {
@@ -150,79 +228,35 @@ Result<std::string> Shell::Execute(std::string_view line) {
     return out;
   }
 
-  if (command == "analyze") {
-    SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest, &schema_));
-    SI_ASSIGN_OR_RETURN(
-        ControllabilityAnalysis analysis,
-        ControllabilityAnalysis::Analyze(q.body, schema_, access_));
-    std::vector<VarSet> minimal = analysis.MinimalControlSets();
-    if (minimal.empty()) {
-      return std::string("not controlled under the current access schema\n");
-    }
-    std::string out;
-    for (const VarSet& m : minimal) {
-      Result<double> bound = analysis.StaticFetchBound(m);
-      out += StrFormat("controlled by %s  (fetch bound %.0f)\n",
-                       VarSetToString(m).c_str(), bound.ok() ? *bound : -1.0);
-    }
-    out += analysis.Explain(minimal[0]);
-    return out;
-  }
+  if (command == "analyze") return RunAnalyze(rest, /*explain=*/false);
 
   if (command == "eval") return RunEval(rest, /*explain=*/false);
 
-  if (command == "explain") return RunEval(rest, /*explain=*/true);
-
-  if (command == "stats") {
-    if (rest == "prom") return metrics_->ToPrometheusText();
-    if (!rest.empty()) {
-      return Status::InvalidArgument("usage: stats [prom]");
+  if (command == "explain") {
+    // Routed explains: `explain qdsi ...` / `explain analyze ...` re-run the
+    // sub-command under a session-local tracer and render its span args.
+    if (rest.substr(0, 5) == "qdsi " ) {
+      return RunQdsi(StripWhitespace(rest.substr(5)), /*explain=*/true);
     }
-    return metrics_->ToJson() + "\n";
+    if (rest.substr(0, 8) == "analyze ") {
+      return RunAnalyze(StripWhitespace(rest.substr(8)), /*explain=*/true);
+    }
+    return RunEval(rest, /*explain=*/true);
   }
+
+  if (command == "stats") return RunStats(rest);
 
   if (command == "limit") return RunLimit(rest);
 
-  if (command == "qdsi") {
-    size_t sp = rest.find(' ');
-    if (sp == std::string_view::npos) {
-      return Status::InvalidArgument("usage: qdsi <M> <cq-rule>");
-    }
-    uint64_t m = 0;
-    const std::string m_text(rest.substr(0, sp));
-    for (char c : m_text) {
-      if (c < '0' || c > '9') {
-        return Status::InvalidArgument("M must be a number, got '" + m_text +
-                                       "'");
-      }
-      m = m * 10 + static_cast<uint64_t>(c - '0');
-    }
-    SI_ASSIGN_OR_RETURN(Cq q, ParseCq(rest.substr(sp + 1), &schema_));
-    if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
-    QdsiOptions options;
-    exec::ResourceGovernor governor;
-    if (limits_.any()) {
-      governor.Arm(limits_.Pinned());
-      options.governor = &governor;
-    }
-    QdsiDecision d = DecideQdsiCq(q, *db_, m, options);
-    std::string out =
-        StrFormat("QDSI(M=%llu): %s via %s",
-                  static_cast<unsigned long long>(m), VerdictName(d.verdict),
-                  d.method.c_str());
-    if (d.witness.has_value()) {
-      out += StrFormat(" (witness %zu tuples)", d.witness->size());
-    }
-    out += "\n";
-    if (governor.tripped()) {
-      metrics_
-          ->GetCounter(std::string("shell.governor.trips.") +
-                       exec::LimitKindName(governor.trip().kind))
-          .Increment();
-      out += "tripped: " + governor.trip().ToString() + "\n";
-    }
-    return out;
-  }
+  if (command == "qdsi") return RunQdsi(rest, /*explain=*/false);
+
+  if (command == "journal") return RunJournal();
+
+  if (command == "certify") return RunCertify();
+
+  if (command == "dump") return RunDump(rest);
+
+  if (command == "slowlog") return RunSlowlog(rest);
 
   return Status::InvalidArgument("unknown command '" + command +
                                  "' (try 'help')");
@@ -234,12 +268,19 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   size_t sp = rest.find(' ');
   if (sp == std::string_view::npos) return Status::InvalidArgument(usage);
   SI_ASSIGN_OR_RETURN(Binding params, ParseShellBinding(rest.substr(0, sp)));
-  SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest.substr(sp + 1), &schema_));
+  const std::string query_text(StripWhitespace(rest.substr(sp + 1)));
+  SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(query_text, &schema_));
   if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
   SI_ASSIGN_OR_RETURN(
       ControllabilityAnalysis analysis,
       ControllabilityAnalysis::Analyze(q.body, schema_, access_));
   SI_RETURN_IF_ERROR(access_.BuildIndexes(db_.get(), schema_));
+
+  const std::string fingerprint = obs::Fingerprint(query_text);
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kPlan, fingerprint,
+                           {obs::EventArg("query", query_text)});
+  }
 
   BoundedEvaluator evaluator(db_.get());
   evaluator.set_collect_timing(explain);
@@ -247,13 +288,14 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   BoundedEvalStats stats;
   stats.capture_ops = explain;
   exec::Degraded<AnswerSet> degraded;
-  {
-    obs::ScopedLatencyMs latency(&metrics_->GetHistogram(
-        "shell.eval_latency_ms", obs::DefaultLatencyBucketsMs()));
-    SI_ASSIGN_OR_RETURN(degraded,
-                        evaluator.EvaluateDegraded(q, analysis, params,
-                                                   &stats));
-  }
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  SI_ASSIGN_OR_RETURN(degraded,
+                      evaluator.EvaluateDegraded(q, analysis, params, &stats));
+  const double elapsed_ms =
+      static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
+  metrics_
+      ->GetHistogram("shell.eval_latency_ms", obs::DefaultLatencyBucketsMs())
+      .Observe(elapsed_ms);
   const AnswerSet& answers = degraded.value;
   metrics_->GetCounter("shell.queries").Increment();
   metrics_->GetCounter("shell.base_tuples_fetched")
@@ -268,6 +310,54 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
                      exec::LimitKindName(degraded.trip.kind))
         .Increment();
   }
+
+  // Slow-query log: the threshold lives in a gauge so it is visible in
+  // `stats` output and settable from both `slowlog` and the environment.
+  const int64_t slow_ms =
+      metrics_->GetGauge("shell.slow_query_threshold_ms").value();
+  if (slow_ms > 0 && elapsed_ms >= static_cast<double>(slow_ms)) {
+    metrics_->GetCounter("shell.slow_queries").Increment();
+    if (obs::FlightRecorderEnabled()) {
+      obs::RecordFlightEvent(
+          obs::EventKind::kSlowQuery, fingerprint,
+          {obs::EventArg("ms", elapsed_ms),
+           obs::EventArg("threshold_ms", static_cast<uint64_t>(slow_ms))});
+    }
+  }
+
+  // Seal this query's access certificate and journal it.
+  obs::AccessCertificate cert;
+  cert.query_fingerprint = fingerprint;
+  cert.query_text = query_text;
+  cert.static_bound = stats.static_bound;
+  cert.actual_fetches = stats.base_tuples_fetched;
+  cert.index_lookups = stats.index_lookups;
+  cert.ops.reserve(stats.ops.size());
+  for (const exec::OpCounters& op : stats.ops) {
+    obs::CertOp co;
+    co.label = op.label;
+    co.rows_out = op.rows_out;
+    co.tuples_fetched = op.tuples_fetched;
+    co.index_lookups = op.index_lookups;
+    co.static_bound = op.static_bound;
+    cert.ops.push_back(std::move(co));
+  }
+  cert.tripped = !degraded.complete;
+  if (cert.tripped) cert.trip_reason = degraded.trip.ToString();
+  obs::SealCertificate(&cert);
+  metrics_
+      ->GetCounter(std::string("shell.certificates.") +
+                   obs::CertVerdictName(cert.verdict))
+      .Increment();
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kCertificate, obs::CertVerdictName(cert.verdict),
+        {obs::EventArg("fingerprint", cert.query_fingerprint),
+         obs::EventArg("fetched", cert.actual_fetches),
+         obs::EventArg("static_bound", cert.static_bound)});
+  }
+  journal_->Append(std::move(cert));
+  if (!degraded.complete) (void)obs::WritePostMortem("governor-trip");
 
   if (explain) {
     return obs::RenderExplainAnalyze(stats.ops, stats.base_tuples_fetched,
@@ -286,6 +376,182 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
     out += "tripped: " + degraded.trip.ToString() + "\n";
   }
   return out;
+}
+
+Result<std::string> Shell::RunQdsi(std::string_view rest, bool explain) {
+  size_t sp = rest.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::InvalidArgument("usage: qdsi <M> <cq-rule>");
+  }
+  SI_ASSIGN_OR_RETURN(uint64_t m, ParseShellU64(rest.substr(0, sp)));
+  SI_ASSIGN_OR_RETURN(Cq q, ParseCq(rest.substr(sp + 1), &schema_));
+  if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+  QdsiOptions options;
+  exec::ResourceGovernor governor;
+  if (limits_.any()) {
+    governor.Arm(limits_.Pinned());
+    options.governor = &governor;
+  }
+  // explain: collect the decision procedure's spans (verdict/method/work
+  // args) in a command-local tracer, restoring the previous sink after.
+  obs::Tracer local_tracer;
+  obs::Tracer* saved_tracer = obs::Tracer::Global();
+  if (explain) obs::Tracer::InstallGlobal(&local_tracer);
+  QdsiDecision d = DecideQdsiCq(q, *db_, m, options);
+  if (explain) obs::Tracer::InstallGlobal(saved_tracer);
+  std::string out =
+      StrFormat("QDSI(M=%llu): %s via %s",
+                static_cast<unsigned long long>(m), VerdictName(d.verdict),
+                d.method.c_str());
+  if (d.witness.has_value()) {
+    out += StrFormat(" (witness %zu tuples)", d.witness->size());
+  }
+  out += "\n";
+  if (explain) {
+    out += StrFormat("work: %llu search nodes/subsets\n",
+                     static_cast<unsigned long long>(d.work));
+    out += "spans:\n" + RenderSpans(local_tracer.events());
+  }
+  if (governor.tripped()) {
+    metrics_
+        ->GetCounter(std::string("shell.governor.trips.") +
+                     exec::LimitKindName(governor.trip().kind))
+        .Increment();
+    out += "tripped: " + governor.trip().ToString() + "\n";
+    (void)obs::WritePostMortem("governor-trip");
+  }
+  return out;
+}
+
+Result<std::string> Shell::RunAnalyze(std::string_view rest, bool explain) {
+  SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest, &schema_));
+  obs::Tracer local_tracer;
+  obs::Tracer* saved_tracer = obs::Tracer::Global();
+  if (explain) obs::Tracer::InstallGlobal(&local_tracer);
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q.body, schema_, access_);
+  if (explain) obs::Tracer::InstallGlobal(saved_tracer);
+  SI_RETURN_IF_ERROR(analysis.status());
+  std::vector<VarSet> minimal = analysis->MinimalControlSets();
+  std::string out;
+  if (minimal.empty()) {
+    out = "not controlled under the current access schema\n";
+  } else {
+    for (const VarSet& m : minimal) {
+      Result<double> bound = analysis->StaticFetchBound(m);
+      out += StrFormat("controlled by %s  (fetch bound %.0f)\n",
+                       VarSetToString(m).c_str(), bound.ok() ? *bound : -1.0);
+    }
+    out += analysis->Explain(minimal[0]);
+  }
+  if (explain) {
+    out += "spans:\n" + RenderSpans(local_tracer.events());
+  }
+  return out;
+}
+
+Result<std::string> Shell::RunStats(std::string_view rest) {
+  if (rest.substr(0, 5) == "watch" ) {
+    std::string_view args = StripWhitespace(rest.substr(5));
+    if (args == "off") {
+      if (dumper_ == nullptr || !dumper_->running()) {
+        return std::string("stats watch is not running\n");
+      }
+      dumper_->Stop();
+      return std::string("stats watch stopped\n");
+    }
+    std::vector<std::string> pieces = Split(args, ' ');
+    if (pieces.empty() || pieces[0].empty()) {
+      return Status::InvalidArgument(
+          "usage: stats watch <secs> [path] | stats watch off");
+    }
+    char* end = nullptr;
+    const double secs = std::strtod(pieces[0].c_str(), &end);
+    if (end != pieces[0].c_str() + pieces[0].size() || !(secs > 0)) {
+      return Status::InvalidArgument("watch interval must be a positive "
+                                     "number of seconds");
+    }
+    std::string path = pieces.size() > 1 ? std::string(StripWhitespace(
+                                               std::string_view(pieces[1])))
+                                         : "scalein_metrics.jsonl";
+    if (dumper_ != nullptr) dumper_->Stop();
+    dumper_ = std::make_unique<obs::MetricsDumper>();
+    SI_RETURN_IF_ERROR(dumper_->Start(path, secs, metrics_.get()));
+    return StrFormat("watching: appending metrics to %s every %gs\n",
+                     path.c_str(), secs);
+  }
+  if (rest == "prom") return metrics_->ToPrometheusText();
+  if (!rest.empty()) {
+    return Status::InvalidArgument(
+        "usage: stats [prom] | stats watch <secs> [path] | stats watch off");
+  }
+  return metrics_->ToJson() + "\n";
+}
+
+Result<std::string> Shell::RunJournal() const {
+  std::vector<obs::AccessCertificate> certs = journal_->certificates();
+  std::string out = StrFormat("%zu certificate(s), %llu dropped\n",
+                              certs.size(),
+                              static_cast<unsigned long long>(
+                                  journal_->dropped()));
+  for (const obs::AccessCertificate& c : certs) {
+    out += StrFormat("  %s %s fetches=%llu", c.query_fingerprint.c_str(),
+                     obs::CertVerdictName(c.verdict),
+                     static_cast<unsigned long long>(c.actual_fetches));
+    if (c.static_bound >= 0) {
+      out += StrFormat(" bound=%.0f", c.static_bound);
+    }
+    if (c.tripped) out += "  [" + c.trip_reason + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> Shell::RunCertify() const {
+  std::vector<obs::AccessCertificate> certs = journal_->certificates();
+  if (certs.empty()) return std::string("no certificates to verify\n");
+  std::string out;
+  size_t passed = 0;
+  for (const obs::AccessCertificate& c : certs) {
+    const bool ok = obs::VerifyCertificate(c);
+    if (ok) ++passed;
+    out += StrFormat("  %s %s %s\n", c.query_fingerprint.c_str(),
+                     obs::CertVerdictName(c.verdict),
+                     ok ? "signature-ok" : "SIGNATURE-MISMATCH");
+  }
+  out += StrFormat("%zu/%zu certificates verify\n", passed, certs.size());
+  return out;
+}
+
+Result<std::string> Shell::RunDump(std::string_view rest) const {
+  std::string path(StripWhitespace(rest));
+  if (path.empty()) path = dump_path_;
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "usage: dump <path> (or set SCALEIN_DUMP_PATH)");
+  }
+  const std::string text = obs::RenderDump("manual", recorder_.get(),
+                                           journal_.get(), metrics_.get());
+  SI_RETURN_IF_ERROR(obs::WriteTextFile(path, text));
+  return "wrote dump to " + path + "\n";
+}
+
+Result<std::string> Shell::RunSlowlog(std::string_view rest) {
+  obs::Gauge& gauge = metrics_->GetGauge("shell.slow_query_threshold_ms");
+  if (rest.empty()) {
+    const int64_t ms = gauge.value();
+    if (ms <= 0) return std::string("slow-query log off\n");
+    return StrFormat("slow-query threshold: %lld ms\n",
+                     static_cast<long long>(ms));
+  }
+  if (rest == "off") {
+    gauge.Set(0);
+    return std::string("slow-query log off\n");
+  }
+  SI_ASSIGN_OR_RETURN(uint64_t ms, ParseShellU64(rest));
+  gauge.Set(static_cast<int64_t>(ms));
+  return StrFormat("slow-query threshold: %llu ms\n",
+                   static_cast<unsigned long long>(ms));
 }
 
 Result<std::string> Shell::RunLimit(std::string_view rest) {

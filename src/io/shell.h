@@ -7,6 +7,9 @@
 
 #include "core/access_schema.h"
 #include "exec/governor.h"
+#include "obs/dump.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "relational/database.h"
 #include "relational/schema.h"
@@ -28,19 +31,34 @@ namespace scalein {
 ///   analyze Q(x, ...) := <FO formula>
 ///   eval var=value,... Q(x, ...) := <FO formula>
 ///   explain var=value,... Q(x, ...) := <FO formula>
+///   explain qdsi <M> Q(x) :- <CQ body> | explain analyze <fo-query>
 ///   qdsi <M> Q(x) :- <CQ body>
 ///   limit [fetch=N] [deadline=MS] [rows=N] | limit off
-///   stats [prom]
+///   stats [prom] | stats watch <secs> [path] | stats watch off
+///   journal | certify | dump [path] | slowlog [<ms>|off]
 ///
 /// `limit` arms the session's resource governor: later eval/explain/qdsi
 /// commands run under the envelope and report *partial* results plus the
 /// tripped limit instead of failing outright (explain tags the tripping
 /// operator in the tree).
+///
+/// Observability: every session owns a flight recorder (installed as the
+/// process-wide sink) and a query journal of access certificates — one
+/// sealed certificate per eval. `journal` lists them, `certify` re-verifies
+/// them offline, `dump` writes the joined post-mortem JSON. With
+/// SCALEIN_DUMP_PATH set, the same dump is written automatically on governor
+/// trips, failpoint-induced errors, and session end.
 class Shell {
  public:
-  /// Also arms the failpoint framework from SCALEIN_FAILPOINTS, so piping a
-  /// script through the shell exercises fault paths without recompiling.
+  /// Also arms the failpoint framework from SCALEIN_FAILPOINTS, the
+  /// post-mortem dump from SCALEIN_DUMP_PATH, the periodic metrics dump from
+  /// SCALEIN_METRICS_DUMP=<path>:<secs>, and the slow-query threshold from
+  /// SCALEIN_SLOW_QUERY_MS — so piping a script through the shell exercises
+  /// fault and observability paths without recompiling.
   Shell();
+  ~Shell();
+  Shell(Shell&&) = default;
+  Shell& operator=(Shell&&) = default;
 
   /// Executes one command line; returns the text to display. Errors are
   /// reported in the Status (nothing is printed on error paths).
@@ -56,24 +74,46 @@ class Shell {
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
   /// Session resource envelope (armed by the `limit` command).
   const exec::GovernorLimits& limits() const { return limits_; }
+  /// Session flight recorder (installed as the process-global sink while
+  /// this shell is the most recently constructed one).
+  const obs::FlightRecorder& recorder() const { return *recorder_; }
+  /// Per-query access certificates, newest last.
+  const obs::QueryJournal& journal() const { return *journal_; }
 
  private:
   Database* EnsureDb();
+  Result<std::string> ExecuteImpl(const std::string& command,
+                                  std::string_view rest);
   /// Shared body of `eval` and `explain`: bounded evaluation of a
   /// parameterized FO query. `explain` additionally collects per-node
   /// counters/timings and renders the EXPLAIN ANALYZE tree with the static
   /// Theorem 4.2 bound next to the actual fetch count.
   Result<std::string> RunEval(std::string_view rest, bool explain);
+  /// `qdsi` / `explain qdsi`: the §3 decision procedure; explain renders the
+  /// verdict/method/work span args collected during the decision.
+  Result<std::string> RunQdsi(std::string_view rest, bool explain);
+  /// `analyze` / `explain analyze`: controllability analysis; explain adds
+  /// the analysis spans (derived options, work).
+  Result<std::string> RunAnalyze(std::string_view rest, bool explain);
   /// Parses `limit` arguments into limits_ ("off" clears them).
   Result<std::string> RunLimit(std::string_view rest);
+  Result<std::string> RunStats(std::string_view rest);
+  Result<std::string> RunJournal() const;
+  Result<std::string> RunCertify() const;
+  Result<std::string> RunDump(std::string_view rest) const;
+  Result<std::string> RunSlowlog(std::string_view rest);
 
   Schema schema_;
   AccessSchema access_;
   exec::GovernorLimits limits_;
   std::unique_ptr<Database> db_;
-  // Behind a pointer: the registry owns a mutex, and Shell must stay movable.
+  // Behind pointers: these own mutexes/threads, and Shell must stay movable.
   std::unique_ptr<obs::MetricsRegistry> metrics_ =
       std::make_unique<obs::MetricsRegistry>();
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::QueryJournal> journal_;
+  std::unique_ptr<obs::MetricsDumper> dumper_;
+  std::string dump_path_;  ///< SCALEIN_DUMP_PATH; default for `dump`
 };
 
 }  // namespace scalein

@@ -1,0 +1,232 @@
+#include "obs/dump.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace scalein::obs {
+
+std::string RenderDump(std::string_view reason, const FlightRecorder* recorder,
+                       const QueryJournal* journal,
+                       const MetricsRegistry* metrics) {
+  std::string out = "{\"reason\":\"" + JsonEscape(reason) + "\"";
+  if (recorder != nullptr) out += ",\"recorder\":" + recorder->ToJson();
+  if (journal != nullptr) out += ",\"journal\":" + journal->ToJson();
+  if (metrics != nullptr) out += ",\"metrics\":" + metrics->ToJson();
+  out += "}";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status AppendTextLine(const std::string& path, std::string_view line) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for appending");
+  }
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  const bool closed = std::fclose(f) == 0;
+  if (written != line.size() || !newline_ok || !closed) {
+    return Status::Internal("short append to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseMetricsDumpSpec(std::string_view spec, std::string* path,
+                            double* interval_seconds) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        "metrics-dump spec '" + std::string(spec) + "' is not <path>:<secs>");
+  }
+  const std::string secs(spec.substr(colon + 1));
+  char* end = nullptr;
+  const double interval = std::strtod(secs.c_str(), &end);
+  if (end != secs.c_str() + secs.size() || !(interval > 0)) {
+    return Status::InvalidArgument("metrics-dump interval '" + secs +
+                                   "' is not a positive number of seconds");
+  }
+  *path = std::string(spec.substr(0, colon));
+  *interval_seconds = interval;
+  return Status::OK();
+}
+
+MetricsDumper::~MetricsDumper() { Stop(); }
+
+Status MetricsDumper::Start(std::string path, double interval_seconds,
+                            const MetricsRegistry* registry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("metrics dumper already running");
+    }
+    if (!(interval_seconds > 0)) {
+      return Status::InvalidArgument("metrics-dump interval must be > 0");
+    }
+    path_ = std::move(path);
+    interval_seconds_ = interval_seconds;
+    registry_ = registry != nullptr ? registry : &MetricsRegistry::Global();
+    stop_requested_ = false;
+    snapshots_ = 0;
+  }
+  // First snapshot synchronously: Start fails loudly on an unwritable path
+  // instead of a background thread failing silently forever.
+  SI_RETURN_IF_ERROR(WriteSnapshot());
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = true;
+  thread_ = std::thread(&MetricsDumper::Run, this);
+  return Status::OK();
+}
+
+void MetricsDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool MetricsDumper::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t MetricsDumper::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+void MetricsDumper::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto interval = std::chrono::duration<double>(interval_seconds_);
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    (void)WriteSnapshot();  // a transiently unwritable path skips one tick
+    lock.lock();
+  }
+}
+
+namespace {
+
+// MetricsRegistry::ToJson() pretty-prints; a JSONL consumer needs one
+// physical line per snapshot. JsonEscape encodes control characters, so
+// every raw newline in the rendered document is formatting — drop it and
+// the indentation that follows.
+std::string FlattenJson(const std::string& pretty) {
+  std::string flat;
+  flat.reserve(pretty.size());
+  for (size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] == '\n') {
+      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+      continue;
+    }
+    flat += pretty[i];
+  }
+  return flat;
+}
+
+}  // namespace
+
+Status MetricsDumper::WriteSnapshot() {
+  const MetricsRegistry* registry;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry = registry_;
+    path = path_;
+  }
+  SI_RETURN_IF_ERROR(AppendTextLine(path, FlattenJson(registry->ToJson())));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snapshots_;
+  }
+  RecordFlightEvent(EventKind::kMetricsDump, path);
+  return Status::OK();
+}
+
+namespace {
+
+struct PostMortemState {
+  std::mutex mu;
+  bool armed = false;
+  std::string path;
+  const FlightRecorder* recorder = nullptr;
+  const QueryJournal* journal = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+};
+
+PostMortemState& GlobalPostMortem() {
+  static PostMortemState* state = new PostMortemState();
+  return *state;
+}
+
+}  // namespace
+
+void ArmPostMortem(std::string path, const FlightRecorder* recorder,
+                   const QueryJournal* journal,
+                   const MetricsRegistry* metrics) {
+  PostMortemState& state = GlobalPostMortem();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed = true;
+  state.path = std::move(path);
+  state.recorder = recorder;
+  state.journal = journal;
+  state.metrics = metrics;
+}
+
+void DisarmPostMortem() {
+  PostMortemState& state = GlobalPostMortem();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed = false;
+  state.recorder = nullptr;
+  state.journal = nullptr;
+  state.metrics = nullptr;
+}
+
+bool PostMortemArmed() {
+  PostMortemState& state = GlobalPostMortem();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.armed;
+}
+
+bool WritePostMortem(std::string_view reason) {
+  PostMortemState& state = GlobalPostMortem();
+  std::string path;
+  const FlightRecorder* recorder;
+  const QueryJournal* journal;
+  const MetricsRegistry* metrics;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.armed) return false;
+    path = state.path;
+    recorder = state.recorder;
+    journal = state.journal;
+    metrics = state.metrics;
+  }
+  const std::string dump = RenderDump(reason, recorder, journal, metrics);
+  return WriteTextFile(path, dump).ok();
+}
+
+}  // namespace scalein::obs

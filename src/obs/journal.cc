@@ -1,0 +1,168 @@
+#include "obs/journal.h"
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace scalein::obs {
+
+const char* CertVerdictName(CertVerdict verdict) {
+  switch (verdict) {
+    case CertVerdict::kWithinBound:
+      return "within-bound";
+    case CertVerdict::kExceeded:
+      return "exceeded";
+    case CertVerdict::kNoStaticBound:
+      return "no-static-bound";
+    case CertVerdict::kTripped:
+      return "tripped";
+  }
+  return "?";
+}
+
+CertVerdict DeriveVerdict(const AccessCertificate& cert) {
+  if (cert.tripped) return CertVerdict::kTripped;
+  if (cert.static_bound < 0) return CertVerdict::kNoStaticBound;
+  return static_cast<double>(cert.actual_fetches) <= cert.static_bound
+             ? CertVerdict::kWithinBound
+             : CertVerdict::kExceeded;
+}
+
+std::string CertificatePayload(const AccessCertificate& cert) {
+  std::string payload = "fp=" + cert.query_fingerprint +
+                        "|q=" + cert.query_text +
+                        "|bound=" + JsonNumber(cert.static_bound) +
+                        "|fetches=" + std::to_string(cert.actual_fetches) +
+                        "|lookups=" + std::to_string(cert.index_lookups) +
+                        "|tripped=" + (cert.tripped ? "1" : "0") +
+                        "|trip=" + cert.trip_reason +
+                        "|verdict=" + CertVerdictName(cert.verdict);
+  for (const CertOp& op : cert.ops) {
+    payload += "|op=" + op.label + "," + std::to_string(op.rows_out) + "," +
+               std::to_string(op.tuples_fetched) + "," +
+               std::to_string(op.index_lookups) + "," +
+               JsonNumber(op.static_bound);
+  }
+  return payload;
+}
+
+void SealCertificate(AccessCertificate* cert) {
+  cert->verdict = DeriveVerdict(*cert);
+  cert->signature = Fnv1a64(CertificatePayload(*cert));
+}
+
+bool VerifyCertificate(const AccessCertificate& cert) {
+  if (cert.verdict != DeriveVerdict(cert)) return false;
+  return cert.signature == Fnv1a64(CertificatePayload(cert));
+}
+
+std::string CertificateToJson(const AccessCertificate& cert) {
+  std::string out = "{\"query_fingerprint\":\"" +
+                    JsonEscape(cert.query_fingerprint) + "\",\"query\":\"" +
+                    JsonEscape(cert.query_text) + "\"";
+  if (cert.static_bound >= 0) {
+    out += ",\"static_bound\":" + JsonNumber(cert.static_bound);
+  }
+  out += ",\"actual_fetches\":" + std::to_string(cert.actual_fetches) +
+         ",\"index_lookups\":" + std::to_string(cert.index_lookups);
+  if (!cert.ops.empty()) {
+    out += ",\"ops\":[";
+    for (size_t i = 0; i < cert.ops.size(); ++i) {
+      const CertOp& op = cert.ops[i];
+      if (i > 0) out += ",";
+      out += "{\"label\":\"" + JsonEscape(op.label) +
+             "\",\"rows_out\":" + std::to_string(op.rows_out) +
+             ",\"tuples_fetched\":" + std::to_string(op.tuples_fetched) +
+             ",\"index_lookups\":" + std::to_string(op.index_lookups);
+      if (op.static_bound >= 0) {
+        out += ",\"static_bound\":" + JsonNumber(op.static_bound);
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  out += ",\"tripped\":";
+  out += cert.tripped ? "true" : "false";
+  if (!cert.trip_reason.empty()) {
+    out += ",\"trip_reason\":\"" + JsonEscape(cert.trip_reason) + "\"";
+  }
+  out += ",\"verdict\":\"";
+  out += CertVerdictName(cert.verdict);
+  out += "\",\"signature\":\"" + Hex16(cert.signature) + "\"}";
+  return out;
+}
+
+QueryJournal::QueryJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void QueryJournal::Append(AccessCertificate cert) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(cert));
+    return;
+  }
+  ++dropped_;
+  ring_[seq % capacity_] = std::move(cert);
+}
+
+std::vector<AccessCertificate> QueryJournal::certificates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AccessCertificate> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  const uint64_t oldest = next_seq_ - capacity_;
+  for (uint64_t seq = oldest; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+size_t QueryJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t QueryJournal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t QueryJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void QueryJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+std::string QueryJournal::ToJson() const {
+  std::vector<AccessCertificate> snapshot = certificates();
+  uint64_t appended;
+  uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    appended = next_seq_;
+    dropped = dropped_;
+  }
+  std::string out = "{\"capacity\":" + std::to_string(capacity_) +
+                    ",\"appended\":" + std::to_string(appended) +
+                    ",\"dropped\":" + std::to_string(dropped) +
+                    ",\"certificates\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) out += ",";
+    out += CertificateToJson(snapshot[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace scalein::obs

@@ -1,0 +1,106 @@
+#ifndef SCALEIN_OBS_JOURNAL_H_
+#define SCALEIN_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scalein::obs {
+
+/// Did the query honor its Theorem 4.2 contract?
+enum class CertVerdict {
+  kWithinBound,    ///< actual_fetches <= static_bound
+  kExceeded,       ///< actual_fetches > static_bound — a theorem violation
+  kNoStaticBound,  ///< the analysis produced no finite bound to check
+  kTripped,        ///< the governor stopped the query; accounting is partial
+};
+
+/// Canonical kebab-case name ("within-bound", "exceeded", ...).
+const char* CertVerdictName(CertVerdict verdict);
+
+/// Per-operator slice of a certificate — a plain mirror of the EXPLAIN
+/// ANALYZE counters (obs/ must not depend on exec/, so the shell copies the
+/// fields across). `static_bound < 0` means the node carries no bound.
+struct CertOp {
+  std::string label;
+  uint64_t rows_out = 0;
+  uint64_t tuples_fetched = 0;
+  uint64_t index_lookups = 0;
+  double static_bound = -1.0;
+};
+
+/// A per-query access certificate: the signed-off record tying one executed
+/// query to its scale-independence evidence — `(query fingerprint, static
+/// Theorem 4.2 bound, actual fetches, per-op breakdown, verdict)`. Sealed by
+/// `SealCertificate` at query end; `VerifyCertificate` re-derives both the
+/// verdict and the FNV-1a signature offline, so a journal dump is checkable
+/// without the engine. The signature is tamper-*evident* bookkeeping, not a
+/// cryptographic guarantee.
+struct AccessCertificate {
+  std::string query_fingerprint;  ///< Fingerprint(query_text)
+  std::string query_text;         ///< canonical query string
+  double static_bound = -1.0;     ///< Theorem 4.2 M; < 0 when unbounded
+  uint64_t actual_fetches = 0;    ///< base tuples actually read
+  uint64_t index_lookups = 0;
+  std::vector<CertOp> ops;        ///< per-op breakdown (may be empty)
+  bool tripped = false;           ///< governor stopped the query
+  std::string trip_reason;        ///< TripInfo text when tripped
+  CertVerdict verdict = CertVerdict::kNoStaticBound;  ///< derived on seal
+  uint64_t signature = 0;         ///< FNV-1a over CertificatePayload
+};
+
+/// Derives the verdict from (tripped, static_bound, actual_fetches).
+CertVerdict DeriveVerdict(const AccessCertificate& cert);
+
+/// The canonical byte string the signature covers: every field except the
+/// signature itself, rendered deterministically.
+std::string CertificatePayload(const AccessCertificate& cert);
+
+/// Fills `verdict` and `signature` in place; call once all counters are set.
+void SealCertificate(AccessCertificate* cert);
+
+/// True iff the stored verdict and signature match re-derivation — the
+/// offline check. A certificate edited after sealing fails.
+bool VerifyCertificate(const AccessCertificate& cert);
+
+/// Deterministic JSON object with stable field order.
+std::string CertificateToJson(const AccessCertificate& cert);
+
+/// Fixed-size ring of sealed certificates, one per completed query — the
+/// query journal the `journal`/`certify` shell commands read and post-mortem
+/// dumps embed. Same eviction contract as the flight recorder: strict FIFO,
+/// `dropped()` counts evictions.
+class QueryJournal {
+ public:
+  explicit QueryJournal(size_t capacity = kDefaultCapacity);
+  QueryJournal(const QueryJournal&) = delete;
+  QueryJournal& operator=(const QueryJournal&) = delete;
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+  void Append(AccessCertificate cert);
+
+  /// Snapshot oldest → newest.
+  std::vector<AccessCertificate> certificates() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_appended() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// {"capacity":...,"appended":...,"dropped":...,"certificates":[...]}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::vector<AccessCertificate> ring_;  ///< ring_[seq % capacity_] saturated
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace scalein::obs
+
+#endif  // SCALEIN_OBS_JOURNAL_H_

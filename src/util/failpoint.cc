@@ -201,6 +201,10 @@ Status Failpoints::Hit(const char* site) {
     }
     if (!fire) return Status::OK();
     fires_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* listener = fire_listener_.load(std::memory_order_relaxed)) {
+      listener(site,
+               config.action == FailAction::kDelay ? "delay" : "error");
+    }
     if (config.action == FailAction::kDelay) {
       std::this_thread::sleep_for(std::chrono::milliseconds(config.delay_ms));
       return Status::OK();

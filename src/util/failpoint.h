@@ -101,6 +101,15 @@ class Failpoints {
   /// The currently armed configuration (for tests and diagnostics).
   std::vector<FailpointConfig> configs() const;
 
+  /// Observer invoked on every fire with (site, action name) — how the
+  /// flight recorder sees injections without util/ depending on obs/. A
+  /// plain function pointer so installation is one relaxed store; nullptr
+  /// (the default) disables. Install before arming sites.
+  void set_fire_listener(void (*listener)(const char* site,
+                                          const char* action)) {
+    fire_listener_.store(listener, std::memory_order_relaxed);
+  }
+
  private:
   struct SiteState {
     FailpointConfig config;
@@ -114,6 +123,7 @@ class Failpoints {
   std::atomic<uint64_t> rng_state_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> fires_{0};
+  std::atomic<void (*)(const char*, const char*)> fire_listener_{nullptr};
 };
 
 /// Parses a failpoint spec into configs + seed without arming anything

@@ -4,6 +4,7 @@
 
 #include "incremental/delta_rules.h"
 #include "incremental/maintainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 
@@ -69,6 +70,9 @@ Result<AnswerSet> ViewExecutor::Evaluate(const Cq& rewriting,
   BoundedEvaluator evaluator(extended_db_.get());
   evaluator.set_limits(limits_);
   BoundedEvalStats raw;
+  // Honor the caller's request for a per-operator breakdown (stats->raw is
+  // both the in-parameter carrying capture_ops and the out-parameter).
+  raw.capture_ops = stats != nullptr && stats->raw.capture_ops;
   SI_ASSIGN_OR_RETURN(AnswerSet answers,
                       evaluator.Evaluate(query, analysis, params, &raw));
   if (stats != nullptr) {
@@ -98,6 +102,11 @@ void ViewExecutor::set_limits(const exec::GovernorLimits& limits) {
 
 Status ViewExecutor::FullRefresh() {
   obs::ScopedSpan span(obs::Tracer::Global(), "views.full_refresh", "views");
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kViewRefresh, "views.full_refresh",
+        {obs::EventArg("views", static_cast<uint64_t>(views_.views().size()))});
+  }
   if (Status s = SCALEIN_FAILPOINT("view_refresh"); !s.ok()) return s;
   SI_RETURN_IF_ERROR(RefreshViews(extended_db_.get(), views_));
   for (size_t i = 0; i < views_.views().size(); ++i) {
@@ -138,6 +147,11 @@ Status ViewExecutor::ApplyBaseUpdate(const Update& update,
   }
   if (used_incremental != nullptr) *used_incremental = incremental;
   span.Arg("used_incremental", incremental);
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kMaintenanceStep, "views.apply_base_update",
+        {obs::EventArg("used_incremental", incremental)});
+  }
 
   if (!incremental) {
     ApplyUpdate(extended_db_.get(), update);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
 #include "query/parser.h"
+#include "util/failpoint.h"
 #include "workload/social_gen.h"
 
 namespace scalein {
@@ -103,6 +105,38 @@ TEST(AdvisorTest, ImpossibleWorkloadReportsNotFound) {
   Result<AdvisorResult> r = AdviseAccessSchema({wq}, s, nullptr, options);
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->found);
+}
+
+TEST(AdvisorTest, CandidateFailpointAbortsSearch) {
+  util::Failpoints::Global().Clear();
+  ASSERT_TRUE(
+      util::Failpoints::Global().Configure("advisor_candidates=error").ok());
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  WorkloadQuery wq{FQ("Q(x, y) := r(x, y)", s), {V("x")}};
+  Result<AdvisorResult> r = AdviseAccessSchema({wq}, s, nullptr);
+  util::Failpoints::Global().Clear();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("advisor_candidates"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, SearchEmitsFlightRecorderEvent) {
+  obs::FlightRecorder recorder;
+  obs::FlightRecorder::InstallGlobal(&recorder);
+  Schema s;
+  s.Relation("r", {"a", "b"});
+  WorkloadQuery wq{FQ("Q(x, y) := r(x, y)", s), {V("x")}};
+  Result<AdvisorResult> r = AdviseAccessSchema({wq}, s, nullptr);
+  obs::FlightRecorder::InstallGlobal(nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  bool saw_search = false;
+  for (const obs::FlightEvent& e : recorder.events()) {
+    if (e.kind == obs::EventKind::kAdvisorSearch) saw_search = true;
+  }
+  EXPECT_TRUE(saw_search);
 }
 
 }  // namespace

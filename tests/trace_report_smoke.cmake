@@ -1,0 +1,55 @@
+# Smoke test for scripts/trace_report.py, run via `cmake -P` from ctest:
+# drive the shell binary through the acceptance scenario (a bounded query,
+# one governor trip, exit), post-mortem-dump on exit, then check that the
+# report lists the tripped query. Variables passed in by tests/CMakeLists.txt:
+#   SHELL_BIN  — path to the scalein_shell example binary
+#   PYTHON     — Python3 interpreter
+#   REPORT     — path to scripts/trace_report.py
+#   WORK_DIR   — scratch directory for the script/dump files
+
+set(script "${WORK_DIR}/trace_report_smoke_input.txt")
+set(dump "${WORK_DIR}/trace_report_smoke_dump.json")
+file(WRITE "${script}" "schema relation person(id, name, city)
+schema relation friend(id1, id2)
+access access friend(id1) N=50
+access key person(id)
+row person 1,\"ada\",\"NYC\"
+row person 2,\"bob\",\"NYC\"
+row friend 1,2
+eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+limit fetch=1
+eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+quit
+")
+file(REMOVE "${dump}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env "SCALEIN_DUMP_PATH=${dump}" "${SHELL_BIN}"
+  INPUT_FILE "${script}"
+  RESULT_VARIABLE shell_rc
+  OUTPUT_VARIABLE shell_out
+  ERROR_VARIABLE shell_err)
+if(NOT shell_rc EQUAL 0)
+  message(FATAL_ERROR "shell session failed (rc=${shell_rc}): ${shell_err}")
+endif()
+if(NOT EXISTS "${dump}")
+  message(FATAL_ERROR "shell exit did not write the post-mortem dump")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${REPORT}" "${dump}"
+  RESULT_VARIABLE report_rc
+  OUTPUT_VARIABLE report_out
+  ERROR_VARIABLE report_err)
+if(NOT report_rc EQUAL 0)
+  message(FATAL_ERROR "trace_report.py failed (rc=${report_rc}): ${report_err}")
+endif()
+foreach(needle "dump reason: shell-exit" "[tripped]" "governor-trip"
+        "within-bound")
+  string(FIND "${report_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "report is missing '${needle}':\n${report_out}")
+  endif()
+endforeach()
+message(STATUS "trace_report smoke OK")
