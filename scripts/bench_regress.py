@@ -22,6 +22,14 @@ Two modes:
   sum(bounded_governed_ms) <= (1 + pct/100) * sum(bounded_ms), summed across
   scales so single-scale timer noise averages out.
 
+  Sidecars with thread-scaling groups (a ``threads`` leaf, written by
+  bench_parallel_scaling) get three more gates: every fetch-class counter
+  and the Theorem 4.2 ``verdict`` must be byte-identical across thread
+  counts (parallelism must not perturb accounting); the 4-thread batch must
+  run >= 2x faster than 1-thread when the host reports >= 4 hardware
+  threads; and a warm analysis-cache lookup (``cache.warm_analysis_ms``)
+  must be >= 5x cheaper than a cold derivation.
+
 Exit status: 0 clean, 1 regression/violation, 2 usage or unreadable input.
 """
 
@@ -140,6 +148,8 @@ def check_bounds_mode(path, overhead_pct):
                 f"governor overhead {overhead:.2f}% exceeds "
                 f"{overhead_pct:g}% cap")
 
+    failures += check_thread_scaling(metrics, groups)
+
     if failures:
         print(f"FAIL: {len(failures)} bound violation(s) in {path}:")
         for f in failures:
@@ -147,6 +157,69 @@ def check_bounds_mode(path, overhead_pct):
         return 1
     print(f"OK: bounds hold in {path}")
     return 0
+
+
+def check_thread_scaling(metrics, groups):
+    """Gates for sidecars with thread-scaling groups (bench_parallel_scaling).
+
+    Determinism: all fetch-class counters and the recorded verdict must be
+    identical across thread counts. Speedup: 4 threads >= 2x over 1 thread,
+    enforced only on hosts with >= 4 hardware threads (a 1-core runner can
+    verify determinism but not scaling). Cache: warm lookup <= cold / 5.
+    """
+    failures = []
+    thread_groups = {
+        prefix: leaves for prefix, leaves in groups.items()
+        if as_number(leaves.get("threads")) is not None
+    }
+    if thread_groups:
+        reference_prefix = min(
+            thread_groups, key=lambda p: as_number(thread_groups[p]["threads"]))
+        reference = thread_groups[reference_prefix]
+        for prefix, leaves in sorted(thread_groups.items()):
+            if prefix == reference_prefix:
+                continue
+            for leaf, ref_value in reference.items():
+                if leaf in ("threads", "batch_ms"):
+                    continue
+                if not (is_fetch_key(leaf) or leaf == "verdict"):
+                    continue
+                if leaves.get(leaf) != ref_value:
+                    failures.append(
+                        f"{prefix}.{leaf} = {leaves.get(leaf)!r} differs from "
+                        f"{reference_prefix}.{leaf} = {ref_value!r} — "
+                        f"accounting must not depend on thread count")
+
+        hw = as_number(metrics.get("hw_threads")) or 1
+        by_threads = {
+            int(as_number(leaves["threads"])): leaves
+            for leaves in thread_groups.values()
+        }
+        if hw >= 4 and 1 in by_threads and 4 in by_threads:
+            t1 = as_number(by_threads[1].get("batch_ms"))
+            t4 = as_number(by_threads[4].get("batch_ms"))
+            if t1 and t4:
+                speedup = t1 / t4
+                print(f"parallel speedup at 4 threads: {speedup:.2f}x "
+                      f"(need >= 2x)")
+                if speedup < 2.0:
+                    failures.append(
+                        f"4-thread batch is only {speedup:.2f}x faster than "
+                        f"1-thread (need >= 2x)")
+        elif hw < 4:
+            print(f"note: host has {hw:g} hardware thread(s); "
+                  f"skipping the parallel-speedup gate")
+
+    cold = as_number(metrics.get("cache.cold_analysis_ms"))
+    warm = as_number(metrics.get("cache.warm_analysis_ms"))
+    if cold is not None and warm is not None and warm > 0:
+        speedup = cold / warm
+        print(f"analysis cache speedup: {speedup:.1f}x (need >= 5x)")
+        if speedup < 5.0:
+            failures.append(
+                f"warm analysis lookup only {speedup:.1f}x faster than cold "
+                f"derivation (need >= 5x)")
+    return failures
 
 
 def main():

@@ -1,0 +1,106 @@
+#ifndef SCALEIN_CORE_ANALYSIS_CACHE_H_
+#define SCALEIN_CORE_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/access_schema.h"
+#include "core/controllability.h"
+#include "core/embedded_controllability.h"
+#include "query/cq.h"
+#include "query/formula.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace scalein {
+
+/// Counters describing cache behavior, exported to obs metrics by callers.
+struct AnalysisCacheStats {
+  uint64_t hits = 0;           ///< served from cache
+  uint64_t misses = 0;         ///< analyzed and inserted
+  uint64_t evictions = 0;      ///< LRU victims dropped at capacity
+  uint64_t invalidations = 0;  ///< entries dropped by DDL or env drift
+  uint64_t collisions = 0;     ///< fingerprint matched, query text differed
+};
+
+/// Memoizes controllability derivations and embedded chase plans.
+///
+/// The §4 analysis is pure in (query, relational schema, access schema): for
+/// a fixed environment, re-deriving the controlling sets of a repeated query
+/// is wasted work — and in the shell every `eval` re-ran the full DP. The
+/// cache keys entries by a 64-bit FNV fingerprint of the query text (plus
+/// parameter set for embedded plans) and tags each entry with a fingerprint
+/// of the environment (schema text + access-schema text). An entry whose
+/// environment tag no longer matches is dropped on lookup, so DDL that
+/// changes bounds can never serve a stale plan; `Invalidate()` additionally
+/// drops everything, which callers invoke on any schema/access replacement
+/// (cached analyses hold pointers into the AccessSchema object, so identity
+/// changes must invalidate even when the text is unchanged).
+///
+/// Fingerprint collisions (same hash, different query text) are detected by
+/// comparing the stored key text and are served as misses without caching.
+/// Bounded capacity with LRU eviction. Thread-safe; the analysis itself runs
+/// outside the lock.
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(size_t capacity = 64);
+
+  /// Fingerprint of the environment an analysis depends on.
+  static uint64_t EnvFingerprint(const Schema& schema,
+                                 const AccessSchema& access);
+
+  /// The cached (or freshly computed) §4 derivation for `f`, identified by
+  /// `query_text` (the canonical source text the fingerprint is taken over).
+  Result<std::shared_ptr<const ControllabilityAnalysis>> GetOrAnalyze(
+      const Formula& f, std::string_view query_text, const Schema& schema,
+      const AccessSchema& access, const ControlAnalysisOptions& options = {});
+
+  /// The cached (or fresh) embedded chase plan for `q` under `params`.
+  Result<std::shared_ptr<const EmbeddedCqAnalysis>> GetOrAnalyzeEmbedded(
+      const Cq& q, std::string_view query_text, const Schema& schema,
+      const AccessSchema& access, const VarSet& params);
+
+  /// Drops every entry (schema or access-schema DDL).
+  void Invalidate();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  AnalysisCacheStats stats() const;
+
+  /// Test hook: replaces the key-fingerprint function (e.g. with a constant
+  /// to force collisions). Pass nullptr to restore the default.
+  void set_key_hash_for_testing(uint64_t (*fn)(std::string_view));
+
+ private:
+  struct Entry {
+    std::string key_text;  ///< full key, for collision detection
+    uint64_t env_fp = 0;
+    uint64_t last_used = 0;
+    std::shared_ptr<const ControllabilityAnalysis> plain;
+    std::shared_ptr<const EmbeddedCqAnalysis> embedded;
+  };
+
+  uint64_t KeyHash(std::string_view key_text) const;
+  /// Cached entry for `key`, honoring env tags and collisions; nullptr on
+  /// miss. `collision` is set when the slot is occupied by a different key.
+  Entry* LookupLocked(uint64_t hash, std::string_view key_text,
+                      uint64_t env_fp, bool* collision);
+  void InsertLocked(uint64_t hash, std::string key_text, uint64_t env_fp,
+                    Entry&& entry);
+  void EvictIfNeededLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  uint64_t (*key_hash_override_)(std::string_view) = nullptr;
+  std::unordered_map<uint64_t, Entry> entries_;
+  AnalysisCacheStats stats_;
+};
+
+}  // namespace scalein
+
+#endif  // SCALEIN_CORE_ANALYSIS_CACHE_H_

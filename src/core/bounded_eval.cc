@@ -1,16 +1,83 @@
 #include "core/bounded_eval.h"
 
 #include <algorithm>
+#include <deque>
+#include <iterator>
 #include <optional>
 #include <unordered_map>
 
 #include "core/approx.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "par/worker_pool.h"
 #include "util/failpoint.h"
 
 namespace scalein {
 namespace {
+
+/// Minimum chase-frontier size before the per-assignment loop is worth
+/// fanning out as morsels; below this the submit/merge overhead dominates.
+constexpr size_t kParallelFrontierThreshold = 16;
+
+/// Builds every index the derivation under (node, opt) can probe, so a
+/// subsequent parallel walk only ever *finds* indexes (Ensure* is a
+/// const-but-mutating cache fill and must not race). Mirrors the recursion
+/// of PlainExecutor::RegisterOps.
+void PrebuildPlainIndexes(const Database& db, const NodeAnalysis& node,
+                          const ControlOption& opt) {
+  if (opt.rule == "atom") {
+    const Relation* rel = db.FindRelation(node.formula.relation());
+    if (rel == nullptr || opt.key_positions.empty()) return;
+    if (rel->num_shards() > 1) {
+      rel->EnsureShardedIndex(opt.key_positions);
+    } else {
+      rel->EnsureIndex(opt.key_positions);
+    }
+    return;
+  }
+  if (opt.rule == "and") {
+    for (size_t step = 0; step < opt.conjunct_order.size(); ++step) {
+      PrebuildPlainIndexes(db, *node.subs[opt.conjunct_order[step]],
+                           *opt.child_options[step]);
+    }
+    const size_t n_neg = node.subs.size() - node.n_positives;
+    for (size_t ni = 0; ni < n_neg; ++ni) {
+      PrebuildPlainIndexes(db, *node.subs[node.n_positives + ni],
+                           *opt.child_options[opt.conjunct_order.size() + ni]);
+    }
+  } else if (opt.rule == "or") {
+    for (size_t i = 0; i < node.subs.size(); ++i) {
+      PrebuildPlainIndexes(db, *node.subs[i], *opt.child_options[i]);
+    }
+  } else if (opt.rule == "exists") {
+    PrebuildPlainIndexes(db, *node.subs[0], *opt.child_options[0]);
+  } else if (opt.rule == "forall") {
+    PrebuildPlainIndexes(db, *node.subs[0], *opt.child_options[0]);
+    PrebuildPlainIndexes(db, *node.subs[1], *opt.child_options[1]);
+  }
+}
+
+/// Embedded counterpart: projection indexes for every chase step plus the
+/// verification index per atom plan.
+void PrebuildEmbeddedIndexes(const Database& db,
+                             const EmbeddedCqAnalysis& analysis) {
+  if (!analysis.IsScaleIndependent()) return;
+  const Cq& q = analysis.query();
+  for (const AtomPlan& ap : analysis.plan().atom_plans) {
+    const Relation* rel = db.FindRelation(q.atoms()[ap.atom_index].relation);
+    if (rel == nullptr) continue;
+    for (const AtomChaseStep& step : ap.steps) {
+      rel->EnsureProjectionIndex(step.key_positions, step.value_positions);
+    }
+    if (ap.needs_verification) {
+      if (rel->num_shards() > 1) {
+        rel->EnsureShardedIndex(ap.verify_key_positions);
+      } else {
+        rel->EnsureIndex(ap.verify_key_positions);
+      }
+    }
+  }
+}
 
 Value ResolveTerm(const Term& t, const Binding& env) {
   if (t.is_const()) return t.constant();
@@ -350,6 +417,9 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
   ctx.set_limits(limits_);  // per-evaluation resource envelope
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate", "core");
+  if (span.enabled() && par::CurrentLane() >= 0) {
+    span.Arg("worker", static_cast<uint64_t>(par::CurrentLane()));
+  }
   PlainExecutor exec(db_, enforce_bounds_, &ctx);
   if (collect_timing_ || (stats != nullptr && stats->capture_ops)) {
     exec.RegisterOps(analysis.root(), *opt, /*parent=*/-1);
@@ -393,6 +463,66 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
   return answers;
 }
 
+std::vector<Result<AnswerSet>> BoundedEvaluator::EvaluateBatch(
+    const FoQuery& q, const ControllabilityAnalysis& analysis,
+    const std::vector<Binding>& batch, BoundedEvalStats* stats) const {
+  // Prebuild the indexes of every derivation the batch can take (bindings
+  // over the same variables share one option; mixed batches prebuild each),
+  // so worker lanes never race on Ensure*'s cache fill.
+  std::set<VarSet> seen;
+  for (const Binding& b : batch) {
+    VarSet vars;
+    for (const auto& [v, val] : b) {
+      (void)val;
+      vars.insert(v);
+    }
+    if (!seen.insert(vars).second) continue;
+    const ControlOption* opt = analysis.BestOptionFor(vars);
+    if (opt != nullptr) PrebuildPlainIndexes(*db_, analysis.root(), *opt);
+  }
+
+  // Result<T> has no default constructor, so slots are optional and filled
+  // by index; every evaluation is independent (fresh context, same limits),
+  // making each slot identical to a sequential Evaluate call.
+  std::vector<std::optional<Result<AnswerSet>>> slots(batch.size());
+  std::vector<BoundedEvalStats> worker_stats(batch.size());
+  const bool capture_ops = stats != nullptr && stats->capture_ops;
+  par::WorkerPool::Global().ParallelFor(batch.size(), [&](size_t i) {
+    worker_stats[i].capture_ops = capture_ops;
+    slots[i].emplace(Evaluate(q, analysis, batch[i], &worker_stats[i]));
+  });
+
+  std::vector<Result<AnswerSet>> out;
+  out.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (stats != nullptr) stats->Merge(worker_stats[i]);
+    out.push_back(std::move(*slots[i]));
+  }
+  return out;
+}
+
+std::vector<Result<AnswerSet>> BoundedEvaluator::EvaluateEmbeddedBatch(
+    const EmbeddedCqAnalysis& analysis, const std::vector<Binding>& batch,
+    BoundedEvalStats* stats) const {
+  PrebuildEmbeddedIndexes(*db_, analysis);
+
+  std::vector<std::optional<Result<AnswerSet>>> slots(batch.size());
+  std::vector<BoundedEvalStats> worker_stats(batch.size());
+  const bool capture_ops = stats != nullptr && stats->capture_ops;
+  par::WorkerPool::Global().ParallelFor(batch.size(), [&](size_t i) {
+    worker_stats[i].capture_ops = capture_ops;
+    slots[i].emplace(EvaluateEmbedded(analysis, batch[i], &worker_stats[i]));
+  });
+
+  std::vector<Result<AnswerSet>> out;
+  out.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (stats != nullptr) stats->Merge(worker_stats[i]);
+    out.push_back(std::move(*slots[i]));
+  }
+  return out;
+}
+
 Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
     const EmbeddedCqAnalysis& analysis, const Binding& params,
     BoundedEvalStats* stats) const {
@@ -400,6 +530,9 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbedded(
   ctx.set_limits(limits_);  // per-evaluation resource envelope
   ctx.set_timing_enabled(collect_timing_);
   obs::ScopedSpan span(ctx.tracer(), "bounded.evaluate_embedded", "core");
+  if (span.enabled() && par::CurrentLane() >= 0) {
+    span.Arg("worker", static_cast<uint64_t>(par::CurrentLane()));
+  }
   const bool capture_ops =
       collect_timing_ || (stats != nullptr && stats->capture_ops);
   Result<AnswerSet> result =
@@ -479,9 +612,33 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
            obs::EventArg("frontier", static_cast<uint64_t>(assignments.size()))});
     }
     const Relation* rel = db_->FindRelation(atom.relation);
-    std::vector<Binding> next_assignments;
-    for (const Binding& assignment : assignments) {
-      if (rel == nullptr) continue;
+
+    // Prebuild this atom's indexes (Ensure* is const-but-mutating on first
+    // use) so the morsel fan-out below only ever reads, and compute the
+    // canonical verification key layout without forcing an unrelated index.
+    std::vector<size_t> verify_positions;
+    if (rel != nullptr) {
+      for (const AtomChaseStep& step : ap.steps) {
+        rel->EnsureProjectionIndex(step.key_positions, step.value_positions);
+      }
+      if (ap.needs_verification) {
+        verify_positions =
+            Relation::CanonicalPositions(ap.verify_key_positions);
+        if (rel->num_shards() > 1) {
+          rel->EnsureShardedIndex(verify_positions);
+        } else {
+          rel->EnsureIndex(verify_positions);
+        }
+      }
+    }
+
+    // One frontier assignment through this atom's chase — the body of the
+    // former sequential loop, parameterized on the charging context and
+    // output sink so it can run as a morsel on any lane.
+    auto process_assignment = [&](const Binding& assignment,
+                                  exec::ExecContext* actx,
+                                  exec::OpCounters* aop,
+                                  std::vector<Binding>* out) -> Status {
       // Seed partial tuple from constants and bound variables.
       Partial seed(atom.args.size());
       for (size_t p = 0; p < atom.args.size(); ++p) {
@@ -509,9 +666,9 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
             key.push_back(*cand[p]);
           }
           std::vector<Tuple> projections = exec::MeteredProjectionLookup(
-              ctx, atom.relation, *rel, step.key_positions,
-              step.value_positions, key, op);
-          SI_RETURN_IF_ERROR(ctx->status());
+              actx, atom.relation, *rel, step.key_positions,
+              step.value_positions, key, aop);
+          SI_RETURN_IF_ERROR(actx->status());
           if (enforce_bounds_ &&
               projections.size() > step.statement->max_tuples) {
             return Status::ResourceExhausted(
@@ -543,11 +700,10 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
           row.push_back(*v);
         }
         if (ap.needs_verification) {
-          const HashIndex& vindex = rel->EnsureIndex(ap.verify_key_positions);
-          Tuple vkey = ProjectTuple(row, vindex.positions());
+          Tuple vkey = ProjectTuple(row, verify_positions);
           const std::vector<uint32_t>* rows = exec::MeteredIndexLookup(
-              ctx, atom.relation, *rel, vindex.positions(), vkey, op);
-          SI_RETURN_IF_ERROR(ctx->status());
+              actx, atom.relation, *rel, verify_positions, vkey, aop);
+          SI_RETURN_IF_ERROR(actx->status());
           bool found = false;
           if (rows != nullptr) {
             if (enforce_bounds_ &&
@@ -578,8 +734,59 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
             extended.emplace(t.var(), row[p]);
           }
         }
-        if (ok) next_assignments.push_back(std::move(extended));
+        if (ok) out->push_back(std::move(extended));
       }
+      return Status::OK();
+    };
+
+    std::vector<Binding> next_assignments;
+    par::WorkerPool& pool = par::WorkerPool::Global();
+    const bool fan_out = rel != nullptr && pool.threads() > 1 &&
+                         assignments.size() >= kParallelFrontierThreshold &&
+                         !ctx->governor().limits().any() && ctx->ok();
+    if (rel == nullptr) {
+      // Unknown relation: the frontier dies here, matching a lookup miss.
+    } else if (!fan_out) {
+      for (const Binding& assignment : assignments) {
+        SI_RETURN_IF_ERROR(
+            process_assignment(assignment, ctx, op, &next_assignments));
+      }
+    } else {
+      // Morsel fan-out over the frontier. Each morsel charges a private
+      // context; totals are folded back in morsel order, so a clean run's
+      // accounting is byte-identical to the sequential path. Only taken
+      // with the governor unarmed, keeping trip points deterministic.
+      const std::vector<std::pair<size_t, size_t>> ranges =
+          par::SplitRanges(assignments.size(), pool.threads() * 4);
+      std::deque<exec::ExecContext> worker_ctxs;
+      for (size_t ri = 0; ri < ranges.size(); ++ri) {
+        worker_ctxs.emplace_back(db_);
+        worker_ctxs.back().set_tracer(nullptr);  // accounting only
+      }
+      std::vector<std::vector<Binding>> worker_out(ranges.size());
+      std::vector<Status> worker_status(ranges.size(), Status::OK());
+      pool.ParallelFor(ranges.size(), [&](size_t ri) {
+        for (size_t i = ranges[ri].first; i < ranges[ri].second; ++i) {
+          Status s = process_assignment(assignments[i], &worker_ctxs[ri],
+                                        nullptr, &worker_out[ri]);
+          if (!s.ok()) {
+            worker_status[ri] = std::move(s);
+            break;
+          }
+        }
+      });
+      Status first_error = Status::OK();
+      for (size_t ri = 0; ri < ranges.size(); ++ri) {
+        ctx->AbsorbWorker(worker_ctxs[ri], op);
+        if (first_error.ok() && !worker_status[ri].ok()) {
+          first_error = worker_status[ri];
+        }
+        next_assignments.insert(next_assignments.end(),
+                                std::make_move_iterator(worker_out[ri].begin()),
+                                std::make_move_iterator(worker_out[ri].end()));
+      }
+      SI_RETURN_IF_ERROR(first_error);
+      SI_RETURN_IF_ERROR(ctx->status());
     }
     if (op != nullptr) {
       op->rows_out += next_assignments.size();

@@ -46,6 +46,20 @@ struct BoundedEvalStats {
     fetched_by_relation[relation] += tuples;
   }
 
+  /// Folds another stats object into this one (batch evaluation merges
+  /// per-worker stats in input order, so totals are identical to a
+  /// sequential run). The most recent static bound wins, matching how a
+  /// sequential loop of evaluations would leave `static_bound`.
+  void Merge(const BoundedEvalStats& other) {
+    base_tuples_fetched += other.base_tuples_fetched;
+    index_lookups += other.index_lookups;
+    for (const auto& [name, n] : other.fetched_by_relation) {
+      fetched_by_relation[name] += n;
+    }
+    if (capture_ops) ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+    if (other.static_bound >= 0) static_bound = other.static_bound;
+  }
+
   /// Folds one finished evaluation's context counters into this object.
   void Accumulate(const exec::ExecContext& ctx) {
     base_tuples_fetched += ctx.base_tuples_fetched();
@@ -110,12 +124,35 @@ class BoundedEvaluator {
       const FoQuery& q, const ControllabilityAnalysis& analysis,
       const Binding& params, BoundedEvalStats* stats = nullptr) const;
 
+  /// Evaluates Q(ā_i, ·) for every parameter binding in `batch`, fanning the
+  /// independent evaluations out as morsels on the global worker pool
+  /// (src/par). Every index any taken derivation names is prebuilt before
+  /// the fan-out, so workers only read. Results are in input order; each
+  /// slot is the exact Result a sequential Evaluate call would produce, and
+  /// `stats` (merged in input order) carries byte-identical totals
+  /// regardless of thread count.
+  std::vector<Result<AnswerSet>> EvaluateBatch(
+      const FoQuery& q, const ControllabilityAnalysis& analysis,
+      const std::vector<Binding>& batch,
+      BoundedEvalStats* stats = nullptr) const;
+
   /// Evaluates an embedded-controllability plan (Proposition 4.5) for a CQ.
   /// `params` must bind exactly the variables the analysis was built with.
   /// Answers range over head positions whose term is an unbound variable.
+  ///
+  /// When the global worker pool has more than one lane, the governor is
+  /// unarmed, and a chase step's frontier is large enough, the per-frontier
+  /// fan-out inside one evaluation also runs as parallel morsels; fetch
+  /// accounting is merged in morsel order, so clean runs report identical
+  /// counts at any thread count.
   Result<AnswerSet> EvaluateEmbedded(const EmbeddedCqAnalysis& analysis,
                                      const Binding& params,
                                      BoundedEvalStats* stats = nullptr) const;
+
+  /// Batch counterpart of EvaluateEmbedded; same contract as EvaluateBatch.
+  std::vector<Result<AnswerSet>> EvaluateEmbeddedBatch(
+      const EmbeddedCqAnalysis& analysis, const std::vector<Binding>& batch,
+      BoundedEvalStats* stats = nullptr) const;
 
   /// Degradation-aware embedded evaluation. On a governor trip, when
   /// `fallback_to_approx` is set and a fetch budget is armed, the greedy

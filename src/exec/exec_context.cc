@@ -61,6 +61,19 @@ void ExecContext::ChargeScan(const std::string& relation, uint64_t tuples,
   Charge(relation, tuples, op);
 }
 
+void ExecContext::AbsorbWorker(const ExecContext& worker, OpCounters* op) {
+  base_tuples_fetched_ += worker.base_tuples_fetched_;
+  index_lookups_ += worker.index_lookups_;
+  for (const auto& [name, tuples] : worker.fetched_by_relation_) {
+    fetched_by_relation_[name] += tuples;
+  }
+  if (op != nullptr) {
+    op->tuples_fetched += worker.base_tuples_fetched_;
+    op->index_lookups += worker.index_lookups_;
+  }
+  if (!worker.status_.ok() && status_.ok()) status_ = worker.status_;
+}
+
 void ExecContext::SetError(Status s) {
   if (status_.ok()) status_ = std::move(s);
 }
@@ -111,8 +124,11 @@ const std::vector<uint32_t>* MeteredIndexLookup(
     ctx->SetError(std::move(s));
     return nullptr;
   }
-  const HashIndex& index = rel.EnsureIndex(positions);
-  const std::vector<uint32_t>* rows = index.Lookup(key);
+  // Sharded relations route the probe to the one shard owning the key's
+  // hash; accounting is identical to the single-index path.
+  const std::vector<uint32_t>* rows =
+      rel.num_shards() > 1 ? rel.EnsureShardedIndex(positions).Lookup(key)
+                           : rel.EnsureIndex(positions).Lookup(key);
   ctx->ChargeIndexLookup(name, rows == nullptr ? 0 : rows->size(), op);
   return rows;
 }

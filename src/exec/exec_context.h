@@ -147,6 +147,16 @@ class ExecContext {
   /// Hot-path scan charge of `n` tuples against a pre-resolved slot.
   void ChargeRows(uint64_t* slot, uint64_t n, OpCounters* op);
 
+  /// Folds a morsel-worker context's universal accounting into this one:
+  /// base tuples fetched, index lookups, and per-relation fetch counts are
+  /// summed, and the worker's first error (if any) becomes this context's
+  /// error if it is still clean. When `op` is non-null the worker's totals
+  /// are also bumped onto that per-operator slot, so per-op Theorem 4.2
+  /// bound checks see the same numbers as a sequential run. The governor is
+  /// deliberately NOT re-charged — parallel fan-out only runs when the
+  /// governor is unarmed, keeping trip points deterministic.
+  void AbsorbWorker(const ExecContext& worker, OpCounters* op = nullptr);
+
   /// First error wins; operators stop producing once a context has failed.
   const Status& status() const { return status_; }
   bool ok() const { return status_.ok(); }

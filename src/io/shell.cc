@@ -8,6 +8,7 @@
 #include "io/catalog.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
+#include "par/worker_pool.h"
 #include "query/parser.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -128,9 +129,11 @@ std::string Shell::HelpText() {
       "  explain qdsi <M> <cq-rule> | explain analyze <fo-query>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
       "  limit [fetch=N] [deadline=MS] [rows=N] | limit off\n"
+      "  threads [N]    show or resize the morsel worker pool\n"
       "  stats [prom] | stats watch <secs> [path] | stats watch off\n"
       "  journal        list this session's access certificates\n"
       "  certify        re-verify every certificate offline\n"
+      "  certify <dump.json>  re-verify certificates from a dump file\n"
       "  dump [path]    write the flight-recorder/journal/metrics dump\n"
       "  slowlog [<ms>|off]  set/show the slow-query threshold\n"
       "  quit\n";
@@ -168,6 +171,8 @@ Result<std::string> Shell::ExecuteImpl(const std::string& command,
     for (const RelationSchema& r : parsed.relations()) {
       SI_RETURN_IF_ERROR(schema_.AddRelation(r));
     }
+    // DDL: cached derivations may reference the old environment.
+    analysis_cache_->Invalidate();
     return std::string("ok\n");
   }
 
@@ -182,6 +187,9 @@ Result<std::string> Shell::ExecuteImpl(const std::string& command,
                             s.max_tuples, s.retrieval_time);
       }
     }
+    // Cached options hold pointers into access_'s statement storage, so any
+    // mutation invalidates even if the rendered text were unchanged.
+    analysis_cache_->Invalidate();
     return std::string("ok\n");
   }
 
@@ -252,7 +260,9 @@ Result<std::string> Shell::ExecuteImpl(const std::string& command,
 
   if (command == "journal") return RunJournal();
 
-  if (command == "certify") return RunCertify();
+  if (command == "certify") return RunCertify(rest);
+
+  if (command == "threads") return RunThreads(rest);
 
   if (command == "dump") return RunDump(rest);
 
@@ -272,8 +282,12 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(query_text, &schema_));
   if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
   SI_ASSIGN_OR_RETURN(
-      ControllabilityAnalysis analysis,
-      ControllabilityAnalysis::Analyze(q.body, schema_, access_));
+      std::shared_ptr<const ControllabilityAnalysis> analysis,
+      analysis_cache_->GetOrAnalyze(q.body, query_text, schema_, access_));
+  metrics_->GetGauge("shell.analysis_cache.hits")
+      .Set(static_cast<int64_t>(analysis_cache_->stats().hits));
+  metrics_->GetGauge("shell.analysis_cache.misses")
+      .Set(static_cast<int64_t>(analysis_cache_->stats().misses));
   SI_RETURN_IF_ERROR(access_.BuildIndexes(db_.get(), schema_));
 
   const std::string fingerprint = obs::Fingerprint(query_text);
@@ -290,7 +304,7 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   exec::Degraded<AnswerSet> degraded;
   const uint64_t start_ns = obs::MonotonicNowNs();
   SI_ASSIGN_OR_RETURN(degraded,
-                      evaluator.EvaluateDegraded(q, analysis, params, &stats));
+                      evaluator.EvaluateDegraded(q, *analysis, params, &stats));
   const double elapsed_ms =
       static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
   metrics_
@@ -426,12 +440,23 @@ Result<std::string> Shell::RunQdsi(std::string_view rest, bool explain) {
 Result<std::string> Shell::RunAnalyze(std::string_view rest, bool explain) {
   SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(rest, &schema_));
   obs::Tracer local_tracer;
-  obs::Tracer* saved_tracer = obs::Tracer::Global();
-  if (explain) obs::Tracer::InstallGlobal(&local_tracer);
-  Result<ControllabilityAnalysis> analysis =
-      ControllabilityAnalysis::Analyze(q.body, schema_, access_);
-  if (explain) obs::Tracer::InstallGlobal(saved_tracer);
-  SI_RETURN_IF_ERROR(analysis.status());
+  std::shared_ptr<const ControllabilityAnalysis> analysis;
+  if (explain) {
+    // Explain wants the derivation spans, so it always re-derives under a
+    // local tracer instead of consulting the cache.
+    obs::Tracer* saved_tracer = obs::Tracer::Global();
+    obs::Tracer::InstallGlobal(&local_tracer);
+    Result<ControllabilityAnalysis> fresh =
+        ControllabilityAnalysis::Analyze(q.body, schema_, access_);
+    obs::Tracer::InstallGlobal(saved_tracer);
+    SI_RETURN_IF_ERROR(fresh.status());
+    analysis = std::make_shared<const ControllabilityAnalysis>(
+        std::move(fresh).ValueOrDie());
+  } else {
+    SI_ASSIGN_OR_RETURN(
+        analysis, analysis_cache_->GetOrAnalyze(
+                      q.body, StripWhitespace(rest), schema_, access_));
+  }
   std::vector<VarSet> minimal = analysis->MinimalControlSets();
   std::string out;
   if (minimal.empty()) {
@@ -507,8 +532,17 @@ Result<std::string> Shell::RunJournal() const {
   return out;
 }
 
-Result<std::string> Shell::RunCertify() const {
-  std::vector<obs::AccessCertificate> certs = journal_->certificates();
+Result<std::string> Shell::RunCertify(std::string_view rest) const {
+  const std::string path(StripWhitespace(rest));
+  std::vector<obs::AccessCertificate> certs;
+  if (path.empty()) {
+    certs = journal_->certificates();
+  } else {
+    // Offline mode: re-verify certificates out of a previously written dump
+    // (the `dump` command's JSON, a bare journal object, or a bare array).
+    SI_ASSIGN_OR_RETURN(std::string json, ReadFileToString(path));
+    SI_ASSIGN_OR_RETURN(certs, obs::CertificatesFromDumpJson(json));
+  }
   if (certs.empty()) return std::string("no certificates to verify\n");
   std::string out;
   size_t passed = 0;
@@ -519,8 +553,23 @@ Result<std::string> Shell::RunCertify() const {
                      obs::CertVerdictName(c.verdict),
                      ok ? "signature-ok" : "SIGNATURE-MISMATCH");
   }
-  out += StrFormat("%zu/%zu certificates verify\n", passed, certs.size());
+  out += StrFormat("%zu/%zu certificates verify", passed, certs.size());
+  if (!path.empty()) out += " (from " + path + ")";
+  out += "\n";
   return out;
+}
+
+Result<std::string> Shell::RunThreads(std::string_view rest) {
+  par::WorkerPool& pool = par::WorkerPool::Global();
+  const std::string arg(StripWhitespace(rest));
+  if (!arg.empty()) {
+    SI_ASSIGN_OR_RETURN(uint64_t n, ParseShellU64(arg));
+    if (n < 1) n = 1;
+    if (n > 64) n = 64;
+    pool.Resize(static_cast<size_t>(n));
+    metrics_->GetGauge("shell.threads").Set(static_cast<int64_t>(n));
+  }
+  return StrFormat("%zu thread(s)\n", pool.threads());
 }
 
 Result<std::string> Shell::RunDump(std::string_view rest) const {

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/access_schema.h"
+#include "core/analysis_cache.h"
 #include "exec/governor.h"
 #include "obs/dump.h"
 #include "obs/flight_recorder.h"
@@ -34,8 +35,9 @@ namespace scalein {
 ///   explain qdsi <M> Q(x) :- <CQ body> | explain analyze <fo-query>
 ///   qdsi <M> Q(x) :- <CQ body>
 ///   limit [fetch=N] [deadline=MS] [rows=N] | limit off
+///   threads [N]    size the session's morsel worker pool
 ///   stats [prom] | stats watch <secs> [path] | stats watch off
-///   journal | certify | dump [path] | slowlog [<ms>|off]
+///   journal | certify [dump.json] | dump [path] | slowlog [<ms>|off]
 ///
 /// `limit` arms the session's resource governor: later eval/explain/qdsi
 /// commands run under the envelope and report *partial* results plus the
@@ -79,6 +81,8 @@ class Shell {
   const obs::FlightRecorder& recorder() const { return *recorder_; }
   /// Per-query access certificates, newest last.
   const obs::QueryJournal& journal() const { return *journal_; }
+  /// Memoized controllability derivations; invalidated on schema/access DDL.
+  const AnalysisCache& analysis_cache() const { return *analysis_cache_; }
 
  private:
   Database* EnsureDb();
@@ -99,9 +103,13 @@ class Shell {
   Result<std::string> RunLimit(std::string_view rest);
   Result<std::string> RunStats(std::string_view rest);
   Result<std::string> RunJournal() const;
-  Result<std::string> RunCertify() const;
+  /// `certify` re-verifies the live journal; `certify <dump.json>` loads
+  /// certificates back out of a dump file and re-verifies them offline.
+  Result<std::string> RunCertify(std::string_view rest) const;
   Result<std::string> RunDump(std::string_view rest) const;
   Result<std::string> RunSlowlog(std::string_view rest);
+  /// `threads [N]`: show or resize the global morsel worker pool.
+  Result<std::string> RunThreads(std::string_view rest);
 
   Schema schema_;
   AccessSchema access_;
@@ -113,6 +121,8 @@ class Shell {
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::QueryJournal> journal_;
   std::unique_ptr<obs::MetricsDumper> dumper_;
+  std::unique_ptr<AnalysisCache> analysis_cache_ =
+      std::make_unique<AnalysisCache>();
   std::string dump_path_;  ///< SCALEIN_DUMP_PATH; default for `dump`
 };
 

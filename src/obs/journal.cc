@@ -1,5 +1,7 @@
 #include "obs/journal.h"
 
+#include <cstdlib>
+
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 
@@ -88,6 +90,84 @@ std::string CertificateToJson(const AccessCertificate& cert) {
   out += ",\"verdict\":\"";
   out += CertVerdictName(cert.verdict);
   out += "\",\"signature\":\"" + Hex16(cert.signature) + "\"}";
+  return out;
+}
+
+bool CertVerdictFromName(std::string_view name, CertVerdict* out) {
+  for (CertVerdict v :
+       {CertVerdict::kWithinBound, CertVerdict::kExceeded,
+        CertVerdict::kNoStaticBound, CertVerdict::kTripped}) {
+    if (name == CertVerdictName(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<AccessCertificate>> CertificatesFromDumpJson(
+    std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue* certs = nullptr;
+  if (parsed->is_array()) {
+    certs = &*parsed;
+  } else {
+    certs = parsed->Find("certificates");
+    if (certs == nullptr) {
+      const JsonValue* journal = parsed->Find("journal");
+      if (journal != nullptr) certs = journal->Find("certificates");
+    }
+  }
+  if (certs == nullptr || !certs->is_array()) {
+    return Status::InvalidArgument(
+        "dump has no certificate array (expected a post-mortem dump, a "
+        "journal object, or a bare array)");
+  }
+
+  std::vector<AccessCertificate> out;
+  out.reserve(certs->array.size());
+  for (size_t i = 0; i < certs->array.size(); ++i) {
+    const JsonValue& c = certs->array[i];
+    if (!c.is_object()) {
+      return Status::InvalidArgument("certificate " + std::to_string(i) +
+                                     " is not an object");
+    }
+    AccessCertificate cert;
+    cert.query_fingerprint = c.StringOr("query_fingerprint", "");
+    cert.query_text = c.StringOr("query", "");
+    cert.static_bound = c.NumberOr("static_bound", -1.0);
+    cert.actual_fetches =
+        static_cast<uint64_t>(c.NumberOr("actual_fetches", 0));
+    cert.index_lookups = static_cast<uint64_t>(c.NumberOr("index_lookups", 0));
+    cert.tripped = c.BoolOr("tripped", false);
+    cert.trip_reason = c.StringOr("trip_reason", "");
+    if (!CertVerdictFromName(c.StringOr("verdict", ""), &cert.verdict)) {
+      return Status::InvalidArgument("certificate " + std::to_string(i) +
+                                     " has an unknown verdict");
+    }
+    const std::string sig = c.StringOr("signature", "");
+    char* end = nullptr;
+    cert.signature = std::strtoull(sig.c_str(), &end, 16);
+    if (sig.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("certificate " + std::to_string(i) +
+                                     " has a malformed signature");
+    }
+    if (const JsonValue* ops = c.Find("ops"); ops != nullptr) {
+      for (const JsonValue& o : ops->array) {
+        CertOp op;
+        op.label = o.StringOr("label", "");
+        op.rows_out = static_cast<uint64_t>(o.NumberOr("rows_out", 0));
+        op.tuples_fetched =
+            static_cast<uint64_t>(o.NumberOr("tuples_fetched", 0));
+        op.index_lookups =
+            static_cast<uint64_t>(o.NumberOr("index_lookups", 0));
+        op.static_bound = o.NumberOr("static_bound", -1.0);
+        cert.ops.push_back(std::move(op));
+      }
+    }
+    out.push_back(std::move(cert));
+  }
   return out;
 }
 

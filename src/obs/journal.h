@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace scalein::obs {
 
 /// Did the query honor its Theorem 4.2 contract?
@@ -67,6 +69,20 @@ bool VerifyCertificate(const AccessCertificate& cert);
 
 /// Deterministic JSON object with stable field order.
 std::string CertificateToJson(const AccessCertificate& cert);
+
+/// Parses a canonical verdict name ("within-bound", ...) back into the enum;
+/// returns false for an unknown name.
+bool CertVerdictFromName(std::string_view name, CertVerdict* out);
+
+/// Reads certificates back out of dumped JSON — the offline side of the
+/// `certify <file>` shell command. Accepts a whole post-mortem dump
+/// (`{"journal": {...}}`), a bare journal object
+/// (`{"certificates": [...]}`), or a bare certificate array. Every numeric
+/// field round-trips exactly (emitters print doubles with the same %.6g the
+/// parser reads back), so `VerifyCertificate` re-derives signatures from
+/// parsed certificates byte-for-byte.
+Result<std::vector<AccessCertificate>> CertificatesFromDumpJson(
+    std::string_view json);
 
 /// Fixed-size ring of sealed certificates, one per completed query — the
 /// query journal the `journal`/`certify` shell commands read and post-mortem

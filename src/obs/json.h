@@ -1,8 +1,13 @@
 #ifndef SCALEIN_OBS_JSON_H_
 #define SCALEIN_OBS_JSON_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "util/status.h"
 
 namespace scalein::obs {
 
@@ -16,6 +21,40 @@ std::string JsonEscape(std::string_view s);
 /// Renders a double as a JSON number (no NaN/Inf — those are clamped to
 /// `null`-safe 0, since JSON has no spelling for them).
 std::string JsonNumber(double value);
+
+/// A parsed JSON document node. Minimal by design: the library only reads
+/// back its *own* dumps (journal/flight-recorder JSON, bench sidecars), so
+/// numbers are doubles (every emitter goes through JsonNumber's %.6g, which
+/// round-trips), strings are fully unescaped, and object key order is not
+/// preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member access on objects; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Convenience getters with defaults, for tolerant dump readers.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+};
+
+/// Parses one JSON document (object/array/scalar; trailing whitespace only).
+/// Rejects malformed input with InvalidArgument. `\uXXXX` escapes outside
+/// ASCII are decoded as UTF-8.
+Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace scalein::obs
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "par/worker_pool.h"
+
 namespace scalein {
 
-std::vector<size_t> Relation::Canonical(const std::vector<size_t>& positions) {
+std::vector<size_t> Relation::CanonicalPositions(
+    const std::vector<size_t>& positions) {
   std::vector<size_t> c = positions;
   std::sort(c.begin(), c.end());
   c.erase(std::unique(c.begin(), c.end()), c.end());
@@ -17,6 +20,7 @@ const HashIndex& Relation::FullIndex() const {
   auto it = indexes_.find(all);
   if (it != indexes_.end()) return *it->second;
   auto idx = std::make_unique<HashIndex>(all);
+  idx->ReserveRows(num_rows_);
   for (size_t i = 0; i < num_rows_; ++i) {
     idx->AddRow(TupleAt(i), static_cast<uint32_t>(i));
   }
@@ -33,6 +37,7 @@ bool Relation::Insert(TupleView t) {
   ++num_rows_;
   TupleView row = TupleAt(id);
   for (auto& [positions, idx] : indexes_) idx->AddRow(row, id);
+  for (auto& [positions, sidx] : sharded_indexes_) sidx->AddRow(row, id);
   for (auto& [key, pidx] : projection_indexes_) pidx->AddRow(row);
   return true;
 }
@@ -48,12 +53,18 @@ bool Relation::Remove(TupleView t) {
 
   Tuple victim_content = ToTuple(TupleAt(victim));
   for (auto& [positions, idx] : indexes_) idx->RemoveRow(victim_content, victim);
+  for (auto& [positions, sidx] : sharded_indexes_) {
+    sidx->RemoveRow(victim_content, victim);
+  }
   for (auto& [key, pidx] : projection_indexes_) pidx->RemoveRow(victim_content);
 
   if (victim != last) {
     Tuple moved_content = ToTuple(TupleAt(last));
     for (auto& [positions, idx] : indexes_) {
       idx->MoveRow(moved_content, last, victim);
+    }
+    for (auto& [positions, sidx] : sharded_indexes_) {
+      sidx->MoveRow(moved_content, last, victim);
     }
     std::copy(moved_content.begin(), moved_content.end(),
               data_.begin() + victim * arity_);
@@ -70,11 +81,12 @@ bool Relation::Contains(TupleView t) const {
 
 const HashIndex& Relation::EnsureIndex(
     const std::vector<size_t>& positions) const {
-  std::vector<size_t> c = Canonical(positions);
+  std::vector<size_t> c = CanonicalPositions(positions);
   for (size_t p : c) SI_CHECK_LT(p, arity_);
   auto it = indexes_.find(c);
   if (it != indexes_.end()) return *it->second;
   auto idx = std::make_unique<HashIndex>(c);
+  idx->ReserveRows(num_rows_);
   for (size_t i = 0; i < num_rows_; ++i) {
     idx->AddRow(TupleAt(i), static_cast<uint32_t>(i));
   }
@@ -85,15 +97,61 @@ const HashIndex& Relation::EnsureIndex(
 
 const HashIndex* Relation::FindIndex(
     const std::vector<size_t>& positions) const {
-  auto it = indexes_.find(Canonical(positions));
+  auto it = indexes_.find(CanonicalPositions(positions));
   return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+void Relation::Shard(size_t num_shards) {
+  sharded_indexes_.clear();
+  num_shards_ = num_shards <= 1 ? 0 : num_shards;
+}
+
+const ShardedHashIndex& Relation::EnsureShardedIndex(
+    const std::vector<size_t>& positions) const {
+  SI_CHECK_GE(num_shards_, 2u);
+  std::vector<size_t> c = CanonicalPositions(positions);
+  for (size_t p : c) SI_CHECK_LT(p, arity_);
+  auto it = sharded_indexes_.find(c);
+  if (it != sharded_indexes_.end()) return *it->second;
+  auto idx = std::make_unique<ShardedHashIndex>(c, num_shards_);
+
+  // Each shard owns a disjoint slice of the key space, so shard builds are
+  // independent morsels: every lane scans all rows but inserts only the rows
+  // whose key hashes to its shard.
+  for (size_t s = 0; s < num_shards_; ++s) {
+    idx->shard(s).ReserveRows(num_rows_ / num_shards_ + 1);
+  }
+  ShardedHashIndex* raw = idx.get();
+  par::WorkerPool::Global().ParallelFor(num_shards_, [&](size_t s) {
+    Tuple key;
+    key.resize(raw->positions().size());
+    for (size_t i = 0; i < num_rows_; ++i) {
+      TupleView row = TupleAt(i);
+      for (size_t j = 0; j < raw->positions().size(); ++j) {
+        key[j] = row[raw->positions()[j]];
+      }
+      if (raw->ShardOf(key) == s) {
+        raw->shard(s).AddRow(row, static_cast<uint32_t>(i));
+      }
+    }
+  });
+
+  const ShardedHashIndex& ref = *idx;
+  sharded_indexes_.emplace(std::move(c), std::move(idx));
+  return ref;
+}
+
+const ShardedHashIndex* Relation::FindShardedIndex(
+    const std::vector<size_t>& positions) const {
+  auto it = sharded_indexes_.find(CanonicalPositions(positions));
+  return it == sharded_indexes_.end() ? nullptr : it->second.get();
 }
 
 const ProjectionIndex& Relation::EnsureProjectionIndex(
     const std::vector<size_t>& key_positions,
     const std::vector<size_t>& value_positions) const {
-  std::vector<size_t> ck = Canonical(key_positions);
-  std::vector<size_t> cv = Canonical(value_positions);
+  std::vector<size_t> ck = CanonicalPositions(key_positions);
+  std::vector<size_t> cv = CanonicalPositions(value_positions);
   for (size_t p : ck) SI_CHECK_LT(p, arity_);
   for (size_t p : cv) SI_CHECK_LT(p, arity_);
   auto key = std::make_pair(ck, cv);
@@ -109,8 +167,8 @@ const ProjectionIndex& Relation::EnsureProjectionIndex(
 const ProjectionIndex* Relation::FindProjectionIndex(
     const std::vector<size_t>& key_positions,
     const std::vector<size_t>& value_positions) const {
-  auto it = projection_indexes_.find(
-      std::make_pair(Canonical(key_positions), Canonical(value_positions)));
+  auto it = projection_indexes_.find(std::make_pair(
+      CanonicalPositions(key_positions), CanonicalPositions(value_positions)));
   return it == projection_indexes_.end() ? nullptr : it->second.get();
 }
 
@@ -118,6 +176,7 @@ Relation Relation::Clone() const {
   Relation copy(arity_);
   copy.data_ = data_;
   copy.num_rows_ = num_rows_;
+  copy.num_shards_ = num_shards_;
   return copy;
 }
 

@@ -2,15 +2,38 @@
 #define SCALEIN_RELATIONAL_RELATION_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "relational/index.h"
 #include "relational/tuple.h"
+#include "util/strings.h"
 
 namespace scalein {
+
+/// Hash functor for index descriptors (canonicalized attribute-position
+/// vectors). The index registries are probed on every metered index lookup,
+/// so they live in hashed containers rather than ordered maps.
+struct PositionsHash {
+  size_t operator()(const std::vector<size_t>& positions) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t p : positions) h = HashCombine(h, static_cast<uint64_t>(p));
+    return static_cast<size_t>(h);
+  }
+};
+
+struct PositionsPairHash {
+  size_t operator()(const std::pair<std::vector<size_t>,
+                                    std::vector<size_t>>& key) const {
+    PositionsHash h;
+    return static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(h(key.first)),
+                    static_cast<uint64_t>(h(key.second))));
+  }
+};
 
 /// A finite relation instance: a *set* of tuples of fixed arity (§2).
 ///
@@ -21,6 +44,18 @@ namespace scalein {
 /// (`EnsureProjectionIndex`) are likewise maintained across inserts/removes,
 /// so applying a small update to a large indexed relation costs O(|update|),
 /// which the incremental-scale-independence benchmarks rely on.
+///
+/// Sharded mode (`Shard(k)`): the relation additionally maintains hash-sharded
+/// indexes (`EnsureShardedIndex`) whose key space is partitioned into k
+/// sub-indexes by key hash. Index probes then touch exactly one shard, and
+/// shard builds decompose into independent per-shard morsels executed on the
+/// worker pool (src/par). Content, set semantics, and plain indexes are
+/// unaffected — sharding changes physical layout only.
+///
+/// Thread-safety: all mutating members (including the const-but-caching
+/// Ensure* index builders) require exclusive access. Concurrent readers are
+/// safe once the indexes they probe exist — parallel evaluation paths
+/// prebuild every index a plan names before fanning out.
 class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
@@ -73,6 +108,31 @@ class Relation {
       const std::vector<size_t>& key_positions,
       const std::vector<size_t>& value_positions) const;
 
+  // --- Sharding (morsel-parallel physical layout) ---
+
+  /// Enables hash-sharded index mode with `num_shards` shards (>= 2), or
+  /// disables it (0 or 1). Existing sharded indexes are dropped and rebuild
+  /// on demand with the new shard count; plain indexes are untouched.
+  void Shard(size_t num_shards);
+
+  /// Number of index shards; 0 when sharding is disabled.
+  size_t num_shards() const { return num_shards_; }
+
+  /// Ensures a sharded hash index on `positions` (canonicalized); requires
+  /// `num_shards() >= 2`. The per-shard builds run as morsels on the global
+  /// worker pool.
+  const ShardedHashIndex& EnsureShardedIndex(
+      const std::vector<size_t>& positions) const;
+
+  const ShardedHashIndex* FindShardedIndex(
+      const std::vector<size_t>& positions) const;
+
+  /// Sorted + deduplicated copy of `positions` — the canonical index
+  /// descriptor every index registry is keyed by. Exposed so evaluation
+  /// plans can compute an index's key layout without forcing a build.
+  static std::vector<size_t> CanonicalPositions(
+      const std::vector<size_t>& positions);
+
   /// Deep copy of content (indexes are NOT copied; they rebuild on demand).
   Relation Clone() const;
 
@@ -92,15 +152,21 @@ class Relation {
 
  private:
   const HashIndex& FullIndex() const;
-  static std::vector<size_t> Canonical(const std::vector<size_t>& positions);
 
   size_t arity_;
   size_t num_rows_ = 0;
+  size_t num_shards_ = 0;
   std::vector<Value> data_;
   // Keyed by canonicalized positions. unique_ptr for pointer stability.
-  mutable std::map<std::vector<size_t>, std::unique_ptr<HashIndex>> indexes_;
-  mutable std::map<std::pair<std::vector<size_t>, std::vector<size_t>>,
-                   std::unique_ptr<ProjectionIndex>>
+  mutable std::unordered_map<std::vector<size_t>, std::unique_ptr<HashIndex>,
+                             PositionsHash>
+      indexes_;
+  mutable std::unordered_map<std::vector<size_t>,
+                             std::unique_ptr<ShardedHashIndex>, PositionsHash>
+      sharded_indexes_;
+  mutable std::unordered_map<
+      std::pair<std::vector<size_t>, std::vector<size_t>>,
+      std::unique_ptr<ProjectionIndex>, PositionsPairHash>
       projection_indexes_;
 };
 

@@ -1,14 +1,21 @@
 #include "relational/value.h"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 namespace scalein {
 namespace {
 
 /// Process-wide append-only string pool. Leaked intentionally: static storage
 /// objects must be trivially destructible, so we hold it by pointer.
+///
+/// Thread-safe since the morsel-parallel execution layer landed: worker lanes
+/// compare/render string values (shared lock) while loaders may intern new
+/// ones (exclusive lock). Strings live in a deque so the references handed
+/// out by Lookup stay stable across later interning.
 class StringInterner {
  public:
   static StringInterner& Global() {
@@ -17,8 +24,14 @@ class StringInterner {
   }
 
   int64_t Intern(std::string_view s) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(std::string(s));
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(std::string(s));
-    if (it != ids_.end()) return it->second;
+    if (it != ids_.end()) return it->second;  // raced with another interner
     int64_t id = static_cast<int64_t>(strings_.size());
     strings_.emplace_back(s);
     ids_.emplace(strings_.back(), id);
@@ -26,13 +39,15 @@ class StringInterner {
   }
 
   const std::string& Lookup(int64_t id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     SI_CHECK_GE(id, 0);
     SI_CHECK_LT(static_cast<size_t>(id), strings_.size());
     return strings_[static_cast<size_t>(id)];
   }
 
  private:
-  std::vector<std::string> strings_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> strings_;
   std::unordered_map<std::string, int64_t> ids_;
 };
 

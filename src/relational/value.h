@@ -16,8 +16,9 @@ namespace scalein {
 /// Values are 16 bytes, trivially copyable, and hash/compare in O(1): string
 /// payloads are ids into a process-wide interner, so equality never touches
 /// character data. The interner is append-only and leaked at shutdown
-/// (Google-style static storage); it is not thread-safe — the library is
-/// single-threaded by design.
+/// (Google-style static storage); it takes a shared lock on reads and an
+/// exclusive lock on interning, so worker-pool lanes (src/par) can compare
+/// and render values concurrently with loads.
 class Value {
  public:
   enum class Kind : uint8_t { kInt = 0, kString = 1 };

@@ -1,0 +1,190 @@
+// AnalysisCache contract tests: repeated queries hit, DDL invalidates (both
+// explicitly and via the environment fingerprint), fingerprint collisions are
+// detected rather than served, and capacity evicts LRU-first.
+
+#include "core/analysis_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "query/parser.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+struct Env {
+  SocialConfig config;
+  Schema schema = SocialSchema(false);
+  AccessSchema access;
+
+  Env() {
+    config.num_persons = 40;
+    config.max_friends_per_person = 10;
+    config.num_restaurants = 40;
+    access = SocialAccessSchema(config);
+  }
+};
+
+constexpr const char* kQ1 =
+    "Q1(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")";
+
+FoQuery FQ(const char* text, const Schema& s) {
+  Result<FoQuery> q = ParseFoQuery(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+TEST(AnalysisCacheTest, SecondLookupHitsAndSharesTheAnalysis) {
+  Env env;
+  FoQuery q = FQ(kQ1, env.schema);
+  AnalysisCache cache;
+  auto first = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared derivation
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The cached analysis is usable: Q1 is controlled by p.
+  EXPECT_FALSE((*second)->MinimalControlSets().empty());
+}
+
+TEST(AnalysisCacheTest, DistinctQueriesAreDistinctEntries) {
+  Env env;
+  AnalysisCache cache;
+  const char* q2 = "Q2(p, id) := friend(p, id)";
+  FoQuery a = FQ(kQ1, env.schema);
+  FoQuery b = FQ(q2, env.schema);
+  ASSERT_TRUE(cache.GetOrAnalyze(a.body, kQ1, env.schema, env.access).ok());
+  ASSERT_TRUE(cache.GetOrAnalyze(b.body, q2, env.schema, env.access).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(AnalysisCacheTest, InvalidateDropsEverything) {
+  Env env;
+  FoQuery q = FQ(kQ1, env.schema);
+  AnalysisCache cache;
+  ASSERT_TRUE(cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  ASSERT_TRUE(cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);  // re-derived, not served stale
+}
+
+TEST(AnalysisCacheTest, EnvironmentDriftInvalidatesOnLookup) {
+  // DDL that changes the access schema changes the environment fingerprint;
+  // a lookup under the new environment must re-derive even without an
+  // explicit Invalidate() call.
+  Env env;
+  FoQuery q = FQ(kQ1, env.schema);
+  AnalysisCache cache;
+  auto before = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+  ASSERT_TRUE(before.ok());
+  const uint64_t fp_before = AnalysisCache::EnvFingerprint(env.schema,
+                                                          env.access);
+
+  env.access.Add("restr", {"city"}, 7);  // unrelated statement, new env
+  const uint64_t fp_after = AnalysisCache::EnvFingerprint(env.schema,
+                                                          env.access);
+  EXPECT_NE(fp_before, fp_after);
+
+  auto after = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_GE(cache.stats().invalidations, 1u);
+}
+
+TEST(AnalysisCacheTest, FingerprintCollisionsServedAsMissWithoutPoisoning) {
+  Env env;
+  AnalysisCache cache;
+  cache.set_key_hash_for_testing(
+      +[](std::string_view) -> uint64_t { return 42; });  // everything collides
+  const char* q2 = "Q2(p, id) := friend(p, id)";
+  FoQuery a = FQ(kQ1, env.schema);
+  FoQuery b = FQ(q2, env.schema);
+  ASSERT_TRUE(cache.GetOrAnalyze(a.body, kQ1, env.schema, env.access).ok());
+  // Same hash, different text: must re-derive b, must NOT overwrite or serve
+  // a's entry.
+  auto rb = cache.GetOrAnalyze(b.body, q2, env.schema, env.access);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  EXPECT_EQ(cache.size(), 1u);  // the colliding derivation was not cached
+  // a still hits.
+  auto ra = cache.GetOrAnalyze(a.body, kQ1, env.schema, env.access);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // And b's answer was still correct despite the collision: Q2's body is a
+  // single friend atom, controlled by p.
+  EXPECT_FALSE((*rb)->MinimalControlSets().empty());
+  cache.set_key_hash_for_testing(nullptr);
+}
+
+TEST(AnalysisCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  Env env;
+  AnalysisCache cache(/*capacity=*/2);
+  const char* qa = "Qa(p, id) := friend(p, id)";
+  const char* qb = "Qb(p, name) := exists id. friend(p, id) and "
+                   "person(id, name, \"NYC\")";
+  const char* qc = "Qc(id, name) := person(id, name, \"NYC\")";
+  FoQuery a = FQ(qa, env.schema);
+  FoQuery b = FQ(qb, env.schema);
+  FoQuery c = FQ(qc, env.schema);
+  ASSERT_TRUE(cache.GetOrAnalyze(a.body, qa, env.schema, env.access).ok());
+  ASSERT_TRUE(cache.GetOrAnalyze(b.body, qb, env.schema, env.access).ok());
+  // Touch a so b becomes the LRU victim.
+  ASSERT_TRUE(cache.GetOrAnalyze(a.body, qa, env.schema, env.access).ok());
+  ASSERT_TRUE(cache.GetOrAnalyze(c.body, qc, env.schema, env.access).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // a survived; b was evicted.
+  ASSERT_TRUE(cache.GetOrAnalyze(a.body, qa, env.schema, env.access).ok());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  ASSERT_TRUE(cache.GetOrAnalyze(b.body, qb, env.schema, env.access).ok());
+  EXPECT_EQ(cache.stats().misses, 4u);  // a, b, c, then b again
+}
+
+TEST(AnalysisCacheTest, EmbeddedPlansKeyedByParameterSet) {
+  SocialConfig config;
+  config.dated_visits = true;
+  Schema schema = SocialSchema(true);
+  AccessSchema access = SocialAccessSchema(config);
+  Result<Cq> q3 = ParseCq(
+      "Q3(rn, p, yy) :- friend(p, id), visit(id, rid, yy, mm, dd), "
+      "person(id, pn, \"NYC\"), restr(rid, rn, \"NYC\", \"A\")",
+      &schema);
+  ASSERT_TRUE(q3.ok());
+  const std::string text = "Q3...";
+  AnalysisCache cache;
+  auto py = cache.GetOrAnalyzeEmbedded(*q3, text, schema, access,
+                                       {V("p"), V("yy")});
+  ASSERT_TRUE(py.ok());
+  EXPECT_TRUE((*py)->IsScaleIndependent());
+  // Different parameter set → different entry, not a hit.
+  auto p_only =
+      cache.GetOrAnalyzeEmbedded(*q3, text, schema, access, {V("p")});
+  ASSERT_TRUE(p_only.ok());
+  EXPECT_FALSE((*p_only)->IsScaleIndependent());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  // Same parameter set again → hit, same plan object.
+  auto again = cache.GetOrAnalyzeEmbedded(*q3, text, schema, access,
+                                          {V("p"), V("yy")});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(py->get(), again->get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace scalein

@@ -52,4 +52,27 @@ foreach(needle "dump reason: shell-exit" "[tripped]" "governor-trip"
             "report is missing '${needle}':\n${report_out}")
   endif()
 endforeach()
+
+# Offline certify: a fresh shell session (empty journal) re-verifies the
+# certificates sealed by the first session straight from the dump file.
+set(certify_script "${WORK_DIR}/trace_report_smoke_certify.txt")
+file(WRITE "${certify_script}" "certify ${dump}
+quit
+")
+execute_process(
+  COMMAND "${SHELL_BIN}"
+  INPUT_FILE "${certify_script}"
+  RESULT_VARIABLE certify_rc
+  OUTPUT_VARIABLE certify_out
+  ERROR_VARIABLE certify_err)
+if(NOT certify_rc EQUAL 0)
+  message(FATAL_ERROR "offline certify failed (rc=${certify_rc}): ${certify_err}")
+endif()
+foreach(needle "2/2 certificates verify" "signature-ok" "tripped")
+  string(FIND "${certify_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "offline certify output is missing '${needle}':\n${certify_out}")
+  endif()
+endforeach()
 message(STATUS "trace_report smoke OK")
