@@ -29,6 +29,11 @@ void AnalysisCache::set_key_hash_for_testing(uint64_t (*fn)(std::string_view)) {
   key_hash_override_ = fn;
 }
 
+void AnalysisCache::set_fill_barrier_for_testing(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fill_barrier_for_testing_ = std::move(fn);
+}
+
 AnalysisCache::Entry* AnalysisCache::LookupLocked(uint64_t hash,
                                                   std::string_view key_text,
                                                   uint64_t env_fp,
@@ -83,30 +88,55 @@ AnalysisCache::GetOrAnalyze(const Formula& f, std::string_view query_text,
   key_text += query_text;
   uint64_t hash;
   bool collision = false;
+  std::shared_ptr<InFlight> flight;
+  std::function<void()> barrier;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     hash = KeyHash(key_text);
     Entry* hit = LookupLocked(hash, key_text, env_fp, &collision);
     if (hit != nullptr && hit->plain != nullptr) {
       ++stats_.hits;
       return hit->plain;
     }
+    // Single-flight: the first miss on a key derives; concurrent misses
+    // wait on the fill and share its result instead of duplicating the DP.
+    auto [it, leader] = inflight_.try_emplace(key_text);
+    if (!leader) {
+      flight = it->second;
+      ++stats_.coalesced;
+      fill_cv_.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) return flight->status;
+      return flight->plain;
+    }
+    it->second = std::make_shared<InFlight>();
+    flight = it->second;
     ++stats_.misses;
+    barrier = fill_barrier_for_testing_;
   }
 
-  // Analyze outside the lock; concurrent misses on the same key both derive
-  // and the later insert wins (the results are identical).
+  // Analyze outside the lock.
+  if (barrier) barrier();
   Result<ControllabilityAnalysis> analyzed =
       ControllabilityAnalysis::Analyze(f, schema, access, options);
-  if (!analyzed.ok()) return analyzed.status();
-  auto shared = std::make_shared<const ControllabilityAnalysis>(
-      std::move(analyzed).ValueOrDie());
-  if (!collision) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry entry;
-    entry.plain = shared;
-    InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
+  std::shared_ptr<const ControllabilityAnalysis> shared;
+  if (analyzed.ok()) {
+    shared = std::make_shared<const ControllabilityAnalysis>(
+        std::move(analyzed).ValueOrDie());
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->status = analyzed.ok() ? Status::OK() : analyzed.status();
+    flight->plain = shared;
+    flight->done = true;
+    inflight_.erase(key_text);
+    if (analyzed.ok() && !collision) {
+      Entry entry;
+      entry.plain = shared;
+      InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
+    }
+  }
+  fill_cv_.notify_all();
+  if (shared == nullptr) return flight->status;
   return shared;
 }
 
@@ -124,28 +154,52 @@ AnalysisCache::GetOrAnalyzeEmbedded(const Cq& q, std::string_view query_text,
   key_text += VarSetToString(params);
   uint64_t hash;
   bool collision = false;
+  std::shared_ptr<InFlight> flight;
+  std::function<void()> barrier;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     hash = KeyHash(key_text);
     Entry* hit = LookupLocked(hash, key_text, env_fp, &collision);
     if (hit != nullptr && hit->embedded != nullptr) {
       ++stats_.hits;
       return hit->embedded;
     }
+    auto [it, leader] = inflight_.try_emplace(key_text);
+    if (!leader) {
+      flight = it->second;
+      ++stats_.coalesced;
+      fill_cv_.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) return flight->status;
+      return flight->embedded;
+    }
+    it->second = std::make_shared<InFlight>();
+    flight = it->second;
     ++stats_.misses;
+    barrier = fill_barrier_for_testing_;
   }
 
+  if (barrier) barrier();
   Result<EmbeddedCqAnalysis> analyzed =
       EmbeddedCqAnalysis::Analyze(q, schema, access, params);
-  if (!analyzed.ok()) return analyzed.status();
-  auto shared = std::make_shared<const EmbeddedCqAnalysis>(
-      std::move(analyzed).ValueOrDie());
-  if (!collision) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry entry;
-    entry.embedded = shared;
-    InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
+  std::shared_ptr<const EmbeddedCqAnalysis> shared;
+  if (analyzed.ok()) {
+    shared = std::make_shared<const EmbeddedCqAnalysis>(
+        std::move(analyzed).ValueOrDie());
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->status = analyzed.ok() ? Status::OK() : analyzed.status();
+    flight->embedded = shared;
+    flight->done = true;
+    inflight_.erase(key_text);
+    if (analyzed.ok() && !collision) {
+      Entry entry;
+      entry.embedded = shared;
+      InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
+    }
+  }
+  fill_cv_.notify_all();
+  if (shared == nullptr) return flight->status;
   return shared;
 }
 

@@ -1,7 +1,9 @@
 #ifndef SCALEIN_CORE_ANALYSIS_CACHE_H_
 #define SCALEIN_CORE_ANALYSIS_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +27,7 @@ struct AnalysisCacheStats {
   uint64_t evictions = 0;      ///< LRU victims dropped at capacity
   uint64_t invalidations = 0;  ///< entries dropped by DDL or env drift
   uint64_t collisions = 0;     ///< fingerprint matched, query text differed
+  uint64_t coalesced = 0;      ///< waited on a concurrent fill (single-flight)
 };
 
 /// Memoizes controllability derivations and embedded chase plans.
@@ -44,7 +47,10 @@ struct AnalysisCacheStats {
 /// Fingerprint collisions (same hash, different query text) are detected by
 /// comparing the stored key text and are served as misses without caching.
 /// Bounded capacity with LRU eviction. Thread-safe; the analysis itself runs
-/// outside the lock.
+/// outside the lock, and concurrent misses on the same key are coalesced
+/// into a single derivation (single-flight): the first caller derives, later
+/// callers wait on the in-flight fill and share its result, so parallel
+/// evaluation lanes never duplicate the §4 DP.
 class AnalysisCache {
  public:
   explicit AnalysisCache(size_t capacity = 64);
@@ -75,7 +81,21 @@ class AnalysisCache {
   /// to force collisions). Pass nullptr to restore the default.
   void set_key_hash_for_testing(uint64_t (*fn)(std::string_view));
 
+  /// Test hook: invoked by a single-flight leader after it has registered
+  /// the in-flight fill and released the lock, right before deriving — lets
+  /// a race test hold the leader inside the fill window deterministically.
+  /// Pass nullptr (default) to disable.
+  void set_fill_barrier_for_testing(std::function<void()> fn);
+
  private:
+  /// One in-progress derivation; later callers of the same key wait on it.
+  struct InFlight {
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const ControllabilityAnalysis> plain;
+    std::shared_ptr<const EmbeddedCqAnalysis> embedded;
+  };
+
   struct Entry {
     std::string key_text;  ///< full key, for collision detection
     uint64_t env_fp = 0;
@@ -95,9 +115,14 @@ class AnalysisCache {
 
   const size_t capacity_;
   mutable std::mutex mu_;
+  std::condition_variable fill_cv_;
   uint64_t tick_ = 0;
   uint64_t (*key_hash_override_)(std::string_view) = nullptr;
+  std::function<void()> fill_barrier_for_testing_;
   std::unordered_map<uint64_t, Entry> entries_;
+  /// In-progress fills keyed by full key text (collision-proof: two queries
+  /// sharing a fingerprint still derive independently).
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   AnalysisCacheStats stats_;
 };
 

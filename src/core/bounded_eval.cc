@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/approx.h"
+#include "exec/governed_parallel.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "par/worker_pool.h"
@@ -127,6 +128,16 @@ class PlainExecutor {
   PlainExecutor(Database* db, bool enforce_bounds, exec::ExecContext* ctx)
       : db_(db), enforce_bounds_(enforce_bounds), ctx_(ctx) {}
 
+  /// Worker-lane view for a governed fan-out: shares the parent's node→op
+  /// registration (so charge logs carry the parent's op ids) but charges
+  /// `ctx` — a charge-log worker context. The worker never writes the
+  /// parent's OpCounters; the parent's replay does.
+  PlainExecutor(const PlainExecutor& parent, exec::ExecContext* ctx)
+      : db_(parent.db_),
+        enforce_bounds_(parent.enforce_bounds_),
+        ctx_(ctx),
+        node_ops_(parent.node_ops_) {}
+
   Status status() const { return ctx_->status(); }
 
   /// Pre-registers one OpCounters per derivation node (children in
@@ -181,7 +192,9 @@ class PlainExecutor {
     }
 #endif
     BindingSet out = EvalImpl(node, opt, env, op);
-    if (op != nullptr) op->rows_out += out.size();
+    // Routed through the context so worker lanes log the bump for the
+    // parent's replay instead of writing the shared counter.
+    ctx_->ChargeOpRows(op, out.size());
     return out;
   }
 
@@ -299,29 +312,150 @@ class PlainExecutor {
     return out;
   }
 
+  /// True when a frontier of `items` independent sub-derivations is worth
+  /// fanning out: wide enough, a pool to run on, not already inside a
+  /// parallel region (batch lanes and morsel workers run inline), and the
+  /// context still clean.
+  bool ShouldFanOut(size_t items) const {
+    return items >= kParallelFrontierThreshold && par::CurrentLane() < 0 &&
+           par::WorkerPool::Global().threads() > 1 && ctx_->ok();
+  }
+
+  /// Expands every partial binding through (child, child_opt) — the §4
+  /// option tree's independent subformula derivations — as governed
+  /// parallel morsels. Appends to `next` in partial order, exactly like the
+  /// sequential expansion loop.
+  void ExpandParallel(const NodeAnalysis& child, const ControlOption& child_opt,
+                      const Binding& env, const std::vector<Binding>& partials,
+                      std::vector<Binding>* next) {
+    // Ensure* is a const-but-mutating cache fill; build every index this
+    // subtree can probe before lanes race on it.
+    PrebuildPlainIndexes(*db_, child, child_opt);
+    par::WorkerPool& pool = par::WorkerPool::Global();
+    const std::vector<std::pair<size_t, size_t>> ranges =
+        par::SplitRanges(partials.size(), pool.threads() * 4);
+    std::vector<std::vector<Binding>> bufs(ranges.size());
+    auto expand_one = [&](const Binding& partial, PlainExecutor* exec,
+                          std::vector<Binding>* out) {
+      Binding combined = env;
+      for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
+      for (const Binding& ext : exec->Eval(child, child_opt, combined)) {
+        Binding merged = partial;
+        for (const auto& [v, val] : ext) merged.insert_or_assign(v, val);
+        out->push_back(std::move(merged));
+      }
+    };
+    (void)exec::GovernedParallelMorsels(
+        ctx_, ranges.size(),
+        [&](size_t ri, exec::ExecContext* wctx) {
+          PlainExecutor wexec(*this, wctx);
+          for (size_t i = ranges[ri].first; i < ranges[ri].second && wctx->ok();
+               ++i) {
+            expand_one(partials[i], &wexec, &bufs[ri]);
+          }
+        },
+        [&](size_t ri) {
+          for (size_t i = ranges[ri].first; i < ranges[ri].second && ctx_->ok();
+               ++i) {
+            expand_one(partials[i], this, next);
+          }
+        },
+        [&](size_t ri) {
+          next->insert(next->end(), std::make_move_iterator(bufs[ri].begin()),
+                       std::make_move_iterator(bufs[ri].end()));
+        });
+  }
+
+  /// Filters the surviving partials through the safe negations as governed
+  /// parallel morsels; (*keep)[i] ends up exactly as the sequential filter
+  /// loop would leave it. Worker lanes write disjoint ranges of `keep`;
+  /// morsels the reconciliation discards are either re-executed (starved)
+  /// or irrelevant (the whole conjunction returns {} once the context
+  /// fails).
+  void FilterNegationsParallel(const NodeAnalysis& node,
+                               const ControlOption& opt, const Binding& env,
+                               const std::vector<Binding>& partials,
+                               std::vector<uint8_t>* keep) {
+    const size_t n_neg = node.subs.size() - node.n_positives;
+    for (size_t ni = 0; ni < n_neg; ++ni) {
+      PrebuildPlainIndexes(*db_, *node.subs[node.n_positives + ni],
+                           *opt.child_options[opt.conjunct_order.size() + ni]);
+    }
+    keep->assign(partials.size(), 0);
+    par::WorkerPool& pool = par::WorkerPool::Global();
+    const std::vector<std::pair<size_t, size_t>> ranges =
+        par::SplitRanges(partials.size(), pool.threads() * 4);
+    auto filter_one = [&](const Binding& partial,
+                          PlainExecutor* exec) -> uint8_t {
+      Binding combined = env;
+      for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
+      for (size_t ni = 0; ni < n_neg; ++ni) {
+        const NodeAnalysis& neg = *node.subs[node.n_positives + ni];
+        const ControlOption& neg_opt =
+            *opt.child_options[opt.conjunct_order.size() + ni];
+        if (!exec->Eval(neg, neg_opt, combined).empty()) return 0;
+        if (!exec->ctx_->ok()) return 0;
+      }
+      return 1;
+    };
+    (void)exec::GovernedParallelMorsels(
+        ctx_, ranges.size(),
+        [&](size_t ri, exec::ExecContext* wctx) {
+          PlainExecutor wexec(*this, wctx);
+          for (size_t i = ranges[ri].first; i < ranges[ri].second && wctx->ok();
+               ++i) {
+            (*keep)[i] = filter_one(partials[i], &wexec);
+          }
+        },
+        [&](size_t ri) {
+          for (size_t i = ranges[ri].first; i < ranges[ri].second && ctx_->ok();
+               ++i) {
+            (*keep)[i] = filter_one(partials[i], this);
+          }
+        },
+        [&](size_t ri) {});
+  }
+
   BindingSet EvalAnd(const NodeAnalysis& node, const ControlOption& opt,
                      const Binding& env) {
-    // Positive conjuncts in derivation order.
+    // Positive conjuncts in derivation order; wide frontiers fan out as
+    // governed parallel morsels (exec/governed_parallel.h).
     std::vector<Binding> partials = {Binding{}};
     for (size_t step = 0; step < opt.conjunct_order.size(); ++step) {
       const NodeAnalysis& child = *node.subs[opt.conjunct_order[step]];
       const ControlOption& child_opt = *opt.child_options[step];
       std::vector<Binding> next;
-      for (const Binding& partial : partials) {
-        Binding combined = env;
-        for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
-        for (const Binding& ext : Eval(child, child_opt, combined)) {
-          Binding merged = partial;
-          for (const auto& [v, val] : ext) merged.insert_or_assign(v, val);
-          next.push_back(std::move(merged));
-        }
+      if (ShouldFanOut(partials.size())) {
+        ExpandParallel(child, child_opt, env, partials, &next);
         if (!ctx_->ok()) return {};
+      } else {
+        for (const Binding& partial : partials) {
+          Binding combined = env;
+          for (const auto& [v, val] : partial) {
+            combined.insert_or_assign(v, val);
+          }
+          for (const Binding& ext : Eval(child, child_opt, combined)) {
+            Binding merged = partial;
+            for (const auto& [v, val] : ext) merged.insert_or_assign(v, val);
+            next.push_back(std::move(merged));
+          }
+          if (!ctx_->ok()) return {};
+        }
       }
       partials = std::move(next);
     }
     // Safe negations filter the surviving partials.
     const size_t n_neg = node.subs.size() - node.n_positives;
     BindingSet out;
+    if (n_neg > 0 && ShouldFanOut(partials.size())) {
+      std::vector<uint8_t> keep;
+      FilterNegationsParallel(node, opt, env, partials, &keep);
+      if (!ctx_->ok()) return {};
+      for (size_t i = 0; i < partials.size(); ++i) {
+        if (keep[i]) out.insert(partials[i]);
+      }
+      return out;
+    }
     for (const Binding& partial : partials) {
       Binding combined = env;
       for (const auto& [v, val] : partial) combined.insert_or_assign(v, val);
@@ -458,8 +592,16 @@ Result<AnswerSet> BoundedEvaluator::Evaluate(
       SI_CHECK_MSG(it != b.end(), "result missing a head variable");
       t.push_back(it->second);
     }
-    answers.insert(std::move(t));
+    // Distinct answers charge the output-row cap; the tripping answer is
+    // withdrawn so exactly cap rows survive, deterministically (results
+    // iterate in set order at any thread count).
+    auto [pos, inserted] = answers.insert(std::move(t));
+    if (inserted && !ctx.ChargeOutput(1, nullptr)) {
+      answers.erase(pos);
+      break;
+    }
   }
+  SI_RETURN_IF_ERROR(ctx.status());
   return answers;
 }
 
@@ -743,7 +885,7 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
     par::WorkerPool& pool = par::WorkerPool::Global();
     const bool fan_out = rel != nullptr && pool.threads() > 1 &&
                          assignments.size() >= kParallelFrontierThreshold &&
-                         !ctx->governor().limits().any() && ctx->ok();
+                         ctx->ok();
     if (rel == nullptr) {
       // Unknown relation: the frontier dies here, matching a lookup miss.
     } else if (!fan_out) {
@@ -752,40 +894,43 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
             process_assignment(assignment, ctx, op, &next_assignments));
       }
     } else {
-      // Morsel fan-out over the frontier. Each morsel charges a private
-      // context; totals are folded back in morsel order, so a clean run's
-      // accounting is byte-identical to the sequential path. Only taken
-      // with the governor unarmed, keeping trip points deterministic.
+      // Governed morsel fan-out over the frontier (the sub-budget lease /
+      // charge-log replay protocol, exec/governed_parallel.h): worker lanes
+      // charge private logs against per-lane leases and the parent replays
+      // them in morsel order through its own armed governor, so answers,
+      // accounting, and trip verdicts are byte-identical to the sequential
+      // walk at any thread count — armed or not.
       const std::vector<std::pair<size_t, size_t>> ranges =
           par::SplitRanges(assignments.size(), pool.threads() * 4);
-      std::deque<exec::ExecContext> worker_ctxs;
-      for (size_t ri = 0; ri < ranges.size(); ++ri) {
-        worker_ctxs.emplace_back(db_);
-        worker_ctxs.back().set_tracer(nullptr);  // accounting only
-      }
       std::vector<std::vector<Binding>> worker_out(ranges.size());
-      std::vector<Status> worker_status(ranges.size(), Status::OK());
-      pool.ParallelFor(ranges.size(), [&](size_t ri) {
-        for (size_t i = ranges[ri].first; i < ranges[ri].second; ++i) {
-          Status s = process_assignment(assignments[i], &worker_ctxs[ri],
-                                        nullptr, &worker_out[ri]);
-          if (!s.ok()) {
-            worker_status[ri] = std::move(s);
-            break;
-          }
-        }
-      });
-      Status first_error = Status::OK();
-      for (size_t ri = 0; ri < ranges.size(); ++ri) {
-        ctx->AbsorbWorker(worker_ctxs[ri], op);
-        if (first_error.ok() && !worker_status[ri].ok()) {
-          first_error = worker_status[ri];
-        }
-        next_assignments.insert(next_assignments.end(),
-                                std::make_move_iterator(worker_out[ri].begin()),
-                                std::make_move_iterator(worker_out[ri].end()));
-      }
-      SI_RETURN_IF_ERROR(first_error);
+      Status frontier_error = Status::OK();
+      (void)exec::GovernedParallelMorsels(
+          ctx, ranges.size(),
+          [&](size_t ri, exec::ExecContext* wctx) {
+            for (size_t i = ranges[ri].first; i < ranges[ri].second; ++i) {
+              Status s = process_assignment(assignments[i], wctx, op,
+                                            &worker_out[ri]);
+              if (!s.ok()) {
+                wctx->SetError(std::move(s));
+                break;
+              }
+              if (!wctx->ok()) break;
+            }
+          },
+          [&](size_t ri) {
+            for (size_t i = ranges[ri].first; i < ranges[ri].second; ++i) {
+              if (!ctx->ok() || !frontier_error.ok()) break;
+              frontier_error = process_assignment(assignments[i], ctx, op,
+                                                  &next_assignments);
+            }
+          },
+          [&](size_t ri) {
+            next_assignments.insert(
+                next_assignments.end(),
+                std::make_move_iterator(worker_out[ri].begin()),
+                std::make_move_iterator(worker_out[ri].end()));
+          });
+      SI_RETURN_IF_ERROR(frontier_error);
       SI_RETURN_IF_ERROR(ctx->status());
     }
     if (op != nullptr) {
@@ -800,7 +945,8 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
     assignments = std::move(next_assignments);
   }
 
-  // Project to the open head positions.
+  // Project to the open head positions; distinct answers charge the
+  // output-row cap.
   AnswerSet answers;
   for (const Binding& assignment : assignments) {
     Tuple t;
@@ -809,8 +955,13 @@ Result<AnswerSet> BoundedEvaluator::EvaluateEmbeddedImpl(
       if (analysis.params().count(h.var())) continue;
       t.push_back(assignment.at(h.var()));
     }
-    answers.insert(std::move(t));
+    auto [pos, inserted] = answers.insert(std::move(t));
+    if (inserted && !ctx->ChargeOutput(1, root_op)) {
+      answers.erase(pos);
+      break;
+    }
   }
+  SI_RETURN_IF_ERROR(ctx->status());
   if (root_op != nullptr) root_op->rows_out += answers.size();
   return answers;
 }
@@ -863,18 +1014,12 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateDegraded(
   }
 
   exec::Degraded<AnswerSet> out;
-  out.base_tuples_fetched = ctx.base_tuples_fetched();
-  out.index_lookups = ctx.index_lookups();
-  if (!ctx.ok()) {
-    // Only governor trips degrade; other failures stay errors.
-    if (!ctx.trip().tripped()) return ctx.status();
-    out.complete = false;
-    out.trip = ctx.trip();
-    out.ops = ctx.SnapshotOps();
-  }
   // Bindings that survived the full derivation are sound answers even when
   // the walk was cut short (subtrees abandoned mid-derivation return no
-  // bindings rather than unchecked ones).
+  // bindings rather than unchecked ones). Projection runs before the trip
+  // check because the output-row cap trips *here*: the first cap distinct
+  // answers are kept and the tripping answer is withdrawn, so a row-capped
+  // degraded result is identical at any thread count.
   std::vector<Variable> open;
   for (const Variable& v : q.head) {
     if (!params.count(v)) open.push_back(v);
@@ -887,7 +1032,20 @@ Result<exec::Degraded<AnswerSet>> BoundedEvaluator::EvaluateDegraded(
       SI_CHECK_MSG(it != b.end(), "result missing a head variable");
       t.push_back(it->second);
     }
-    out.value.insert(std::move(t));
+    auto [pos, inserted] = out.value.insert(std::move(t));
+    if (inserted && !ctx.ChargeOutput(1, nullptr)) {
+      out.value.erase(pos);
+      break;
+    }
+  }
+  out.base_tuples_fetched = ctx.base_tuples_fetched();
+  out.index_lookups = ctx.index_lookups();
+  if (!ctx.ok()) {
+    // Only governor trips degrade; other failures stay errors.
+    if (!ctx.trip().tripped()) return ctx.status();
+    out.complete = false;
+    out.trip = ctx.trip();
+    out.ops = ctx.SnapshotOps();
   }
   return out;
 }

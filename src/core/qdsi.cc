@@ -6,6 +6,7 @@
 #include "eval/fo_evaluator.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace scalein {
 
@@ -139,6 +140,14 @@ QdsiDecision DecideMonotone(const std::vector<Cq>& disjuncts, size_t tableau,
       decision.verdict = Verdict::kUnknown;
       return decision;
     }
+    // Fault-injection site: one hit per answer whose supports are gathered.
+    // A fault mid-gather degrades to kUnknown for the same soundness reason
+    // as a governor trip.
+    if (Status s = SCALEIN_FAILPOINT("qdsi_support"); !s.ok()) {
+      decision.verdict = Verdict::kUnknown;
+      decision.error = std::move(s);
+      return decision;
+    }
     std::vector<TupleSet> pooled;
     for (const Cq& q : disjuncts) {
       std::vector<TupleSet> s =
@@ -217,6 +226,12 @@ QdsiDecision DecideQdsiFo(const FoQuery& q, const Database& d, uint64_t m,
         // Deadline/cancellation degrade exactly like the subset cap: the
         // subsets already examined stay examined, verdict becomes kUnknown.
         if (options.governor != nullptr && !options.governor->Checkpoint()) {
+          capped = true;
+          break;
+        }
+        // Fault-injection site: one hit per candidate subset examined.
+        if (Status s = SCALEIN_FAILPOINT("qdsi_subset"); !s.ok()) {
+          decision.error = std::move(s);
           capped = true;
           break;
         }

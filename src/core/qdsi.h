@@ -31,6 +31,10 @@ struct QdsiDecision {
   std::optional<TupleSet> witness;
   uint64_t work = 0;        ///< search nodes / subsets examined
   std::string method;       ///< which decision path fired
+  /// Non-OK when the search aborted on an injected or environmental fault
+  /// (SCALEIN_FAILPOINTS sites "qdsi_subset"/"qdsi_support"); the verdict is
+  /// then kUnknown — a fault never forges a yes/no.
+  Status error = Status::OK();
 
   bool yes() const { return verdict == Verdict::kYes; }
 };

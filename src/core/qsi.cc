@@ -4,6 +4,7 @@
 
 #include "eval/containment.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace scalein {
@@ -249,6 +250,13 @@ QsiDecision DecideQsiFo(const FoQuery& q, const Schema& schema, uint64_t m,
       while (more) {
         if (++examined > options.max_databases) {
           decision.verdict = Verdict::kUnknown;
+          return decision;
+        }
+        // Fault-injection site: one hit per candidate database, so chaos
+        // schedules can abort the §3 search mid-enumeration.
+        if (Status s = SCALEIN_FAILPOINT("qsi_candidate"); !s.ok()) {
+          decision.verdict = Verdict::kUnknown;
+          decision.error = std::move(s);
           return decision;
         }
         Database candidate(schema);

@@ -17,6 +17,10 @@ struct QsiDecision {
   std::string method;
   /// For `kNo`: a database on which Q is not scale-independent w.r.t. M.
   std::optional<Database> counterexample;
+  /// Non-OK when the counterexample search aborted on an injected or
+  /// environmental fault (SCALEIN_FAILPOINTS site "qsi_candidate"); the
+  /// verdict is then kUnknown — a fault never forges a yes/no.
+  Status error = Status::OK();
 };
 
 /// QSI(CQ) — decidable, and almost always negative (§3):

@@ -1,0 +1,58 @@
+#include "exec/governed_parallel.h"
+
+#include <deque>
+#include <vector>
+
+#include "par/worker_pool.h"
+
+namespace scalein::exec {
+
+Status GovernedParallelMorsels(
+    ExecContext* parent, size_t morsels,
+    const std::function<void(size_t, ExecContext*)>& run,
+    const std::function<void(size_t)>& reexec,
+    const std::function<void(size_t)>& commit) {
+  par::WorkerPool& pool = par::WorkerPool::Global();
+  const ResourceGovernor& gov = parent->governor();
+
+  SharedLedger ledger;
+  const uint64_t budget = gov.limits().fetch_budget;
+  if (budget != 0) {
+    const uint64_t fetched = parent->base_tuples_fetched();
+    ledger.Init(budget > fetched ? budget - fetched : 0, pool.threads());
+  }
+
+  // Lanes share the parent's resolved clock and cancellation flag; the
+  // fetch budget lives in the ledger and the output cap is parent-only.
+  GovernorLimits lane_limits;
+  lane_limits.deadline_ns = gov.resolved_deadline_ns();
+  lane_limits.has_cancel = gov.limits().has_cancel;
+  lane_limits.cancel = gov.limits().cancel;
+
+  std::deque<ExecContext> workers;
+  for (size_t m = 0; m < morsels; ++m) {
+    ExecContext& w = workers.emplace_back(parent->db());
+    w.set_tracer(nullptr);  // accounting only; spans stay with the parent
+    w.BeginChargeLog(&ledger, lane_limits);
+  }
+
+  std::vector<int> lanes(morsels, -1);
+  pool.ParallelFor(morsels, [&](size_t m) {
+    lanes[m] = par::CurrentLane();
+    run(m, &workers[m]);
+  });
+
+  for (size_t m = 0; m < morsels; ++m) {
+    parent->AccumulateLane(lanes[m], workers[m]);
+    if (!parent->ok()) continue;  // trip/error recorded earlier: discard
+    if (workers[m].starved()) {
+      reexec(m);
+    } else {
+      parent->ReplayWorker(workers[m]);
+      if (parent->ok()) commit(m);
+    }
+  }
+  return parent->status();
+}
+
+}  // namespace scalein::exec

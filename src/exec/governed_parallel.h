@@ -1,0 +1,59 @@
+#ifndef SCALEIN_EXEC_GOVERNED_PARALLEL_H_
+#define SCALEIN_EXEC_GOVERNED_PARALLEL_H_
+
+#include <functional>
+
+#include "exec/exec_context.h"
+#include "util/status.h"
+
+namespace scalein {
+class Database;
+}
+
+namespace scalein::exec {
+
+/// Deterministic governed morsel fan-out: the sub-budget lease / charge-log
+/// replay protocol (docs/parallelism.md).
+///
+/// Runs `run(m, worker_ctx)` for each morsel m in [0, morsels) on the global
+/// worker pool. Each worker ExecContext is in charge-log mode: fetches are
+/// served from per-lane SubBudget leases on one SharedLedger sized from the
+/// parent's unspent fetch budget, the lane-local governor carries only the
+/// parent's deadline/cancellation (same absolute clock), and every metered
+/// charge is appended to a log instead of probing the parent's governor.
+///
+/// Reconciliation then walks the morsels in order — the exact order the
+/// sequential walk would have processed them:
+///   - parent already failed/tripped → the morsel is discarded;
+///   - worker clean → its log replays through the parent's armed governor
+///     (reproducing the sequential charge/trip sequence byte-for-byte); if
+///     the parent is still clean, `commit(m)` publishes the morsel's output;
+///   - worker errored (failpoint, storage error) → the log — a faithful
+///     prefix up to the error — replays, then the error propagates;
+///   - worker starved (lane lease dry, or local deadline/cancel trip) → its
+///     log understates the sequential prefix, so log and output are
+///     discarded and `reexec(m)` re-runs the morsel sequentially in the
+///     parent context, giving exact sequential semantics with no
+///     double-counting.
+///
+/// The result: a governed run at SCALEIN_THREADS=N produces the same
+/// answers, the same TripInfo (kind, op, fetched_at_trip), the same per-op
+/// and per-relation accounting — hence the same access certificate — as at
+/// N=1. The only non-reproducible case is a deadline/cancellation that
+/// expires *mid-run* (wall-clock nondeterminism is inherent); pre-expired
+/// deadlines and pre-cancelled tokens reconcile deterministically because
+/// every lane detects them within its first check interval.
+///
+/// `run` must confine all writes to the morsel's own worker context and
+/// output buffer. `reexec(m)` must perform the morsel's work against the
+/// parent context directly; `commit(m)` must publish the worker's buffered
+/// output. Returns the parent's status after reconciliation.
+Status GovernedParallelMorsels(
+    ExecContext* parent, size_t morsels,
+    const std::function<void(size_t, ExecContext*)>& run,
+    const std::function<void(size_t)>& reexec,
+    const std::function<void(size_t)>& commit);
+
+}  // namespace scalein::exec
+
+#endif  // SCALEIN_EXEC_GOVERNED_PARALLEL_H_

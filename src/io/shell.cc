@@ -129,7 +129,8 @@ std::string Shell::HelpText() {
       "  explain qdsi <M> <cq-rule> | explain analyze <fo-query>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
       "  limit [fetch=N] [deadline=MS] [rows=N] | limit off\n"
-      "  threads [N]    show or resize the morsel worker pool\n"
+      "  threads [N]    show or resize the morsel worker pool and report\n"
+      "                 shard-advisor decisions (applied on resize)\n"
       "  stats [prom] | stats watch <secs> [path] | stats watch off\n"
       "  journal        list this session's access certificates\n"
       "  certify        re-verify every certificate offline\n"
@@ -318,6 +319,23 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   for (const auto& [relation, fetched] : stats.fetched_by_relation) {
     metrics_->GetCounter("shell.fetched." + relation).Increment(fetched);
   }
+  for (const auto& [lane, fetched] : stats.fetched_by_lane) {
+    metrics_->GetCounter(StrFormat("shell.lane.%d.fetched", lane))
+        .Increment(fetched);
+  }
+  for (const auto& [lane, lookups] : stats.lookups_by_lane) {
+    metrics_->GetCounter(StrFormat("shell.lane.%d.lookups", lane))
+        .Increment(lookups);
+  }
+  // Feedback loop: with a multi-lane pool, let the probe traffic this query
+  // just exported re-shard hot relations before the next evaluation.
+  if (par::WorkerPool::Global().threads() > 1) {
+    (void)shard_advisor_.Advise(db_.get(), *metrics_, "shell.fetched.",
+                                par::WorkerPool::Global().threads(),
+                                /*apply=*/true);
+    metrics_->GetGauge("shell.advisor.reshards")
+        .Set(static_cast<int64_t>(shard_advisor_.reshards()));
+  }
   if (!degraded.complete) {
     metrics_
         ->GetCounter(std::string("shell.governor.trips.") +
@@ -374,11 +392,20 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   if (!degraded.complete) (void)obs::WritePostMortem("governor-trip");
 
   if (explain) {
-    return obs::RenderExplainAnalyze(stats.ops, stats.base_tuples_fetched,
-                                     stats.index_lookups, stats.static_bound,
-                                     degraded.trip) +
-           StrFormat("(%zu answers%s)\n", answers.size(),
-                     degraded.complete ? "" : ", partial");
+    std::string out =
+        obs::RenderExplainAnalyze(stats.ops, stats.base_tuples_fetched,
+                                  stats.index_lookups, stats.static_bound,
+                                  degraded.trip);
+    if (!stats.fetched_by_lane.empty()) {
+      out += "lanes:";
+      for (const auto& [lane, fetched] : stats.fetched_by_lane) {
+        out += StrFormat(" %d=%llu", lane,
+                         static_cast<unsigned long long>(fetched));
+      }
+      out += "\n";
+    }
+    return out + StrFormat("(%zu answers%s)\n", answers.size(),
+                           degraded.complete ? "" : ", partial");
   }
   std::string out =
       AnswerSetToString(answers, 50) +
@@ -562,14 +589,32 @@ Result<std::string> Shell::RunCertify(std::string_view rest) const {
 Result<std::string> Shell::RunThreads(std::string_view rest) {
   par::WorkerPool& pool = par::WorkerPool::Global();
   const std::string arg(StripWhitespace(rest));
-  if (!arg.empty()) {
+  const bool resized = !arg.empty();
+  if (resized) {
     SI_ASSIGN_OR_RETURN(uint64_t n, ParseShellU64(arg));
     if (n < 1) n = 1;
     if (n > 64) n = 64;
     pool.Resize(static_cast<size_t>(n));
     metrics_->GetGauge("shell.threads").Set(static_cast<int64_t>(n));
   }
-  return StrFormat("%zu thread(s)\n", pool.threads());
+  std::string out = StrFormat("%zu thread(s)\n", pool.threads());
+  if (db_ != nullptr) {
+    // Bare `threads` just reports what the advisor would do; a resize also
+    // applies it, so the index layout tracks the new pool width immediately.
+    std::vector<par::ShardDecision> decisions = shard_advisor_.Advise(
+        db_.get(), *metrics_, "shell.fetched.", pool.threads(), resized);
+    for (const par::ShardDecision& d : decisions) {
+      out += StrFormat("  %s: rows=%zu probes=%llu shards=%zu -> %zu (%s)%s\n",
+                       d.relation.c_str(), d.rows,
+                       static_cast<unsigned long long>(d.probes),
+                       d.current_shards <= 1 ? size_t{1} : d.current_shards,
+                       d.advised_shards, d.reason,
+                       d.applied ? " [applied]" : "");
+    }
+    metrics_->GetGauge("shell.advisor.reshards")
+        .Set(static_cast<int64_t>(shard_advisor_.reshards()));
+  }
+  return out;
 }
 
 Result<std::string> Shell::RunDump(std::string_view rest) const {

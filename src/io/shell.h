@@ -12,6 +12,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "par/shard_advisor.h"
 #include "relational/database.h"
 #include "relational/schema.h"
 #include "util/status.h"
@@ -35,7 +36,8 @@ namespace scalein {
 ///   explain qdsi <M> Q(x) :- <CQ body> | explain analyze <fo-query>
 ///   qdsi <M> Q(x) :- <CQ body>
 ///   limit [fetch=N] [deadline=MS] [rows=N] | limit off
-///   threads [N]    size the session's morsel worker pool
+///   threads [N]    size the morsel worker pool; reports shard-advisor
+///                  decisions per relation (and applies them on resize)
 ///   stats [prom] | stats watch <secs> [path] | stats watch off
 ///   journal | certify [dump.json] | dump [path] | slowlog [<ms>|off]
 ///
@@ -83,6 +85,9 @@ class Shell {
   const obs::QueryJournal& journal() const { return *journal_; }
   /// Memoized controllability derivations; invalidated on schema/access DDL.
   const AnalysisCache& analysis_cache() const { return *analysis_cache_; }
+  /// Adaptive shard advisor: re-shards relations from cardinality and
+  /// observed probe traffic (`threads` reports it, eval feeds it back).
+  const par::ShardAdvisor& shard_advisor() const { return shard_advisor_; }
 
  private:
   Database* EnsureDb();
@@ -123,6 +128,7 @@ class Shell {
   std::unique_ptr<obs::MetricsDumper> dumper_;
   std::unique_ptr<AnalysisCache> analysis_cache_ =
       std::make_unique<AnalysisCache>();
+  par::ShardAdvisor shard_advisor_;
   std::string dump_path_;  ///< SCALEIN_DUMP_PATH; default for `dump`
 };
 

@@ -43,6 +43,12 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *slot;
 }
 
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];

@@ -1,0 +1,52 @@
+#include "par/shard_advisor.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace scalein::par {
+
+size_t ShardAdvisor::AdviseShardCount(size_t rows, size_t lanes) {
+  if (lanes <= 1 || rows < kMinRowsToShard) return 1;
+  size_t k = std::min(lanes, rows / kTargetRowsPerShard);
+  k = std::min(k, kMaxShards);
+  return k < 2 ? 1 : k;
+}
+
+std::vector<ShardDecision> ShardAdvisor::Advise(
+    Database* db, const obs::MetricsRegistry& metrics,
+    const std::string& probe_prefix, size_t lanes, bool apply) {
+  std::vector<ShardDecision> out;
+  out.reserve(db->schema().relations().size());
+  for (const RelationSchema& rs : db->schema().relations()) {
+    Relation& rel = db->relation(rs.name());
+    ShardDecision d;
+    d.relation = rs.name();
+    d.rows = rel.size();
+    d.current_shards = rel.num_shards();
+    const obs::Counter* probes =
+        metrics.FindCounter(probe_prefix + rs.name());
+    d.probes = probes == nullptr ? 0 : probes->value();
+    d.advised_shards = AdviseShardCount(d.rows, lanes);
+    d.reason = "cardinality";
+    // Feedback loop: heavy observed probe traffic boosts a relation to the
+    // full pool width, so every lane probes a private shard map.
+    if (lanes > 1 && d.probes >= kHotProbeThreshold &&
+        d.rows >= kTargetRowsPerShard &&
+        d.advised_shards < std::min(lanes, kMaxShards)) {
+      d.advised_shards = std::min(lanes, kMaxShards);
+      d.reason = "hot-probes";
+    }
+    const size_t current = d.current_shards <= 1 ? 1 : d.current_shards;
+    if (apply && current != d.advised_shards) {
+      rel.Shard(d.advised_shards <= 1 ? 0 : d.advised_shards);
+      d.applied = true;
+      ++reshards_;
+    }
+    out.push_back(std::move(d));
+  }
+  last_ = out;
+  return out;
+}
+
+}  // namespace scalein::par

@@ -1,0 +1,75 @@
+#ifndef SCALEIN_PAR_SHARD_ADVISOR_H_
+#define SCALEIN_PAR_SHARD_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace scalein::obs {
+class MetricsRegistry;
+}
+
+namespace scalein::par {
+
+/// One advisory verdict for a relation: what the advisor saw and what it
+/// recommends (or applied).
+struct ShardDecision {
+  std::string relation;
+  size_t rows = 0;            ///< relation cardinality at decision time
+  uint64_t probes = 0;        ///< observed probe traffic (metrics feedback)
+  size_t current_shards = 0;  ///< 0/1 = unsharded
+  size_t advised_shards = 1;  ///< 1 = stay/become unsharded
+  bool applied = false;       ///< Advise(apply=true) re-sharded the relation
+  const char* reason = "";    ///< "cardinality" or "hot-probes"
+};
+
+/// Picks Relation::Shard(k) from relation cardinality and worker-pool width,
+/// and re-shards *hot* relations — those with heavy observed probe traffic
+/// in a MetricsRegistry — up to the full pool width even when cardinality
+/// alone would not justify it. Sharding only changes index layout (probes
+/// route to the one shard owning a key's hash), never accounting, so the
+/// advisor can re-shard between evaluations without perturbing certificates.
+///
+/// Not thread-safe, and applying decisions rebuilds dropped sharded indexes
+/// on next use: call it from a single control thread (the shell) between
+/// evaluations, never while queries run.
+class ShardAdvisor {
+ public:
+  /// Below this cardinality a relation stays unsharded — per-shard index
+  /// maps would be too small to be worth the extra routing.
+  static constexpr size_t kMinRowsToShard = 2048;
+  /// Target rows per shard when cardinality drives the decision.
+  static constexpr size_t kTargetRowsPerShard = 1024;
+  static constexpr size_t kMaxShards = 64;
+  /// Observed probe traffic (fetched-tuple counter) at which a relation
+  /// counts as hot and is boosted to the full pool width.
+  static constexpr uint64_t kHotProbeThreshold = 1024;
+
+  /// Pure cardinality heuristic: shard count for a relation of `rows`
+  /// tuples on a pool of `lanes` lanes (1 = don't shard).
+  static size_t AdviseShardCount(size_t rows, size_t lanes);
+
+  /// Scans every relation of `db` and records a decision per relation.
+  /// `probe_prefix` + relation name keys the per-relation fetched counters
+  /// in `metrics` ("shell.fetched." in the shell); missing counters read as
+  /// zero without minting metrics. When `apply` is set, decisions that
+  /// change the current shard count call Relation::Shard.
+  std::vector<ShardDecision> Advise(Database* db,
+                                    const obs::MetricsRegistry& metrics,
+                                    const std::string& probe_prefix,
+                                    size_t lanes, bool apply);
+
+  const std::vector<ShardDecision>& last_decisions() const { return last_; }
+  /// Total re-shards applied over this advisor's lifetime.
+  uint64_t reshards() const { return reshards_; }
+
+ private:
+  std::vector<ShardDecision> last_;
+  uint64_t reshards_ = 0;
+};
+
+}  // namespace scalein::par
+
+#endif  // SCALEIN_PAR_SHARD_ADVISOR_H_

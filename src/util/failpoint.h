@@ -66,6 +66,15 @@ struct FailpointConfig {
 /// (default 0), so a given spec replays identically — randomized chaos
 /// schedules are reproducible from (spec, seed) alone.
 ///
+/// Engine sites (grep SCALEIN_FAILPOINT for the authoritative list):
+/// storage probes `index_probe`, `scan_next`, `delta_apply`; the §4 chase
+/// `chase_step`; and the §3 decision-procedure search loops `qsi_candidate`
+/// (one hit per candidate counterexample database), `qdsi_subset` (one hit
+/// per candidate subset) and `qdsi_support` (one hit per answer whose
+/// supports are gathered). A fault at a §3 site degrades the verdict to
+/// kUnknown and surfaces the Status in the decision's `error` field — it
+/// never forges a yes/no.
+///
 /// Thread safety: Configure/Clear must not race with hits (arm before the
 /// workload, as the chaos harness does); counters use relaxed atomics.
 class Failpoints {

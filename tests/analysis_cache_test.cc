@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "query/parser.h"
 #include "workload/social_gen.h"
@@ -153,6 +155,44 @@ TEST(AnalysisCacheTest, CapacityEvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.stats().hits, 2u);
   ASSERT_TRUE(cache.GetOrAnalyze(b.body, qb, env.schema, env.access).ok());
   EXPECT_EQ(cache.stats().misses, 4u);  // a, b, c, then b again
+}
+
+TEST(AnalysisCacheTest, ConcurrentFillsCoalesceIntoOneDerivation) {
+  // Regression for the duplicate-derivation race: two threads missing on the
+  // same key concurrently must produce exactly ONE derivation — the loser
+  // blocks on the leader's in-flight fill and is served the same shared
+  // object. The schedule is made deterministic with the test barrier: the
+  // leader registers its in-flight entry, then spins until the follower has
+  // coalesced (visible in stats) before deriving.
+  Env env;
+  FoQuery q = FQ(kQ1, env.schema);
+  AnalysisCache cache;
+  cache.set_fill_barrier_for_testing([&cache] {
+    // Runs on the leader outside the cache lock, after the in-flight entry
+    // is registered; stats() takes the lock, so this spin cannot deadlock
+    // the follower's wait.
+    while (cache.stats().coalesced < 1) std::this_thread::yield();
+  });
+
+  std::shared_ptr<const ControllabilityAnalysis> leader_result;
+  std::thread leader([&] {
+    auto r = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+    if (r.ok()) leader_result = *r;
+  });
+  // The follower must find the leader's in-flight entry; the barrier holds
+  // the leader pre-derivation until the follower's coalesce is recorded.
+  while (cache.stats().misses < 1) std::this_thread::yield();
+  auto follower = cache.GetOrAnalyze(q.body, kQ1, env.schema, env.access);
+  leader.join();
+  cache.set_fill_barrier_for_testing(nullptr);
+
+  ASSERT_TRUE(follower.ok());
+  ASSERT_NE(leader_result, nullptr);
+  EXPECT_EQ(follower->get(), leader_result.get());  // one shared derivation
+  EXPECT_EQ(cache.stats().misses, 1u);     // exactly one derivation ran
+  EXPECT_EQ(cache.stats().coalesced, 1u);  // the follower piggybacked
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(AnalysisCacheTest, EmbeddedPlansKeyedByParameterSet) {

@@ -18,10 +18,13 @@
 #include <random>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/bounded_eval.h"
 #include "core/controllability.h"
+#include "core/qdsi.h"
+#include "core/qsi.h"
 #include "eval/cq_evaluator.h"
 #include "eval/fo_evaluator.h"
 #include "exec/exec_context.h"
@@ -409,6 +412,158 @@ TEST(ChaosTest, ConcurrentUpdatesVersusQueriesKeepAccountingExact) {
   Result<double> bound = analysis->StaticFetchBound({V("p")});
   ASSERT_TRUE(bound.ok());
   EXPECT_LE(static_cast<double>(stats.base_tuples_fetched), *bound);
+}
+
+TEST(ChaosTest, GovernedParallelFanOutSurvivesFailpointsAndUpdates) {
+  // The sub-budget lease/replay protocol under simultaneous stress: each
+  // iteration runs a governor-armed evaluation whose conjunct frontier fans
+  // out on the 4-lane global pool, with failpoints armed inside the metered
+  // worker paths, while a free-running writer thread grows the frontier
+  // under the exclusive side of the readers/writers lock. The TSan CI lane
+  // runs this schedule; the soundness contract is the usual chaos one —
+  // exact golden answer, a sound partial subset, or a typed error.
+  Schema schema;
+  schema.Relation("friend", {"a", "b"});
+  schema.Relation("person", {"id", "name", "city"});
+  Database db(schema);
+  for (int64_t k = 0; k < 64; ++k) {
+    db.Insert("friend", Tuple{Value::Int(0), Value::Int(k)});
+    db.Insert("person",
+              Tuple{Value::Int(k), Value::Str("n" + std::to_string(k)),
+                    Value::Str(k % 2 == 0 ? "NYC" : "LA")});
+  }
+  AccessSchema access;
+  access.Add("friend", {"a"}, 4096);
+  access.AddKey("person", {"id"});
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+  Result<FoQuery> q = ParseFoQuery(
+      "Q(p, b, name) := friend(p, b) and person(b, name, \"NYC\")", &schema);
+  ASSERT_TRUE(q.ok());
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q->body, schema, access);
+  ASSERT_TRUE(analysis.ok());
+  Binding params{{V("p"), Value::Int(0)}};
+
+  par::WorkerPool::Global().Resize(4);
+  std::shared_mutex db_mu;
+  std::atomic<bool> stop{false};
+  // The writer only adds LA persons, so the golden answer set (the NYC
+  // filter) is invariant while the fetch frontier — and therefore every
+  // trip position — keeps moving.
+  std::thread writer([&] {
+    int64_t next = 100000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      {
+        std::unique_lock<std::shared_mutex> lock(db_mu);
+        db.Insert("friend", Tuple{Value::Int(0), Value::Int(next)});
+        db.Insert("person", Tuple{Value::Int(next), Value::Str("w"),
+                                  Value::Str("LA")});
+        ++next;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    const std::string spec = RandomSchedule(7000 + i);
+    AnswerSet golden;
+    {
+      std::shared_lock<std::shared_mutex> lock(db_mu);
+      BoundedEvaluator plain(&db);
+      Result<AnswerSet> g = plain.Evaluate(*q, *analysis, params);
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      golden = *std::move(g);
+    }
+    ScheduleScope scope(spec);
+    BoundedEvaluator evaluator(&db);
+    exec::GovernorLimits limits;
+    limits.fetch_budget = 1 + static_cast<uint64_t>((i * 13) % 200);
+    evaluator.set_limits(limits);
+    std::shared_lock<std::shared_mutex> lock(db_mu);
+    Result<exec::Degraded<AnswerSet>> degraded =
+        evaluator.EvaluateDegraded(*q, *analysis, params);
+    if (degraded.ok()) {
+      EXPECT_TRUE(std::includes(golden.begin(), golden.end(),
+                                degraded->value.begin(),
+                                degraded->value.end()))
+          << spec;
+      if (degraded->complete) {
+        EXPECT_EQ(degraded->value, golden) << spec;
+      }
+    } else {
+      ExpectChaosStatus(degraded.status(), spec);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  par::WorkerPool::Global().Resize(1);
+}
+
+TEST(ChaosTest, DecisionProceduresDegradeToUnknownUnderFaults) {
+  // The §3 search-loop sites: a fault mid-search must degrade the verdict to
+  // kUnknown with the Status surfaced in `error` — never forge a yes/no.
+  Schema schema;
+  schema.Relation("r", {"a", "b"});
+  Database db(schema);
+  for (int64_t i = 1; i <= 3; ++i) {
+    db.Insert("r", Tuple{Value::Int(i), Value::Int(1)});
+  }
+
+  // qdsi_subset: the FO subset search, one hit per candidate subset.
+  Result<FoQuery> fo = ParseFoQuery("Q() := exists x. exists y. r(x, y)",
+                                    &schema);
+  ASSERT_TRUE(fo.ok());
+  const QdsiDecision fo_golden = DecideQdsiFo(*fo, db, 1);
+  {
+    ScheduleScope scope("qdsi_subset=error;seed=1");
+    QdsiDecision d = DecideQdsiFo(*fo, db, 1);
+    EXPECT_EQ(d.verdict, Verdict::kUnknown);
+    EXPECT_FALSE(d.error.ok());
+  }
+  EXPECT_EQ(DecideQdsiFo(*fo, db, 1).verdict, fo_golden.verdict);
+
+  // qdsi_support: the CQ support-cover branch, one hit per answer.
+  Result<Cq> cq = ParseCq("Q(a) :- r(a, b)", &schema);
+  ASSERT_TRUE(cq.ok());
+  const QdsiDecision cq_golden = DecideQdsiCq(*cq, db, 2);
+  {
+    ScheduleScope scope("qdsi_support=error;seed=1");
+    QdsiDecision d = DecideQdsiCq(*cq, db, 2);
+    EXPECT_EQ(d.verdict, Verdict::kUnknown);
+    EXPECT_FALSE(d.error.ok());
+  }
+  EXPECT_EQ(DecideQdsiCq(*cq, db, 2).verdict, cq_golden.verdict);
+
+  // qsi_candidate: the QSI(FO) counterexample enumeration, one hit per
+  // candidate database.
+  QsiFoOptions options;
+  options.domain_size = 2;
+  options.max_tuples = 2;
+  options.max_databases = 50;
+  {
+    ScheduleScope scope("qsi_candidate=error;seed=1");
+    QsiDecision d = DecideQsiFo(*fo, schema, 1, options);
+    EXPECT_EQ(d.verdict, Verdict::kUnknown);
+    EXPECT_FALSE(d.error.ok());
+  }
+  // Probabilistic schedules across all three sites: any verdict must be the
+  // disarmed golden or kUnknown, never the opposite definite answer.
+  for (int i = 0; i < 20; ++i) {
+    const std::string spec =
+        "qsi_candidate=error(" + std::to_string(10 + i * 4 % 80) +
+        "%);qdsi_subset=error(every:" + std::to_string(1 + i % 5) +
+        ");qdsi_support=error(" + std::to_string(5 + i * 7 % 90) +
+        "%);seed=" + std::to_string(i);
+    ScheduleScope scope(spec);
+    QdsiDecision d = DecideQdsiFo(*fo, db, 1);
+    EXPECT_TRUE(d.verdict == fo_golden.verdict ||
+                d.verdict == Verdict::kUnknown)
+        << spec;
+    QdsiDecision c = DecideQdsiCq(*cq, db, 2);
+    EXPECT_TRUE(c.verdict == cq_golden.verdict ||
+                c.verdict == Verdict::kUnknown)
+        << spec;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,369 @@
+// Governed parallelism tests: the sub-budget lease / charge-log replay
+// protocol (exec/governed_parallel.h) must make a governor-armed bounded
+// evaluation at any thread count byte-identical to the single-threaded run —
+// same answers, same Degraded<T> partial extent, same trip record (kind,
+// detail, tripping op, fetched_at_trip), same accounting, and the same
+// sealed access certificate. The sweep below drives every deterministic
+// trip class (fetch budget mid-fan-out, pre-expired deadline, pre-cancelled
+// token, output row cap) across SCALEIN_THREADS ∈ {1, 2, 4, 8}.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bounded_eval.h"
+#include "core/controllability.h"
+#include "core/embedded_controllability.h"
+#include "exec/governor.h"
+#include "obs/journal.h"
+#include "par/worker_pool.h"
+#include "query/parser.h"
+#include "workload/social_gen.h"
+
+namespace scalein {
+namespace {
+
+Variable V(const char* name) { return Variable::Named(name); }
+
+FoQuery FQ(const char* text, const Schema& s) {
+  Result<FoQuery> q = ParseFoQuery(text, &s);
+  SI_CHECK_MSG(q.ok(), q.status().message().c_str());
+  return *std::move(q);
+}
+
+struct ScopedThreads {
+  explicit ScopedThreads(size_t n) { par::WorkerPool::Global().Resize(n); }
+  ~ScopedThreads() { par::WorkerPool::Global().Resize(1); }
+};
+
+// A star fixture sized to exercise every protocol path: person 0 has
+// kFriends friends, so the conjunct-expansion frontier is far past the
+// fan-out threshold, a 450-tuple budget trips mid-fan-out, and at narrow
+// ledgers (low thread counts) worker lanes genuinely starve and re-execute.
+constexpr int64_t kFriends = 400;
+constexpr const char* kQueryText =
+    "Q(p, b, name) := friend(p, b) and person(b, name, \"NYC\")";
+
+Schema FanSchema() {
+  Schema s;
+  s.Relation("friend", {"a", "b"});
+  s.Relation("person", {"id", "name", "city"});
+  return s;
+}
+
+Database FanDb(const Schema& s) {
+  Database db(s);
+  for (int64_t k = 0; k < kFriends; ++k) {
+    db.Insert("friend", Tuple{Value::Int(0), Value::Int(k)});
+    db.Insert("person",
+              Tuple{Value::Int(k), Value::Str("n" + std::to_string(k)),
+                    Value::Str(k % 2 == 0 ? "NYC" : "LA")});
+  }
+  return db;
+}
+
+AccessSchema FanAccess() {
+  AccessSchema a;
+  a.Add("friend", {"a"}, 512);
+  a.AddKey("person", {"id"});
+  return a;
+}
+
+struct RunResult {
+  exec::Degraded<AnswerSet> degraded;
+  BoundedEvalStats stats;
+  obs::AccessCertificate cert;
+};
+
+/// One governed evaluation plus the certificate the shell would seal for it
+/// (CertOp carries no timing fields, so payload equality is exactly the
+/// "same per-op accounting" claim).
+RunResult RunGoverned(Database* db, const FoQuery& q,
+                      const ControllabilityAnalysis& analysis,
+                      const Binding& params,
+                      const exec::GovernorLimits& limits) {
+  BoundedEvaluator evaluator(db);
+  evaluator.set_limits(limits);
+  RunResult out;
+  out.stats.capture_ops = true;
+  Result<exec::Degraded<AnswerSet>> r =
+      evaluator.EvaluateDegraded(q, analysis, params, &out.stats);
+  SI_CHECK_MSG(r.ok(), r.status().message().c_str());
+  out.degraded = *std::move(r);
+  out.cert.query_fingerprint = "governed-parallel-test";
+  out.cert.query_text = kQueryText;
+  out.cert.static_bound = out.stats.static_bound;
+  out.cert.actual_fetches = out.stats.base_tuples_fetched;
+  out.cert.index_lookups = out.stats.index_lookups;
+  out.cert.ops.reserve(out.stats.ops.size());
+  for (const exec::OpCounters& op : out.stats.ops) {
+    obs::CertOp co;
+    co.label = op.label;
+    co.rows_out = op.rows_out;
+    co.tuples_fetched = op.tuples_fetched;
+    co.index_lookups = op.index_lookups;
+    co.static_bound = op.static_bound;
+    out.cert.ops.push_back(std::move(co));
+  }
+  out.cert.tripped = !out.degraded.complete;
+  if (out.cert.tripped) out.cert.trip_reason = out.degraded.trip.ToString();
+  obs::SealCertificate(&out.cert);
+  return out;
+}
+
+void ExpectSameOutcome(const RunResult& ref, const RunResult& got) {
+  EXPECT_EQ(got.degraded.value, ref.degraded.value);
+  EXPECT_EQ(got.degraded.complete, ref.degraded.complete);
+  EXPECT_EQ(got.degraded.trip.kind, ref.degraded.trip.kind);
+  EXPECT_EQ(got.degraded.trip.detail, ref.degraded.trip.detail);
+  EXPECT_EQ(got.degraded.trip.op_id, ref.degraded.trip.op_id);
+  EXPECT_EQ(got.degraded.trip.op_label, ref.degraded.trip.op_label);
+  EXPECT_EQ(got.degraded.trip.fetched_at_trip, ref.degraded.trip.fetched_at_trip);
+  EXPECT_EQ(got.stats.base_tuples_fetched, ref.stats.base_tuples_fetched);
+  EXPECT_EQ(got.stats.index_lookups, ref.stats.index_lookups);
+  EXPECT_EQ(got.stats.fetched_by_relation, ref.stats.fetched_by_relation);
+  EXPECT_EQ(got.stats.static_bound, ref.stats.static_bound);
+  // Byte-identical certificate: payload covers every sealed field, and the
+  // FNV-1a signature re-derives from the payload alone.
+  EXPECT_EQ(obs::CertificatePayload(got.cert),
+            obs::CertificatePayload(ref.cert));
+  EXPECT_EQ(got.cert.signature, ref.cert.signature);
+  EXPECT_EQ(got.cert.verdict, ref.cert.verdict);
+}
+
+TEST(GovernedParallelTest, TripsAndCertificatesIdenticalAcrossThreadCounts) {
+  Schema schema = FanSchema();
+  Database db = FanDb(schema);
+  AccessSchema access = FanAccess();
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+  FoQuery q = FQ(kQueryText, schema);
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q.body, schema, access);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  Binding params{{V("p"), Value::Int(0)}};
+
+  exec::CancellationToken cancelled;
+  cancelled.Cancel();
+
+  std::vector<std::pair<const char*, exec::GovernorLimits>> scenarios;
+  {
+    exec::GovernorLimits clean;
+    clean.fetch_budget = 1ULL << 30;
+    scenarios.emplace_back("clean-governed", clean);
+  }
+  {
+    // Trips at the 51st person probe (400 friend tuples + 51 > 450), deep
+    // inside the fan-out region; at 2 lanes the shared ledger (50 remaining
+    // + 2 chunks of slack) also starves lanes, exercising re-execution.
+    exec::GovernorLimits budget;
+    budget.fetch_budget = 450;
+    scenarios.emplace_back("fetch-budget-mid-fanout", budget);
+  }
+  {
+    // Absolute deadline in the past: detected at the first amortized time
+    // check (probe kCheckInterval), the deterministic deadline case.
+    exec::GovernorLimits deadline;
+    deadline.deadline_ns = 1;
+    scenarios.emplace_back("pre-expired-deadline", deadline);
+  }
+  {
+    exec::GovernorLimits cancel;
+    cancel.has_cancel = true;
+    cancel.cancel = cancelled;
+    scenarios.emplace_back("pre-cancelled", cancel);
+  }
+  {
+    exec::GovernorLimits rows;
+    rows.output_row_cap = 5;
+    scenarios.emplace_back("output-row-cap", rows);
+  }
+
+  for (const auto& [name, limits] : scenarios) {
+    SCOPED_TRACE(name);
+    RunResult ref;
+    {
+      ScopedThreads scoped(1);
+      ref = RunGoverned(&db, q, *analysis, params, limits);
+    }
+    if (std::string(name) == "clean-governed") {
+      EXPECT_TRUE(ref.degraded.complete);
+      EXPECT_EQ(ref.degraded.value.size(), 200u);  // the NYC half
+    } else {
+      EXPECT_FALSE(ref.degraded.complete);
+    }
+    if (std::string(name) == "fetch-budget-mid-fanout") {
+      EXPECT_EQ(ref.degraded.trip.kind, exec::LimitKind::kFetchBudget);
+    }
+    if (std::string(name) == "pre-expired-deadline") {
+      EXPECT_EQ(ref.degraded.trip.kind, exec::LimitKind::kDeadline);
+    }
+    if (std::string(name) == "pre-cancelled") {
+      EXPECT_EQ(ref.degraded.trip.kind, exec::LimitKind::kCancelled);
+    }
+    if (std::string(name) == "output-row-cap") {
+      EXPECT_EQ(ref.degraded.trip.kind, exec::LimitKind::kOutputRows);
+      EXPECT_EQ(ref.degraded.value.size(), 5u);
+    }
+    for (size_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ScopedThreads scoped(threads);
+      RunResult got = RunGoverned(&db, q, *analysis, params, limits);
+      ExpectSameOutcome(ref, got);
+    }
+  }
+}
+
+TEST(GovernedParallelTest, UngovernedFanOutMatchesSequentialAndReportsLanes) {
+  Schema schema = FanSchema();
+  Database db = FanDb(schema);
+  AccessSchema access = FanAccess();
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+  FoQuery q = FQ(kQueryText, schema);
+  Result<ControllabilityAnalysis> analysis =
+      ControllabilityAnalysis::Analyze(q.body, schema, access);
+  ASSERT_TRUE(analysis.ok());
+  Binding params{{V("p"), Value::Int(0)}};
+
+  BoundedEvaluator evaluator(&db);
+  BoundedEvalStats seq_stats;
+  AnswerSet expected;
+  {
+    ScopedThreads scoped(1);
+    Result<AnswerSet> r = evaluator.Evaluate(q, *analysis, params, &seq_stats);
+    ASSERT_TRUE(r.ok());
+    expected = *std::move(r);
+  }
+  EXPECT_TRUE(seq_stats.fetched_by_lane.empty());
+
+  ScopedThreads scoped(4);
+  BoundedEvalStats par_stats;
+  Result<AnswerSet> r = evaluator.Evaluate(q, *analysis, params, &par_stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, expected);
+  EXPECT_EQ(par_stats.base_tuples_fetched, seq_stats.base_tuples_fetched);
+  EXPECT_EQ(par_stats.index_lookups, seq_stats.index_lookups);
+  EXPECT_EQ(par_stats.fetched_by_relation, seq_stats.fetched_by_relation);
+  // Per-lane observability: the fan-out reports raw per-lane probe traffic
+  // without perturbing the deterministic totals above.
+  ASSERT_FALSE(par_stats.fetched_by_lane.empty());
+  uint64_t lane_total = 0;
+  for (const auto& [lane, fetched] : par_stats.fetched_by_lane) {
+    EXPECT_GE(lane, 0);
+    EXPECT_LT(lane, 4);
+    lane_total += fetched;
+  }
+  EXPECT_GT(lane_total, 0u);
+}
+
+TEST(GovernedParallelTest, EmbeddedBudgetTripIdenticalAcrossThreadCounts) {
+  SocialConfig config;
+  config.num_persons = 120;
+  config.max_friends_per_person = 40;
+  config.num_restaurants = 12;
+  config.avg_visits_per_person = 10;
+  config.num_cities = 2;
+  config.num_years = 1;
+  config.dated_visits = true;
+  config.seed = 17;
+  Schema schema = SocialSchema(true);
+  Database db = GenerateSocial(config);
+  AccessSchema access = SocialAccessSchema(config);
+  ASSERT_TRUE(access.BuildIndexes(&db, schema).ok());
+  Result<Cq> q3 = ParseCq(
+      "Q3(rn, p, yy) :- friend(p, id), visit(id, rid, yy, mm, dd), "
+      "person(id, pn, \"NYC\"), restr(rid, rn, \"NYC\", \"A\")",
+      &schema);
+  ASSERT_TRUE(q3.ok());
+  Result<EmbeddedCqAnalysis> analysis =
+      EmbeddedCqAnalysis::Analyze(*q3, schema, access, {V("p"), V("yy")});
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->IsScaleIndependent());
+
+  // A parameter whose chase frontier is wide enough to fan out.
+  const HashIndex& friend_idx = db.relation("friend").EnsureIndex({0});
+  int64_t p = -1;
+  for (int64_t candidate = 0; candidate < 120; ++candidate) {
+    const std::vector<uint32_t>* bucket =
+        friend_idx.Lookup(Tuple{Value::Int(candidate)});
+    if (bucket != nullptr && bucket->size() >= 16) {
+      p = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(p, 0) << "fixture produced no person with a wide friend frontier";
+  Binding params{{V("p"), Value::Int(p)}, {V("yy"), Value::Int(0)}};
+
+  BoundedEvaluator evaluator(&db);
+  BoundedEvalStats clean_stats;
+  {
+    ScopedThreads scoped(1);
+    Result<AnswerSet> clean =
+        evaluator.EvaluateEmbedded(*analysis, params, &clean_stats);
+    ASSERT_TRUE(clean.ok());
+  }
+  ASSERT_GT(clean_stats.base_tuples_fetched, 4u);
+
+  exec::GovernorLimits limits;
+  limits.fetch_budget = clean_stats.base_tuples_fetched / 2;
+  evaluator.set_limits(limits);
+
+  exec::Degraded<AnswerSet> ref;
+  BoundedEvalStats ref_stats;
+  {
+    ScopedThreads scoped(1);
+    Result<exec::Degraded<AnswerSet>> r =
+        evaluator.EvaluateEmbeddedDegraded(*analysis, params, &ref_stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ref = *std::move(r);
+  }
+  EXPECT_FALSE(ref.complete);
+  EXPECT_EQ(ref.trip.kind, exec::LimitKind::kFetchBudget);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ScopedThreads scoped(threads);
+    BoundedEvalStats stats;
+    Result<exec::Degraded<AnswerSet>> r =
+        evaluator.EvaluateEmbeddedDegraded(*analysis, params, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->value, ref.value);
+    EXPECT_EQ(r->complete, ref.complete);
+    EXPECT_EQ(r->trip.kind, ref.trip.kind);
+    EXPECT_EQ(r->trip.detail, ref.trip.detail);
+    EXPECT_EQ(r->trip.fetched_at_trip, ref.trip.fetched_at_trip);
+    EXPECT_EQ(stats.base_tuples_fetched, ref_stats.base_tuples_fetched);
+    EXPECT_EQ(stats.index_lookups, ref_stats.index_lookups);
+    EXPECT_EQ(stats.fetched_by_relation, ref_stats.fetched_by_relation);
+  }
+}
+
+TEST(SharedLedgerTest, AcquireGrantsUpToCapacityThenZero) {
+  exec::SharedLedger ledger;
+  EXPECT_TRUE(ledger.unlimited());
+  EXPECT_EQ(ledger.Acquire(1000), 1000u);  // unlimited: granted in full
+  ledger.Init(100, 2);  // capacity = 100 + 2 chunks of slack = 228
+  EXPECT_FALSE(ledger.unlimited());
+  EXPECT_EQ(ledger.Acquire(200), 200u);
+  EXPECT_EQ(ledger.Acquire(200), 28u);  // partial final grant
+  EXPECT_EQ(ledger.Acquire(1), 0u);     // exhausted
+}
+
+TEST(SubBudgetTest, ChargesThroughChunkedLeasesUntilStarved) {
+  exec::SharedLedger ledger;
+  ledger.Init(0, 1);  // exactly one chunk of slack
+  exec::SubBudget lease;
+  lease.Attach(&ledger);
+  for (uint64_t i = 0; i < exec::SubBudget::kChunk; ++i) {
+    EXPECT_TRUE(lease.Charge(1)) << i;
+  }
+  EXPECT_FALSE(lease.Charge(1));  // ledger dry: the lane is starved
+
+  exec::SubBudget detached;  // no ledger: every charge is free
+  EXPECT_TRUE(detached.Charge(1ULL << 20));
+}
+
+}  // namespace
+}  // namespace scalein
