@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Offline workload report over the shell's persistent JSONL journal.
+
+    workload_report.py <journal.jsonl> [--top N] [--slack-threshold X]
+
+The journal is the file written by the shell when SCALEIN_JOURNAL_PATH is
+set: one JSON object per line — a sealed access certificate plus the
+non-sealed ``latency_ms`` / ``noncontrollable`` siblings — with size-based
+rotation ``path`` -> ``path.1`` -> ``path.2``. The report reads every
+surviving generation oldest-first, exactly like JournalStore::Load, so its
+aggregates match a shell that replayed the same files.
+
+Every certificate's FNV-1a seal is re-verified here, in Python, with no
+engine involved: the payload string is reconstructed byte-for-byte
+(numbers printed with C's ``%.6g``, the same format CertificatePayload
+uses) and hashed. Tampered entries are counted and excluded from the
+aggregates, never fatal.
+
+Sections reported:
+
+  * header — files read, entry/sealed/tampered/malformed counts;
+  * workload top — one line per query fingerprint, byte-identical to the
+    shell's ``workload top N`` rendering, so online and offline views can
+    be diffed directly;
+  * views would help — recurring classes that are non-controllable or
+    exceed their static bound, ranked by how often; materializing a view
+    (paper sec. on scale-independent views) would make these controllable;
+  * FD-aware bounds would help — classes whose static Theorem 4.2 bound is
+    a large multiple of what they actually fetch; functional-dependency
+    reasoning would tighten the bound without touching the data.
+
+Exit status: 0 report printed, 2 unreadable input. Like trace_report.py
+this is a forensic tool, not a gate.
+"""
+
+import argparse
+import os
+import sys
+
+import json
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+VERDICTS = ("within-bound", "exceeded", "no-static-bound", "tripped")
+
+
+def json_number(value):
+    """C's JsonNumber: snprintf("%.6g") — Python's %-formatting matches."""
+    return "%.6g" % value
+
+
+def derive_verdict(cert):
+    if cert.get("tripped", False):
+        return "tripped"
+    bound = cert.get("static_bound", -1.0)
+    if bound < 0:
+        return "no-static-bound"
+    return "within-bound" if cert.get("actual_fetches", 0) <= bound else "exceeded"
+
+
+def certificate_payload(cert):
+    """Byte-for-byte mirror of obs::CertificatePayload."""
+    parts = [
+        "fp=" + cert.get("query_fingerprint", ""),
+        "qid=" + cert.get("query_id", ""),
+        "q=" + cert.get("query", ""),
+        "bound=" + json_number(cert.get("static_bound", -1.0)),
+        "fetches=" + str(cert.get("actual_fetches", 0)),
+        "lookups=" + str(cert.get("index_lookups", 0)),
+        "tripped=" + ("1" if cert.get("tripped", False) else "0"),
+        "trip=" + cert.get("trip_reason", ""),
+        "verdict=" + cert.get("verdict", ""),
+    ]
+    for op in cert.get("ops", []):
+        parts.append(
+            "op=%s,%d,%d,%d,%s"
+            % (
+                op.get("label", ""),
+                op.get("rows_out", 0),
+                op.get("tuples_fetched", 0),
+                op.get("index_lookups", 0),
+                json_number(op.get("static_bound", -1.0)),
+            )
+        )
+    return "|".join(parts)
+
+
+def fnv1a64(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def verify_certificate(cert):
+    if cert.get("verdict") not in VERDICTS:
+        return False
+    if cert.get("verdict") != derive_verdict(cert):
+        return False
+    try:
+        signature = int(cert.get("signature", ""), 16)
+    except ValueError:
+        return False
+    return signature == fnv1a64(certificate_payload(cert).encode("utf-8"))
+
+
+def journal_files(path):
+    """Surviving generations oldest-first: path.2, path.1, path."""
+    files = []
+    for gen in (2, 1, 0):
+        candidate = path if gen == 0 else "%s.%d" % (path, gen)
+        if os.path.exists(candidate):
+            files.append(candidate)
+    return files
+
+
+def load_entries(path):
+    files = journal_files(path)
+    if not files:
+        print(f"error: no journal at {path} (nor rotated generations)",
+              file=sys.stderr)
+        sys.exit(2)
+    entries = []
+    report = {"files": len(files), "entries": 0, "sealed": 0, "tampered": 0,
+              "malformed": 0}
+    for file in files:
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            print(f"error: cannot read {file}: {e}", file=sys.stderr)
+            sys.exit(2)
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                cert = json.loads(line)
+            except ValueError:
+                report["malformed"] += 1
+                continue
+            if not isinstance(cert, dict) or "verdict" not in cert:
+                report["malformed"] += 1
+                continue
+            report["entries"] += 1
+            if verify_certificate(cert):
+                report["sealed"] += 1
+                entries.append(cert)
+            else:
+                report["tampered"] += 1
+                print(f"warning: {file}:{lineno}: seal mismatch, excluded",
+                      file=sys.stderr)
+    return entries, report
+
+
+class FingerprintStats:
+    """The deterministic slice of WorkloadFingerprintStats."""
+
+    def __init__(self, fingerprint):
+        self.fingerprint = fingerprint
+        self.sample_query = ""
+        self.count = 0
+        self.within = 0
+        self.exceeded = 0
+        self.tripped = 0
+        self.no_bound = 0
+        self.noncontrollable = 0
+        self.total_fetches = 0
+        self.accuracy_sum = 0.0
+        self.slack_sum = 0.0
+        self.accuracy_count = 0
+
+    def observe(self, cert):
+        if self.count == 0:
+            self.sample_query = cert.get("query", "")
+        self.count += 1
+        verdict = cert.get("verdict")
+        if verdict == "within-bound":
+            self.within += 1
+        elif verdict == "exceeded":
+            self.exceeded += 1
+        elif verdict == "tripped":
+            self.tripped += 1
+        else:
+            self.no_bound += 1
+        if cert.get("noncontrollable", False):
+            self.noncontrollable += 1
+        fetches = cert.get("actual_fetches", 0)
+        self.total_fetches += fetches
+        bound = cert.get("static_bound", -1.0)
+        if bound > 0 and not cert.get("tripped", False):
+            self.accuracy_sum += fetches / bound
+            self.slack_sum += bound / max(fetches, 1)
+            self.accuracy_count += 1
+
+    def line(self):
+        """Byte-identical to the C++ FormatFingerprintLine (sans newline)."""
+        accuracy = ("%.4f" % (self.accuracy_sum / self.accuracy_count)
+                    if self.accuracy_count > 0 else "-")
+        return ("  %s n=%d within=%d exceeded=%d tripped=%d nobound=%d "
+                "nonctrl=%d fetches=%d accuracy=%s"
+                % (self.fingerprint, self.count, self.within, self.exceeded,
+                   self.tripped, self.no_bound, self.noncontrollable,
+                   self.total_fetches, accuracy))
+
+    def mean_slack(self):
+        return (self.slack_sum / self.accuracy_count
+                if self.accuracy_count > 0 else -1.0)
+
+
+def aggregate(entries):
+    stats = {}
+    noncontrollable = 0
+    for cert in entries:
+        fp = cert.get("query_fingerprint", "")
+        stats.setdefault(fp, FingerprintStats(fp)).observe(cert)
+        if cert.get("noncontrollable", False):
+            noncontrollable += 1
+    return stats, noncontrollable
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="workload report over a persistent shell journal")
+    parser.add_argument("journal", help="SCALEIN_JOURNAL_PATH file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="classes shown in the workload section")
+    parser.add_argument("--slack-threshold", type=float, default=10.0,
+                        help="mean bound/actual above which FD-aware bounds "
+                             "are recommended")
+    args = parser.parse_args()
+
+    entries, report = load_entries(args.journal)
+    stats, noncontrollable = aggregate(entries)
+
+    print(f"workload report: {args.journal}")
+    print("files: %d  entries: %d (%d sealed, %d tampered, %d malformed)"
+          % (report["files"], report["entries"], report["sealed"],
+             report["tampered"], report["malformed"]))
+    print()
+
+    # The shell's `workload top N` rendering, byte for byte.
+    ranked = sorted(stats.values(), key=lambda s: (-s.count, s.fingerprint))
+    print("workload: %d fingerprint(s), %d observation(s), "
+          "%d non-controllable" % (len(stats), len(entries), noncontrollable))
+    for s in ranked[:args.top]:
+        print(s.line())
+    print()
+
+    # Classes a materialized view would rescue: recurring evaluations that
+    # are either rejected as non-controllable or fetch past their bound.
+    helped = [s for s in stats.values() if s.noncontrollable + s.exceeded > 0]
+    helped.sort(key=lambda s: (-(s.noncontrollable + s.exceeded),
+                               s.fingerprint))
+    print("views would help (non-controllable or bound-exceeding classes):")
+    if not helped:
+        print("  (none)")
+    for s in helped:
+        print("  %s score=%d nonctrl=%d exceeded=%d n=%d  %s"
+              % (s.fingerprint, s.noncontrollable + s.exceeded,
+                 s.noncontrollable, s.exceeded, s.count, s.sample_query))
+    print()
+
+    # Classes whose Theorem 4.2 bound is wildly pessimistic: an FD-aware
+    # bound (or tighter access constraints) would admit them under a much
+    # smaller SLA budget.
+    slack = [s for s in stats.values()
+             if s.mean_slack() >= args.slack_threshold]
+    slack.sort(key=lambda s: (-s.mean_slack(), s.fingerprint))
+    print("FD-aware bounds would help (mean slack >= %g):"
+          % args.slack_threshold)
+    if not slack:
+        print("  (none)")
+    for s in slack:
+        print("  %s slack=%.1fx n=%d accuracy=%.4f  %s"
+              % (s.fingerprint, s.mean_slack(), s.count,
+                 s.accuracy_sum / s.accuracy_count, s.sample_query))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,11 @@
 
 namespace scalein::exec {
 
-ExecContext::ExecContext() : tracer_(obs::Tracer::Global()) {}
+ExecContext::ExecContext()
+    : tracer_(obs::Tracer::Global()), query_id_(obs::CurrentQueryId()) {}
 
 ExecContext::ExecContext(const Database* db)
-    : db_(db), tracer_(obs::Tracer::Global()) {}
+    : db_(db), tracer_(obs::Tracer::Global()), query_id_(obs::CurrentQueryId()) {}
 
 const Relation* ExecContext::Resolve(const std::string& name) const {
   auto it = overrides_.find(name);

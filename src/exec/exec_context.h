@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/governor.h"
+#include "obs/correlation.h"
 #include "relational/database.h"
 #include "util/status.h"
 
@@ -131,6 +132,14 @@ class ExecContext {
   /// at construction; nullptr disables span recording.
   obs::Tracer* tracer() const { return tracer_; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Correlation id of the evaluation this context belongs to, captured from
+  /// obs::CurrentQueryId() at construction (like the tracer) — worker-lane
+  /// contexts spawned mid-query inherit the same id, so per-lane artifacts
+  /// stay joinable to the one query that caused them. Invalid outside an
+  /// evaluation scope.
+  const obs::QueryId& query_id() const { return query_id_; }
+  void set_query_id(const obs::QueryId& id) { query_id_ = id; }
 
   /// When enabled *before planning*, operators record per-op Open/Next wall
   /// time into their OpCounters (EXPLAIN ANALYZE's timing column). Off by
@@ -261,6 +270,7 @@ class ExecContext {
   std::deque<OpCounters> ops_;
   Status status_ = Status::OK();
   obs::Tracer* tracer_ = nullptr;
+  obs::QueryId query_id_;
   bool timing_enabled_ = false;
 
   // Charge-log mode state (worker lanes of a governed fan-out).

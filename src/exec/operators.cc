@@ -17,6 +17,40 @@ size_t PositionOf(const std::vector<std::string>& attrs,
 
 }  // namespace
 
+#if SCALEIN_OBS_ENABLE_RECORDER
+
+void Operator::RecordOpOpen() {
+  next_since_event_ = 0;
+  fetched_at_event_ = op_->tuples_fetched;
+  close_recorded_ = false;
+  obs::RecordFlightNums(
+      obs::EventKind::kOpOpen, op_->label.c_str(),
+      {{"op", static_cast<double>(op_->id)}});
+}
+
+void Operator::RecordOpBatch() {
+  const uint64_t delta = op_->tuples_fetched - fetched_at_event_;
+  next_since_event_ = 0;
+  fetched_at_event_ = op_->tuples_fetched;
+  obs::RecordFlightNums(
+      obs::EventKind::kOpNext, op_->label.c_str(),
+      {{"op", static_cast<double>(op_->id)},
+       {"rows", static_cast<double>(op_->rows_out)},
+       {"fetched_delta", static_cast<double>(delta)}});
+}
+
+void Operator::RecordOpClose() {
+  close_recorded_ = true;
+  obs::RecordFlightNums(
+      obs::EventKind::kOpClose, op_->label.c_str(),
+      {{"op", static_cast<double>(op_->id)},
+       {"rows", static_cast<double>(op_->rows_out)},
+       {"fetched", static_cast<double>(op_->tuples_fetched)},
+       {"lookups", static_cast<double>(op_->index_lookups)}});
+}
+
+#endif  // SCALEIN_OBS_ENABLE_RECORDER
+
 void Operator::TimedOpen() {
   const uint64_t start = obs::MonotonicNowNs();
   DoOpen();

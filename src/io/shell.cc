@@ -79,6 +79,36 @@ Shell::Shell() {
     obs::ArmPostMortem(dump_path_, recorder_.get(), journal_.get(),
                        metrics_.get());
   }
+  if (const char* jpath = std::getenv("SCALEIN_JOURNAL_PATH");
+      jpath != nullptr && jpath[0] != '\0') {
+    uint64_t max_bytes = obs::JournalStore::kDefaultMaxBytes;
+    if (const char* mb = std::getenv("SCALEIN_JOURNAL_MAX_BYTES");
+        mb != nullptr && mb[0] != '\0') {
+      if (Result<uint64_t> parsed = ParseShellU64(mb);
+          parsed.ok() && *parsed > 0) {
+        max_bytes = *parsed;
+      }
+    }
+    journal_store_ = std::make_unique<obs::JournalStore>(jpath, max_bytes);
+    // Replay the persisted history oldest-first so `workload` statistics
+    // survive restarts; seal mismatches are reported, never fatal.
+    obs::JournalLoadReport report;
+    Result<std::vector<obs::JournalEntry>> loaded =
+        journal_store_->Load(&report);
+    if (!loaded.ok()) {
+      journal_note_ =
+          "warning: journal load failed: " + loaded.status().message() + "\n";
+    } else if (!loaded->empty()) {
+      for (const obs::JournalEntry& e : *loaded) {
+        // Tampered entries are reported (in the load note), never trusted:
+        // both this replay and workload_report.py exclude them, so the two
+        // views stay byte-comparable.
+        if (e.seal_ok) workload_->Observe(e.cert, e.latency_ms, e.noncontrollable);
+      }
+      journal_note_ = "replayed " + report.ToString() + "\n";
+      workload_->ExportMetrics(metrics_.get());
+    }
+  }
   if (const char* spec = std::getenv("SCALEIN_METRICS_DUMP");
       spec != nullptr && spec[0] != '\0') {
     std::string path;
@@ -137,6 +167,8 @@ std::string Shell::HelpText() {
       "  certify <dump.json>  re-verify certificates from a dump file\n"
       "  dump [path]    write the flight-recorder/journal/metrics dump\n"
       "  slowlog [<ms>|off]  set/show the slow-query threshold\n"
+      "  workload [top K | fingerprint <fp>]  per-fingerprint bound-accuracy\n"
+      "                 telemetry (persisted via SCALEIN_JOURNAL_PATH)\n"
       "  quit\n";
 }
 
@@ -269,6 +301,8 @@ Result<std::string> Shell::ExecuteImpl(const std::string& command,
 
   if (command == "slowlog") return RunSlowlog(rest);
 
+  if (command == "workload") return RunWorkload(rest);
+
   return Status::InvalidArgument("unknown command '" + command +
                                  "' (try 'help')");
 }
@@ -282,6 +316,11 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   const std::string query_text(StripWhitespace(rest.substr(sp + 1)));
   SI_ASSIGN_OR_RETURN(FoQuery q, ParseFoQuery(query_text, &schema_));
   if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+  // One correlation id per evaluation: every span, recorder event, slow-log
+  // entry, certificate, journal line, and post-mortem dump produced below
+  // carries it (workers included), so one query's artifacts join on one id.
+  const obs::QueryId qid{obs::SessionFingerprint(), ++query_seq_};
+  obs::ScopedQueryCorrelation correlate(qid);
   SI_ASSIGN_OR_RETURN(
       std::shared_ptr<const ControllabilityAnalysis> analysis,
       analysis_cache_->GetOrAnalyze(q.body, query_text, schema_, access_));
@@ -302,12 +341,31 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   evaluator.set_limits(limits_);
   BoundedEvalStats stats;
   stats.capture_ops = explain;
-  exec::Degraded<AnswerSet> degraded;
   const uint64_t start_ns = obs::MonotonicNowNs();
-  SI_ASSIGN_OR_RETURN(degraded,
-                      evaluator.EvaluateDegraded(q, *analysis, params, &stats));
+  Result<exec::Degraded<AnswerSet>> evaled =
+      evaluator.EvaluateDegraded(q, *analysis, params, &stats);
   const double elapsed_ms =
       static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
+  if (!evaled.ok()) {
+    // A non-controllable query is workload signal, not just an error: seal a
+    // no-static-bound certificate for it so `workload` and the offline report
+    // can rank recurring classes that a view would make controllable
+    // (ROADMAP item 5) before surfacing the original error.
+    if (evaled.status().code() == StatusCode::kFailedPrecondition &&
+        evaled.status().message().find("not controlled") !=
+            std::string::npos) {
+      metrics_->GetCounter("shell.noncontrollable_queries").Increment();
+      obs::AccessCertificate cert;
+      cert.query_fingerprint = fingerprint;
+      cert.query_id = obs::RenderQueryId(qid);
+      cert.query_text = query_text;
+      (void)RecordEvalOutcome(std::move(cert), elapsed_ms,
+                              /*noncontrollable=*/true,
+                              /*governor_tripped=*/false);
+    }
+    return evaled.status();
+  }
+  exec::Degraded<AnswerSet> degraded = std::move(evaled).ValueOrDie();
   metrics_
       ->GetHistogram("shell.eval_latency_ms", obs::DefaultLatencyBucketsMs())
       .Observe(elapsed_ms);
@@ -360,6 +418,7 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   // Seal this query's access certificate and journal it.
   obs::AccessCertificate cert;
   cert.query_fingerprint = fingerprint;
+  cert.query_id = obs::RenderQueryId(qid);
   cert.query_text = query_text;
   cert.static_bound = stats.static_bound;
   cert.actual_fetches = stats.base_tuples_fetched;
@@ -376,20 +435,9 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   }
   cert.tripped = !degraded.complete;
   if (cert.tripped) cert.trip_reason = degraded.trip.ToString();
-  obs::SealCertificate(&cert);
-  metrics_
-      ->GetCounter(std::string("shell.certificates.") +
-                   obs::CertVerdictName(cert.verdict))
-      .Increment();
-  if (obs::FlightRecorderEnabled()) {
-    obs::RecordFlightEvent(
-        obs::EventKind::kCertificate, obs::CertVerdictName(cert.verdict),
-        {obs::EventArg("fingerprint", cert.query_fingerprint),
-         obs::EventArg("fetched", cert.actual_fetches),
-         obs::EventArg("static_bound", cert.static_bound)});
-  }
-  journal_->Append(std::move(cert));
-  if (!degraded.complete) (void)obs::WritePostMortem("governor-trip");
+  const std::string warnings =
+      RecordEvalOutcome(std::move(cert), elapsed_ms, /*noncontrollable=*/false,
+                        /*governor_tripped=*/!degraded.complete);
 
   if (explain) {
     std::string out =
@@ -404,8 +452,10 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
       }
       out += "\n";
     }
-    return out + StrFormat("(%zu answers%s)\n", answers.size(),
-                           degraded.complete ? "" : ", partial");
+    return out +
+           StrFormat("(%zu answers%s)\n", answers.size(),
+                     degraded.complete ? "" : ", partial") +
+           warnings;
   }
   std::string out =
       AnswerSetToString(answers, 50) +
@@ -416,7 +466,41 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   if (!degraded.complete) {
     out += "tripped: " + degraded.trip.ToString() + "\n";
   }
+  out += warnings;
   return out;
+}
+
+std::string Shell::RecordEvalOutcome(obs::AccessCertificate cert,
+                                     double elapsed_ms, bool noncontrollable,
+                                     bool governor_tripped) {
+  obs::SealCertificate(&cert);
+  metrics_
+      ->GetCounter(std::string("shell.certificates.") +
+                   obs::CertVerdictName(cert.verdict))
+      .Increment();
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(
+        obs::EventKind::kCertificate, obs::CertVerdictName(cert.verdict),
+        {obs::EventArg("fingerprint", cert.query_fingerprint),
+         obs::EventArg("fetched", cert.actual_fetches),
+         obs::EventArg("static_bound", cert.static_bound)});
+  }
+  workload_->Observe(cert, elapsed_ms, noncontrollable);
+  workload_->ExportMetrics(metrics_.get());
+  std::string warnings;
+  if (journal_store_ != nullptr) {
+    if (Status s = journal_store_->Append(cert, elapsed_ms, noncontrollable);
+        !s.ok()) {
+      warnings += "warning: journal append failed: " + s.message() + "\n";
+    }
+  }
+  journal_->Append(std::move(cert));
+  if (governor_tripped && obs::PostMortemArmed()) {
+    if (Status s = obs::WritePostMortemStatus("governor-trip"); !s.ok()) {
+      warnings += "warning: post-mortem dump failed: " + s.message() + "\n";
+    }
+  }
+  return warnings;
 }
 
 Result<std::string> Shell::RunQdsi(std::string_view rest, bool explain) {
@@ -459,7 +543,11 @@ Result<std::string> Shell::RunQdsi(std::string_view rest, bool explain) {
                      exec::LimitKindName(governor.trip().kind))
         .Increment();
     out += "tripped: " + governor.trip().ToString() + "\n";
-    (void)obs::WritePostMortem("governor-trip");
+    if (obs::PostMortemArmed()) {
+      if (Status s = obs::WritePostMortemStatus("governor-trip"); !s.ok()) {
+        out += "warning: post-mortem dump failed: " + s.message() + "\n";
+      }
+    }
   }
   return out;
 }
@@ -566,9 +654,14 @@ Result<std::string> Shell::RunCertify(std::string_view rest) const {
     certs = journal_->certificates();
   } else {
     // Offline mode: re-verify certificates out of a previously written dump
-    // (the `dump` command's JSON, a bare journal object, or a bare array).
+    // (the `dump` command's JSON, a bare journal object, or a bare array) or
+    // a JSONL journal file written by the persistent JournalStore.
     SI_ASSIGN_OR_RETURN(std::string json, ReadFileToString(path));
-    SI_ASSIGN_OR_RETURN(certs, obs::CertificatesFromDumpJson(json));
+    Result<std::vector<obs::AccessCertificate>> parsed =
+        obs::CertificatesFromDumpJson(json);
+    if (!parsed.ok()) parsed = obs::CertificatesFromJsonl(json);
+    SI_RETURN_IF_ERROR(parsed.status());
+    certs = std::move(parsed).ValueOrDie();
   }
   if (certs.empty()) return std::string("no certificates to verify\n");
   std::string out;
@@ -626,8 +719,36 @@ Result<std::string> Shell::RunDump(std::string_view rest) const {
   }
   const std::string text = obs::RenderDump("manual", recorder_.get(),
                                            journal_.get(), metrics_.get());
+  SI_RETURN_IF_ERROR(obs::EnsureParentDirs(path));
   SI_RETURN_IF_ERROR(obs::WriteTextFile(path, text));
   return "wrote dump to " + path + "\n";
+}
+
+Result<std::string> Shell::RunWorkload(std::string_view rest) const {
+  std::string_view args = StripWhitespace(rest);
+  if (args.empty()) {
+    std::string out = workload_->RenderTop(10);
+    if (journal_store_ != nullptr) {
+      out += StrFormat(
+          "journal: %s (%llu appended, %llu rotation(s))\n",
+          journal_store_->path().c_str(),
+          static_cast<unsigned long long>(journal_store_->appended()),
+          static_cast<unsigned long long>(journal_store_->rotations()));
+    }
+    if (!journal_note_.empty()) out += journal_note_;
+    return out;
+  }
+  if (args.substr(0, 4) == "top ") {
+    SI_ASSIGN_OR_RETURN(uint64_t k,
+                        ParseShellU64(StripWhitespace(args.substr(4))));
+    return workload_->RenderTop(static_cast<size_t>(k));
+  }
+  if (args.substr(0, 12) == "fingerprint ") {
+    const std::string fp(StripWhitespace(args.substr(12)));
+    if (!fp.empty()) return workload_->RenderFingerprint(fp);
+  }
+  return Status::InvalidArgument(
+      "usage: workload [top K | fingerprint <fp>]");
 }
 
 Result<std::string> Shell::RunSlowlog(std::string_view rest) {

@@ -8,10 +8,12 @@
 #include "core/access_schema.h"
 #include "core/analysis_cache.h"
 #include "exec/governor.h"
+#include "obs/correlation.h"
 #include "obs/dump.h"
 #include "obs/flight_recorder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/workload.h"
 #include "par/shard_advisor.h"
 #include "relational/database.h"
 #include "relational/schema.h"
@@ -39,7 +41,8 @@ namespace scalein {
 ///   threads [N]    size the morsel worker pool; reports shard-advisor
 ///                  decisions per relation (and applies them on resize)
 ///   stats [prom] | stats watch <secs> [path] | stats watch off
-///   journal | certify [dump.json] | dump [path] | slowlog [<ms>|off]
+///   journal | certify [dump.json|journal.jsonl] | dump [path]
+///   slowlog [<ms>|off] | workload [top K | fingerprint <fp>]
 ///
 /// `limit` arms the session's resource governor: later eval/explain/qdsi
 /// commands run under the envelope and report *partial* results plus the
@@ -48,10 +51,17 @@ namespace scalein {
 ///
 /// Observability: every session owns a flight recorder (installed as the
 /// process-wide sink) and a query journal of access certificates — one
-/// sealed certificate per eval. `journal` lists them, `certify` re-verifies
-/// them offline, `dump` writes the joined post-mortem JSON. With
+/// sealed certificate per eval. Each eval mints a QueryId
+/// (obs/correlation.h) that stamps its spans, recorder events, certificate,
+/// slow-log entry, journal line, and any post-mortem dump, so one query's
+/// artifacts are joinable by one id. `journal` lists certificates, `certify`
+/// re-verifies them offline, `dump` writes the joined post-mortem JSON. With
 /// SCALEIN_DUMP_PATH set, the same dump is written automatically on governor
-/// trips, failpoint-induced errors, and session end.
+/// trips, failpoint-induced errors, and session end. With
+/// SCALEIN_JOURNAL_PATH set, every certificate is also appended to a
+/// persistent JSONL journal (rotated at SCALEIN_JOURNAL_MAX_BYTES) and the
+/// workload aggregator replays it at startup, so `workload` statistics
+/// survive restarts; scripts/workload_report.py reads the same files.
 class Shell {
  public:
   /// Also arms the failpoint framework from SCALEIN_FAILPOINTS, the
@@ -83,6 +93,13 @@ class Shell {
   const obs::FlightRecorder& recorder() const { return *recorder_; }
   /// Per-query access certificates, newest last.
   const obs::QueryJournal& journal() const { return *journal_; }
+  /// Per-fingerprint workload telemetry (always on; fed by every eval and,
+  /// when SCALEIN_JOURNAL_PATH is set, by the replayed persistent journal).
+  const obs::WorkloadAggregator& workload() const { return *workload_; }
+  /// Persistent JSONL journal store; nullptr without SCALEIN_JOURNAL_PATH.
+  const obs::JournalStore* journal_store() const {
+    return journal_store_.get();
+  }
   /// Memoized controllability derivations; invalidated on schema/access DDL.
   const AnalysisCache& analysis_cache() const { return *analysis_cache_; }
   /// Adaptive shard advisor: re-shards relations from cardinality and
@@ -115,6 +132,13 @@ class Shell {
   Result<std::string> RunSlowlog(std::string_view rest);
   /// `threads [N]`: show or resize the global morsel worker pool.
   Result<std::string> RunThreads(std::string_view rest);
+  /// `workload [top K | fingerprint <fp>]`: per-fingerprint telemetry.
+  Result<std::string> RunWorkload(std::string_view rest) const;
+  /// Seals, tallies, journals (ring + persistent store), and records one
+  /// evaluation's certificate; returns warning lines for surfaced
+  /// append/dump failures (satellite: no silently dropped writes).
+  std::string RecordEvalOutcome(obs::AccessCertificate cert, double elapsed_ms,
+                                bool noncontrollable, bool governor_tripped);
 
   Schema schema_;
   AccessSchema access_;
@@ -125,11 +149,16 @@ class Shell {
       std::make_unique<obs::MetricsRegistry>();
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::QueryJournal> journal_;
+  std::unique_ptr<obs::JournalStore> journal_store_;
+  std::unique_ptr<obs::WorkloadAggregator> workload_ =
+      std::make_unique<obs::WorkloadAggregator>();
   std::unique_ptr<obs::MetricsDumper> dumper_;
   std::unique_ptr<AnalysisCache> analysis_cache_ =
       std::make_unique<AnalysisCache>();
   par::ShardAdvisor shard_advisor_;
   std::string dump_path_;  ///< SCALEIN_DUMP_PATH; default for `dump`
+  uint64_t query_seq_ = 0;    ///< per-session QueryId sequence
+  std::string journal_note_;  ///< startup JournalStore load report
 };
 
 }  // namespace scalein

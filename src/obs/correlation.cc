@@ -1,0 +1,60 @@
+#include "obs/correlation.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+
+namespace scalein::obs {
+namespace {
+
+// The current query, split across two relaxed atomics. The shell evaluates
+// one query at a time and only flips the slot between evaluations, so worker
+// threads reading mid-query always see a consistent pair; torn reads could
+// only happen across a query boundary, where both halves are being cleared.
+std::atomic<uint64_t> g_session{0};
+std::atomic<uint64_t> g_seq{0};
+
+uint64_t ComputeSessionFingerprint() {
+  if (const char* id = std::getenv("SCALEIN_SESSION_ID");
+      id != nullptr && id[0] != '\0') {
+    return Fnv1a64(id);
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+  std::string seed = std::to_string(ns) + ":" + std::to_string(std::rand());
+  return Fnv1a64(seed);
+}
+
+}  // namespace
+
+std::string RenderQueryId(const QueryId& id) {
+  if (!id.valid()) return std::string();
+  return Hex16(id.session) + "-" + std::to_string(id.seq);
+}
+
+uint64_t SessionFingerprint() {
+  static const uint64_t fingerprint = ComputeSessionFingerprint();
+  return fingerprint;
+}
+
+QueryId CurrentQueryId() {
+  QueryId id;
+  id.session = g_session.load(std::memory_order_relaxed);
+  id.seq = g_seq.load(std::memory_order_relaxed);
+  return id;
+}
+
+void SetCurrentQueryId(const QueryId& id) {
+  if (!id.valid()) {
+    g_seq.store(0, std::memory_order_relaxed);
+    g_session.store(0, std::memory_order_relaxed);
+    return;
+  }
+  g_session.store(id.session, std::memory_order_relaxed);
+  g_seq.store(id.seq, std::memory_order_relaxed);
+}
+
+}  // namespace scalein::obs

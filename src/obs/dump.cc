@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
+#include "obs/correlation.h"
 #include "obs/json.h"
 
 namespace scalein::obs {
@@ -12,11 +14,31 @@ std::string RenderDump(std::string_view reason, const FlightRecorder* recorder,
                        const QueryJournal* journal,
                        const MetricsRegistry* metrics) {
   std::string out = "{\"reason\":\"" + JsonEscape(reason) + "\"";
+  // A dump taken mid-evaluation (governor trip, failpoint error, signal) is
+  // joinable to that query's spans/events/certificate by one id.
+  if (const QueryId qid = CurrentQueryId(); qid.valid()) {
+    out += ",\"query_id\":\"" + RenderQueryId(qid) + "\"";
+  }
   if (recorder != nullptr) out += ",\"recorder\":" + recorder->ToJson();
   if (journal != nullptr) out += ",\"journal\":" + journal->ToJson();
   if (metrics != nullptr) out += ",\"metrics\":" + metrics->ToJson();
   out += "}";
   return out;
+}
+
+Status EnsureParentDirs(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) return Status::OK();
+  std::error_code ec;
+  if (fs::exists(parent, ec)) return Status::OK();
+  fs::create_directories(parent, ec);
+  if (ec) {
+    return Status::Internal("cannot create parent directory '" +
+                            parent.string() + "' for '" + path +
+                            "': " + ec.message());
+  }
+  return Status::OK();
 }
 
 Status WriteTextFile(const std::string& path, std::string_view text) {
@@ -211,7 +233,7 @@ bool PostMortemArmed() {
   return state.armed;
 }
 
-bool WritePostMortem(std::string_view reason) {
+Status WritePostMortemStatus(std::string_view reason) {
   PostMortemState& state = GlobalPostMortem();
   std::string path;
   const FlightRecorder* recorder;
@@ -219,14 +241,21 @@ bool WritePostMortem(std::string_view reason) {
   const MetricsRegistry* metrics;
   {
     std::lock_guard<std::mutex> lock(state.mu);
-    if (!state.armed) return false;
+    if (!state.armed) {
+      return Status::FailedPrecondition("post-mortem dump is not armed");
+    }
     path = state.path;
     recorder = state.recorder;
     journal = state.journal;
     metrics = state.metrics;
   }
   const std::string dump = RenderDump(reason, recorder, journal, metrics);
-  return WriteTextFile(path, dump).ok();
+  SI_RETURN_IF_ERROR(EnsureParentDirs(path));
+  return WriteTextFile(path, dump);
+}
+
+bool WritePostMortem(std::string_view reason) {
+  return WritePostMortemStatus(reason).ok();
 }
 
 }  // namespace scalein::obs

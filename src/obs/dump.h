@@ -26,6 +26,13 @@ std::string RenderDump(std::string_view reason, const FlightRecorder* recorder,
                        const QueryJournal* journal,
                        const MetricsRegistry* metrics);
 
+/// Creates any missing parent directories of `path` (the file itself is not
+/// touched). A clear Status — not a silent drop — when creation fails. Used
+/// for operator-configured sinks (SCALEIN_DUMP_PATH, SCALEIN_JOURNAL_PATH,
+/// explicit `dump <path>`); the low-level writers below deliberately do NOT
+/// auto-create, so a typo'd path still fails loudly where tests expect it.
+Status EnsureParentDirs(const std::string& path);
+
 /// Writes `text` to `path`, truncating any existing file.
 Status WriteTextFile(const std::string& path, std::string_view text);
 
@@ -96,6 +103,12 @@ bool PostMortemArmed();
 /// was written (armed and the write succeeded). Later calls overwrite — the
 /// file always holds the most recent (closest-to-death) snapshot.
 bool WritePostMortem(std::string_view reason);
+
+/// Status-returning variant: FailedPrecondition when not armed, otherwise
+/// the write's own status (missing parent directories are created first).
+/// Callers who can surface text — the shell — report this instead of
+/// silently dropping the dump.
+Status WritePostMortemStatus(std::string_view reason);
 
 }  // namespace scalein::obs
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/correlation.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -40,6 +41,12 @@ const char* EventKindName(EventKind kind) {
       return "view-refresh";
     case EventKind::kMetricsDump:
       return "metrics-dump";
+    case EventKind::kOpOpen:
+      return "op-open";
+    case EventKind::kOpNext:
+      return "op-next-batch";
+    case EventKind::kOpClose:
+      return "op-close";
   }
   return "?";
 }
@@ -81,6 +88,9 @@ void FlightRecorder::Append(
   event.kind = kind;
   event.label = std::move(label);
   event.args = std::move(args);
+  const QueryId qid = CurrentQueryId();
+  event.qid_session = qid.session;
+  event.qid_seq = qid.seq;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
     return;
@@ -98,6 +108,9 @@ void FlightRecorder::AppendCompact(EventKind kind, const char* label,
   event.t_ns = clock_ != nullptr ? clock_() : MonotonicNowNs();
   event.kind = kind;
   event.label = label;
+  const QueryId qid = CurrentQueryId();
+  event.qid_session = qid.session;
+  event.qid_seq = qid.seq;
   for (const NumArg& n : nums) {
     if (event.num_count == FlightEvent::kMaxNums) break;
     event.nums[event.num_count++] = n;
@@ -171,6 +184,12 @@ std::string FlightRecorder::ToJson() const {
            ",\"t_ns\":" + std::to_string(e.t_ns) + ",\"kind\":\"" +
            EventKindName(e.kind) + "\",\"label\":\"" + JsonEscape(e.label) +
            "\"";
+    if (e.qid_seq != 0) {
+      // Only stamped events carry the field: an unstamped stream (no query
+      // in flight) keeps its exact pre-correlation bytes.
+      out += ",\"query_id\":\"" +
+             RenderQueryId(QueryId{e.qid_session, e.qid_seq}) + "\"";
+    }
     if (!e.args.empty() || e.num_count > 0) {
       out += ",\"args\":{";
       bool first = true;

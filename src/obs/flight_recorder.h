@@ -37,6 +37,9 @@ enum class EventKind {
   kWitnessSearch,     ///< a witness search completed
   kViewRefresh,       ///< a view extent was recomputed from scratch
   kMetricsDump,       ///< a metrics snapshot was appended to a dump file
+  kOpOpen,            ///< a physical operator was (re)opened (label = op)
+  kOpNext,            ///< one operator next-batch (every 256 rows produced)
+  kOpClose,           ///< an operator stream was exhausted
 };
 
 /// Canonical kebab-case name ("query-start", "governor-trip", ...).
@@ -55,7 +58,10 @@ struct NumArg {
 /// concatenation. `nums` carries numeric args from the compact append path —
 /// both render into the same "args" JSON object. `seq` is assigned by the
 /// recorder and survives eviction gaps: consumers can tell "events 12..17
-/// were dropped" from the sequence.
+/// were dropped" from the sequence. `qid_session`/`qid_seq` are the
+/// CurrentQueryId() at append time (obs/correlation.h) — zero `qid_seq`
+/// means "no query in flight" and renders as no "query_id" field at all, so
+/// unstamped streams keep their exact historical bytes.
 struct FlightEvent {
   static constexpr size_t kMaxNums = 4;
 
@@ -66,6 +72,8 @@ struct FlightEvent {
   std::vector<std::pair<std::string, std::string>> args;
   NumArg nums[kMaxNums] = {};
   uint32_t num_count = 0;
+  uint64_t qid_session = 0;
+  uint64_t qid_seq = 0;
 };
 
 /// Pre-rendered argument builders (string values are escaped and quoted).

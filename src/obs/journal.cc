@@ -1,7 +1,11 @@
 #include "obs/journal.h"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "obs/dump.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 
@@ -31,6 +35,7 @@ CertVerdict DeriveVerdict(const AccessCertificate& cert) {
 
 std::string CertificatePayload(const AccessCertificate& cert) {
   std::string payload = "fp=" + cert.query_fingerprint +
+                        "|qid=" + cert.query_id +
                         "|q=" + cert.query_text +
                         "|bound=" + JsonNumber(cert.static_bound) +
                         "|fetches=" + std::to_string(cert.actual_fetches) +
@@ -58,9 +63,12 @@ bool VerifyCertificate(const AccessCertificate& cert) {
 }
 
 std::string CertificateToJson(const AccessCertificate& cert) {
-  std::string out = "{\"query_fingerprint\":\"" +
-                    JsonEscape(cert.query_fingerprint) + "\",\"query\":\"" +
-                    JsonEscape(cert.query_text) + "\"";
+  std::string out =
+      "{\"query_fingerprint\":\"" + JsonEscape(cert.query_fingerprint) + "\"";
+  if (!cert.query_id.empty()) {
+    out += ",\"query_id\":\"" + JsonEscape(cert.query_id) + "\"";
+  }
+  out += ",\"query\":\"" + JsonEscape(cert.query_text) + "\"";
   if (cert.static_bound >= 0) {
     out += ",\"static_bound\":" + JsonNumber(cert.static_bound);
   }
@@ -105,6 +113,49 @@ bool CertVerdictFromName(std::string_view name, CertVerdict* out) {
   return false;
 }
 
+namespace {
+
+/// One parsed certificate object — shared by the dump reader (arrays) and
+/// the JSONL journal reader (one object per line).
+Result<AccessCertificate> CertificateFromJsonValue(const JsonValue& c) {
+  if (!c.is_object()) {
+    return Status::InvalidArgument("certificate is not an object");
+  }
+  AccessCertificate cert;
+  cert.query_fingerprint = c.StringOr("query_fingerprint", "");
+  cert.query_id = c.StringOr("query_id", "");
+  cert.query_text = c.StringOr("query", "");
+  cert.static_bound = c.NumberOr("static_bound", -1.0);
+  cert.actual_fetches = static_cast<uint64_t>(c.NumberOr("actual_fetches", 0));
+  cert.index_lookups = static_cast<uint64_t>(c.NumberOr("index_lookups", 0));
+  cert.tripped = c.BoolOr("tripped", false);
+  cert.trip_reason = c.StringOr("trip_reason", "");
+  if (!CertVerdictFromName(c.StringOr("verdict", ""), &cert.verdict)) {
+    return Status::InvalidArgument("certificate has an unknown verdict");
+  }
+  const std::string sig = c.StringOr("signature", "");
+  char* end = nullptr;
+  cert.signature = std::strtoull(sig.c_str(), &end, 16);
+  if (sig.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("certificate has a malformed signature");
+  }
+  if (const JsonValue* ops = c.Find("ops"); ops != nullptr) {
+    for (const JsonValue& o : ops->array) {
+      CertOp op;
+      op.label = o.StringOr("label", "");
+      op.rows_out = static_cast<uint64_t>(o.NumberOr("rows_out", 0));
+      op.tuples_fetched =
+          static_cast<uint64_t>(o.NumberOr("tuples_fetched", 0));
+      op.index_lookups = static_cast<uint64_t>(o.NumberOr("index_lookups", 0));
+      op.static_bound = o.NumberOr("static_bound", -1.0);
+      cert.ops.push_back(std::move(op));
+    }
+  }
+  return cert;
+}
+
+}  // namespace
+
 Result<std::vector<AccessCertificate>> CertificatesFromDumpJson(
     std::string_view json) {
   Result<JsonValue> parsed = ParseJson(json);
@@ -128,47 +179,48 @@ Result<std::vector<AccessCertificate>> CertificatesFromDumpJson(
   std::vector<AccessCertificate> out;
   out.reserve(certs->array.size());
   for (size_t i = 0; i < certs->array.size(); ++i) {
-    const JsonValue& c = certs->array[i];
-    if (!c.is_object()) {
+    Result<AccessCertificate> cert = CertificateFromJsonValue(certs->array[i]);
+    if (!cert.ok()) {
       return Status::InvalidArgument("certificate " + std::to_string(i) +
-                                     " is not an object");
+                                     ": " + cert.status().message());
     }
-    AccessCertificate cert;
-    cert.query_fingerprint = c.StringOr("query_fingerprint", "");
-    cert.query_text = c.StringOr("query", "");
-    cert.static_bound = c.NumberOr("static_bound", -1.0);
-    cert.actual_fetches =
-        static_cast<uint64_t>(c.NumberOr("actual_fetches", 0));
-    cert.index_lookups = static_cast<uint64_t>(c.NumberOr("index_lookups", 0));
-    cert.tripped = c.BoolOr("tripped", false);
-    cert.trip_reason = c.StringOr("trip_reason", "");
-    if (!CertVerdictFromName(c.StringOr("verdict", ""), &cert.verdict)) {
-      return Status::InvalidArgument("certificate " + std::to_string(i) +
-                                     " has an unknown verdict");
-    }
-    const std::string sig = c.StringOr("signature", "");
-    char* end = nullptr;
-    cert.signature = std::strtoull(sig.c_str(), &end, 16);
-    if (sig.empty() || end == nullptr || *end != '\0') {
-      return Status::InvalidArgument("certificate " + std::to_string(i) +
-                                     " has a malformed signature");
-    }
-    if (const JsonValue* ops = c.Find("ops"); ops != nullptr) {
-      for (const JsonValue& o : ops->array) {
-        CertOp op;
-        op.label = o.StringOr("label", "");
-        op.rows_out = static_cast<uint64_t>(o.NumberOr("rows_out", 0));
-        op.tuples_fetched =
-            static_cast<uint64_t>(o.NumberOr("tuples_fetched", 0));
-        op.index_lookups =
-            static_cast<uint64_t>(o.NumberOr("index_lookups", 0));
-        op.static_bound = o.NumberOr("static_bound", -1.0);
-        cert.ops.push_back(std::move(op));
-      }
-    }
-    out.push_back(std::move(cert));
+    out.push_back(std::move(cert).ValueOrDie());
   }
   return out;
+}
+
+Result<std::vector<AccessCertificate>> CertificatesFromJsonl(
+    std::string_view text) {
+  std::vector<AccessCertificate> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) continue;
+    Result<AccessCertificate> cert = CertificateFromJsonValue(*parsed);
+    if (!cert.ok()) continue;
+    out.push_back(std::move(cert).ValueOrDie());
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(
+        "no certificate line parses as a journal entry");
+  }
+  return out;
+}
+
+std::string JournalLineJson(const AccessCertificate& cert, double latency_ms,
+                            bool noncontrollable) {
+  std::string line = CertificateToJson(cert);
+  line.pop_back();  // re-open the object for the non-sealed siblings
+  if (latency_ms >= 0) line += ",\"latency_ms\":" + JsonNumber(latency_ms);
+  line += ",\"noncontrollable\":";
+  line += noncontrollable ? "true" : "false";
+  line += "}";
+  return line;
 }
 
 QueryJournal::QueryJournal(size_t capacity)
@@ -222,6 +274,125 @@ void QueryJournal::Clear() {
   ring_.clear();
   next_seq_ = 0;
   dropped_ = 0;
+}
+
+std::string JournalLoadReport::ToString() const {
+  std::string out = "journal: " + std::to_string(entries) + " entr" +
+                    (entries == 1 ? "y" : "ies") + " (" +
+                    std::to_string(sealed_ok) + " sealed, " +
+                    std::to_string(tampered) + " tampered, " +
+                    std::to_string(malformed) + " malformed)";
+  return out;
+}
+
+JournalStore::JournalStore(std::string path, uint64_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+
+Status JournalStore::RotateLocked() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  // path.1 -> path.2 (clobbering the oldest generation), then path -> path.1.
+  for (int gen = kRotations - 1; gen >= 1; --gen) {
+    const std::string from = path_ + "." + std::to_string(gen);
+    const std::string to = path_ + "." + std::to_string(gen + 1);
+    if (!fs::exists(from, ec)) continue;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::Internal("journal rotate: cannot rename '" + from +
+                              "' to '" + to + "': " + ec.message());
+    }
+  }
+  fs::rename(path_, path_ + ".1", ec);
+  if (ec) {
+    return Status::Internal("journal rotate: cannot rename '" + path_ +
+                            "': " + ec.message());
+  }
+  ++rotations_;
+  live_bytes_ = 0;
+  return Status::OK();
+}
+
+Status JournalStore::Append(const AccessCertificate& cert, double latency_ms,
+                            bool noncontrollable) {
+  const std::string line = JournalLineJson(cert, latency_ms, noncontrollable);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_bytes_ < 0) {
+    // First touch: create missing parent directories loudly (the fix for
+    // silently dropped writes) and size any surviving live file.
+    SI_RETURN_IF_ERROR(EnsureParentDirs(path_));
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    live_bytes_ = ec ? 0 : static_cast<int64_t>(size);
+  }
+  if (live_bytes_ > 0 &&
+      static_cast<uint64_t>(live_bytes_) + line.size() + 1 > max_bytes_) {
+    SI_RETURN_IF_ERROR(RotateLocked());
+  }
+  SI_RETURN_IF_ERROR(AppendTextLine(path_, line));
+  live_bytes_ += static_cast<int64_t>(line.size()) + 1;
+  ++appended_;
+  return Status::OK();
+}
+
+Result<std::vector<JournalEntry>> JournalStore::Load(
+    JournalLoadReport* report) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalLoadReport local;
+  std::vector<JournalEntry> out;
+  // Oldest generation first, so replay order equals append order.
+  for (int gen = kRotations; gen >= 0; --gen) {
+    const std::string file =
+        gen == 0 ? path_ : path_ + "." + std::to_string(gen);
+    std::ifstream in(file);
+    if (!in.is_open()) continue;
+    ++local.files;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      Result<JsonValue> parsed = ParseJson(line);
+      if (!parsed.ok()) {
+        ++local.malformed;
+        local.errors.push_back(file + ":" + std::to_string(lineno) + ": " +
+                               parsed.status().message());
+        continue;
+      }
+      Result<AccessCertificate> cert = CertificateFromJsonValue(*parsed);
+      if (!cert.ok()) {
+        ++local.malformed;
+        local.errors.push_back(file + ":" + std::to_string(lineno) + ": " +
+                               cert.status().message());
+        continue;
+      }
+      JournalEntry entry;
+      entry.cert = std::move(cert).ValueOrDie();
+      entry.latency_ms = parsed->NumberOr("latency_ms", -1.0);
+      entry.noncontrollable = parsed->BoolOr("noncontrollable", false);
+      entry.seal_ok = VerifyCertificate(entry.cert);
+      if (entry.seal_ok) {
+        ++local.sealed_ok;
+      } else {
+        ++local.tampered;
+        local.errors.push_back(file + ":" + std::to_string(lineno) +
+                               ": seal mismatch (tampered after sealing?)");
+      }
+      ++local.entries;
+      out.push_back(std::move(entry));
+    }
+  }
+  if (report != nullptr) *report = std::move(local);
+  return out;
+}
+
+uint64_t JournalStore::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t JournalStore::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
 }
 
 std::string QueryJournal::ToJson() const {

@@ -42,6 +42,7 @@ struct CertOp {
 /// cryptographic guarantee.
 struct AccessCertificate {
   std::string query_fingerprint;  ///< Fingerprint(query_text)
+  std::string query_id;           ///< RenderQueryId of the minting evaluation
   std::string query_text;         ///< canonical query string
   double static_bound = -1.0;     ///< Theorem 4.2 M; < 0 when unbounded
   uint64_t actual_fetches = 0;    ///< base tuples actually read
@@ -70,6 +71,12 @@ bool VerifyCertificate(const AccessCertificate& cert);
 /// Deterministic JSON object with stable field order.
 std::string CertificateToJson(const AccessCertificate& cert);
 
+/// One JSONL journal line: CertificateToJson plus the non-sealed sibling
+/// fields ("latency_ms" when >= 0, "noncontrollable"). The sealed payload is
+/// untouched, so the parsed-back certificate re-verifies byte-for-byte.
+std::string JournalLineJson(const AccessCertificate& cert, double latency_ms,
+                            bool noncontrollable);
+
 /// Parses a canonical verdict name ("within-bound", ...) back into the enum;
 /// returns false for an unknown name.
 bool CertVerdictFromName(std::string_view name, CertVerdict* out);
@@ -83,6 +90,87 @@ bool CertVerdictFromName(std::string_view name, CertVerdict* out);
 /// parsed certificates byte-for-byte.
 Result<std::vector<AccessCertificate>> CertificatesFromDumpJson(
     std::string_view json);
+
+/// Reads certificates out of a JSONL journal file's text (one certificate
+/// object per line, as written by JournalStore) — the other offline side of
+/// `certify <file>`. Unparsable lines are skipped; fails only when no line
+/// yields a certificate.
+Result<std::vector<AccessCertificate>> CertificatesFromJsonl(
+    std::string_view text);
+
+/// One replayed journal line: the sealed certificate plus the non-sealed
+/// sibling fields the store records next to it. Latency is observational
+/// (it varies run to run) so it lives *outside* the sealed payload —
+/// certificates stay byte-identical across thread counts and reruns.
+struct JournalEntry {
+  AccessCertificate cert;
+  double latency_ms = -1.0;     ///< < 0 when unknown
+  bool noncontrollable = false; ///< evaluation failed Thm 4.2 controllability
+  bool seal_ok = false;         ///< VerifyCertificate at load time
+};
+
+/// What a JournalStore::Load pass found, for surfacing instead of crashing:
+/// tampered entries (seal mismatch) and malformed lines are counted and
+/// described, never fatal.
+struct JournalLoadReport {
+  size_t files = 0;
+  size_t entries = 0;
+  size_t sealed_ok = 0;
+  size_t tampered = 0;
+  size_t malformed = 0;
+  std::vector<std::string> errors;
+
+  /// "journal: N entries (S sealed, T tampered, M malformed)".
+  std::string ToString() const;
+};
+
+/// Durable append-only query journal: one JSONL line per sealed certificate
+/// (plus non-sealed latency/noncontrollable siblings), written to
+/// SCALEIN_JOURNAL_PATH with size-based rotation `path` → `path.1` →
+/// `path.2` (oldest dropped). Load replays `path.2`, `path.1`, `path` in
+/// that order — oldest entry first — re-verifying every seal, so a workload
+/// history survives shell restarts and stays checkable offline. Parent
+/// directories are created on first append (obs::EnsureParentDirs); failures
+/// surface as a Status, never a silent drop.
+class JournalStore {
+ public:
+  static constexpr uint64_t kDefaultMaxBytes = 1 << 20;
+  /// Rotated generations kept besides the live file (`path.1`, `path.2`).
+  static constexpr int kRotations = 2;
+
+  explicit JournalStore(std::string path,
+                        uint64_t max_bytes = kDefaultMaxBytes);
+  JournalStore(const JournalStore&) = delete;
+  JournalStore& operator=(const JournalStore&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Appends one journal line; rotates first when the live file would
+  /// exceed max_bytes(). `latency_ms < 0` omits the latency field.
+  Status Append(const AccessCertificate& cert, double latency_ms,
+                bool noncontrollable);
+
+  /// Replays every surviving generation oldest-first. Tampered or malformed
+  /// entries are reported in `report` (may be nullptr), not errors; the
+  /// call fails only on an unreadable live file scheme (a missing file is
+  /// an empty journal, not an error).
+  Result<std::vector<JournalEntry>> Load(
+      JournalLoadReport* report = nullptr) const;
+
+  uint64_t appended() const;
+  uint64_t rotations() const;
+
+ private:
+  Status RotateLocked();
+
+  mutable std::mutex mu_;
+  const std::string path_;
+  const uint64_t max_bytes_;
+  int64_t live_bytes_ = -1;  ///< lazily initialized from the file on disk
+  uint64_t appended_ = 0;
+  uint64_t rotations_ = 0;
+};
 
 /// Fixed-size ring of sealed certificates, one per completed query — the
 /// query journal the `journal`/`certify` shell commands read and post-mortem

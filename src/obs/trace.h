@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/correlation.h"
+
 /// Compile-time kill switch for the engine's span/timing instrumentation.
 /// Building with -DSCALEIN_OBS_ENABLE_TIMING=0 removes even the
 /// branch-on-null fast paths from the operator hot loop, so the no-op path
@@ -77,6 +79,11 @@ class ScopedSpan {
     event_.name = name;
     event_.category = category;
     event_.start_ns = MonotonicNowNs();
+    // Correlation: spans recorded during an evaluation carry the same
+    // QueryId as the recorder events, certificate, and journal line.
+    if (const QueryId qid = CurrentQueryId(); qid.valid()) {
+      event_.args.emplace_back("qid", "\"" + RenderQueryId(qid) + "\"");
+    }
   }
   ~ScopedSpan() {
     if (tracer_ == nullptr) return;

@@ -1,0 +1,128 @@
+# Smoke test for the workload observatory, run via `cmake -P` from ctest:
+# session 1 drives the shell through controllable evals plus a recurring
+# non-controllable query under a tiny journal size (forcing rotation);
+# session 2 replays the rotated journal and renders `workload top`; then
+# scripts/workload_report.py reads the same files and must (a) rank the
+# non-controllable fingerprint first in its "views would help" section and
+# (b) emit per-fingerprint lines byte-identical to the shell's rendering.
+# Variables passed in by tests/CMakeLists.txt:
+#   SHELL_BIN  — path to the scalein_shell example binary
+#   PYTHON     — Python3 interpreter
+#   REPORT     — path to scripts/workload_report.py
+#   WORK_DIR   — scratch directory for script/journal files
+
+set(script "${WORK_DIR}/workload_smoke_input.txt")
+set(journal "${WORK_DIR}/workload_smoke_journal.jsonl")
+file(REMOVE "${journal}" "${journal}.1" "${journal}.2")
+
+# The secret relation has no access statement, so its query is rejected as
+# non-controllable — three times, which must outrank the two controllable
+# evals in the report. The shell binary prints the error and continues.
+file(WRITE "${script}" "schema relation person(id, name, city)
+schema relation friend(id1, id2)
+schema relation secret(a, b)
+access access friend(id1) N=50
+access key person(id)
+row person 1,\"ada\",\"NYC\"
+row person 2,\"bob\",\"NYC\"
+row friend 1,2
+row secret 1,2
+eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+eval a=1 S(a, b) := secret(a, b)
+eval a=1 S(a, b) := secret(a, b)
+eval a=1 S(a, b) := secret(a, b)
+quit
+")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          "SCALEIN_JOURNAL_PATH=${journal}"
+          "SCALEIN_JOURNAL_MAX_BYTES=400"
+          "SCALEIN_SESSION_ID=workload-smoke"
+          "${SHELL_BIN}"
+  INPUT_FILE "${script}"
+  RESULT_VARIABLE shell_rc
+  OUTPUT_VARIABLE shell_out
+  ERROR_VARIABLE shell_err)
+if(NOT shell_rc EQUAL 0)
+  message(FATAL_ERROR "shell session 1 failed (rc=${shell_rc}): ${shell_err}")
+endif()
+if(NOT EXISTS "${journal}")
+  message(FATAL_ERROR "shell did not write the persistent journal")
+endif()
+if(NOT EXISTS "${journal}.1")
+  message(FATAL_ERROR "400-byte cap did not rotate the journal")
+endif()
+
+# Session 2: replay the rotated journal and render the workload view.
+set(workload_script "${WORK_DIR}/workload_smoke_workload.txt")
+file(WRITE "${workload_script}" "workload
+workload top 5
+quit
+")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          "SCALEIN_JOURNAL_PATH=${journal}"
+          "SCALEIN_JOURNAL_MAX_BYTES=400"
+          "${SHELL_BIN}"
+  INPUT_FILE "${workload_script}"
+  RESULT_VARIABLE workload_rc
+  OUTPUT_VARIABLE workload_out
+  ERROR_VARIABLE workload_err)
+if(NOT workload_rc EQUAL 0)
+  message(FATAL_ERROR
+          "shell session 2 failed (rc=${workload_rc}): ${workload_err}")
+endif()
+foreach(needle "replayed journal:" "non-controllable" "nonctrl=3")
+  string(FIND "${workload_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "workload output is missing '${needle}':\n${workload_out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${REPORT}" "${journal}"
+  RESULT_VARIABLE report_rc
+  OUTPUT_VARIABLE report_out
+  ERROR_VARIABLE report_err)
+if(NOT report_rc EQUAL 0)
+  message(FATAL_ERROR
+          "workload_report.py failed (rc=${report_rc}): ${report_err}")
+endif()
+if(NOT "${report_err}" STREQUAL "")
+  message(FATAL_ERROR
+          "workload_report.py reported seal problems:\n${report_err}")
+endif()
+
+# The non-controllable class must lead the "views would help" ranking.
+string(FIND "${report_out}" "views would help" views_pos)
+if(views_pos EQUAL -1)
+  message(FATAL_ERROR "report has no 'views would help' section:\n${report_out}")
+endif()
+string(SUBSTRING "${report_out}" ${views_pos} -1 views_section)
+string(REGEX MATCH "\n  [^\n]*" views_first "${views_section}")
+string(FIND "${views_first}" "nonctrl=3" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "first 'views would help' line does not rank the recurring "
+          "non-controllable class (nonctrl=3):\n${views_first}\n${report_out}")
+endif()
+
+# Online/offline agreement: every per-fingerprint line the shell rendered
+# must appear verbatim in the Python report (same counts, same accuracy).
+string(REGEX MATCHALL "\n(  [a-f0-9]+ n=[^\n]*)" shell_lines "${workload_out}")
+list(LENGTH shell_lines shell_line_count)
+if(shell_line_count EQUAL 0)
+  message(FATAL_ERROR
+          "no per-fingerprint lines in shell output:\n${workload_out}")
+endif()
+foreach(line ${shell_lines})
+  string(FIND "${report_out}" "${line}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "report disagrees with the shell on '${line}':\n${report_out}")
+  endif()
+endforeach()
+message(STATUS "workload_report smoke OK (${shell_line_count} classes agree)")
