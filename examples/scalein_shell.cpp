@@ -44,6 +44,7 @@ int main() {
   std::signal(SIGINT, HandleTermSignal);
   scalein::Shell shell;
   std::string line;
+  int rc = 0;
   std::printf("scalein shell — 'help' for commands\n");
   while (std::getline(std::cin, line)) {
     if (scalein::StripWhitespace(line) == "quit") break;
@@ -52,7 +53,11 @@ int main() {
       std::fputs(out->c_str(), stdout);
     } else {
       std::printf("error: %s\n", out.status().ToString().c_str());
+      // Integrity failures (a `certify` that found tampered certificates)
+      // must fail the batch run; ordinary command errors keep the shell —
+      // and its exit code — usable for scripted negative tests.
+      if (out.status().code() == scalein::StatusCode::kDataLoss) rc = 1;
     }
   }
-  return 0;
+  return rc;
 }

@@ -206,6 +206,26 @@ class SharedLedger {
     }
   }
 
+  /// Returns `n` previously Acquire()d units so later callers can reserve
+  /// them — the envelope-lease refund path: a serve session reserves a
+  /// query's static bound at admission and releases the unspent remainder
+  /// at completion. No-op on an unlimited ledger; clamps at zero so a
+  /// mismatched release can never underflow into a huge reservation.
+  void Release(uint64_t n) {
+    if (unlimited_ || n == 0) return;
+    uint64_t cur = reserved_.load(std::memory_order_relaxed);
+    while (true) {
+      const uint64_t give = n < cur ? n : cur;
+      if (reserved_.compare_exchange_weak(cur, cur - give,
+                                          std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Units currently reserved (for gauges; racy by nature).
+  uint64_t Reserved() const { return reserved_.load(std::memory_order_relaxed); }
+
   static constexpr uint64_t SubBudgetChunk() { return 64; }
 
  private:

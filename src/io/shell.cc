@@ -470,6 +470,122 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   return out;
 }
 
+Status Shell::PrepareServe() {
+  if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+  // Index construction is the one database mutation on the eval path; doing
+  // it here means concurrent serve evaluations only ever read.
+  return access_.BuildIndexes(db_.get(), schema_);
+}
+
+Result<ServePlan> Shell::PlanForServe(std::string_view rest) {
+  size_t sp = rest.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::InvalidArgument("usage: eval var=value,... <query>");
+  }
+  ServePlan plan;
+  SI_ASSIGN_OR_RETURN(plan.params, ParseShellBinding(rest.substr(0, sp)));
+  plan.query_text = std::string(StripWhitespace(rest.substr(sp + 1)));
+  SI_ASSIGN_OR_RETURN(plan.query, ParseFoQuery(plan.query_text, &schema_));
+  if (db_ == nullptr) return Status::FailedPrecondition("no data loaded");
+  plan.fingerprint = obs::Fingerprint(plan.query_text);
+  SI_ASSIGN_OR_RETURN(plan.analysis,
+                      analysis_cache_->GetOrAnalyze(plan.query.body,
+                                                    plan.query_text, schema_,
+                                                    access_));
+  VarSet param_vars;
+  for (const auto& [v, val] : plan.params) {
+    (void)val;
+    param_vars.insert(v);
+  }
+  // The same option the evaluator will execute, so the bound the admission
+  // decision cites is the bound the certificate will carry.
+  const ControlOption* opt = plan.analysis->BestOptionFor(param_vars);
+  plan.static_bound = opt == nullptr ? -1.0 : opt->fetch_bound;
+  return plan;
+}
+
+Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
+                                             const exec::GovernorLimits& limits,
+                                             const obs::QueryId& qid) {
+  // The correlation slot is process-wide; concurrent sessions interleave
+  // recorder/span stamping, but the certificate's id below is set explicitly
+  // so journals stay exact.
+  obs::ScopedQueryCorrelation correlate(qid);
+  if (obs::FlightRecorderEnabled()) {
+    obs::RecordFlightEvent(obs::EventKind::kPlan, plan.fingerprint,
+                           {obs::EventArg("query", plan.query_text)});
+  }
+  BoundedEvaluator evaluator(db_.get());
+  evaluator.set_limits(limits);
+  BoundedEvalStats stats;
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  Result<exec::Degraded<AnswerSet>> evaled =
+      evaluator.EvaluateDegraded(plan.query, *plan.analysis, plan.params,
+                                 &stats);
+  const double elapsed_ms =
+      static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
+  if (!evaled.ok()) {
+    if (evaled.status().code() == StatusCode::kFailedPrecondition &&
+        evaled.status().message().find("not controlled") !=
+            std::string::npos) {
+      metrics_->GetCounter("shell.noncontrollable_queries").Increment();
+      obs::AccessCertificate cert;
+      cert.query_fingerprint = plan.fingerprint;
+      cert.query_id = obs::RenderQueryId(qid);
+      cert.query_text = plan.query_text;
+      (void)RecordEvalOutcome(std::move(cert), elapsed_ms,
+                              /*noncontrollable=*/true,
+                              /*governor_tripped=*/false);
+    }
+    return evaled.status();
+  }
+  exec::Degraded<AnswerSet> degraded = std::move(evaled).ValueOrDie();
+  metrics_
+      ->GetHistogram("shell.eval_latency_ms", obs::DefaultLatencyBucketsMs())
+      .Observe(elapsed_ms);
+  metrics_->GetCounter("shell.queries").Increment();
+  metrics_->GetCounter("shell.base_tuples_fetched")
+      .Increment(stats.base_tuples_fetched);
+  metrics_->GetCounter("shell.index_lookups").Increment(stats.index_lookups);
+  for (const auto& [relation, fetched] : stats.fetched_by_relation) {
+    metrics_->GetCounter("shell.fetched." + relation).Increment(fetched);
+  }
+  if (!degraded.complete) {
+    metrics_
+        ->GetCounter(std::string("shell.governor.trips.") +
+                     exec::LimitKindName(degraded.trip.kind))
+        .Increment();
+  }
+
+  obs::AccessCertificate cert;
+  cert.query_fingerprint = plan.fingerprint;
+  cert.query_id = obs::RenderQueryId(qid);
+  cert.query_text = plan.query_text;
+  cert.static_bound = stats.static_bound;
+  cert.actual_fetches = stats.base_tuples_fetched;
+  cert.index_lookups = stats.index_lookups;
+  cert.tripped = !degraded.complete;
+  if (cert.tripped) cert.trip_reason = degraded.trip.ToString();
+  ServeEvalOutcome out;
+  out.warnings = RecordEvalOutcome(std::move(cert), elapsed_ms,
+                                   /*noncontrollable=*/false,
+                                   /*governor_tripped=*/!degraded.complete);
+  out.answers = degraded.value.size();
+  out.rendered = AnswerSetToString(degraded.value, 50);
+  out.fetched = stats.base_tuples_fetched;
+  out.static_bound = stats.static_bound;
+  out.complete = degraded.complete;
+  out.trip = degraded.trip;
+  return out;
+}
+
+std::string Shell::RecordServeVerdict(obs::AccessCertificate cert,
+                                      double elapsed_ms) {
+  const bool noncontrollable = cert.static_bound < 0 && !cert.tripped;
+  return RecordEvalOutcome(std::move(cert), elapsed_ms, noncontrollable,
+                           /*governor_tripped=*/false);
+}
+
 std::string Shell::RecordEvalOutcome(obs::AccessCertificate cert,
                                      double elapsed_ms, bool noncontrollable,
                                      bool governor_tripped) {
@@ -676,6 +792,16 @@ Result<std::string> Shell::RunCertify(std::string_view rest) const {
   out += StrFormat("%zu/%zu certificates verify", passed, certs.size());
   if (!path.empty()) out += " (from " + path + ")";
   out += "\n";
+  if (passed != certs.size()) {
+    // A failed seal is tampered (or corrupted) evidence, not a warning to
+    // scroll past: surface it as a typed error so batch callers (CI, the
+    // example binary's exit code) fail loudly. The listing travels in the
+    // message so the operator still sees which lines broke.
+    return Status::DataLoss(StrFormat("%zu/%zu certificates failed seal "
+                                      "verification\n",
+                                      certs.size() - passed, certs.size()) +
+                            out);
+  }
   return out;
 }
 

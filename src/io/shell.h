@@ -7,6 +7,7 @@
 
 #include "core/access_schema.h"
 #include "core/analysis_cache.h"
+#include "eval/answer_set.h"
 #include "exec/governor.h"
 #include "obs/correlation.h"
 #include "obs/dump.h"
@@ -15,11 +16,40 @@
 #include "obs/metrics.h"
 #include "obs/workload.h"
 #include "par/shard_advisor.h"
+#include "query/formula.h"
 #include "relational/database.h"
 #include "relational/schema.h"
 #include "util/status.h"
 
 namespace scalein {
+
+/// Pre-execution facts for one serve-mode query: the parse, the memoized §4
+/// controllability analysis, and the static Theorem 4.2 fetch bound for the
+/// given parameter set — everything the admission controller (src/serve)
+/// needs *before* running the query. Built by Shell::PlanForServe.
+struct ServePlan {
+  std::string query_text;
+  std::string fingerprint;
+  Binding params;
+  FoQuery query;
+  std::shared_ptr<const ControllabilityAnalysis> analysis;
+  /// BestOptionFor(params)->fetch_bound; < 0 when the query is not
+  /// controlled by the given parameters (nothing to admit against).
+  double static_bound = -1.0;
+};
+
+/// What one serve-mode evaluation produced: the client-facing rendering plus
+/// the accounting the server folds into its envelope (actual fetches refund
+/// the unspent lease) and metrics.
+struct ServeEvalOutcome {
+  size_t answers = 0;
+  std::string rendered;      ///< capped AnswerSetToString text
+  uint64_t fetched = 0;      ///< base tuples actually read
+  double static_bound = -1.0;
+  bool complete = true;      ///< false: governor tripped, partial extent
+  exec::TripInfo trip;       ///< meaningful when !complete
+  std::string warnings;      ///< surfaced journal/dump write failures
+};
 
 /// Command interpreter behind examples/scalein_shell.cpp: builds up a schema,
 /// an access schema, and a database, then answers analysis/evaluation/QDSI
@@ -105,6 +135,29 @@ class Shell {
   /// Adaptive shard advisor: re-shards relations from cardinality and
   /// observed probe traffic (`threads` reports it, eval feeds it back).
   const par::ShardAdvisor& shard_advisor() const { return shard_advisor_; }
+
+  /// Serve-mode hooks (src/serve builds on these). PrepareServe freezes the
+  /// catalog for concurrent evaluation: it builds every access-schema index
+  /// up front so no later evaluation mutates the database. PlanForServe
+  /// parses "var=value,... <query>" and derives the pre-execution admission
+  /// facts (call it serially — the server holds its admission mutex).
+  /// EvalForServe runs one admitted query under the given governor envelope
+  /// and is safe to call from concurrent sessions after PrepareServe: it
+  /// touches only thread-safe members (metrics, workload aggregator, journal
+  /// ring + store) and never the shard advisor or the session sequence.
+  Status PrepareServe();
+  Result<ServePlan> PlanForServe(std::string_view rest);
+  Result<ServeEvalOutcome> EvalForServe(const ServePlan& plan,
+                                        const exec::GovernorLimits& limits,
+                                        const obs::QueryId& qid);
+  /// Seals + journals a server-minted verdict certificate (admission rejects
+  /// and queue-timeout sheds carry the static bound that justified them, so
+  /// they are `certify`-checkable like any eval). Returns warning lines.
+  std::string RecordServeVerdict(obs::AccessCertificate cert,
+                                 double elapsed_ms);
+  /// Session metrics registry, mutably — the server stamps serve.* series
+  /// into the same registry `stats prom` renders. Thread-safe.
+  obs::MetricsRegistry* mutable_metrics() { return metrics_.get(); }
 
  private:
   Database* EnsureDb();

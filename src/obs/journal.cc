@@ -8,6 +8,7 @@
 #include "obs/dump.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "util/failpoint.h"
 
 namespace scalein::obs {
 
@@ -289,6 +290,7 @@ JournalStore::JournalStore(std::string path, uint64_t max_bytes)
     : path_(std::move(path)), max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
 
 Status JournalStore::RotateLocked() {
+  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("journal_rotate"));
   namespace fs = std::filesystem;
   std::error_code ec;
   // path.1 -> path.2 (clobbering the oldest generation), then path -> path.1.
@@ -315,6 +317,10 @@ Status JournalStore::RotateLocked() {
 Status JournalStore::Append(const AccessCertificate& cert, double latency_ms,
                             bool noncontrollable) {
   const std::string line = JournalLineJson(cert, latency_ms, noncontrollable);
+  // Chaos site: an injected append fault surfaces as this Status — callers
+  // (the shell's RecordEvalOutcome) render it as a warning and keep the
+  // evaluation's result, never failing the query over its paper trail.
+  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("journal_append"));
   std::lock_guard<std::mutex> lock(mu_);
   if (live_bytes_ < 0) {
     // First touch: create missing parent directories loudly (the fix for

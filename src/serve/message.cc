@@ -1,0 +1,48 @@
+#include "serve/message.h"
+
+#include <cstdio>
+
+namespace scalein::serve {
+
+std::string EncodeFrame(bool ok, std::string_view payload) {
+  char head[32];
+  const int n = std::snprintf(head, sizeof(head), "%c%zu\n", ok ? '+' : '-',
+                              payload.size());
+  std::string out(head, static_cast<size_t>(n));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) { buf_.append(bytes); }
+
+bool FrameDecoder::Next(bool* ok, std::string* payload) {
+  if (corrupt_) return false;
+  if (buf_.empty()) return false;
+  const char kind = buf_[0];
+  if (kind != '+' && kind != '-') {
+    corrupt_ = true;
+    *ok = false;
+    *payload = "frame error: expected '+' or '-' prefix";
+    return true;
+  }
+  const size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  size_t len = 0;
+  for (size_t i = 1; i < nl; ++i) {
+    const char c = buf_[i];
+    if (c < '0' || c > '9') {
+      corrupt_ = true;
+      *ok = false;
+      *payload = "frame error: non-numeric length";
+      return true;
+    }
+    len = len * 10 + static_cast<size_t>(c - '0');
+  }
+  if (buf_.size() < nl + 1 + len) return false;
+  *ok = kind == '+';
+  payload->assign(buf_, nl + 1, len);
+  buf_.erase(0, nl + 1 + len);
+  return true;
+}
+
+}  // namespace scalein::serve

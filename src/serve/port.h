@@ -1,0 +1,73 @@
+#ifndef SCALEIN_SERVE_PORT_H_
+#define SCALEIN_SERVE_PORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace scalein::serve {
+
+/// The TCP front door: accepts connections on a loopback port and pumps
+/// each one through Server::HandleLine — one OS thread per connection (the
+/// engine's morsel fan-out provides intra-query parallelism; connection
+/// threads mostly block on the socket or in the admission queue). Requests
+/// are newline-terminated lines, responses are serve/message.h frames.
+///
+/// Failure injection: `serve_accept`, `serve_read`, and `serve_write`
+/// failpoint sites fire per accepted connection / read chunk / written
+/// frame. A fired site counts serve.io_faults and closes that connection
+/// gracefully — the server and its other sessions are unaffected, which is
+/// exactly the blast-radius contract the chaos lane asserts.
+class Port {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 = ephemeral (resolved after Listen)
+  };
+
+  /// `server` must be Start()ed and outlive the port.
+  Port(Server* server, Options options);
+  ~Port();
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  /// Binds 127.0.0.1:<port>, listens, and spawns the accept loop.
+  Status Listen();
+
+  /// The bound port (after Listen; ephemeral requests resolve here).
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener and every live connection, then joins all
+  /// threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Connections accepted over the port's lifetime.
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd, uint64_t conn_id);
+  void CloseAll();
+
+  Server* const server_;
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+  std::set<int> live_fds_;
+};
+
+}  // namespace scalein::serve
+
+#endif  // SCALEIN_SERVE_PORT_H_

@@ -1,0 +1,333 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "par/worker_pool.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace scalein::serve {
+
+namespace {
+
+/// Stable per-session fingerprint: the process/session hash mixed with the
+/// client session id, so two sessions' QueryIds never collide and a run with
+/// SCALEIN_SESSION_ID set is fully reproducible.
+uint64_t ServeSessionFingerprint(const std::string& sid) {
+  return HashCombine(obs::SessionFingerprint(),
+                     Fnv1a64(sid.data(), sid.size()));
+}
+
+}  // namespace
+
+Server::Server(Shell* shell, Options options)
+    : shell_(shell), options_(std::move(options)) {
+  metrics_ = shell_->mutable_metrics();
+}
+
+Server::~Server() { Drain(); }
+
+Status Server::Start() {
+  SI_RETURN_IF_ERROR(shell_->PrepareServe());
+  max_running_ = options_.sla.max_running != 0
+                     ? options_.sla.max_running
+                     : par::WorkerPool::Global().threads();
+  if (max_running_ == 0) max_running_ = 1;
+  if (options_.sla.server_fetch_capacity > 0) {
+    // lanes=0: the ledger's capacity is exactly the SLA figure — session
+    // leases are reservations, not charge streams, so no overdraft slack.
+    ledger_.Init(options_.sla.server_fetch_capacity, /*lanes=*/0);
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+size_t Server::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Result<std::string> Server::OpenSession(const std::string& sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return Status::FailedPrecondition("server not started");
+  if (draining_) return Status::FailedPrecondition("server is draining");
+  if (sessions_.count(sid) != 0) {
+    return Status::AlreadyExists("session '" + sid + "' already open");
+  }
+  auto env = std::make_shared<SessionEnvelope>(
+      sid, ServeSessionFingerprint(sid), options_.sla.session_fetch_budget,
+      options_.sla.server_fetch_capacity > 0 ? &ledger_ : nullptr);
+  std::string out;
+  if (env->unlimited()) {
+    out = StrFormat("session %s open budget=unlimited\n", sid.c_str());
+  } else {
+    out = StrFormat("session %s open budget=%llu\n", sid.c_str(),
+                    static_cast<unsigned long long>(env->lease()));
+  }
+  sessions_.emplace(sid, std::move(env));
+  metrics_->GetGauge("serve.sessions")
+      .Set(static_cast<int64_t>(sessions_.size()));
+  return out;
+}
+
+Result<std::string> Server::CloseSession(const std::string& sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session '" + sid + "'");
+  }
+  // Preempt before erasing: an in-flight evaluation holds a shared_ptr to
+  // the envelope and observes the cancel at its next governor checkpoint.
+  it->second->Preempt();
+  sessions_.erase(it);
+  metrics_->GetGauge("serve.sessions")
+      .Set(static_cast<int64_t>(sessions_.size()));
+  cv_.notify_all();
+  return StrFormat("session %s closed\n", sid.c_str());
+}
+
+void Server::CountDecision(const AdmissionDecision& decision) {
+  metrics_->GetCounter(std::string("serve.") +
+                       AdmitActionName(decision.action))
+      .Increment();
+  if (decision.action == AdmitAction::kReject) {
+    metrics_->GetCounter(std::string("serve.rejected.") +
+                         RejectReasonName(decision.reject))
+        .Increment();
+  }
+}
+
+std::string Server::RecordRefusal(const ServePlan& plan,
+                                  const obs::QueryId& qid,
+                                  const AdmissionDecision& decision) {
+  obs::AccessCertificate cert;
+  cert.query_fingerprint = plan.fingerprint;
+  cert.query_id = obs::RenderQueryId(qid);
+  cert.query_text = plan.query_text;
+  cert.static_bound = decision.static_bound;
+  // A refusal is a (zero-fetch) trip: the certificate's trip_reason carries
+  // the full decision — action, the bound that justified it, and the
+  // retry-after hint — inside the sealed payload, so `certify` proves the
+  // server refused for the reason it claims.
+  cert.tripped = true;
+  cert.trip_reason = "admission: " + decision.ToString();
+  return shell_->RecordServeVerdict(std::move(cert), /*elapsed_ms=*/0.0);
+}
+
+Result<std::string> Server::Submit(const std::string& sid,
+                                   std::string_view rest) {
+  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("serve_admit"));
+  const uint64_t arrive_ns = obs::MonotonicNowNs();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_) return Status::FailedPrecondition("server not started");
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    return Status::FailedPrecondition("no session '" + sid +
+                                      "' (send hello first)");
+  }
+  std::shared_ptr<SessionEnvelope> env = it->second;
+
+  // Pre-execution facts: parse + memoized §4 analysis + the static bound
+  // for this parameter set. Parse/analysis errors are protocol errors, not
+  // admission verdicts.
+  SI_ASSIGN_OR_RETURN(ServePlan plan, shell_->PlanForServe(rest));
+  const obs::QueryId qid = env->NextQueryId();
+
+  AdmissionInput in;
+  in.static_bound = plan.static_bound;
+  in.budget_remaining = env->remaining();
+  in.budget_unlimited = env->unlimited();
+  in.running = EffectiveRunning();
+  in.queued_total = queue_.size();
+  in.queued_in_class =
+      queued_by_class_[static_cast<size_t>(ClassifyBound(plan.static_bound))];
+  in.draining = draining_;
+  AdmissionDecision decision = DecideAdmission(in, options_.sla);
+  metrics_
+      ->GetHistogram("serve.admission_latency_ms",
+                     obs::DefaultLatencyBucketsMs())
+      .Observe(static_cast<double>(obs::MonotonicNowNs() - arrive_ns) / 1e6);
+  CountDecision(decision);
+
+  if (decision.action == AdmitAction::kQueue) {
+    // Bounded FIFO wait: hold this caller until it reaches the queue head
+    // and a run slot frees, the queue timeout lapses, or the server drains.
+    const size_t cls = static_cast<size_t>(ClassifyBound(plan.static_bound));
+    QueueTicket ticket{next_ticket_++, static_cast<BoundClass>(cls)};
+    queue_.push_back(ticket);
+    ++queued_by_class_[cls];
+    metrics_->GetGauge("serve.queue_depth")
+        .Set(static_cast<int64_t>(queue_.size()));
+    const bool admitted = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.sla.queue_timeout_ms), [&] {
+          return draining_ || (!queue_.empty() &&
+                               queue_.front().id == ticket.id &&
+                               EffectiveRunning() < max_running_);
+        });
+    // Leave the queue whatever happened (on admit we were at the front).
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if (qit->id == ticket.id) {
+        queue_.erase(qit);
+        break;
+      }
+    }
+    --queued_by_class_[cls];
+    metrics_->GetGauge("serve.queue_depth")
+        .Set(static_cast<int64_t>(queue_.size()));
+    cv_.notify_all();  // the next ticket may now be at the front
+    if (draining_) {
+      decision.action = AdmitAction::kReject;
+      decision.reject = RejectReason::kDraining;
+      decision.sub_budget = 0;
+      decision.retry_after_ms = 0;
+      decision.reason = "server began draining while queued";
+    } else if (!admitted) {
+      decision.action = AdmitAction::kReject;
+      decision.reject = RejectReason::kQueueTimeout;
+      decision.sub_budget = 0;
+      decision.retry_after_ms = options_.sla.queue_timeout_ms;
+      decision.reason = StrFormat(
+          "no run slot freed within %llums",
+          static_cast<unsigned long long>(options_.sla.queue_timeout_ms));
+    } else {
+      // A slot is ours; the envelope may have changed while we waited, so
+      // re-derive admit/degrade/reject against the fresh remaining budget.
+      AdmissionInput again = in;
+      again.budget_remaining = env->remaining();
+      again.running = 0;
+      again.queued_total = 0;
+      again.queued_in_class = 0;
+      decision = DecideAdmission(again, options_.sla);
+    }
+    CountDecision(decision);
+  }
+
+  if (decision.action == AdmitAction::kReject) {
+    std::string warnings = RecordRefusal(plan, qid, decision);
+    return StrFormat("q%llu ", static_cast<unsigned long long>(qid.seq)) +
+           decision.ToString() + "\n" + warnings;
+  }
+
+  // Admit or degrade: reserve the sub-budget, run outside the lock, refund
+  // the unspent remainder. The admission check makes Reserve infallible
+  // here; a false would be an accounting bug, surfaced loudly.
+  if (!env->Reserve(decision.sub_budget)) {
+    return Status::Internal("envelope reservation failed after admission");
+  }
+  exec::GovernorLimits limits = env->LimitsFor(decision.sub_budget,
+                                               options_.sla);
+  ++running_;
+  metrics_->GetGauge("serve.running").Set(static_cast<int64_t>(running_));
+  lock.unlock();
+  Result<ServeEvalOutcome> evaled = shell_->EvalForServe(plan, limits, qid);
+  lock.lock();
+  --running_;
+  metrics_->GetGauge("serve.running").Set(static_cast<int64_t>(running_));
+  env->Refund(decision.sub_budget, evaled.ok() ? (*evaled).fetched : 0);
+  cv_.notify_all();
+  SI_RETURN_IF_ERROR(evaled.status());
+  const ServeEvalOutcome& out = *evaled;
+
+  if (out.complete) {
+    metrics_->GetCounter("serve.completed").Increment();
+  } else if (out.trip.kind == exec::LimitKind::kCancelled) {
+    metrics_->GetCounter("serve.preempted").Increment();
+  }
+  std::string response =
+      StrFormat("q%llu ", static_cast<unsigned long long>(qid.seq)) +
+      decision.ToString() + "\n" + out.rendered +
+      StrFormat("\n(%zu answers, %llu base tuples fetched%s)\n", out.answers,
+                static_cast<unsigned long long>(out.fetched),
+                out.complete ? "" : ", partial");
+  if (!out.complete) response += "tripped: " + out.trip.ToString() + "\n";
+  response += out.warnings;
+  return response;
+}
+
+Result<std::string> Server::HandleLine(const std::string& sid,
+                                       std::string_view line) {
+  line = StripWhitespace(line);
+  if (line.empty()) return std::string();
+  if (line == "hello") return OpenSession(sid);
+  if (line == "bye") return CloseSession(sid);
+  if (line == "drain") {
+    Drain();
+    return std::string("draining\n");
+  }
+  if (line == "budget") {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) {
+      return Status::FailedPrecondition("no session '" + sid + "'");
+    }
+    const SessionEnvelope& env = *it->second;
+    if (env.unlimited()) return std::string("budget unlimited\n");
+    return StrFormat(
+        "budget remaining=%llu lease=%llu inflight=%llu\n",
+        static_cast<unsigned long long>(env.remaining()),
+        static_cast<unsigned long long>(env.lease()),
+        static_cast<unsigned long long>(env.reserved_inflight()));
+  }
+  if (StartsWith(line, "#busy")) {
+    if (!options_.scripted) {
+      return Status::InvalidArgument("#busy is a scripted-mode directive");
+    }
+    std::string arg(StripWhitespace(line.substr(5)));
+    uint64_t n = 0;
+    for (char c : arg) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("usage: #busy <n>");
+      }
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    synthetic_running_ = static_cast<size_t>(n);
+    return StrFormat("busy %zu\n", synthetic_running_);
+  }
+  if (StartsWith(line, "eval ")) {
+    return Submit(sid, StripWhitespace(line.substr(5)));
+  }
+  // Read-only observability pass-through: these shell commands only touch
+  // thread-safe sinks (metrics, journal ring/store, workload aggregator).
+  if (line == "stats" || StartsWith(line, "stats ") || line == "journal" ||
+      line == "certify" || StartsWith(line, "certify ") ||
+      line == "workload" || StartsWith(line, "workload ")) {
+    return shell_->Execute(line);
+  }
+  return Status::InvalidArgument(
+      "unknown serve command (hello | eval | budget | stats | journal | "
+      "certify | workload | drain | bye)");
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!draining_) {
+    draining_ = true;
+    // Preemption primitive: every in-flight evaluation observes its
+    // session's cancellation token at the next governor checkpoint; queued
+    // callers wake and shed as draining.
+    for (auto& [sid, env] : sessions_) env->Preempt();
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+}  // namespace scalein::serve

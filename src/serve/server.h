@@ -1,0 +1,132 @@
+#ifndef SCALEIN_SERVE_SERVER_H_
+#define SCALEIN_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "io/shell.h"
+#include "serve/admission.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+namespace scalein::serve {
+
+/// The multi-session front end: multiplexes concurrent client sessions onto
+/// the engine (each evaluation internally fans out over par::WorkerPool),
+/// with every session wrapped in a SessionEnvelope lease carved from a
+/// server-wide exec::SharedLedger and every arriving query passed through
+/// the bound-based admission controller (serve/admission.h).
+///
+/// Concurrency model: admission decisions, queueing, and envelope accounting
+/// happen under one mutex — decisions are serialized, which is what makes
+/// them deterministic for a fixed arrival script. Evaluations drop the lock
+/// and run on the *calling* thread (one per connection in port.cc, one per
+/// worker in bench_serve); the engine's own morsel fan-out provides the
+/// parallelism. A queued caller blocks in Submit on the bounded FIFO until a
+/// run slot frees or its queue-timeout lapses.
+///
+/// Every admission verdict that refuses work (reject, queue-timeout shed) is
+/// sealed into the journal as a tripped certificate whose trip_reason
+/// carries the static Theorem 4.2 bound that justified it — `certify` checks
+/// server refusals exactly like evaluations.
+class Server {
+ public:
+  struct Options {
+    SlaConfig sla;
+    /// Scripted mode: enables the `#busy <n>` synthetic-run-slot directive
+    /// so a single-threaded arrival script can walk queries through
+    /// queue/queue-timeout deterministically (no racing threads needed).
+    bool scripted = false;
+  };
+
+  /// `shell` must outlive the server and have its catalog loaded; Start()
+  /// freezes it for concurrent evaluation.
+  Server(Shell* shell, Options options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Freezes the shell catalog (PrepareServe), resolves run slots (SLA
+  /// max_running, default worker-pool width), and arms the server-wide
+  /// fetch ledger when the SLA carries a server capacity.
+  Status Start();
+
+  /// One protocol line from session `sid`:
+  ///   hello                      open the session (lease an envelope)
+  ///   eval var=value,... <query> admission + evaluation
+  ///   budget                     report the envelope's remaining lease
+  ///   bye                        close the session (preempts in-flight work)
+  ///   stats [prom] | journal | certify [path] | workload [...]   read-only
+  ///   drain                      admin: drain the whole server
+  ///   #busy <n>                  scripted mode only: synthetic run slots
+  Result<std::string> HandleLine(const std::string& sid,
+                                 std::string_view line);
+
+  Result<std::string> OpenSession(const std::string& sid);
+  Result<std::string> CloseSession(const std::string& sid);
+
+  /// Admission + (when admitted/degraded) evaluation of one `eval` body.
+  /// Queued callers block here until a slot frees or the queue timeout
+  /// lapses. Returns the deterministic response text; infrastructure
+  /// errors (parse failures, injected faults) surface as a Status.
+  Result<std::string> Submit(const std::string& sid, std::string_view rest);
+
+  /// Graceful shutdown: refuse new work, preempt every session's in-flight
+  /// evaluation via its cancellation token, wake all queued callers (they
+  /// shed as draining), and wait until nothing is running. Idempotent.
+  void Drain();
+
+  bool draining() const;
+  size_t session_count() const;
+  size_t running() const;
+  size_t queue_depth() const;
+  const SlaConfig& sla() const { return options_.sla; }
+  /// The shell's (thread-safe) metrics registry — the port layer stamps its
+  /// serve.io_faults accounting into the same series `stats prom` renders.
+  obs::MetricsRegistry* shell_metrics() const { return metrics_; }
+
+ private:
+  struct QueueTicket {
+    uint64_t id = 0;
+    BoundClass cls = BoundClass::kSmall;
+  };
+
+  /// Seals + journals a refused query's verdict certificate. Caller holds
+  /// mu_ (the underlying sinks are thread-safe; holding the lock keeps
+  /// journal order identical to decision order).
+  std::string RecordRefusal(const ServePlan& plan, const obs::QueryId& qid,
+                            const AdmissionDecision& decision);
+  /// Counts a decision into the serve.* metrics. Caller holds mu_.
+  void CountDecision(const AdmissionDecision& decision);
+  size_t EffectiveRunning() const {
+    return running_ + synthetic_running_;
+  }
+
+  Shell* const shell_;
+  const Options options_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< shell's registry
+  exec::SharedLedger ledger_;  ///< server-wide fetch capacity (may stay
+                               ///< unlimited)
+  size_t max_running_ = 1;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<SessionEnvelope>> sessions_;
+  std::deque<QueueTicket> queue_;
+  size_t queued_by_class_[kBoundClasses] = {0, 0, 0, 0};
+  uint64_t next_ticket_ = 1;
+  size_t running_ = 0;
+  size_t synthetic_running_ = 0;  ///< scripted-mode #busy directive
+  bool draining_ = false;
+};
+
+}  // namespace scalein::serve
+
+#endif  // SCALEIN_SERVE_SERVER_H_

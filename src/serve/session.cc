@@ -1,0 +1,61 @@
+#include "serve/session.h"
+
+namespace scalein::serve {
+
+SessionEnvelope::SessionEnvelope(std::string id, uint64_t session_fp,
+                                 uint64_t lease, exec::SharedLedger* ledger)
+    : id_(std::move(id)), session_fp_(session_fp), ledger_(ledger) {
+  if (lease == 0) {
+    unlimited_ = true;
+    return;
+  }
+  if (ledger_ != nullptr && !ledger_->unlimited()) {
+    // Carve the lease out of the server-wide capacity; a late session gets
+    // whatever is left (possibly zero — its queries then all shed at
+    // admission, which is the intended overload behavior).
+    lease_ = ledger_->Acquire(lease);
+  } else {
+    lease_ = lease;
+  }
+  remaining_ = lease_;
+}
+
+SessionEnvelope::~SessionEnvelope() {
+  if (unlimited_) return;
+  // Return the part of the lease this session never spent; what in-flight
+  // reservations hold comes back through their Refund at completion, but a
+  // preempted session's reservations die with it, so return those too.
+  if (ledger_ != nullptr && !ledger_->unlimited()) {
+    ledger_->Release(remaining_ + reserved_inflight_);
+  }
+}
+
+bool SessionEnvelope::Reserve(uint64_t n) {
+  if (unlimited_) return true;
+  if (n > remaining_) return false;
+  remaining_ -= n;
+  reserved_inflight_ += n;
+  return true;
+}
+
+void SessionEnvelope::Refund(uint64_t reserved, uint64_t spent) {
+  if (unlimited_) return;
+  const uint64_t held = reserved < reserved_inflight_ ? reserved
+                                                      : reserved_inflight_;
+  reserved_inflight_ -= held;
+  const uint64_t unspent = spent < held ? held - spent : 0;
+  remaining_ += unspent;
+}
+
+exec::GovernorLimits SessionEnvelope::LimitsFor(uint64_t sub_budget,
+                                                const SlaConfig& config) const {
+  exec::GovernorLimits limits;
+  limits.fetch_budget = sub_budget;
+  limits.deadline_ms = config.query_deadline_ms;
+  limits.output_row_cap = config.output_row_cap;
+  limits.has_cancel = true;
+  limits.cancel = cancel_;
+  return limits;
+}
+
+}  // namespace scalein::serve

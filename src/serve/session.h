@@ -1,0 +1,87 @@
+#ifndef SCALEIN_SERVE_SESSION_H_
+#define SCALEIN_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "exec/governor.h"
+#include "obs/correlation.h"
+#include "serve/admission.h"
+
+namespace scalein::serve {
+
+/// One client session's governor envelope: a fetch-budget lease carved from
+/// the server-wide exec::SharedLedger, the cancellation token that is the
+/// session's preemption primitive (client disconnect, session timeout,
+/// server drain all flip the same flag), and the per-session QueryId
+/// sequence. Admitted queries reserve their static Theorem 4.2 bound against
+/// the envelope up front and refund whatever they did not actually fetch at
+/// completion — so "remaining budget" is always a sound upper bound on what
+/// in-flight queries can still touch.
+///
+/// Not internally synchronized: the server mutates envelopes only under its
+/// admission mutex. The cancellation token is the one concurrency-safe
+/// member (it is designed to be flipped from any thread).
+class SessionEnvelope {
+ public:
+  /// `lease` of 0 means an unlimited envelope (no fetch budget armed).
+  /// When `ledger` is non-null the lease is carved from it: the envelope
+  /// gets min(lease, what the ledger still has), so a server-wide capacity
+  /// bounds the sum of all session leases.
+  SessionEnvelope(std::string id, uint64_t session_fp, uint64_t lease,
+                  exec::SharedLedger* ledger);
+  ~SessionEnvelope();
+  SessionEnvelope(const SessionEnvelope&) = delete;
+  SessionEnvelope& operator=(const SessionEnvelope&) = delete;
+
+  const std::string& id() const { return id_; }
+  uint64_t session_fingerprint() const { return session_fp_; }
+
+  bool unlimited() const { return unlimited_; }
+  uint64_t lease() const { return lease_; }
+  uint64_t remaining() const { return remaining_; }
+  uint64_t reserved_inflight() const { return reserved_inflight_; }
+
+  /// Reserves `n` budget units for a query about to run; false when the
+  /// envelope no longer covers them (the admission decision pre-checks, so
+  /// a false here means a bug, not a normal shed). Always true when
+  /// unlimited.
+  bool Reserve(uint64_t n);
+
+  /// Completes a reservation: returns the unspent part (`reserved - spent`,
+  /// clamped at zero) to the envelope. A degraded/tripped query that spent
+  /// its whole sub-budget refunds nothing.
+  void Refund(uint64_t reserved, uint64_t spent);
+
+  /// Mints the next QueryId for this session. seq starts at 1.
+  obs::QueryId NextQueryId() { return obs::QueryId{session_fp_, ++seq_}; }
+  uint64_t queries() const { return seq_; }
+
+  /// The session's cancellation token; hand copies to GovernorLimits.
+  const exec::CancellationToken& cancel_token() const { return cancel_; }
+  /// Preemption: every in-flight and future evaluation of this session
+  /// observes the flip at its next governor checkpoint.
+  void Preempt() { cancel_.Cancel(); }
+  bool preempted() const { return cancel_.cancelled(); }
+
+  /// Assembles the per-query governor envelope for an admitted/degraded run:
+  /// `sub_budget` as the fetch budget (0 = unbudgeted), the SLA's deadline
+  /// and row cap, and this session's cancellation token.
+  exec::GovernorLimits LimitsFor(uint64_t sub_budget,
+                                 const SlaConfig& config) const;
+
+ private:
+  const std::string id_;
+  const uint64_t session_fp_;
+  exec::SharedLedger* const ledger_;  ///< may be null (no server-wide cap)
+  bool unlimited_ = false;
+  uint64_t lease_ = 0;       ///< what this envelope was granted at hello
+  uint64_t remaining_ = 0;   ///< lease minus live reservations and spend
+  uint64_t reserved_inflight_ = 0;
+  uint64_t seq_ = 0;
+  exec::CancellationToken cancel_;
+};
+
+}  // namespace scalein::serve
+
+#endif  // SCALEIN_SERVE_SESSION_H_

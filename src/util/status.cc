@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,          ///< invariant violation that was recoverable enough to report
   kDeadlineExceeded,  ///< wall-clock deadline passed before completion
   kCancelled,         ///< cooperative cancellation token fired
+  kDataLoss,          ///< stored data failed integrity verification
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

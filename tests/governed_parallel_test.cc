@@ -351,6 +351,36 @@ TEST(SharedLedgerTest, AcquireGrantsUpToCapacityThenZero) {
   EXPECT_EQ(ledger.Acquire(1), 0u);     // exhausted
 }
 
+// Release() is the serve-layer refund path: a session envelope returns the
+// unspent part of its lease when a query finishes (or the whole lease when
+// the session closes), making the units acquirable again.
+TEST(SharedLedgerTest, ReleaseRefundsUnspentLeaseUnits) {
+  exec::SharedLedger ledger;
+  ledger.Init(100, 0);  // no lane slack: capacity is exactly 100
+  EXPECT_EQ(ledger.Acquire(100), 100u);
+  EXPECT_EQ(ledger.Acquire(1), 0u);  // drained
+  ledger.Release(60);                // refund the unspent part of the lease
+  EXPECT_EQ(ledger.Acquire(100), 60u);
+  EXPECT_EQ(ledger.Acquire(1), 0u);
+}
+
+TEST(SharedLedgerTest, ReleaseClampsAtCapacityAndIgnoresUnlimited) {
+  exec::SharedLedger unlimited;
+  unlimited.Release(1ULL << 40);  // no-op: unlimited ledger has no pool
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_EQ(unlimited.Acquire(7), 7u);
+
+  exec::SharedLedger ledger;
+  ledger.Init(10, 0);
+  EXPECT_EQ(ledger.Acquire(10), 10u);
+  // An over-refund (buggy caller double-releasing) must not mint new budget
+  // beyond what was actually reserved.
+  ledger.Release(1000);
+  uint64_t regained = ledger.Acquire(1000);
+  EXPECT_LE(regained, 10u);
+  EXPECT_GE(regained, 10u);  // the legitimate 10 do come back
+}
+
 TEST(SubBudgetTest, ChargesThroughChunkedLeasesUntilStarved) {
   exec::SharedLedger ledger;
   ledger.Init(0, 1);  // exactly one chunk of slack

@@ -118,6 +118,86 @@ TEST(GovernorTest, PinnedResolvesRelativeDeadlineOnce) {
   EXPECT_EQ(GovernorLimits{}.Pinned().deadline_ns, 0u);
 }
 
+// A zero fetch budget means "unlimited", NOT "zero allowance". The serve
+// admission controller relies on this: it must never hand a drained session
+// envelope a fetch_budget of 0 expecting it to refuse fetches (DecideAdmission
+// clamps sub-budgets to >= 1 for exactly this reason).
+TEST(GovernorTest, ZeroFetchBudgetIsDisabledNotZeroAllowance) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.fetch_budget = 0;
+  governor.Arm(limits);
+  EXPECT_FALSE(governor.limits().any());
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(governor.OnFetch(100, nullptr));
+  }
+  EXPECT_FALSE(governor.tripped());
+}
+
+// An envelope whose deadline already passed at admission time (e.g. a query
+// that sat in the admission queue past its SLA) must trip at the very first
+// check window, before meaningful work happens.
+TEST(GovernorTest, PreExpiredDeadlineAtAdmissionTripsImmediately) {
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.deadline_ms = 1;
+  GovernorLimits pinned = limits.Pinned();
+  // Pin the absolute deadline first, then let it expire before arming —
+  // exactly the shape of a queued query admitted after its deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  governor.Arm(pinned);
+  bool tripped = false;
+  for (uint32_t i = 0; i <= ResourceGovernor::kCheckInterval && !tripped; ++i) {
+    tripped = !governor.Checkpoint();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.trip().kind, LimitKind::kDeadline);
+  EXPECT_EQ(governor.trip().fetched_at_trip, 0u);
+}
+
+// Cancellation racing the first Charge: the token flips before the governor
+// sees any fetch. The first check window must observe it, and the trip must
+// report kCancelled (not some later limit the doomed work would have hit).
+TEST(GovernorTest, CancellationBeforeFirstChargeWinsTheRace) {
+  CancellationToken token;
+  token.Cancel();
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.fetch_budget = 1;  // would also trip — cancellation must win
+  limits.has_cancel = true;
+  limits.cancel = token;
+  governor.Arm(limits);
+  bool tripped = false;
+  uint32_t probes = 0;
+  for (; probes <= ResourceGovernor::kCheckInterval && !tripped; ++probes) {
+    tripped = !governor.OnFetch(1, nullptr);
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.trip().kind, LimitKind::kCancelled);
+  // The observation is bounded by one check window.
+  EXPECT_LE(probes, ResourceGovernor::kCheckInterval + 1);
+}
+
+// Cancellation from another thread concurrent with a charge loop: the loop
+// must terminate (the trip is observed) without any additional coordination.
+TEST(GovernorTest, CancellationFromAnotherThreadStopsChargeLoop) {
+  CancellationToken token;
+  ResourceGovernor governor;
+  GovernorLimits limits;
+  limits.has_cancel = true;
+  limits.cancel = token;
+  governor.Arm(limits);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.Cancel();
+  });
+  // Unbounded-looking loop: only the token can stop it.
+  while (governor.OnFetch(1, nullptr)) {
+  }
+  canceller.join();
+  EXPECT_EQ(governor.trip().kind, LimitKind::kCancelled);
+}
+
 TEST(GovernorTest, TripInfoRendersKindAndDetail) {
   ResourceGovernor governor;
   GovernorLimits limits;

@@ -1,0 +1,121 @@
+# Serve acceptance scenario, run via `cmake -P` from ctest: a scripted
+# scalein_served session walks one client through every admission verdict —
+# admit, degrade, reject(no-static-bound), and a queue-timeout shed — then
+# certifies the journal in-session, and a second (offline) shell re-verifies
+# the journaled refusal verdicts from the file. Variables passed in by
+# tests/CMakeLists.txt:
+#   SERVED_BIN — path to the scalein_served example binary
+#   SHELL_BIN  — path to the scalein_shell example binary
+#   WORK_DIR   — scratch directory for catalog/script/journal files
+
+set(catalog "${WORK_DIR}/serve_smoke_catalog.txt")
+set(script "${WORK_DIR}/serve_smoke_script.txt")
+set(journal "${WORK_DIR}/serve_smoke_journal.jsonl")
+file(REMOVE "${journal}" "${journal}.1" "${journal}.2")
+
+file(WRITE "${catalog}" "schema relation person(id, name, city)
+schema relation friend(id1, id2)
+schema relation secret(a, b)
+access access friend(id1) N=50
+access key person(id)
+row person 1,\"ada\",\"NYC\"
+row person 2,\"bob\",\"NYC\"
+row person 3,\"cyd\",\"NYC\"
+row friend 1,2
+row friend 1,3
+row secret 1,2
+")
+
+# Session budget 50: the bare friend scan (bound 50) admits, the friend-join
+# (bound 100) exceeds the lease and degrades, the secret query has no static
+# bound and rejects, and a synthetic busy slot turns the last arrival into a
+# queue-timeout shed.
+file(WRITE "${script}" "a hello
+a eval p=1 F(p, id) := friend(p, id)
+a eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+a eval a=1 S(a, b) := secret(a, b)
+a #busy 1
+a eval p=1 F(p, id) := friend(p, id)
+a #busy 0
+a budget
+a certify
+a bye
+quit
+")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          "SCALEIN_JOURNAL_PATH=${journal}"
+          "SCALEIN_SESSION_ID=serve-smoke"
+          "SCALEIN_SLA_SESSION_BUDGET=50"
+          "SCALEIN_SLA_MAX_RUNNING=1"
+          "SCALEIN_SLA_QUEUE_TIMEOUT_MS=20"
+          "${SERVED_BIN}" --script "${catalog}"
+  INPUT_FILE "${script}"
+  RESULT_VARIABLE served_rc
+  OUTPUT_VARIABLE served_out
+  ERROR_VARIABLE served_err)
+if(NOT served_rc EQUAL 0)
+  message(FATAL_ERROR
+          "scripted serve session failed (rc=${served_rc}): "
+          "${served_out}\n${served_err}")
+endif()
+
+# Every admission verdict must appear, each justified by its static bound.
+foreach(needle
+        "session a open budget=50"
+        "admit bound=50 lease=50"
+        "degrade bound=100 lease=48"
+        "reject(no-static-bound)"
+        "reject(queue-timeout)"
+        "retry-after=20ms"
+        "certificates verify"
+        "session a closed")
+  string(FIND "${served_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "serve transcript is missing '${needle}':\n${served_out}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${journal}")
+  message(FATAL_ERROR "serve session did not write the persistent journal")
+endif()
+
+# Offline re-verification: the refusal verdicts the server sealed must
+# survive a `certify <file>` round-trip in a fresh process (exit code 0).
+set(certify_script "${WORK_DIR}/serve_smoke_certify.txt")
+file(WRITE "${certify_script}" "certify ${journal}
+quit
+")
+execute_process(
+  COMMAND "${SHELL_BIN}"
+  INPUT_FILE "${certify_script}"
+  RESULT_VARIABLE certify_rc
+  OUTPUT_VARIABLE certify_out)
+if(NOT certify_rc EQUAL 0)
+  message(FATAL_ERROR
+          "offline certify of the serve journal failed "
+          "(rc=${certify_rc}):\n${certify_out}")
+endif()
+foreach(needle "certificates verify" "tripped")
+  string(FIND "${certify_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "offline certify output is missing '${needle}':\n${certify_out}")
+  endif()
+endforeach()
+
+# The journal must carry the admission verdicts themselves (the trip_reason
+# of a refusal certificate names the decision that justified it).
+file(READ "${journal}" journal_text)
+foreach(needle "admission: reject(no-static-bound)"
+               "admission: reject(queue-timeout)")
+  string(FIND "${journal_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "journal is missing the refusal verdict '${needle}':"
+            "\n${journal_text}")
+  endif()
+endforeach()
+message(STATUS "serve acceptance smoke OK")

@@ -10,6 +10,7 @@
 #include "io/shell.h"
 #include "obs/correlation.h"
 #include "obs/journal.h"
+#include "util/failpoint.h"
 
 namespace scalein::obs {
 namespace {
@@ -232,6 +233,49 @@ TEST(WorkloadShellTest, JournalPersistsWorkloadAcrossSessions) {
               std::string::npos);
   }
   ::unsetenv("SCALEIN_JOURNAL_PATH");
+  RemoveJournalFiles(path);
+}
+
+// Journal durability faults must degrade to warnings: the answer is correct
+// whether or not its certificate reached disk, so a failed append (disk
+// full, I/O error) warns in the eval output but never fails the evaluation.
+TEST(WorkloadShellTest, JournalAppendFailureWarnsButEvaluationSucceeds) {
+  const std::string path = ::testing::TempDir() + "journal_faulty.jsonl";
+  RemoveJournalFiles(path);
+  ::setenv("SCALEIN_JOURNAL_PATH", path.c_str(), 1);
+  Shell shell = LoadedShell();
+  ASSERT_TRUE(
+      util::Failpoints::Global().Configure("journal_append=error").ok());
+  Result<std::string> out = shell.Execute(kFriendQuery);
+  util::Failpoints::Global().Clear();
+  ::unsetenv("SCALEIN_JOURNAL_PATH");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("1 answers"), std::string::npos) << *out;
+  EXPECT_NE(out->find("warning: journal append failed"), std::string::npos)
+      << *out;
+  // The in-memory journal still carries the sealed certificate; only the
+  // persistent store missed it.
+  EXPECT_EQ(shell.journal().certificates().size(), 1u);
+  ASSERT_NE(shell.journal_store(), nullptr);
+  EXPECT_EQ(shell.journal_store()->appended(), 0u);
+  RemoveJournalFiles(path);
+}
+
+// Same contract one layer down: a rotation failure surfaces as the Append
+// status (which the shell renders as a warning), and a later fault-free
+// append recovers without losing the store.
+TEST(JournalStoreTest, RotateFailpointFailsAppendThenRecovers) {
+  const std::string path = ::testing::TempDir() + "journal_rotfail.jsonl";
+  RemoveJournalFiles(path);
+  JournalStore store(path, /*max_bytes=*/64);  // every append rotates
+  ASSERT_TRUE(store.Append(MakeCert(0), 1.0, false).ok());
+  ASSERT_TRUE(
+      util::Failpoints::Global().Configure("journal_rotate=error").ok());
+  Status s = store.Append(MakeCert(1), 1.0, false);
+  util::Failpoints::Global().Clear();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("journal_rotate"), std::string::npos);
+  EXPECT_TRUE(store.Append(MakeCert(2), 1.0, false).ok());
   RemoveJournalFiles(path);
 }
 

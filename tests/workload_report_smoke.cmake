@@ -126,3 +126,79 @@ foreach(line ${shell_lines})
   endif()
 endforeach()
 message(STATUS "workload_report smoke OK (${shell_line_count} classes agree)")
+
+# ---------------------------------------------------------------------------
+# Certify exit codes: `certify <file>` must exit 0 on an intact journal and
+# non-zero once any seal fails verification — the offline integrity gate CI
+# relies on. (A tampered journal replayed at *startup* stays rc 0: replay
+# reports tampering as a warning, it does not fail the session.)
+
+set(certify_script "${WORK_DIR}/workload_smoke_certify.txt")
+file(WRITE "${certify_script}" "certify ${journal}
+quit
+")
+execute_process(
+  COMMAND "${SHELL_BIN}"
+  INPUT_FILE "${certify_script}"
+  RESULT_VARIABLE certify_rc
+  OUTPUT_VARIABLE certify_out)
+if(NOT certify_rc EQUAL 0)
+  message(FATAL_ERROR
+          "certify exited ${certify_rc} on an intact journal:\n${certify_out}")
+endif()
+string(FIND "${certify_out}" "certificates verify" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "certify did not verify the journal:\n${certify_out}")
+endif()
+
+# Bump every sealed fetch counter on disk: the seals must catch it.
+set(tampered "${WORK_DIR}/workload_smoke_tampered.jsonl")
+file(READ "${journal}" journal_text)
+string(REGEX REPLACE "\"actual_fetches\":[0-9]+" "\"actual_fetches\":424242"
+       tampered_text "${journal_text}")
+if(tampered_text STREQUAL journal_text)
+  message(FATAL_ERROR "tampering produced no change — journal format drift?")
+endif()
+file(WRITE "${tampered}" "${tampered_text}")
+set(tamper_script "${WORK_DIR}/workload_smoke_tamper_certify.txt")
+file(WRITE "${tamper_script}" "certify ${tampered}
+quit
+")
+execute_process(
+  COMMAND "${SHELL_BIN}"
+  INPUT_FILE "${tamper_script}"
+  RESULT_VARIABLE tamper_rc
+  OUTPUT_VARIABLE tamper_out)
+if(tamper_rc EQUAL 0)
+  message(FATAL_ERROR
+          "certify exited 0 on a tampered journal:\n${tamper_out}")
+endif()
+string(FIND "${tamper_out}" "failed seal verification" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "tampered certify did not name the seal failure:\n${tamper_out}")
+endif()
+
+# Startup replay of the tampered file: tampering is reported, not fatal.
+set(replay_script "${WORK_DIR}/workload_smoke_tamper_replay.txt")
+file(WRITE "${replay_script}" "workload
+quit
+")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          "SCALEIN_JOURNAL_PATH=${tampered}"
+          "${SHELL_BIN}"
+  INPUT_FILE "${replay_script}"
+  RESULT_VARIABLE replay_rc
+  OUTPUT_VARIABLE replay_out)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR
+          "startup replay of a tampered journal must warn, not fail "
+          "(rc=${replay_rc}):\n${replay_out}")
+endif()
+string(FIND "${replay_out}" "tampered" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "replay did not report the tampered entries:\n${replay_out}")
+endif()
+message(STATUS "certify exit-code smoke OK")
