@@ -10,6 +10,12 @@
 //     back-to-back (serve.closed.* keys: throughput_qps, p50_ms, p99_ms).
 //   * Open-loop Poisson arrivals — a fixed seeded arrival schedule replays
 //     against the server (serve.open.* keys + admission verdict counts).
+//   * Per-phase latency split — the closed loop runs with the structured
+//     access log armed; its records are loaded back and summarised as
+//     serve.phase.{queue_wait,exec,e2e}_{p50,p99}_ms sidecar keys.
+//   * Instrumentation overhead — paired serial batches with the access log
+//     off (serve.instr.plain_ms) and on (serve.instr.instrumented_ms);
+//     `--check-bounds` gates the delta at --overhead-pct.
 //
 // `--overload` runs the 8x oversubscription scenario instead (no sidecar):
 // 8 * max_running closed-loop clients hammer a mixed workload (cheap, join,
@@ -28,6 +34,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -35,6 +43,7 @@
 
 #include "bench_util.h"
 #include "io/shell.h"
+#include "serve/access_log.h"
 #include "serve/server.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -243,6 +252,49 @@ void AddLoop(bench::JsonReport* report, const std::string& prefix,
   report->Add(prefix + ".errors", stats.errors);
 }
 
+constexpr const char* kAccessLogPath = "BENCH_serve_access.jsonl";
+constexpr const char* kInstrLogPath = "BENCH_serve_instr.jsonl";
+
+// Drops every rotation generation of a prior run's log so loaded records
+// come from this run only.
+void RemoveLogGenerations(const char* path) {
+  std::remove(path);
+  std::remove((std::string(path) + ".1").c_str());
+  std::remove((std::string(path) + ".2").c_str());
+}
+
+// Serial batch of heavy-class evaluations against a fresh server, min of
+// three timed trials (after warmup). `log_path` empty = access log off; the
+// plain/instrumented pair isolates the per-request observability cost the
+// regression gate caps. Heavy queries keep the ratio honest: the access-log
+// append is a constant few microseconds per request, so it is measured
+// against requests that do real evaluation work, not protocol microqueries.
+double InstrBatchMs(Shell* shell, const std::string& log_path) {
+  serve::Server::Options options;
+  options.sla.session_fetch_budget = 10000000;
+  options.sla.max_running = 1;
+  options.access_log_path = log_path;
+  serve::Server server(shell, options);
+  SI_CHECK(server.Start().ok());
+  (void)server.HandleLine("instr", "hello");
+  constexpr size_t kEvals = 100;
+  for (size_t i = 0; i < 16; ++i) {
+    (void)server.HandleLine("instr", EvalLine(kHeavy, i % kPersons));
+  }
+  double best = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    bench::Timer t;
+    for (size_t i = 0; i < kEvals; ++i) {
+      (void)server.HandleLine("instr", EvalLine(kHeavy, (17 * i) % kPersons));
+    }
+    const double ms = t.ElapsedMs();
+    if (trial == 0 || ms < best) best = ms;
+  }
+  (void)server.HandleLine("instr", "bye");
+  server.Drain();
+  return best;
+}
+
 int RunOverload() {
   Header("E9b: 8x oversubscription overload",
          "PIQL-style admission control (paper §1, Thm 4.2 bounds as SLAs)",
@@ -394,11 +446,19 @@ int main(int argc, char** argv) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   report.Add("hw_threads", static_cast<uint64_t>(hw));
 
+  // The bench controls its own observability plane: ambient env must not
+  // flip the access log on (plain run) or redirect it (instrumented run).
+  ::unsetenv("SCALEIN_ACCESS_LOG_PATH");
+  ::unsetenv("SCALEIN_ACCESS_LOG_MAX_BYTES");
+  RemoveLogGenerations(kAccessLogPath);
+  RemoveLogGenerations(kInstrLogPath);
+
   Shell shell;
   LoadCatalog(&shell);
   serve::Server::Options options;
   options.sla.session_fetch_budget = 100000;
   options.sla.max_running = hw;
+  options.access_log_path = kAccessLogPath;
   serve::Server server(&shell, options);
   SI_CHECK(server.Start().ok());
 
@@ -437,6 +497,36 @@ int main(int argc, char** argv) {
               closed.latencies_ms.size() / closed.wall_ms * 1000.0,
               Percentile(closed.latencies_ms, 0.99));
 
+  // Per-phase latency split, recomputed from the structured access log the
+  // closed loop just wrote — the same artifact scripts/serve_report.py
+  // reads offline. Filtered to the closed-loop sessions so the serial
+  // class probes above don't skew the percentiles.
+  {
+    serve::AccessLogLoadReport log_report;
+    Result<std::vector<serve::AccessLogRecord>> records =
+        serve::LoadAccessLogRecords(kAccessLogPath, &log_report);
+    SI_CHECK(records.ok() && log_report.malformed == 0);
+    std::vector<double> queue_wait, exec, e2e;
+    for (const serve::AccessLogRecord& rec : *records) {
+      if (rec.session_id.rfind("closed", 0) != 0) continue;
+      queue_wait.push_back(rec.queue_wait_ms);
+      exec.push_back(rec.exec_ms);
+      e2e.push_back(rec.e2e_ms);
+    }
+    SI_CHECK(e2e.size() == closed.latencies_ms.size());
+    report.Add("serve.phase.records", static_cast<uint64_t>(e2e.size()));
+    report.Add("serve.phase.queue_wait_p50_ms", Percentile(queue_wait, 0.50));
+    report.Add("serve.phase.queue_wait_p99_ms", Percentile(queue_wait, 0.99));
+    report.Add("serve.phase.exec_p50_ms", Percentile(exec, 0.50));
+    report.Add("serve.phase.exec_p99_ms", Percentile(exec, 0.99));
+    report.Add("serve.phase.e2e_p50_ms", Percentile(e2e, 0.50));
+    report.Add("serve.phase.e2e_p99_ms", Percentile(e2e, 0.99));
+    std::printf("phase split (closed loop): queue_wait p99 %.3fms, "
+                "exec p99 %.3fms, e2e p99 %.3fms over %zu records\n",
+                Percentile(queue_wait, 0.99), Percentile(exec, 0.99),
+                Percentile(e2e, 0.99), e2e.size());
+  }
+
   // Open loop: seeded Poisson arrivals at a rate the closed loop proved
   // sustainable (half its throughput), so queueing stays transient.
   const double rate_qps = std::max(
@@ -449,6 +539,21 @@ int main(int argc, char** argv) {
               Percentile(open.latencies_ms, 0.99));
 
   server.Drain();
+
+  // Instrumentation overhead: identical serial batches with the access log
+  // off, then on. The delta is the per-request cost of the observability
+  // plane's only traffic-scaled sink; bench_regress.py --check-bounds caps
+  // it at --overhead-pct (+1 ms cushion for timer granularity).
+  const double plain_ms = InstrBatchMs(&shell, "");
+  const double instrumented_ms = InstrBatchMs(&shell, kInstrLogPath);
+  report.Add("serve.instr.plain_ms", plain_ms);
+  report.Add("serve.instr.instrumented_ms", instrumented_ms);
+  std::printf("instrumentation: plain %.3fms vs instrumented %.3fms "
+              "(%+.2f%%)\n",
+              plain_ms, instrumented_ms,
+              plain_ms > 0 ? 100.0 * (instrumented_ms - plain_ms) / plain_ms
+                           : 0.0);
+
   SI_CHECK(closed.errors == 0 && open.errors == 0);
   return 0;
 }

@@ -26,6 +26,13 @@
 // SCALEIN_SLA_DEGRADE_FLOOR, SCALEIN_SLA_QUEUE_CAP,
 // SCALEIN_SLA_QUEUE_CLASS_CAP, SCALEIN_SLA_QUEUE_TIMEOUT_MS,
 // SCALEIN_SLA_MAX_RUNNING. See docs/usage.md.
+//
+// Observability plane: SCALEIN_ACCESS_LOG_PATH arms the structured JSONL
+// access log (rotated at SCALEIN_ACCESS_LOG_MAX_BYTES;
+// scripts/serve_report.py reads it offline); SCALEIN_METRICS_PORT (TCP mode
+// only) opens a loopback HTTP scrape endpoint serving GET /metrics
+// (Prometheus text) and GET /healthz (drain-aware). See
+// docs/observability.md.
 
 #include <atomic>
 #include <chrono>
@@ -38,7 +45,10 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "io/shell.h"
+#include "serve/metrics_http.h"
 #include "serve/port.h"
 #include "serve/server.h"
 #include "util/strings.h"
@@ -131,12 +141,31 @@ int main(int argc, char** argv) {
   if (scalein::Status s = port.Listen(); !s.ok()) return Fail("listen", s);
   std::printf("listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(port.port()));
+  // Scrape side door (TCP mode only, so scripted transcripts stay pure):
+  // SCALEIN_METRICS_PORT arms GET /metrics + /healthz on loopback.
+  std::unique_ptr<scalein::serve::MetricsHttp> metrics_http;
+  if (const char* mp = std::getenv("SCALEIN_METRICS_PORT");
+      mp != nullptr && mp[0] != '\0') {
+    scalein::serve::MetricsHttp::Options http_options;
+    http_options.port = static_cast<uint16_t>(std::atoi(mp));
+    metrics_http = std::make_unique<scalein::serve::MetricsHttp>(
+        server.shell_metrics(), [&server] { return server.draining(); },
+        http_options);
+    if (scalein::Status s = metrics_http->Listen(); !s.ok()) {
+      return Fail("metrics listen", s);
+    }
+    std::printf("metrics on 127.0.0.1:%u\n",
+                static_cast<unsigned>(metrics_http->port()));
+  }
   std::fflush(stdout);
   while (!g_stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::printf("draining\n");
   server.Drain();
+  // Keep /healthz answering 503 "draining" while connections wind down;
+  // shut the scrape door last.
   port.Shutdown();
+  if (metrics_http != nullptr) metrics_http->Shutdown();
   return 0;
 }

@@ -20,7 +20,9 @@ Two modes:
   — per-op bounds are per index probe), and that the armed-
   but-untripped resource governor costs at most ``--overhead-pct`` percent:
   sum(bounded_governed_ms) <= (1 + pct/100) * sum(bounded_ms), summed across
-  scales so single-scale timer noise averages out.
+  scales so single-scale timer noise averages out. Sidecars carrying
+  ``serve.instr.*`` keys (bench_serve) get the same percentage cap (+1 ms
+  cushion) on the access-log-armed batch versus the plain batch.
 
   Sidecars with thread-scaling groups (a ``threads`` leaf, written by
   bench_parallel_scaling) get four more gates: every fetch-class counter
@@ -151,6 +153,22 @@ def check_bounds_mode(path, overhead_pct):
             failures.append(
                 f"governor overhead {overhead:.2f}% exceeds "
                 f"{overhead_pct:g}% cap")
+
+    # Serve instrumentation overhead: the access-log-armed batch may cost at
+    # most --overhead-pct over the plain batch (+1 ms absolute cushion so
+    # sub-millisecond batches don't trip on timer granularity), mirroring
+    # the governed-parallel gate. Written by bench_serve.
+    plain = as_number(metrics.get("serve.instr.plain_ms"))
+    instrumented = as_number(metrics.get("serve.instr.instrumented_ms"))
+    if plain and instrumented is not None:
+        overhead = 100.0 * (instrumented - plain) / plain
+        print(f"serve instrumentation overhead: {overhead:+.2f}% "
+              f"(instrumented {instrumented:.3f} ms vs plain {plain:.3f} ms, "
+              f"limit {overhead_pct:g}%)")
+        if instrumented > plain * (1.0 + overhead_pct / 100.0) + 1.0:
+            failures.append(
+                f"access-log instrumentation costs {overhead:.2f}% over the "
+                f"plain batch (need <= {overhead_pct:g}% + 1 ms cushion)")
 
     failures += check_thread_scaling(metrics, groups)
 

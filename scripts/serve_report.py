@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Offline serving report over the server's structured access log.
+
+    serve_report.py <access.jsonl> [--journal <journal.jsonl>] [--top N]
+
+The access log is the file written by the serve layer when
+SCALEIN_ACCESS_LOG_PATH is set: one JSON object per served request — the
+AccessLogRecord of src/serve/access_log.h — with the same size-based
+rotation as the certificate journal (``path`` -> ``path.1`` -> ``path.2``).
+The report reads every surviving generation oldest-first, exactly like
+LoadAccessLogRecords, so its tallies match a server that wrote the same
+files.
+
+Sections reported:
+
+  * header — files read, record/malformed counts;
+  * classes — per-bound-class admission tallies, byte-identical to the
+    server's ``classes`` command (Server::RenderClasses), so online and
+    offline views can be diffed directly;
+  * phase latency — queue_wait / exec / e2e p50+p99 per class, the offline
+    twin of the serve.queue_wait_ms.<class> etc. histograms ``stats prom``
+    exposes;
+  * slowest requests — top N by e2e, with their phase split and query id;
+  * bound slack — how far admitted work ran under its static Theorem 4.2
+    bound (the admission SLA's safety margin in practice);
+  * tags — per client-tag request counts, when any request was tagged;
+  * journal join (``--journal``) — each access-log record is joined to its
+    sealed certificate by query_id; seals are re-verified here in Python
+    (FNV-1a over the reconstructed payload, numbers in C's ``%.6g``) and
+    fetch counts cross-checked, so the observational channel and the sealed
+    channel can be audited against each other.
+
+Exit status: 0 report printed, 2 unreadable input. Like workload_report.py
+this is a forensic tool, not a gate — tampered or malformed lines are
+counted and excluded, never fatal.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+BOUND_CLASSES = ("small", "medium", "large", "huge")
+SHED_REASONS = ("queue-full", "queue-class-full", "queue-timeout", "draining")
+VERDICTS = ("within-bound", "exceeded", "no-static-bound", "tripped")
+
+
+def json_number(value):
+    """C's JsonNumber: snprintf("%.6g") — Python's %-formatting matches."""
+    return "%.6g" % value
+
+
+def generations_oldest_first(path):
+    """Surviving generations oldest-first: path.2, path.1, path."""
+    files = []
+    for gen in (2, 1, 0):
+        candidate = path if gen == 0 else "%s.%d" % (path, gen)
+        if os.path.exists(candidate):
+            files.append(candidate)
+    return files
+
+
+def load_records(path):
+    files = generations_oldest_first(path)
+    if not files:
+        print(f"error: no access log at {path} (nor rotated generations)",
+              file=sys.stderr)
+        sys.exit(2)
+    records = []
+    report = {"files": len(files), "records": 0, "malformed": 0}
+    for file in files:
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            print(f"error: cannot read {file}: {e}", file=sys.stderr)
+            sys.exit(2)
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                report["malformed"] += 1
+                continue
+            if (not isinstance(rec, dict)
+                    or rec.get("class") not in BOUND_CLASSES
+                    or rec.get("action") not in ("admit", "queue", "degrade",
+                                                 "reject")):
+                report["malformed"] += 1
+                continue
+            report["records"] += 1
+            records.append(rec)
+    return records, report
+
+
+class ClassTally:
+    """Mirror of Server::ClassTally — shed vs rejected split by reason."""
+
+    def __init__(self):
+        self.total = 0
+        self.admitted = 0
+        self.degraded = 0
+        self.rejected = 0
+        self.shed = 0
+
+    def observe(self, rec):
+        self.total += 1
+        action = rec.get("action")
+        if action == "admit":
+            self.admitted += 1
+        elif action == "degrade":
+            self.degraded += 1
+        elif action == "reject":
+            if rec.get("reject", "none") in SHED_REASONS:
+                self.shed += 1
+            else:
+                self.rejected += 1
+
+
+def render_classes(tallies):
+    """Byte-identical to Server::RenderClasses (same StrFormat strings)."""
+    total = sum(t.total for t in tallies.values())
+    out = "classes: %d request(s)\n" % total
+    for name in BOUND_CLASSES:
+        t = tallies[name]
+        shed_rate = t.shed / t.total if t.total > 0 else 0.0
+        out += ("  %s n=%d admitted=%d degraded=%d rejected=%d shed=%d "
+                "shed_rate=%.4f\n"
+                % (name, t.total, t.admitted, t.degraded, t.rejected, t.shed,
+                   shed_rate))
+    return out
+
+
+def percentile(values, p):
+    """Same nearest-rank rule as bench_serve's Percentile()."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[int(p * (len(ordered) - 1))]
+
+
+def fnv1a64(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def certificate_payload(cert):
+    """Byte-for-byte mirror of obs::CertificatePayload."""
+    parts = [
+        "fp=" + cert.get("query_fingerprint", ""),
+        "qid=" + cert.get("query_id", ""),
+        "q=" + cert.get("query", ""),
+        "bound=" + json_number(cert.get("static_bound", -1.0)),
+        "fetches=" + str(cert.get("actual_fetches", 0)),
+        "lookups=" + str(cert.get("index_lookups", 0)),
+        "tripped=" + ("1" if cert.get("tripped", False) else "0"),
+        "trip=" + cert.get("trip_reason", ""),
+        "verdict=" + cert.get("verdict", ""),
+    ]
+    for op in cert.get("ops", []):
+        parts.append(
+            "op=%s,%d,%d,%d,%s"
+            % (
+                op.get("label", ""),
+                op.get("rows_out", 0),
+                op.get("tuples_fetched", 0),
+                op.get("index_lookups", 0),
+                json_number(op.get("static_bound", -1.0)),
+            )
+        )
+    return "|".join(parts)
+
+
+def verify_certificate(cert):
+    if cert.get("verdict") not in VERDICTS:
+        return False
+    try:
+        signature = int(cert.get("signature", ""), 16)
+    except ValueError:
+        return False
+    return signature == fnv1a64(certificate_payload(cert).encode("utf-8"))
+
+
+def load_journal(path):
+    """query_id -> (certificate, sealed?) over every surviving generation."""
+    by_qid = {}
+    for file in generations_oldest_first(path):
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            print(f"error: cannot read {file}: {e}", file=sys.stderr)
+            sys.exit(2)
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                cert = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(cert, dict) or "query_id" not in cert:
+                continue
+            by_qid[cert["query_id"]] = (cert, verify_certificate(cert))
+    return by_qid
+
+
+def phase_section(records):
+    print("phase latency (ms):")
+    by_class = {name: [] for name in BOUND_CLASSES}
+    for rec in records:
+        by_class[rec["class"]].append(rec)
+    for name in BOUND_CLASSES:
+        recs = by_class[name]
+        if not recs:
+            continue
+        row = ["  %s n=%d" % (name, len(recs))]
+        for phase in ("queue_wait_ms", "exec_ms", "e2e_ms"):
+            values = [r.get(phase, 0.0) for r in recs]
+            row.append("%s p50=%s p99=%s"
+                       % (phase[:-3], json_number(percentile(values, 0.50)),
+                          json_number(percentile(values, 0.99))))
+        print("  ".join(row))
+    if not records:
+        print("  (none)")
+
+
+def slowest_section(records, top):
+    print(f"slowest requests (top {top} by e2e):")
+    ranked = sorted(records, key=lambda r: -r.get("e2e_ms", 0.0))[:top]
+    if not ranked:
+        print("  (none)")
+    for rec in ranked:
+        tag = rec.get("client_tag", "")
+        print("  %s %s %s e2e=%sms queue_wait=%sms exec=%sms fetches=%d%s"
+              % (rec.get("query_id", "?"), rec["class"], rec["action"],
+                 json_number(rec.get("e2e_ms", 0.0)),
+                 json_number(rec.get("queue_wait_ms", 0.0)),
+                 json_number(rec.get("exec_ms", 0.0)),
+                 rec.get("fetches", 0),
+                 " tag=" + tag if tag else ""))
+
+
+def slack_section(records):
+    # Admission's safety margin in practice: how far under its static
+    # Theorem 4.2 bound admitted work actually ran.
+    ratios = []
+    for rec in records:
+        bound = rec.get("static_bound", -1.0)
+        if rec["action"] in ("admit", "degrade") and bound > 0:
+            ratios.append(rec.get("fetches", 0) / bound)
+    print("bound slack (fetches / static bound, admitted+degraded):")
+    if not ratios:
+        print("  (none)")
+        return
+    print("  n=%d mean=%.4f p50=%.4f max=%.4f"
+          % (len(ratios), sum(ratios) / len(ratios),
+             percentile(ratios, 0.50), max(ratios)))
+
+
+def tags_section(records):
+    by_tag = {}
+    for rec in records:
+        tag = rec.get("client_tag", "")
+        if tag:
+            by_tag[tag] = by_tag.get(tag, 0) + 1
+    if not by_tag:
+        return
+    print("client tags:")
+    for tag, count in sorted(by_tag.items(), key=lambda kv: (-kv[1], kv[0])):
+        print("  %s n=%d" % (tag, count))
+    print()
+
+
+def journal_section(records, journal_path):
+    by_qid = load_journal(journal_path)
+    joined = sealed = tampered = fetch_mismatches = 0
+    missing = []
+    for rec in records:
+        qid = rec.get("query_id", "")
+        if qid not in by_qid:
+            missing.append(qid)
+            continue
+        joined += 1
+        cert, ok = by_qid[qid]
+        if ok:
+            sealed += 1
+        else:
+            tampered += 1
+        # Both channels observed the same run; the sealed fetch count and
+        # the observational one must agree (refusals journal 0 fetches).
+        if cert.get("actual_fetches", 0) != rec.get("fetches", 0):
+            fetch_mismatches += 1
+    print(f"journal join ({journal_path}):")
+    print("  joined=%d (sealed=%d, tampered=%d)  missing=%d  "
+          "fetch_mismatches=%d"
+          % (joined, sealed, tampered, len(missing), fetch_mismatches))
+    for qid in missing[:5]:
+        print(f"  missing from journal: {qid}")
+    if len(missing) > 5:
+        print(f"  ... and {len(missing) - 5} more")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="serving report over a structured access log")
+    parser.add_argument("access_log", help="SCALEIN_ACCESS_LOG_PATH file")
+    parser.add_argument("--journal", default=None,
+                        help="SCALEIN_JOURNAL_PATH file to join by query_id")
+    parser.add_argument("--top", type=int, default=5,
+                        help="requests shown in the slowest section")
+    args = parser.parse_args()
+
+    records, report = load_records(args.access_log)
+
+    print(f"serve report: {args.access_log}")
+    print("files: %d  records: %d (%d malformed)"
+          % (report["files"], report["records"], report["malformed"]))
+    print()
+
+    # The server's `classes` command, byte for byte.
+    tallies = {name: ClassTally() for name in BOUND_CLASSES}
+    for rec in records:
+        tallies[rec["class"]].observe(rec)
+    sys.stdout.write(render_classes(tallies))
+    print()
+
+    phase_section(records)
+    print()
+    slowest_section(records, args.top)
+    print()
+    slack_section(records)
+    print()
+    tags_section(records)
+    if args.journal:
+        journal_section(records, args.journal)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -506,7 +506,8 @@ Result<ServePlan> Shell::PlanForServe(std::string_view rest) {
 
 Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
                                              const exec::GovernorLimits& limits,
-                                             const obs::QueryId& qid) {
+                                             const obs::QueryId& qid,
+                                             const std::string& client_tag) {
   // The correlation slot is process-wide; concurrent sessions interleave
   // recorder/span stamping, but the certificate's id below is set explicitly
   // so journals stay exact.
@@ -535,7 +536,7 @@ Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
       cert.query_text = plan.query_text;
       (void)RecordEvalOutcome(std::move(cert), elapsed_ms,
                               /*noncontrollable=*/true,
-                              /*governor_tripped=*/false);
+                              /*governor_tripped=*/false, client_tag);
     }
     return evaled.status();
   }
@@ -569,7 +570,8 @@ Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
   ServeEvalOutcome out;
   out.warnings = RecordEvalOutcome(std::move(cert), elapsed_ms,
                                    /*noncontrollable=*/false,
-                                   /*governor_tripped=*/!degraded.complete);
+                                   /*governor_tripped=*/!degraded.complete,
+                                   client_tag);
   out.answers = degraded.value.size();
   out.rendered = AnswerSetToString(degraded.value, 50);
   out.fetched = stats.base_tuples_fetched;
@@ -580,15 +582,17 @@ Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
 }
 
 std::string Shell::RecordServeVerdict(obs::AccessCertificate cert,
-                                      double elapsed_ms) {
+                                      double elapsed_ms,
+                                      const std::string& client_tag) {
   const bool noncontrollable = cert.static_bound < 0 && !cert.tripped;
   return RecordEvalOutcome(std::move(cert), elapsed_ms, noncontrollable,
-                           /*governor_tripped=*/false);
+                           /*governor_tripped=*/false, client_tag);
 }
 
 std::string Shell::RecordEvalOutcome(obs::AccessCertificate cert,
                                      double elapsed_ms, bool noncontrollable,
-                                     bool governor_tripped) {
+                                     bool governor_tripped,
+                                     const std::string& client_tag) {
   obs::SealCertificate(&cert);
   metrics_
       ->GetCounter(std::string("shell.certificates.") +
@@ -605,7 +609,8 @@ std::string Shell::RecordEvalOutcome(obs::AccessCertificate cert,
   workload_->ExportMetrics(metrics_.get());
   std::string warnings;
   if (journal_store_ != nullptr) {
-    if (Status s = journal_store_->Append(cert, elapsed_ms, noncontrollable);
+    if (Status s = journal_store_->Append(cert, elapsed_ms, noncontrollable,
+                                          client_tag);
         !s.ok()) {
       warnings += "warning: journal append failed: " + s.message() + "\n";
     }

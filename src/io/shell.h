@@ -147,14 +147,19 @@ class Shell {
   /// ring + store) and never the shard advisor or the session sequence.
   Status PrepareServe();
   Result<ServePlan> PlanForServe(std::string_view rest);
+  /// `client_tag` is the serve layer's caller-supplied trace tag; it rides
+  /// next to the sealed certificate in the persistent journal (a non-sealed
+  /// sibling, like latency) and is empty for untagged requests.
   Result<ServeEvalOutcome> EvalForServe(const ServePlan& plan,
                                         const exec::GovernorLimits& limits,
-                                        const obs::QueryId& qid);
+                                        const obs::QueryId& qid,
+                                        const std::string& client_tag = "");
   /// Seals + journals a server-minted verdict certificate (admission rejects
   /// and queue-timeout sheds carry the static bound that justified them, so
   /// they are `certify`-checkable like any eval). Returns warning lines.
   std::string RecordServeVerdict(obs::AccessCertificate cert,
-                                 double elapsed_ms);
+                                 double elapsed_ms,
+                                 const std::string& client_tag = "");
   /// Session metrics registry, mutably — the server stamps serve.* series
   /// into the same registry `stats prom` renders. Thread-safe.
   obs::MetricsRegistry* mutable_metrics() { return metrics_.get(); }
@@ -191,7 +196,8 @@ class Shell {
   /// evaluation's certificate; returns warning lines for surfaced
   /// append/dump failures (satellite: no silently dropped writes).
   std::string RecordEvalOutcome(obs::AccessCertificate cert, double elapsed_ms,
-                                bool noncontrollable, bool governor_tripped);
+                                bool noncontrollable, bool governor_tripped,
+                                const std::string& client_tag = "");
 
   Schema schema_;
   AccessSchema access_;

@@ -47,6 +47,8 @@ const char* EventKindName(EventKind kind) {
       return "op-next-batch";
     case EventKind::kOpClose:
       return "op-close";
+    case EventKind::kServePhase:
+      return "serve-phase";
   }
   return "?";
 }

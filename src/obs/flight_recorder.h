@@ -40,6 +40,9 @@ enum class EventKind {
   kOpOpen,            ///< a physical operator was (re)opened (label = op)
   kOpNext,            ///< one operator next-batch (every 256 rows produced)
   kOpClose,           ///< an operator stream was exhausted
+  kServePhase,        ///< one served request's lifecycle record (label =
+                      ///< final admission action; "flush" for the port's
+                      ///< response-write phase)
 };
 
 /// Canonical kebab-case name ("query-start", "governor-trip", ...).

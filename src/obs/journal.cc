@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "obs/dump.h"
@@ -214,10 +215,14 @@ Result<std::vector<AccessCertificate>> CertificatesFromJsonl(
 }
 
 std::string JournalLineJson(const AccessCertificate& cert, double latency_ms,
-                            bool noncontrollable) {
+                            bool noncontrollable,
+                            const std::string& client_tag) {
   std::string line = CertificateToJson(cert);
   line.pop_back();  // re-open the object for the non-sealed siblings
   if (latency_ms >= 0) line += ",\"latency_ms\":" + JsonNumber(latency_ms);
+  if (!client_tag.empty()) {
+    line += ",\"client_tag\":\"" + JsonEscape(client_tag) + "\"";
+  }
   line += ",\"noncontrollable\":";
   line += noncontrollable ? "true" : "false";
   line += "}";
@@ -286,13 +291,21 @@ std::string JournalLoadReport::ToString() const {
   return out;
 }
 
-JournalStore::JournalStore(std::string path, uint64_t max_bytes)
-    : path_(std::move(path)), max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+RotatingJsonlFile::RotatingJsonlFile(std::string path, uint64_t max_bytes,
+                                     std::string append_site,
+                                     std::string rotate_site)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes == 0 ? 1 : max_bytes),
+      append_site_(std::move(append_site)),
+      rotate_site_(std::move(rotate_site)) {}
 
-Status JournalStore::RotateLocked() {
-  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("journal_rotate"));
+RotatingJsonlFile::~RotatingJsonlFile() = default;
+
+Status RotatingJsonlFile::RotateLocked() {
+  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT(rotate_site_.c_str()));
   namespace fs = std::filesystem;
   std::error_code ec;
+  out_.reset();  // close the live handle before renaming under it
   // path.1 -> path.2 (clobbering the oldest generation), then path -> path.1.
   for (int gen = kRotations - 1; gen >= 1; --gen) {
     const std::string from = path_ + "." + std::to_string(gen);
@@ -314,13 +327,12 @@ Status JournalStore::RotateLocked() {
   return Status::OK();
 }
 
-Status JournalStore::Append(const AccessCertificate& cert, double latency_ms,
-                            bool noncontrollable) {
-  const std::string line = JournalLineJson(cert, latency_ms, noncontrollable);
+Status RotatingJsonlFile::Append(std::string_view line) {
   // Chaos site: an injected append fault surfaces as this Status — callers
-  // (the shell's RecordEvalOutcome) render it as a warning and keep the
-  // evaluation's result, never failing the query over its paper trail.
-  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT("journal_append"));
+  // (the shell's RecordEvalOutcome, the serve access log) render it as a
+  // warning and keep the request's result, never failing it over its paper
+  // trail.
+  SI_RETURN_IF_ERROR(SCALEIN_FAILPOINT(append_site_.c_str()));
   std::lock_guard<std::mutex> lock(mu_);
   if (live_bytes_ < 0) {
     // First touch: create missing parent directories loudly (the fix for
@@ -334,21 +346,59 @@ Status JournalStore::Append(const AccessCertificate& cert, double latency_ms,
       static_cast<uint64_t>(live_bytes_) + line.size() + 1 > max_bytes_) {
     SI_RETURN_IF_ERROR(RotateLocked());
   }
-  SI_RETURN_IF_ERROR(AppendTextLine(path_, line));
+  if (out_ == nullptr) {
+    out_ = std::make_unique<std::ofstream>(path_, std::ios::app);
+    if (!out_->is_open()) {
+      out_.reset();
+      return Status::Internal("cannot open '" + path_ + "' for append");
+    }
+  }
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_->put('\n');
+  out_->flush();
+  if (!out_->good()) {
+    out_.reset();
+    return Status::Internal("cannot append to '" + path_ + "'");
+  }
   live_bytes_ += static_cast<int64_t>(line.size()) + 1;
   ++appended_;
   return Status::OK();
 }
 
+uint64_t RotatingJsonlFile::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t RotatingJsonlFile::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+std::vector<std::string> RotatingJsonlFile::GenerationsOldestFirst() const {
+  std::vector<std::string> out;
+  for (int gen = kRotations; gen >= 0; --gen) {
+    out.push_back(gen == 0 ? path_ : path_ + "." + std::to_string(gen));
+  }
+  return out;
+}
+
+JournalStore::JournalStore(std::string path, uint64_t max_bytes)
+    : file_(std::move(path), max_bytes, "journal_append", "journal_rotate") {}
+
+Status JournalStore::Append(const AccessCertificate& cert, double latency_ms,
+                            bool noncontrollable,
+                            const std::string& client_tag) {
+  return file_.Append(
+      JournalLineJson(cert, latency_ms, noncontrollable, client_tag));
+}
+
 Result<std::vector<JournalEntry>> JournalStore::Load(
     JournalLoadReport* report) const {
-  std::lock_guard<std::mutex> lock(mu_);
   JournalLoadReport local;
   std::vector<JournalEntry> out;
   // Oldest generation first, so replay order equals append order.
-  for (int gen = kRotations; gen >= 0; --gen) {
-    const std::string file =
-        gen == 0 ? path_ : path_ + "." + std::to_string(gen);
+  for (const std::string& file : file_.GenerationsOldestFirst()) {
     std::ifstream in(file);
     if (!in.is_open()) continue;
     ++local.files;
@@ -375,6 +425,7 @@ Result<std::vector<JournalEntry>> JournalStore::Load(
       entry.cert = std::move(cert).ValueOrDie();
       entry.latency_ms = parsed->NumberOr("latency_ms", -1.0);
       entry.noncontrollable = parsed->BoolOr("noncontrollable", false);
+      entry.client_tag = parsed->StringOr("client_tag", "");
       entry.seal_ok = VerifyCertificate(entry.cert);
       if (entry.seal_ok) {
         ++local.sealed_ok;
@@ -389,16 +440,6 @@ Result<std::vector<JournalEntry>> JournalStore::Load(
   }
   if (report != nullptr) *report = std::move(local);
   return out;
-}
-
-uint64_t JournalStore::appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return appended_;
-}
-
-uint64_t JournalStore::rotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rotations_;
 }
 
 std::string QueryJournal::ToJson() const {

@@ -2,6 +2,8 @@
 #define SCALEIN_OBS_JOURNAL_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -72,10 +74,13 @@ bool VerifyCertificate(const AccessCertificate& cert);
 std::string CertificateToJson(const AccessCertificate& cert);
 
 /// One JSONL journal line: CertificateToJson plus the non-sealed sibling
-/// fields ("latency_ms" when >= 0, "noncontrollable"). The sealed payload is
-/// untouched, so the parsed-back certificate re-verifies byte-for-byte.
+/// fields ("latency_ms" when >= 0, "noncontrollable", and "client_tag" when
+/// non-empty — the serve layer's caller-supplied trace tag, observational
+/// like latency). The sealed payload is untouched, so the parsed-back
+/// certificate re-verifies byte-for-byte.
 std::string JournalLineJson(const AccessCertificate& cert, double latency_ms,
-                            bool noncontrollable);
+                            bool noncontrollable,
+                            const std::string& client_tag = "");
 
 /// Parses a canonical verdict name ("within-bound", ...) back into the enum;
 /// returns false for an unknown name.
@@ -106,6 +111,7 @@ struct JournalEntry {
   AccessCertificate cert;
   double latency_ms = -1.0;     ///< < 0 when unknown
   bool noncontrollable = false; ///< evaluation failed Thm 4.2 controllability
+  std::string client_tag;       ///< serve-layer trace tag; empty when untagged
   bool seal_ok = false;         ///< VerifyCertificate at load time
 };
 
@@ -124,32 +130,81 @@ struct JournalLoadReport {
   std::string ToString() const;
 };
 
-/// Durable append-only query journal: one JSONL line per sealed certificate
-/// (plus non-sealed latency/noncontrollable siblings), written to
-/// SCALEIN_JOURNAL_PATH with size-based rotation `path` → `path.1` →
-/// `path.2` (oldest dropped). Load replays `path.2`, `path.1`, `path` in
-/// that order — oldest entry first — re-verifying every seal, so a workload
-/// history survives shell restarts and stays checkable offline. Parent
+/// Size-rotated JSONL sink: one text line per Append, written to `path`
+/// with size-based rotation `path` → `path.1` → `path.2` (oldest dropped)
+/// before a line that would push the live file past `max_bytes`. Parent
 /// directories are created on first append (obs::EnsureParentDirs); failures
-/// surface as a Status, never a silent drop.
+/// surface as a Status, never a silent drop. Two chaos sites — named per
+/// instance so the journal's ("journal_append"/"journal_rotate") and the
+/// access log's ("access_log_append"/"access_log_rotate") can be armed
+/// independently — fire before the write and before the rename chain.
+/// Thread-safe; the file handle stays open between appends (flushed per
+/// line, so concurrent readers always see whole lines).
+class RotatingJsonlFile {
+ public:
+  /// Rotated generations kept besides the live file (`path.1`, `path.2`).
+  static constexpr int kRotations = 2;
+
+  RotatingJsonlFile(std::string path, uint64_t max_bytes,
+                    std::string append_site, std::string rotate_site);
+  RotatingJsonlFile(const RotatingJsonlFile&) = delete;
+  RotatingJsonlFile& operator=(const RotatingJsonlFile&) = delete;
+  ~RotatingJsonlFile();
+
+  const std::string& path() const { return path_; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Appends `line` (no trailing newline) plus '\n', rotating first when the
+  /// live file would exceed max_bytes().
+  Status Append(std::string_view line);
+
+  uint64_t appended() const;
+  uint64_t rotations() const;
+
+  /// Every surviving generation's file path, oldest first (`path.2`,
+  /// `path.1`, `path`) — missing generations are simply omitted, so readers
+  /// replay lines in append order.
+  std::vector<std::string> GenerationsOldestFirst() const;
+
+ private:
+  Status RotateLocked();
+
+  mutable std::mutex mu_;
+  const std::string path_;
+  const uint64_t max_bytes_;
+  const std::string append_site_;
+  const std::string rotate_site_;
+  std::unique_ptr<std::ofstream> out_;  ///< live handle; reopened on rotate
+  int64_t live_bytes_ = -1;  ///< lazily initialized from the file on disk
+  uint64_t appended_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+/// Durable append-only query journal: one JSONL line per sealed certificate
+/// (plus non-sealed latency/noncontrollable/client-tag siblings), written to
+/// SCALEIN_JOURNAL_PATH via a RotatingJsonlFile. Load replays `path.2`,
+/// `path.1`, `path` in that order — oldest entry first — re-verifying every
+/// seal, so a workload history survives shell restarts and stays checkable
+/// offline.
 class JournalStore {
  public:
   static constexpr uint64_t kDefaultMaxBytes = 1 << 20;
   /// Rotated generations kept besides the live file (`path.1`, `path.2`).
-  static constexpr int kRotations = 2;
+  static constexpr int kRotations = RotatingJsonlFile::kRotations;
 
   explicit JournalStore(std::string path,
                         uint64_t max_bytes = kDefaultMaxBytes);
   JournalStore(const JournalStore&) = delete;
   JournalStore& operator=(const JournalStore&) = delete;
 
-  const std::string& path() const { return path_; }
-  uint64_t max_bytes() const { return max_bytes_; }
+  const std::string& path() const { return file_.path(); }
+  uint64_t max_bytes() const { return file_.max_bytes(); }
 
   /// Appends one journal line; rotates first when the live file would
-  /// exceed max_bytes(). `latency_ms < 0` omits the latency field.
+  /// exceed max_bytes(). `latency_ms < 0` omits the latency field; an empty
+  /// `client_tag` omits the tag field.
   Status Append(const AccessCertificate& cert, double latency_ms,
-                bool noncontrollable);
+                bool noncontrollable, const std::string& client_tag = "");
 
   /// Replays every surviving generation oldest-first. Tampered or malformed
   /// entries are reported in `report` (may be nullptr), not errors; the
@@ -158,18 +213,11 @@ class JournalStore {
   Result<std::vector<JournalEntry>> Load(
       JournalLoadReport* report = nullptr) const;
 
-  uint64_t appended() const;
-  uint64_t rotations() const;
+  uint64_t appended() const { return file_.appended(); }
+  uint64_t rotations() const { return file_.rotations(); }
 
  private:
-  Status RotateLocked();
-
-  mutable std::mutex mu_;
-  const std::string path_;
-  const uint64_t max_bytes_;
-  int64_t live_bytes_ = -1;  ///< lazily initialized from the file on disk
-  uint64_t appended_ = 0;
-  uint64_t rotations_ = 0;
+  RotatingJsonlFile file_;
 };
 
 /// Fixed-size ring of sealed certificates, one per completed query — the

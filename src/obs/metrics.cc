@@ -15,10 +15,13 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   for (size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
 }
 
+size_t HistogramBucketIndex(const std::vector<double>& edges, double value) {
+  return static_cast<size_t>(
+      std::lower_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
 void Histogram::Observe(double value) {
-  size_t bucket = static_cast<size_t>(
-      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
-      upper_bounds_.begin());
+  const size_t bucket = HistogramBucketIndex(upper_bounds_, value);
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -131,6 +134,26 @@ std::string PromLe(double bound) {
   return s;
 }
 
+/// The HELP line carries the registry's original dotted name: it is the one
+/// piece of information sanitization destroys, and it lets a scraper map
+/// `serve_e2e_ms_small` back to the `serve.e2e_ms.small` series that
+/// `stats` renders. HELP text escapes `\` and newline per the exposition
+/// format; dotted names contain neither, but user-supplied relation names
+/// inside metric keys may.
+std::string PromHelp(const std::string& prom_name, const std::string& name) {
+  std::string text;
+  for (char c : name) {
+    if (c == '\\') {
+      text += "\\\\";
+    } else if (c == '\n') {
+      text += "\\n";
+    } else {
+      text += c;
+    }
+  }
+  return "# HELP " + prom_name + " scalein metric " + text + "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
@@ -138,16 +161,19 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string p = PromName(name);
+    out += PromHelp(p, name);
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string p = PromName(name);
+    out += PromHelp(p, name);
     out += "# TYPE " + p + " gauge\n";
     out += p + " " + std::to_string(gauge->value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     const std::string p = PromName(name);
+    out += PromHelp(p, name);
     out += "# TYPE " + p + " histogram\n";
     const std::vector<double>& bounds = hist->upper_bounds();
     std::vector<uint64_t> counts = hist->bucket_counts();

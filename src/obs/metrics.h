@@ -33,6 +33,14 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// The one bucket-placement rule: the index of the first edge in `edges`
+/// (ascending, inclusive upper bounds) that covers `value`, or edges.size()
+/// for the implicit +inf overflow bucket. Histogram::Observe and the
+/// workload aggregator's plain-vector histograms both place through this
+/// helper, so online metrics and offline reports can never disagree on
+/// which bucket an observation landed in.
+size_t HistogramBucketIndex(const std::vector<double>& edges, double value);
+
 /// Fixed-bucket histogram: `upper_bounds` are inclusive bucket upper edges
 /// in ascending order, with an implicit final +inf bucket. Observations also
 /// feed a running count and sum, so means are recoverable from a snapshot.
@@ -86,12 +94,16 @@ class MetricsRegistry {
   ///  buckets:[{le,count},...]}}} — keys sorted, so output is deterministic.
   std::string ToJson() const;
 
-  /// Prometheus text exposition format (version 0.0.4): counters as
+  /// Prometheus text exposition format (version 0.0.4): every metric gets a
+  /// `# HELP x <original dotted name>` line (the registry's dotted name is
+  /// the description — it survives sanitization, so a scraper can map the
+  /// series back to `stats` output) followed by `# TYPE`; counters as
   /// `# TYPE x counter`, gauges as gauge, histograms as the conventional
   /// `x_bucket{le="..."}` series with *cumulative* bucket counts plus
-  /// `x_sum`/`x_count`. Metric names are sanitized ('.' and any other
-  /// non-[a-zA-Z0-9_:] byte become '_') since the registry's dotted names
-  /// are not legal Prometheus identifiers. Deterministic (keys sorted).
+  /// `x_sum`/`x_count` (`le="+Inf"` last). Metric names are sanitized ('.'
+  /// and any other non-[a-zA-Z0-9_:] byte become '_') since the registry's
+  /// dotted names are not legal Prometheus identifiers. Deterministic (keys
+  /// sorted).
   std::string ToPrometheusText() const;
 
   /// Process-wide registry.

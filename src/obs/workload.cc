@@ -8,19 +8,14 @@
 namespace scalein::obs {
 namespace {
 
-/// Bumps the bucket whose inclusive upper edge first covers `value`
-/// (overflow bucket last) — the same placement rule as obs::Histogram, kept
-/// as plain vectors so snapshots need no atomics.
+/// Bumps the bucket covering `value`, kept as plain vectors so snapshots
+/// need no atomics. Placement delegates to obs::HistogramBucketIndex — the
+/// one rule shared with obs::Histogram, so the aggregator's buckets and the
+/// metrics registry's can never drift apart.
 void ObserveBucket(std::vector<uint64_t>* buckets,
                    const std::vector<double>& edges, double value) {
   if (buckets->empty()) buckets->assign(edges.size() + 1, 0);
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (value <= edges[i]) {
-      ++(*buckets)[i];
-      return;
-    }
-  }
-  ++buckets->back();
+  ++(*buckets)[HistogramBucketIndex(edges, value)];
 }
 
 /// The canonical per-class line. scripts/workload_report.py emits byte-for-

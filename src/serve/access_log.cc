@@ -1,0 +1,170 @@
+#include "serve/access_log.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace scalein::serve {
+
+std::string AccessLogRecordJson(const AccessLogRecord& rec) {
+  using obs::JsonEscape;
+  using obs::JsonNumber;
+  std::string out;
+  out.reserve(256);  // typical record; keeps the hot append allocation-light
+  out += "{\"query_id\":\"" + JsonEscape(rec.query_id) + "\"";
+  if (!rec.client_tag.empty()) {
+    out += ",\"client_tag\":\"" + JsonEscape(rec.client_tag) + "\"";
+  }
+  out += ",\"session\":\"" + JsonEscape(rec.session_id) + "\"";
+  out += ",\"class\":\"";
+  out += BoundClassName(rec.bound_class);
+  out += "\",\"action\":\"";
+  out += AdmitActionName(rec.action);
+  out += "\"";
+  if (rec.reject != RejectReason::kNone) {
+    out += ",\"reject\":\"";
+    out += RejectReasonName(rec.reject);
+    out += "\"";
+  }
+  if (rec.static_bound >= 0) {
+    out += ",\"static_bound\":" + JsonNumber(rec.static_bound);
+  }
+  out += ",\"lease\":" + std::to_string(rec.lease);
+  out += ",\"fetches\":" + std::to_string(rec.fetches);
+  out += ",\"answers\":" + std::to_string(rec.answers);
+  out += ",\"queue_wait_ms\":" + JsonNumber(rec.queue_wait_ms);
+  out += ",\"exec_ms\":" + JsonNumber(rec.exec_ms);
+  out += ",\"e2e_ms\":" + JsonNumber(rec.e2e_ms);
+  out += ",\"bytes_out\":" + std::to_string(rec.bytes_out);
+  out += ",\"tripped\":";
+  out += rec.tripped ? "true" : "false";
+  if (!rec.trip_reason.empty()) {
+    out += ",\"trip\":\"" + JsonEscape(rec.trip_reason) + "\"";
+  }
+  out += ",\"degraded\":";
+  out += rec.degraded ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+AccessLog::AccessLog(std::string path, uint64_t max_bytes)
+    : file_(std::move(path), max_bytes, "access_log_append",
+            "access_log_rotate") {}
+
+Status AccessLog::Append(const AccessLogRecord& rec) {
+  return file_.Append(AccessLogRecordJson(rec));
+}
+
+bool AdmitActionFromName(const std::string& name, AdmitAction* out) {
+  for (AdmitAction a : {AdmitAction::kAdmit, AdmitAction::kQueue,
+                        AdmitAction::kDegrade, AdmitAction::kReject}) {
+    if (name == AdmitActionName(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RejectReasonFromName(const std::string& name, RejectReason* out) {
+  for (RejectReason r :
+       {RejectReason::kNone, RejectReason::kNoStaticBound,
+        RejectReason::kBudgetExhausted, RejectReason::kQueueFull,
+        RejectReason::kQueueClassFull, RejectReason::kQueueTimeout,
+        RejectReason::kDraining}) {
+    if (name == RejectReasonName(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BoundClassFromName(const std::string& name, BoundClass* out) {
+  for (BoundClass c : {BoundClass::kSmall, BoundClass::kMedium,
+                       BoundClass::kLarge, BoundClass::kHuge}) {
+    if (name == BoundClassName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+Result<AccessLogRecord> RecordFromJsonValue(const obs::JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("access-log line is not an object");
+  }
+  AccessLogRecord rec;
+  rec.query_id = v.StringOr("query_id", "");
+  rec.client_tag = v.StringOr("client_tag", "");
+  rec.session_id = v.StringOr("session", "");
+  if (!BoundClassFromName(v.StringOr("class", ""), &rec.bound_class)) {
+    return Status::InvalidArgument("access-log line has an unknown class");
+  }
+  if (!AdmitActionFromName(v.StringOr("action", ""), &rec.action)) {
+    return Status::InvalidArgument("access-log line has an unknown action");
+  }
+  const std::string reject = v.StringOr("reject", "none");
+  if (!RejectReasonFromName(reject, &rec.reject)) {
+    return Status::InvalidArgument(
+        "access-log line has an unknown reject reason");
+  }
+  rec.static_bound = v.NumberOr("static_bound", -1.0);
+  rec.lease = static_cast<uint64_t>(v.NumberOr("lease", 0));
+  rec.fetches = static_cast<uint64_t>(v.NumberOr("fetches", 0));
+  rec.answers = static_cast<uint64_t>(v.NumberOr("answers", 0));
+  rec.queue_wait_ms = v.NumberOr("queue_wait_ms", 0.0);
+  rec.exec_ms = v.NumberOr("exec_ms", 0.0);
+  rec.e2e_ms = v.NumberOr("e2e_ms", 0.0);
+  rec.bytes_out = static_cast<uint64_t>(v.NumberOr("bytes_out", 0));
+  rec.tripped = v.BoolOr("tripped", false);
+  rec.trip_reason = v.StringOr("trip", "");
+  rec.degraded = v.BoolOr("degraded", false);
+  return rec;
+}
+
+}  // namespace
+
+Result<std::vector<AccessLogRecord>> LoadAccessLogRecords(
+    const std::string& path, AccessLogLoadReport* report) {
+  AccessLogLoadReport local;
+  std::vector<AccessLogRecord> out;
+  // Oldest generation first, so replay order equals append order (mirrors
+  // JournalStore::Load).
+  for (int gen = obs::RotatingJsonlFile::kRotations; gen >= 0; --gen) {
+    const std::string file =
+        gen == 0 ? path : path + "." + std::to_string(gen);
+    std::ifstream in(file);
+    if (!in.is_open()) continue;
+    ++local.files;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      Result<obs::JsonValue> parsed = obs::ParseJson(line);
+      if (!parsed.ok()) {
+        ++local.malformed;
+        local.errors.push_back(file + ":" + std::to_string(lineno) + ": " +
+                               parsed.status().message());
+        continue;
+      }
+      Result<AccessLogRecord> rec = RecordFromJsonValue(*parsed);
+      if (!rec.ok()) {
+        ++local.malformed;
+        local.errors.push_back(file + ":" + std::to_string(lineno) + ": " +
+                               rec.status().message());
+        continue;
+      }
+      ++local.records;
+      out.push_back(std::move(rec).ValueOrDie());
+    }
+  }
+  if (report != nullptr) *report = std::move(local);
+  return out;
+}
+
+}  // namespace scalein::serve

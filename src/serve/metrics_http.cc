@@ -1,0 +1,175 @@
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/failpoint.h"
+
+namespace scalein::serve {
+
+MetricsHttp::MetricsHttp(obs::MetricsRegistry* registry,
+                         std::function<bool()> draining, Options options)
+    : registry_(registry), draining_(std::move(draining)), options_(options) {}
+
+MetricsHttp::~MetricsHttp() { Shutdown(); }
+
+Status MetricsHttp::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind: " + err);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttp::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed or broken: stop accepting
+    }
+    if (!SCALEIN_FAILPOINT("serve_http").ok()) {
+      // Injected scrape fault: this connection is the blast radius —
+      // count it, drop it, keep answering everyone else.
+      registry_->GetCounter("serve.io_faults").Increment();
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    live_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { Serve(fd); });
+  }
+}
+
+namespace {
+
+/// Minimal HTTP response; `body` ships verbatim with Content-Length so
+/// curl and Prometheus both terminate cleanly despite Connection: close.
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+void MetricsHttp::Serve(int fd) {
+  // Read until the header terminator (or the client stops sending); only
+  // the request line matters, but draining the headers keeps clients that
+  // wait for us to read them from deadlocking against our write.
+  std::string request;
+  char chunk[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < 64 * 1024) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    request.append(chunk, static_cast<size_t>(n));
+    if (request.find('\n') != std::string::npos &&
+        request.compare(0, 4, "GET ") != 0) {
+      break;  // not a GET; no point waiting for more headers
+    }
+  }
+  std::string response;
+  const size_t line_end = request.find('\n');
+  std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  // "GET <path> HTTP/1.x" — tolerate a missing version (HTTP/0.9-style).
+  std::string path;
+  if (line.compare(0, 4, "GET ") == 0) {
+    path = line.substr(4);
+    const size_t sp = path.find(' ');
+    if (sp != std::string::npos) path.resize(sp);
+  }
+  if (path == "/metrics") {
+    response = HttpResponse("200 OK", "text/plain; version=0.0.4",
+                            registry_->ToPrometheusText());
+  } else if (path == "/healthz") {
+    const bool draining = draining_ != nullptr && draining_();
+    response = draining ? HttpResponse("503 Service Unavailable",
+                                       "text/plain", "draining\n")
+                        : HttpResponse("200 OK", "text/plain", "ok\n");
+  } else if (!path.empty()) {
+    response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+  } else {
+    response = HttpResponse("400 Bad Request", "text/plain", "bad request\n");
+  }
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  registry_->GetCounter("serve.scrapes").Increment();
+  size_t written = 0;
+  while (written < response.size()) {
+    const ssize_t w =
+        ::write(fd, response.data() + written, response.size() - written);
+    if (w <= 0) break;
+    written += static_cast<size_t>(w);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_fds_.erase(fd) != 0) ::close(fd);
+}
+
+void MetricsHttp::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+}
+
+}  // namespace scalein::serve

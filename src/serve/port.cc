@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "serve/message.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -124,6 +125,11 @@ void Port::Serve(int fd, uint64_t conn_id) {
         written += static_cast<size_t>(w);
       }
       if (closing) break;
+      // The flush phase: the response frame is on the wire. Unstamped (the
+      // request's QueryId is not visible at the port layer), but adjacent
+      // to the stamped serve-phase lifecycle event in the ring.
+      obs::RecordFlightNums(obs::EventKind::kServePhase, "flush",
+                            {{"bytes", static_cast<double>(frame.size())}});
       if (stripped == "bye") {
         session_opened = false;
         closing = true;

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "io/shell.h"
+#include "serve/access_log.h"
 #include "serve/admission.h"
 #include "serve/session.h"
 #include "util/status.h"
@@ -43,6 +44,12 @@ class Server {
     /// so a single-threaded arrival script can walk queries through
     /// queue/queue-timeout deterministically (no racing threads needed).
     bool scripted = false;
+    /// Structured access log: one JSONL AccessLogRecord per served request,
+    /// size-rotated like the certificate journal. Empty = disabled; Start()
+    /// falls back to SCALEIN_ACCESS_LOG_PATH (and
+    /// SCALEIN_ACCESS_LOG_MAX_BYTES) when unset here.
+    std::string access_log_path;
+    uint64_t access_log_max_bytes = AccessLog::kDefaultMaxBytes;
   };
 
   /// `shell` must outlive the server and have its catalog loaded; Start()
@@ -58,17 +65,21 @@ class Server {
   Status Start();
 
   /// One protocol line from session `sid`:
-  ///   hello                      open the session (lease an envelope)
-  ///   eval var=value,... <query> admission + evaluation
+  ///   hello [tag]                open the session (lease an envelope); the
+  ///                              optional tag stamps this session's requests
+  ///   eval [@tag] var=value,... <query>  admission + evaluation; @tag
+  ///                              overrides the session tag for this request
   ///   budget                     report the envelope's remaining lease
   ///   bye                        close the session (preempts in-flight work)
+  ///   classes                    per-bound-class admission tallies
   ///   stats [prom] | journal | certify [path] | workload [...]   read-only
   ///   drain                      admin: drain the whole server
   ///   #busy <n>                  scripted mode only: synthetic run slots
   Result<std::string> HandleLine(const std::string& sid,
                                  std::string_view line);
 
-  Result<std::string> OpenSession(const std::string& sid);
+  Result<std::string> OpenSession(const std::string& sid,
+                                  const std::string& trace_tag = "");
   Result<std::string> CloseSession(const std::string& sid);
 
   /// Admission + (when admitted/degraded) evaluation of one `eval` body.
@@ -76,6 +87,11 @@ class Server {
   /// lapses. Returns the deterministic response text; infrastructure
   /// errors (parse failures, injected faults) surface as a Status.
   Result<std::string> Submit(const std::string& sid, std::string_view rest);
+
+  /// The per-class admission tallies the `classes` command renders — one
+  /// line per BoundClass, wall-clock-free, byte-identical to what
+  /// scripts/serve_report.py recomputes from the access log.
+  std::string RenderClasses() const;
 
   /// Graceful shutdown: refuse new work, preempt every session's in-flight
   /// evaluation via its cancellation token, wake all queued callers (they
@@ -90,6 +106,8 @@ class Server {
   /// The shell's (thread-safe) metrics registry — the port layer stamps its
   /// serve.io_faults accounting into the same series `stats prom` renders.
   obs::MetricsRegistry* shell_metrics() const { return metrics_; }
+  /// Structured access log; nullptr when disabled.
+  const AccessLog* access_log() const { return access_log_.get(); }
 
  private:
   struct QueueTicket {
@@ -97,13 +115,50 @@ class Server {
     BoundClass cls = BoundClass::kSmall;
   };
 
+  /// Request lifecycle timestamps (monotonic ns), filled in as Submit walks
+  /// accept → parse → admission → queue wait → execute → serialize. Zero
+  /// pairs mean the phase never happened (e.g. queue for a straight admit).
+  struct PhaseTiming {
+    uint64_t arrive_ns = 0;
+    uint64_t parse_done_ns = 0;
+    uint64_t decided_ns = 0;
+    uint64_t queue_enter_ns = 0;
+    uint64_t queue_exit_ns = 0;
+    uint64_t exec_start_ns = 0;
+    uint64_t exec_done_ns = 0;
+    uint64_t done_ns = 0;
+  };
+
+  /// Per-BoundClass admission tallies behind the `classes` command. `shed`
+  /// counts overload refusals (queue-timeout/full/class-full/draining);
+  /// `rejected` the contract ones (no bound, budget).
+  struct ClassTally {
+    uint64_t total = 0;
+    uint64_t admitted = 0;
+    uint64_t degraded = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+  };
+
   /// Seals + journals a refused query's verdict certificate. Caller holds
   /// mu_ (the underlying sinks are thread-safe; holding the lock keeps
   /// journal order identical to decision order).
   std::string RecordRefusal(const ServePlan& plan, const obs::QueryId& qid,
-                            const AdmissionDecision& decision);
+                            const AdmissionDecision& decision,
+                            const std::string& client_tag);
   /// Counts a decision into the serve.* metrics. Caller holds mu_.
   void CountDecision(const AdmissionDecision& decision);
+  /// One request's terminal bookkeeping: per-class SLO histograms and shed
+  /// counters, the class tally, the access-log line, a qid-stamped
+  /// serve-phase flight event, and retroactive phase spans when a tracer is
+  /// installed. Caller holds mu_; returns warning lines (access-log append
+  /// failures), never an error.
+  std::string EmitLifecycle(const ServePlan& plan, const obs::QueryId& qid,
+                            const std::string& sid,
+                            const std::string& client_tag,
+                            const AdmissionDecision& decision,
+                            const ServeEvalOutcome* outcome,
+                            const PhaseTiming& t, size_t bytes_out);
   size_t EffectiveRunning() const {
     return running_ + synthetic_running_;
   }
@@ -113,6 +168,7 @@ class Server {
   obs::MetricsRegistry* metrics_ = nullptr;  ///< shell's registry
   exec::SharedLedger ledger_;  ///< server-wide fetch capacity (may stay
                                ///< unlimited)
+  std::unique_ptr<AccessLog> access_log_;  ///< null = disabled
   size_t max_running_ = 1;
   bool started_ = false;
 
@@ -121,6 +177,7 @@ class Server {
   std::map<std::string, std::shared_ptr<SessionEnvelope>> sessions_;
   std::deque<QueueTicket> queue_;
   size_t queued_by_class_[kBoundClasses] = {0, 0, 0, 0};
+  ClassTally class_tallies_[kBoundClasses];
   uint64_t next_ticket_ = 1;
   size_t running_ = 0;
   size_t synthetic_running_ = 0;  ///< scripted-mode #busy directive

@@ -37,6 +37,12 @@ class SessionEnvelope {
   const std::string& id() const { return id_; }
   uint64_t session_fingerprint() const { return session_fp_; }
 
+  /// Caller-supplied trace tag from `hello <tag>`; stamped on this session's
+  /// access-log lines and journal siblings unless a per-request `@tag`
+  /// overrides it. Empty = untagged. Mutated only under the server's mutex.
+  const std::string& trace_tag() const { return trace_tag_; }
+  void set_trace_tag(std::string tag) { trace_tag_ = std::move(tag); }
+
   bool unlimited() const { return unlimited_; }
   uint64_t lease() const { return lease_; }
   uint64_t remaining() const { return remaining_; }
@@ -79,6 +85,7 @@ class SessionEnvelope {
   uint64_t remaining_ = 0;   ///< lease minus live reservations and spend
   uint64_t reserved_inflight_ = 0;
   uint64_t seq_ = 0;
+  std::string trace_tag_;
   exec::CancellationToken cancel_;
 };
 

@@ -63,6 +63,75 @@ TEST(ObsMetricsTest, InstrumentPointersAreStable) {
   EXPECT_EQ(first, &registry.GetCounter("a"));
 }
 
+// The one shared bucket-placement rule: Histogram::Observe and the workload
+// aggregator both place through HistogramBucketIndex, so this pins the rule
+// itself — first edge covering the value (inclusive), overflow = edges.size.
+TEST(ObsMetricsTest, HistogramBucketIndexIsTheSharedPlacementRule) {
+  const std::vector<double> edges = {1.0, 10.0, 100.0};
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 0.5), 0u);
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 1.0), 0u);  // inclusive edge
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 1.5), 1u);
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 10.0), 1u);
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 100.0), 2u);
+  EXPECT_EQ(obs::HistogramBucketIndex(edges, 1000.0), 3u);  // +inf overflow
+  EXPECT_EQ(obs::HistogramBucketIndex({}, 42.0), 0u);
+
+  // Histogram::Observe must agree with the helper, value for value.
+  obs::Histogram h(edges);
+  for (double v : {0.5, 1.0, 1.5, 10.0, 100.0, 1000.0}) h.Observe(v);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{2, 2, 1, 1}));
+}
+
+// Prometheus text-exposition conformance: every series is announced by a
+// # HELP line naming the original dotted metric, immediately followed by
+// its # TYPE; histogram buckets are cumulative with +Inf last, then
+// _sum/_count. This is the format GET /metrics ships verbatim.
+TEST(ObsMetricsTest, PrometheusTextCarriesHelpAndTypeForEverySeries) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.shed.small").Increment(2);
+  registry.GetGauge("serve.queue_depth").Set(1);
+  obs::Histogram& h = registry.GetHistogram("serve.e2e_ms.small", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);
+  const std::string text = registry.ToPrometheusText();
+
+  const char* kExpected[] = {
+      "# HELP serve_shed_small scalein metric serve.shed.small\n"
+      "# TYPE serve_shed_small counter\n"
+      "serve_shed_small 2\n",
+      "# HELP serve_queue_depth scalein metric serve.queue_depth\n"
+      "# TYPE serve_queue_depth gauge\n"
+      "serve_queue_depth 1\n",
+      "# HELP serve_e2e_ms_small scalein metric serve.e2e_ms.small\n"
+      "# TYPE serve_e2e_ms_small histogram\n",
+      "serve_e2e_ms_small_bucket{le=\"1\"} 1\n"
+      "serve_e2e_ms_small_bucket{le=\"10\"} 2\n"
+      "serve_e2e_ms_small_bucket{le=\"+Inf\"} 3\n"
+      "serve_e2e_ms_small_sum 105.5\n"
+      "serve_e2e_ms_small_count 3\n",
+  };
+  for (const char* needle : kExpected) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+
+  // Grammar sweep: every line is a comment or "<sanitized_name> <value>" —
+  // no raw dots leak into series names.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    EXPECT_EQ(name.find('.'), std::string::npos) << line;
+    EXPECT_FALSE(name.empty());
+  }
+}
+
 TEST(ObsMetricsTest, JsonSnapshotIsSortedAndComplete) {
   obs::MetricsRegistry registry;
   registry.GetCounter("zeta").Increment(2);

@@ -11,7 +11,9 @@
 set(catalog "${WORK_DIR}/serve_smoke_catalog.txt")
 set(script "${WORK_DIR}/serve_smoke_script.txt")
 set(journal "${WORK_DIR}/serve_smoke_journal.jsonl")
+set(access_log "${WORK_DIR}/serve_smoke_access.jsonl")
 file(REMOVE "${journal}" "${journal}.1" "${journal}.2")
+file(REMOVE "${access_log}" "${access_log}.1" "${access_log}.2")
 
 file(WRITE "${catalog}" "schema relation person(id, name, city)
 schema relation friend(id1, id2)
@@ -29,15 +31,17 @@ row secret 1,2
 # Session budget 50: the bare friend scan (bound 50) admits, the friend-join
 # (bound 100) exceeds the lease and degrades, the secret query has no static
 # bound and rejects, and a synthetic busy slot turns the last arrival into a
-# queue-timeout shed.
-file(WRITE "${script}" "a hello
+# queue-timeout shed. The session is opened with a trace tag (echoed on
+# every verdict) and one request overrides it with @req1.
+file(WRITE "${script}" "a hello smoke
 a eval p=1 F(p, id) := friend(p, id)
-a eval p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
+a eval @req1 p=1 Q(p, name) := exists id. friend(p, id) and person(id, name, \"NYC\")
 a eval a=1 S(a, b) := secret(a, b)
 a #busy 1
 a eval p=1 F(p, id) := friend(p, id)
 a #busy 0
 a budget
+a classes
 a certify
 a bye
 quit
@@ -46,6 +50,7 @@ quit
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env
           "SCALEIN_JOURNAL_PATH=${journal}"
+          "SCALEIN_ACCESS_LOG_PATH=${access_log}"
           "SCALEIN_SESSION_ID=serve-smoke"
           "SCALEIN_SLA_SESSION_BUDGET=50"
           "SCALEIN_SLA_MAX_RUNNING=1"
@@ -61,14 +66,21 @@ if(NOT served_rc EQUAL 0)
           "${served_out}\n${served_err}")
 endif()
 
-# Every admission verdict must appear, each justified by its static bound.
+# Every admission verdict must appear, each justified by its static bound;
+# trace tags echo on the session banner and each verdict line, and the
+# `classes` command renders the per-class tallies with the shed split out.
 foreach(needle
-        "session a open budget=50"
+        "session a open budget=50 tag=smoke"
         "admit bound=50 lease=50"
         "degrade bound=100 lease=48"
+        " tag=req1"
+        " tag=smoke"
         "reject(no-static-bound)"
         "reject(queue-timeout)"
         "retry-after=20ms"
+        "classes: 4 request(s)"
+        "  small n=3 admitted=1 degraded=1 rejected=0 shed=1 shed_rate=0.3333"
+        "  huge n=1 admitted=0 degraded=0 rejected=1 shed=0 shed_rate=0.0000"
         "certificates verify"
         "session a closed")
   string(FIND "${served_out}" "${needle}" pos)
@@ -81,6 +93,25 @@ endforeach()
 if(NOT EXISTS "${journal}")
   message(FATAL_ERROR "serve session did not write the persistent journal")
 endif()
+
+# The structured access log: one JSONL record per request, tag-stamped.
+if(NOT EXISTS "${access_log}")
+  message(FATAL_ERROR "serve session did not write the access log")
+endif()
+file(READ "${access_log}" access_text)
+foreach(needle
+        "\"client_tag\":\"smoke\""
+        "\"client_tag\":\"req1\""
+        "\"action\":\"admit\""
+        "\"action\":\"degrade\""
+        "\"reject\":\"no-static-bound\""
+        "\"reject\":\"queue-timeout\"")
+  string(FIND "${access_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "access log is missing '${needle}':\n${access_text}")
+  endif()
+endforeach()
 
 # Offline re-verification: the refusal verdicts the server sealed must
 # survive a `certify <file>` round-trip in a fresh process (exit code 0).
