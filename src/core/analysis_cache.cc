@@ -2,9 +2,21 @@
 
 #include <utility>
 
+#include "exec/compiler.h"
 #include "obs/flight_recorder.h"
 
 namespace scalein {
+namespace {
+
+/// Entry-local compiled-plan set, created on first request. Must be called
+/// under the cache lock (mutates the entry / flight slot).
+std::shared_ptr<exec::CompiledPlanSet> EnsureCompiled(
+    std::shared_ptr<exec::CompiledPlanSet>* slot) {
+  if (*slot == nullptr) *slot = std::make_shared<exec::CompiledPlanSet>();
+  return *slot;
+}
+
+}  // namespace
 
 AnalysisCache::AnalysisCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -80,9 +92,10 @@ void AnalysisCache::InsertLocked(uint64_t hash, std::string key_text,
 }
 
 Result<std::shared_ptr<const ControllabilityAnalysis>>
-AnalysisCache::GetOrAnalyze(const Formula& f, std::string_view query_text,
-                            const Schema& schema, const AccessSchema& access,
-                            const ControlAnalysisOptions& options) {
+AnalysisCache::GetOrAnalyze(
+    const Formula& f, std::string_view query_text, const Schema& schema,
+    const AccessSchema& access, const ControlAnalysisOptions& options,
+    std::shared_ptr<exec::CompiledPlanSet>* compiled_out) {
   const uint64_t env_fp = EnvFingerprint(schema, access);
   std::string key_text = "fo\x1f";
   key_text += query_text;
@@ -96,6 +109,7 @@ AnalysisCache::GetOrAnalyze(const Formula& f, std::string_view query_text,
     Entry* hit = LookupLocked(hash, key_text, env_fp, &collision);
     if (hit != nullptr && hit->plain != nullptr) {
       ++stats_.hits;
+      if (compiled_out != nullptr) *compiled_out = EnsureCompiled(&hit->compiled);
       return hit->plain;
     }
     // Single-flight: the first miss on a key derives; concurrent misses
@@ -106,6 +120,7 @@ AnalysisCache::GetOrAnalyze(const Formula& f, std::string_view query_text,
       ++stats_.coalesced;
       fill_cv_.wait(lock, [&] { return flight->done; });
       if (!flight->status.ok()) return flight->status;
+      if (compiled_out != nullptr) *compiled_out = flight->compiled;
       return flight->plain;
     }
     it->second = std::make_shared<InFlight>();
@@ -127,24 +142,31 @@ AnalysisCache::GetOrAnalyze(const Formula& f, std::string_view query_text,
     std::lock_guard<std::mutex> lock(mu_);
     flight->status = analyzed.ok() ? Status::OK() : analyzed.status();
     flight->plain = shared;
+    if (analyzed.ok()) {
+      // One plan set shared by the entry and every coalesced waiter, so all
+      // of them observe the same compiled programs.
+      EnsureCompiled(&flight->compiled);
+    }
     flight->done = true;
     inflight_.erase(key_text);
     if (analyzed.ok() && !collision) {
       Entry entry;
       entry.plain = shared;
+      entry.compiled = flight->compiled;
       InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
     }
   }
   fill_cv_.notify_all();
   if (shared == nullptr) return flight->status;
+  if (compiled_out != nullptr) *compiled_out = flight->compiled;
   return shared;
 }
 
 Result<std::shared_ptr<const EmbeddedCqAnalysis>>
-AnalysisCache::GetOrAnalyzeEmbedded(const Cq& q, std::string_view query_text,
-                                    const Schema& schema,
-                                    const AccessSchema& access,
-                                    const VarSet& params) {
+AnalysisCache::GetOrAnalyzeEmbedded(
+    const Cq& q, std::string_view query_text, const Schema& schema,
+    const AccessSchema& access, const VarSet& params,
+    std::shared_ptr<exec::CompiledPlanSet>* compiled_out) {
   const uint64_t env_fp = EnvFingerprint(schema, access);
   // Embedded plans depend on which variables are parameters, so the param
   // set is part of the key.
@@ -162,6 +184,7 @@ AnalysisCache::GetOrAnalyzeEmbedded(const Cq& q, std::string_view query_text,
     Entry* hit = LookupLocked(hash, key_text, env_fp, &collision);
     if (hit != nullptr && hit->embedded != nullptr) {
       ++stats_.hits;
+      if (compiled_out != nullptr) *compiled_out = EnsureCompiled(&hit->compiled);
       return hit->embedded;
     }
     auto [it, leader] = inflight_.try_emplace(key_text);
@@ -170,6 +193,7 @@ AnalysisCache::GetOrAnalyzeEmbedded(const Cq& q, std::string_view query_text,
       ++stats_.coalesced;
       fill_cv_.wait(lock, [&] { return flight->done; });
       if (!flight->status.ok()) return flight->status;
+      if (compiled_out != nullptr) *compiled_out = flight->compiled;
       return flight->embedded;
     }
     it->second = std::make_shared<InFlight>();
@@ -190,16 +214,19 @@ AnalysisCache::GetOrAnalyzeEmbedded(const Cq& q, std::string_view query_text,
     std::lock_guard<std::mutex> lock(mu_);
     flight->status = analyzed.ok() ? Status::OK() : analyzed.status();
     flight->embedded = shared;
+    if (analyzed.ok()) EnsureCompiled(&flight->compiled);
     flight->done = true;
     inflight_.erase(key_text);
     if (analyzed.ok() && !collision) {
       Entry entry;
       entry.embedded = shared;
+      entry.compiled = flight->compiled;
       InsertLocked(hash, std::move(key_text), env_fp, std::move(entry));
     }
   }
   fill_cv_.notify_all();
   if (shared == nullptr) return flight->status;
+  if (compiled_out != nullptr) *compiled_out = flight->compiled;
   return shared;
 }
 

@@ -20,6 +20,10 @@
 
 namespace scalein {
 
+namespace exec {
+class CompiledPlanSet;
+}  // namespace exec
+
 /// Counters describing cache behavior, exported to obs metrics by callers.
 struct AnalysisCacheStats {
   uint64_t hits = 0;           ///< served from cache
@@ -61,14 +65,25 @@ class AnalysisCache {
 
   /// The cached (or freshly computed) §4 derivation for `f`, identified by
   /// `query_text` (the canonical source text the fingerprint is taken over).
+  ///
+  /// When `compiled_out` is non-null it receives the entry's compiled-plan
+  /// set (exec/compiler.h), created on first request and stored *inside* the
+  /// cache entry: DDL drift, Invalidate(), and LRU eviction drop the
+  /// derivation and its bytecode as one object, so a compiled program can
+  /// never be served against an analysis the cache no longer vouches for.
+  /// A re-analysis after any drop hands back a fresh, empty set — the VM
+  /// recompiles instead of executing a stale program.
   Result<std::shared_ptr<const ControllabilityAnalysis>> GetOrAnalyze(
       const Formula& f, std::string_view query_text, const Schema& schema,
-      const AccessSchema& access, const ControlAnalysisOptions& options = {});
+      const AccessSchema& access, const ControlAnalysisOptions& options = {},
+      std::shared_ptr<exec::CompiledPlanSet>* compiled_out = nullptr);
 
   /// The cached (or fresh) embedded chase plan for `q` under `params`.
+  /// `compiled_out` behaves exactly as in GetOrAnalyze.
   Result<std::shared_ptr<const EmbeddedCqAnalysis>> GetOrAnalyzeEmbedded(
       const Cq& q, std::string_view query_text, const Schema& schema,
-      const AccessSchema& access, const VarSet& params);
+      const AccessSchema& access, const VarSet& params,
+      std::shared_ptr<exec::CompiledPlanSet>* compiled_out = nullptr);
 
   /// Drops every entry (schema or access-schema DDL).
   void Invalidate();
@@ -94,6 +109,7 @@ class AnalysisCache {
     Status status = Status::OK();
     std::shared_ptr<const ControllabilityAnalysis> plain;
     std::shared_ptr<const EmbeddedCqAnalysis> embedded;
+    std::shared_ptr<exec::CompiledPlanSet> compiled;
   };
 
   struct Entry {
@@ -102,6 +118,9 @@ class AnalysisCache {
     uint64_t last_used = 0;
     std::shared_ptr<const ControllabilityAnalysis> plain;
     std::shared_ptr<const EmbeddedCqAnalysis> embedded;
+    /// Bytecode programs lowered from this entry's analysis; dropped with
+    /// the entry, so derivation and bytecode invalidate atomically.
+    std::shared_ptr<exec::CompiledPlanSet> compiled;
   };
 
   uint64_t KeyHash(std::string_view key_text) const;

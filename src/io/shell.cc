@@ -5,6 +5,7 @@
 #include "core/bounded_eval.h"
 #include "core/controllability.h"
 #include "core/qdsi.h"
+#include "exec/vm.h"
 #include "io/catalog.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
@@ -126,6 +127,10 @@ Shell::Shell() {
           .Set(static_cast<int64_t>(*parsed));
     }
   }
+  if (const char* mode = std::getenv("SCALEIN_COMPILE");
+      mode != nullptr && mode[0] != '\0') {
+    compile_mode_ = exec::CompiledPlanSet::ParseMode(mode);
+  }
 }
 
 Shell::~Shell() {
@@ -159,6 +164,10 @@ std::string Shell::HelpText() {
       "  explain qdsi <M> <cq-rule> | explain analyze <fo-query>\n"
       "  qdsi <M> Q(x) :- <CQ body>\n"
       "  limit [fetch=N] [deadline=MS] [rows=N] | limit off\n"
+      "  compile [on|off|auto|status]  bytecode compilation of bounded plans\n"
+      "                 (auto: compile a parameter-set on its 2nd sighting;\n"
+      "                 off restores pure interpretation; also settable via\n"
+      "                 SCALEIN_COMPILE)\n"
       "  threads [N]    show or resize the morsel worker pool and report\n"
       "                 shard-advisor decisions (applied on resize)\n"
       "  stats [prom] | stats watch <secs> [path] | stats watch off\n"
@@ -289,6 +298,8 @@ Result<std::string> Shell::ExecuteImpl(const std::string& command,
 
   if (command == "limit") return RunLimit(rest);
 
+  if (command == "compile") return RunCompile(rest);
+
   if (command == "qdsi") return RunQdsi(rest, /*explain=*/false);
 
   if (command == "journal") return RunJournal();
@@ -321,9 +332,11 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
   // carries it (workers included), so one query's artifacts join on one id.
   const obs::QueryId qid{obs::SessionFingerprint(), ++query_seq_};
   obs::ScopedQueryCorrelation correlate(qid);
+  std::shared_ptr<exec::CompiledPlanSet> compiled_set;
   SI_ASSIGN_OR_RETURN(
       std::shared_ptr<const ControllabilityAnalysis> analysis,
-      analysis_cache_->GetOrAnalyze(q.body, query_text, schema_, access_));
+      analysis_cache_->GetOrAnalyze(q.body, query_text, schema_, access_, {},
+                                    &compiled_set));
   metrics_->GetGauge("shell.analysis_cache.hits")
       .Set(static_cast<int64_t>(analysis_cache_->stats().hits));
   metrics_->GetGauge("shell.analysis_cache.misses")
@@ -336,14 +349,41 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
                            {obs::EventArg("query", query_text)});
   }
 
-  BoundedEvaluator evaluator(db_.get());
-  evaluator.set_collect_timing(explain);
-  evaluator.set_limits(limits_);
+  // Compiled path: consult the cache entry's plan set under the session's
+  // compile mode. nullptr (deferred, unsupported, or off) means interpret;
+  // a genuine compile failure additionally counts as a fallback.
+  VarSet param_vars;
+  for (const auto& [v, val] : params) {
+    (void)val;
+    param_vars.insert(v);
+  }
+  std::shared_ptr<const exec::CompiledProgram> program;
+  std::string compile_why;
+  if (compiled_set != nullptr) {
+    bool compile_failed = false;
+    program = compiled_set->GetOrCompilePlain(compile_mode_, q, analysis,
+                                              param_vars, &compile_why,
+                                              &compile_failed);
+    if (compile_failed) {
+      metrics_->GetCounter("exec.compiled_fallbacks").Increment();
+    }
+  }
   BoundedEvalStats stats;
   stats.capture_ops = explain;
   const uint64_t start_ns = obs::MonotonicNowNs();
-  Result<exec::Degraded<AnswerSet>> evaled =
-      evaluator.EvaluateDegraded(q, *analysis, params, &stats);
+  Result<exec::Degraded<AnswerSet>> evaled = [&] {
+    if (program != nullptr) {
+      metrics_->GetCounter("exec.compiled_hits").Increment();
+      exec::CompiledEvaluator vm(db_.get());
+      vm.set_collect_timing(explain);
+      vm.set_limits(limits_);
+      return vm.EvaluateDegraded(*program, params, &stats);
+    }
+    BoundedEvaluator evaluator(db_.get());
+    evaluator.set_collect_timing(explain);
+    evaluator.set_limits(limits_);
+    return evaluator.EvaluateDegraded(q, *analysis, params, &stats);
+  }();
   const double elapsed_ms =
       static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
   if (!evaled.ok()) {
@@ -452,6 +492,12 @@ Result<std::string> Shell::RunEval(std::string_view rest, bool explain) {
       }
       out += "\n";
     }
+    if (program != nullptr) {
+      out += "compiled:\n" + program->Disassemble();
+    } else if (compile_mode_ != exec::CompiledPlanSet::Mode::kOff &&
+               !compile_why.empty()) {
+      out += "compiled: interpreted (" + compile_why + ")\n";
+    }
     return out +
            StrFormat("(%zu answers%s)\n", answers.size(),
                      degraded.complete ? "" : ", partial") +
@@ -491,7 +537,8 @@ Result<ServePlan> Shell::PlanForServe(std::string_view rest) {
   SI_ASSIGN_OR_RETURN(plan.analysis,
                       analysis_cache_->GetOrAnalyze(plan.query.body,
                                                     plan.query_text, schema_,
-                                                    access_));
+                                                    access_, {},
+                                                    &plan.compiled));
   VarSet param_vars;
   for (const auto& [v, val] : plan.params) {
     (void)val;
@@ -516,13 +563,39 @@ Result<ServeEvalOutcome> Shell::EvalForServe(const ServePlan& plan,
     obs::RecordFlightEvent(obs::EventKind::kPlan, plan.fingerprint,
                            {obs::EventArg("query", plan.query_text)});
   }
-  BoundedEvaluator evaluator(db_.get());
-  evaluator.set_limits(limits);
+  // Serve-side compiled path: thread-safe plan set, shared across sessions
+  // via the cache entry. Any compile failure falls back to interpretation
+  // (the sanctioned path, counted by exec.compiled_fallbacks).
+  VarSet param_vars;
+  for (const auto& [v, val] : plan.params) {
+    (void)val;
+    param_vars.insert(v);
+  }
+  std::shared_ptr<const exec::CompiledProgram> program;
+  if (plan.compiled != nullptr) {
+    std::string why;
+    bool compile_failed = false;
+    program = plan.compiled->GetOrCompilePlain(compile_mode_, plan.query,
+                                               plan.analysis, param_vars, &why,
+                                               &compile_failed);
+    if (compile_failed) {
+      metrics_->GetCounter("exec.compiled_fallbacks").Increment();
+    }
+  }
   BoundedEvalStats stats;
   const uint64_t start_ns = obs::MonotonicNowNs();
-  Result<exec::Degraded<AnswerSet>> evaled =
-      evaluator.EvaluateDegraded(plan.query, *plan.analysis, plan.params,
-                                 &stats);
+  Result<exec::Degraded<AnswerSet>> evaled = [&] {
+    if (program != nullptr) {
+      metrics_->GetCounter("exec.compiled_hits").Increment();
+      exec::CompiledEvaluator vm(db_.get());
+      vm.set_limits(limits);
+      return vm.EvaluateDegraded(*program, plan.params, &stats);
+    }
+    BoundedEvaluator evaluator(db_.get());
+    evaluator.set_limits(limits);
+    return evaluator.EvaluateDegraded(plan.query, *plan.analysis, plan.params,
+                                      &stats);
+  }();
   const double elapsed_ms =
       static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e6;
   if (!evaled.ok()) {
@@ -898,6 +971,27 @@ Result<std::string> Shell::RunSlowlog(std::string_view rest) {
   gauge.Set(static_cast<int64_t>(ms));
   return StrFormat("slow-query threshold: %llu ms\n",
                    static_cast<unsigned long long>(ms));
+}
+
+Result<std::string> Shell::RunCompile(std::string_view rest) {
+  const std::string arg(StripWhitespace(rest));
+  auto render = [&] {
+    std::string out = std::string("compile mode: ") +
+                      exec::CompiledPlanSet::ModeName(compile_mode_) + "\n";
+    out += StrFormat(
+        "  hits=%llu fallbacks=%llu\n",
+        static_cast<unsigned long long>(
+            metrics_->GetCounter("exec.compiled_hits").value()),
+        static_cast<unsigned long long>(
+            metrics_->GetCounter("exec.compiled_fallbacks").value()));
+    return out;
+  };
+  if (arg.empty() || arg == "status") return render();
+  if (arg != "on" && arg != "off" && arg != "auto") {
+    return Status::InvalidArgument("usage: compile [on|off|auto|status]");
+  }
+  compile_mode_ = exec::CompiledPlanSet::ParseMode(arg);
+  return render();
 }
 
 Result<std::string> Shell::RunLimit(std::string_view rest) {

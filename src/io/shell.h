@@ -8,6 +8,7 @@
 #include "core/access_schema.h"
 #include "core/analysis_cache.h"
 #include "eval/answer_set.h"
+#include "exec/compiler.h"
 #include "exec/governor.h"
 #include "obs/correlation.h"
 #include "obs/dump.h"
@@ -33,6 +34,10 @@ struct ServePlan {
   Binding params;
   FoQuery query;
   std::shared_ptr<const ControllabilityAnalysis> analysis;
+  /// The analysis-cache entry's compiled-plan set; EvalForServe consults it
+  /// (under the session's compile mode) and falls back to interpretation on
+  /// any compile failure. Dropped with the cache entry on DDL.
+  std::shared_ptr<exec::CompiledPlanSet> compiled;
   /// BestOptionFor(params)->fetch_bound; < 0 when the query is not
   /// controlled by the given parameters (nothing to admit against).
   double static_bound = -1.0;
@@ -68,6 +73,7 @@ struct ServeEvalOutcome {
 ///   explain qdsi <M> Q(x) :- <CQ body> | explain analyze <fo-query>
 ///   qdsi <M> Q(x) :- <CQ body>
 ///   limit [fetch=N] [deadline=MS] [rows=N] | limit off
+///   compile [on|off|auto|status]   bytecode compilation of bounded plans
 ///   threads [N]    size the morsel worker pool; reports shard-advisor
 ///                  decisions per relation (and applies them on resize)
 ///   stats [prom] | stats watch <secs> [path] | stats watch off
@@ -181,6 +187,9 @@ class Shell {
   Result<std::string> RunAnalyze(std::string_view rest, bool explain);
   /// Parses `limit` arguments into limits_ ("off" clears them).
   Result<std::string> RunLimit(std::string_view rest);
+  /// `compile [on|off|auto|status]`: the session's bytecode-compilation mode
+  /// (also settable via SCALEIN_COMPILE). `status` reports mode + counters.
+  Result<std::string> RunCompile(std::string_view rest);
   Result<std::string> RunStats(std::string_view rest);
   Result<std::string> RunJournal() const;
   /// `certify` re-verifies the live journal; `certify <dump.json>` loads
@@ -202,6 +211,11 @@ class Shell {
   Schema schema_;
   AccessSchema access_;
   exec::GovernorLimits limits_;
+  /// Bytecode compilation of bounded plans (SCALEIN_COMPILE / `compile`):
+  /// kAuto compiles a parameter-set on its second sighting, kOn immediately,
+  /// kOff never — kOff restores the interpreter byte for byte.
+  exec::CompiledPlanSet::Mode compile_mode_ =
+      exec::CompiledPlanSet::Mode::kAuto;
   std::unique_ptr<Database> db_;
   // Behind pointers: these own mutexes/threads, and Shell must stay movable.
   std::unique_ptr<obs::MetricsRegistry> metrics_ =
